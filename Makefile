@@ -1,0 +1,26 @@
+.PHONY: all build test bench repro clean doc
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# the full reproduction pipeline: tests + every figure/table, with the
+# outputs captured at the repository root
+repro:
+	dune build @all
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+# requires odoc (not vendored): opam install odoc
+doc:
+	dune build @doc
+
+clean:
+	dune clean
