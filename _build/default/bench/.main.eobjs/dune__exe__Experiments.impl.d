@@ -1,0 +1,1 @@
+bench/experiments.ml: List Mvl Mvl_core Printf Util

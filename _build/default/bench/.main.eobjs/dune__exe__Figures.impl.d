@@ -1,0 +1,1 @@
+bench/figures.ml: Mvl Mvl_core Printf Util

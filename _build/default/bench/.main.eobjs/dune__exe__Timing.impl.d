@@ -1,0 +1,1 @@
+bench/timing.ml: Analyze Bechamel Benchmark Hashtbl Instance List Measure Mvl Mvl_core Printf Staged Test Time Toolkit

@@ -1,0 +1,49 @@
+(* Benchmark harness: regenerates every figure (F1-F4) and every
+   result table (E1-E14, X1) of the paper, then times the constructions
+   with bechamel.  `dune exec bench/main.exe` runs everything;
+   `-- figures`, `-- tables`, or `-- timing` select a section, and an
+   experiment id (e.g. `-- E8`) runs a single table. *)
+
+let run_one = function
+  | "F1" -> Figures.f1 ()
+  | "F2" -> Figures.f2 ()
+  | "F3" -> Figures.f3 ()
+  | "F4" -> Figures.f4 ()
+  | "E1" -> Experiments.e1 ()
+  | "E2" -> Experiments.e2 ()
+  | "E3" -> Experiments.e3 ()
+  | "E4" -> Experiments.e4 ()
+  | "E5" -> Experiments.e5 ()
+  | "E6" -> Experiments.e6 ()
+  | "E7" -> Experiments.e7 ()
+  | "E8" -> Experiments.e8 ()
+  | "E9" -> Experiments.e9 ()
+  | "E10" -> Experiments.e10 ()
+  | "E11" -> Experiments.e11 ()
+  | "E12" -> Experiments.e12 ()
+  | "E13" -> Experiments.e13 ()
+  | "E14" -> Experiments.e14 ()
+  | "E15" -> Experiments.e15 ()
+  | "E16" -> Experiments.e16 ()
+  | "E17" -> Experiments.e17 ()
+  | "E18" -> Experiments.e18 ()
+  | "E19" -> Experiments.e19 ()
+  | "E20" -> Experiments.e20 ()
+  | "E21" -> Experiments.e21 ()
+  | "X1" -> Experiments.x1 ()
+  | "X2" -> Experiments.x2 ()
+  | "X3" -> Experiments.x3 ()
+  | "figures" -> Figures.all ()
+  | "tables" -> Experiments.all ()
+  | "timing" -> Timing.run ()
+  | other ->
+      Printf.eprintf "unknown experiment %S\n" other;
+      exit 1
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as ids) -> List.iter run_one ids
+  | _ ->
+      Figures.all ();
+      Experiments.all ();
+      Timing.run ()

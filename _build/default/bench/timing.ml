@@ -1,0 +1,122 @@
+(* Bechamel timing benches: one Test.make per experiment table, timing
+   the construction that regenerates it. *)
+open Bechamel
+open Toolkit
+open Mvl_core
+
+let make name f = Test.make ~name (Staged.stage f)
+
+let tests =
+  [
+    make "E1:kary-collinear" (fun () ->
+        ignore (Mvl.Collinear_kary.create ~k:4 ~n:4 ()));
+    make "E2:complete-collinear" (fun () ->
+        ignore (Mvl.Collinear_complete.create 48));
+    make "E3:hypercube-collinear" (fun () ->
+        ignore (Mvl.Collinear_hypercube.create 10));
+    make "E4:kary-layout" (fun () ->
+        let fam = Mvl.Families.kary ~k:4 ~n:4 () in
+        ignore (fam.Mvl.Families.layout ~layers:8));
+    make "E5:ghc-layout" (fun () ->
+        let fam = Mvl.Families.generalized_hypercube ~r:8 ~n:2 () in
+        ignore (fam.Mvl.Families.layout ~layers:4));
+    make "E6:butterfly-cluster" (fun () ->
+        let fam = Mvl.Families.butterfly_cluster ~radix:4 ~quotient_dims:2 in
+        ignore (fam.Mvl.Families.layout ~layers:4));
+    make "E7:hsn-layout" (fun () ->
+        let fam = Mvl.Families.hsn ~levels:3 ~radix:4 in
+        ignore (fam.Mvl.Families.layout ~layers:4));
+    make "E8:hypercube-layout" (fun () ->
+        let fam = Mvl.Families.hypercube 10 in
+        ignore (fam.Mvl.Families.layout ~layers:8));
+    make "E9:ccc-layout" (fun () ->
+        let fam = Mvl.Families.ccc 6 in
+        ignore (fam.Mvl.Families.layout ~layers:4));
+    make "E10:folded-layout" (fun () ->
+        let fam = Mvl.Families.folded_hypercube 8 in
+        ignore (fam.Mvl.Families.layout ~layers:4));
+    make "E11:baselines" (fun () ->
+        let c = Mvl.Collinear_hypercube.create 10 in
+        ignore (Mvl.Baselines.collinear_multilayer c ~layers:8));
+    make "E12:kary-cluster" (fun () ->
+        let fam = Mvl.Families.kary_cluster ~k:4 ~n:2 ~c:4 in
+        ignore (fam.Mvl.Families.layout ~layers:2));
+    make "E13:node-side" (fun () ->
+        let fam = Mvl.Families.hypercube 8 in
+        ignore (fam.Mvl.Families.layout ~layers:2));
+    make "E14:validation" (fun () ->
+        let fam = Mvl.Families.hypercube 7 in
+        let lay = fam.Mvl.Families.layout ~layers:4 in
+        ignore (Mvl.Check.validate lay));
+    make "X1:star-layout" (fun () ->
+        let fam = Mvl.Families.star 5 in
+        ignore (fam.Mvl.Families.layout ~layers:4));
+    make "E15:stacked-3d" (fun () ->
+        ignore (Mvl.Multilayer3d.hypercube ~n:8 ~active:4 ~layers_per_slab:2));
+    make "E16:delay-model" (fun () ->
+        let fam = Mvl.Families.hypercube 8 in
+        let lay = fam.Mvl.Families.layout ~layers:4 in
+        ignore (Mvl.Delay.worst_route_latency ~samples:4 Mvl.Delay.default lay));
+    make "E17:packet-sim" (fun () ->
+        let g = Mvl.Hypercube.create 6 in
+        let cfg =
+          { Mvl.Network_sim.default_config with
+            Mvl.Network_sim.warmup = 50; measure = 200; drain = 500 }
+        in
+        ignore (Mvl.Network_sim.run ~config:cfg g));
+    make "E18:wormhole-sim" (fun () ->
+        let cfg =
+          { Mvl.Wormhole.default_config with
+            Mvl.Wormhole.warmup = 50; measure = 200; drain = 500 }
+        in
+        ignore (Mvl.Wormhole.run ~config:cfg (Mvl.Wormhole.Hypercube 5)));
+    make "E19:maze-router" (fun () ->
+        ignore
+          (Mvl.Maze_router.route_or_grow (Mvl.Hypercube.create 4) ~rows:4
+             ~cols:4 ~layers:2));
+    make "E20:adaptive-sim" (fun () ->
+        let cfg =
+          { Mvl.Wormhole.default_config with
+            Mvl.Wormhole.routing = Mvl.Wormhole.Adaptive; vcs = 3;
+            warmup = 50; measure = 200; drain = 500 }
+        in
+        ignore (Mvl.Wormhole.run ~config:cfg (Mvl.Wormhole.Torus { k = 4; n = 2 })));
+    make "E21:saturation" (fun () ->
+        let cfg =
+          { Mvl.Network_sim.default_config with
+            Mvl.Network_sim.warmup = 50; measure = 200; drain = 0 }
+        in
+        ignore
+          (Mvl.Network_sim.saturation_throughput ~config:cfg
+             (Mvl.Hypercube.create 5)));
+    make "X2:resilience" (fun () ->
+        ignore
+          (Mvl.Resilience.edge_faults (Mvl.Hypercube.create 6) ~p_fail:0.3
+             ~trials:20 ~seed:1));
+    make "X3:order-opt" (fun () ->
+        ignore (Mvl.Order_opt.optimize ~iterations:1000 (Mvl.Cayley.star 4)));
+  ]
+
+let run () =
+  print_newline ();
+  print_endline "=== construction timing (bechamel) ===";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
+      in
+      let analyzed =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true
+                       ~predictors:[| Measure.run |])
+          (Instance.monotonic_clock) results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              Printf.printf "  %-28s %12.0f ns/run\n" name est
+          | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+        analyzed)
+    tests

@@ -1,0 +1,440 @@
+(* mvl: command-line front end.
+
+   Subcommands:
+     layout   - build a family's multilayer layout, print metrics,
+                optionally validate/report/save/render it
+     tracks   - collinear track counts vs the paper's formulas
+     figure   - ASCII renderings of the paper's figures 2-4
+     verify   - re-verify a serialized layout file
+     sim      - packet-level simulation with layout link latencies
+     wormhole - flit-level wormhole simulation (VCs, adaptive routing)
+     list     - the supported network families *)
+open Mvl_core
+open Cmdliner
+
+(* --- family parsing ---------------------------------------------------- *)
+
+let family_doc =
+  "NETWORK is one of: hypercube:N | kary:K:N | torus:K1:K2[:K3] | \
+   mesh:K1:K2[:K3] | ghc:R:N | complete:N | hsn:LEVELS:R | hhn:LEVELS:M | \
+   ccc:N | rh:N | butterfly:R:M | isn:R:M | folded:N | enhanced:N:SEED | \
+   karycluster:K:N:C | star:D | pancake:D | bubble:D | transposition:D | \
+   scc:D | shuffle:N | debruijn:N | tree:LEVELS (append :opt to the \
+   Cayley families for annealed orders)"
+
+let parse_family s =
+  match String.split_on_char ':' s with
+  | [ "hypercube"; n ] -> Ok (Mvl.Families.hypercube (int_of_string n))
+  | [ "hypercube"; n; "fold" ] ->
+      Ok (Mvl.Families.hypercube ~fold:true (int_of_string n))
+  | [ "kary"; k; n ] ->
+      Ok (Mvl.Families.kary ~k:(int_of_string k) ~n:(int_of_string n) ())
+  | [ "kary"; k; n; "fold" ] ->
+      Ok
+        (Mvl.Families.kary ~fold:true ~k:(int_of_string k)
+           ~n:(int_of_string n) ())
+  | [ "ghc"; r; n ] ->
+      Ok
+        (Mvl.Families.generalized_hypercube ~r:(int_of_string r)
+           ~n:(int_of_string n) ())
+  | [ "complete"; n ] -> Ok (Mvl.Families.complete (int_of_string n))
+  | [ "hsn"; l; r ] ->
+      Ok (Mvl.Families.hsn ~levels:(int_of_string l) ~radix:(int_of_string r))
+  | [ "hhn"; l; m ] ->
+      Ok
+        (Mvl.Families.hhn ~levels:(int_of_string l)
+           ~cube_dims:(int_of_string m))
+  | [ "ccc"; n ] -> Ok (Mvl.Families.ccc (int_of_string n))
+  | [ "rh"; n ] -> Ok (Mvl.Families.reduced_hypercube (int_of_string n))
+  | [ "butterfly"; r; m ] ->
+      Ok
+        (Mvl.Families.butterfly_cluster ~radix:(int_of_string r)
+           ~quotient_dims:(int_of_string m))
+  | [ "isn"; r; m ] ->
+      Ok
+        (Mvl.Families.isn ~radix:(int_of_string r)
+           ~quotient_dims:(int_of_string m))
+  | [ "folded"; n ] -> Ok (Mvl.Families.folded_hypercube (int_of_string n))
+  | [ "enhanced"; n; seed ] ->
+      Ok
+        (Mvl.Families.enhanced_cube ~n:(int_of_string n)
+           ~seed:(int_of_string seed))
+  | [ "karycluster"; k; n; c ] ->
+      Ok
+        (Mvl.Families.kary_cluster ~k:(int_of_string k) ~n:(int_of_string n)
+           ~c:(int_of_string c))
+  | [ "star"; d ] -> Ok (Mvl.Families.star (int_of_string d))
+  | [ "star"; d; "opt" ] ->
+      Ok (Mvl.Families.star ~optimize:true (int_of_string d))
+  | [ "pancake"; d ] -> Ok (Mvl.Families.pancake (int_of_string d))
+  | [ "pancake"; d; "opt" ] ->
+      Ok (Mvl.Families.pancake ~optimize:true (int_of_string d))
+  | [ "bubble"; d ] -> Ok (Mvl.Families.bubble_sort (int_of_string d))
+  | [ "transposition"; d ] -> Ok (Mvl.Families.transposition (int_of_string d))
+  | [ "scc"; d ] -> Ok (Mvl.Families.scc (int_of_string d))
+  | [ "shuffle"; n ] -> Ok (Mvl.Families.shuffle_exchange (int_of_string n))
+  | [ "shuffle"; n; "opt" ] ->
+      Ok (Mvl.Families.shuffle_exchange ~optimize:true (int_of_string n))
+  | [ "debruijn"; n ] -> Ok (Mvl.Families.de_bruijn (int_of_string n))
+  | [ "tree"; levels ] -> Ok (Mvl.Families.binary_tree (int_of_string levels))
+  | "torus" :: dims when List.length dims >= 1 ->
+      Ok
+        (Mvl.Families.torus
+           ~dims:(Array.of_list (List.map int_of_string dims))
+           ())
+  | "mesh" :: dims when List.length dims >= 1 ->
+      Ok
+        (Mvl.Families.mesh
+           ~dims:(Array.of_list (List.map int_of_string dims)))
+  | _ -> Error (`Msg (Printf.sprintf "cannot parse network %S" s))
+
+let family_conv =
+  Arg.conv
+    ( (fun s -> try parse_family s with Failure _ | Invalid_argument _ ->
+          Error (`Msg (Printf.sprintf "bad parameters in %S" s))),
+      fun ppf fam -> Format.fprintf ppf "%s" fam.Mvl.Families.name )
+
+let family_arg =
+  Arg.(
+    required
+    & pos 0 (some family_conv) None
+    & info [] ~docv:"NETWORK" ~doc:family_doc)
+
+let layers_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "l"; "layers" ] ~docv:"L" ~doc:"Number of wiring layers (>= 2).")
+
+(* --- layout command ----------------------------------------------------- *)
+
+let layout_cmd =
+  let svg_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "svg" ] ~docv:"FILE" ~doc:"Write an SVG rendering to $(docv).")
+  in
+  let validate_arg =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:"Check the geometry under the strict multilayer grid model.")
+  in
+  let report_arg =
+    Arg.(
+      value & flag
+      & info [ "report" ]
+          ~doc:
+            "Print the layout anatomy: area breakdown, wire-length \
+             distribution, per-layer usage.")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:"Serialize the layout to $(docv) (mvl-layout text format).")
+  in
+  let run fam layers svg validate report save =
+    let layout = fam.Mvl.Families.layout ~layers in
+    let m = Mvl.Layout.metrics layout in
+    Printf.printf "%s  N=%d  L=%d\n" fam.Mvl.Families.name
+      fam.Mvl.Families.n_nodes layers;
+    Format.printf "  %a@." Mvl.Layout.pp_metrics m;
+    (match fam.Mvl.Families.paper_area with
+    | Some f ->
+        let paper = f ~layers in
+        Printf.printf "  paper leading area: %.0f (ratio %.3f)\n" paper
+          (float_of_int m.Mvl.Layout.area /. paper)
+    | None -> ());
+    (match fam.Mvl.Families.bisection with
+    | Some b ->
+        Printf.printf "  bisection lower bound: %.0f\n"
+          (Mvl.Lower_bounds.area ~bisection:b ~layers)
+    | None -> ());
+    if validate then begin
+      match Mvl.Check.validate ~mode:Mvl.Check.Strict layout with
+      | [] -> print_endline "  validation: ok (strict model)"
+      | violations ->
+          List.iter
+            (fun v -> Format.printf "  VIOLATION %a@." Mvl.Check.pp_violation v)
+            violations;
+          exit 1
+    end;
+    if report then
+      Format.printf "%a@." Mvl.Report.pp (Mvl.Report.analyze layout);
+    (match save with
+    | None -> ()
+    | Some file ->
+        Mvl.Serialize.write_file file layout;
+        Printf.printf "  saved %s\n" file);
+    match svg with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Mvl.Render.layout_svg layout);
+        close_out oc;
+        Printf.printf "  wrote %s\n" file
+  in
+  Cmd.v
+    (Cmd.info "layout" ~doc:"Build and measure a multilayer layout")
+    Term.(
+      const run $ family_arg $ layers_arg $ svg_arg $ validate_arg $ report_arg
+      $ save_arg)
+
+(* --- tracks command ------------------------------------------------------ *)
+
+let tracks_cmd =
+  let run fam =
+    let c = Mvl.Collinear.natural fam.Mvl.Families.graph in
+    Printf.printf "%s: greedy collinear layout uses %d tracks (max span %d)\n"
+      fam.Mvl.Families.name c.Mvl.Collinear.tracks (Mvl.Collinear.max_span c)
+  in
+  Cmd.v
+    (Cmd.info "tracks"
+       ~doc:"Collinear (single-row) track count for a network")
+    Term.(const run $ family_arg)
+
+(* --- figure command ------------------------------------------------------ *)
+
+let figure_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("2", `F2); ("3", `F3); ("4", `F4) ])) None
+      & info [] ~docv:"N" ~doc:"Figure number: 2, 3 or 4.")
+  in
+  let run which =
+    let c =
+      match which with
+      | `F2 -> Mvl.Collinear_kary.create ~k:3 ~n:2 ()
+      | `F3 -> Mvl.Collinear_complete.create 9
+      | `F4 -> Mvl.Collinear_hypercube.create 4
+    in
+    print_string (Mvl.Render.collinear_ascii c);
+    Printf.printf "tracks: %d\n" c.Mvl.Collinear.tracks
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"ASCII rendering of the paper's figures 2-4")
+    Term.(const run $ which)
+
+(* --- sim command ------------------------------------------------------------ *)
+
+let sim_cmd =
+  let load_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "load" ] ~docv:"P"
+          ~doc:"Offered load: injection probability per node per cycle.")
+  in
+  let pattern_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("uniform", Mvl.Traffic.Uniform);
+               ("transpose", Mvl.Traffic.Transpose);
+               ("bit-reversal", Mvl.Traffic.Bit_reversal);
+               ("bit-complement", Mvl.Traffic.Bit_complement);
+               ("hotspot", Mvl.Traffic.Hotspot 0);
+             ])
+          Mvl.Traffic.Uniform
+      & info [ "pattern" ] ~docv:"PATTERN"
+          ~doc:
+            "Traffic pattern: uniform, transpose, bit-reversal, \
+             bit-complement or hotspot.")
+  in
+  let run fam layers load pattern =
+    let layout = fam.Mvl.Families.layout ~layers in
+    let link =
+      Mvl.Network_sim.link_latency_of_layout ~units_per_cycle:32 layout
+    in
+    let cfg =
+      { Mvl.Network_sim.default_config with
+        Mvl.Network_sim.traffic = pattern; offered_load = load }
+    in
+    let r =
+      Mvl.Network_sim.run ~config:cfg ~link_latency:link
+        fam.Mvl.Families.graph
+    in
+    Printf.printf "%s  L=%d  load=%.3f  pattern=%s\n" fam.Mvl.Families.name
+      layers load
+      (Format.asprintf "%a" Mvl.Traffic.pp pattern);
+    Format.printf "  zero-load latency: %.1f cycles@."
+      (Mvl.Network_sim.zero_load_latency ~link_latency:link
+         fam.Mvl.Families.graph);
+    Format.printf "  %a@." Mvl.Network_sim.pp_result r
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:
+         "Simulate traffic over a network with layout-derived link \
+          latencies")
+    Term.(const run $ family_arg $ layers_arg $ load_arg $ pattern_arg)
+
+(* --- layout3d command -------------------------------------------------------- *)
+
+let layout3d_cmd =
+  let n_arg =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"N" ~doc:"Hypercube dimension.")
+  in
+  let active_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "active" ] ~docv:"LA"
+          ~doc:"Active layers (power of two, slabs of the stack).")
+  in
+  let lps_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "layers-per-slab" ] ~docv:"LW"
+          ~doc:"Wiring layers per slab (>= 2).")
+  in
+  let run n active lps =
+    let t = Mvl.Multilayer3d.hypercube ~n ~active ~layers_per_slab:lps in
+    let m = Mvl.Layout.metrics t.Mvl.Multilayer3d.layout in
+    Printf.printf "hypercube(n=%d) on %d active layers, %d wiring/slab\n" n
+      active lps;
+    Format.printf "  %a@." Mvl.Layout.pp_metrics m;
+    (match
+       Mvl.Check.validate ~mode:Mvl.Check.Strict t.Mvl.Multilayer3d.layout
+     with
+    | [] -> print_endline "  validation: ok (strict 3-D grid model)"
+    | violations ->
+        List.iter
+          (fun v -> Format.printf "  VIOLATION %a@." Mvl.Check.pp_violation v)
+          violations;
+        exit 1);
+    let flat = Mvl.Families.hypercube n in
+    let m2 =
+      Mvl.Layout.metrics (flat.Mvl.Families.layout ~layers:(active * lps))
+    in
+    Printf.printf "  flat 2-D at the same %d layers: area=%d volume=%d\n"
+      (active * lps) m2.Mvl.Layout.area m2.Mvl.Layout.volume
+  in
+  Cmd.v
+    (Cmd.info "layout3d"
+       ~doc:"Stacked-slab 3-D grid model layout of a hypercube")
+    Term.(const run $ n_arg $ active_arg $ lps_arg)
+
+(* --- wormhole command -------------------------------------------------------- *)
+
+let wormhole_cmd =
+  let fabric_conv =
+    Arg.conv
+      ( (fun s ->
+          match String.split_on_char ':' s with
+          | [ "hypercube"; n ] ->
+              Ok (Mvl.Wormhole.Hypercube (int_of_string n))
+          | [ "torus"; k; n ] ->
+              Ok
+                (Mvl.Wormhole.Torus
+                   { k = int_of_string k; n = int_of_string n })
+          | _ -> Error (`Msg "expected hypercube:N or torus:K:N")),
+        fun ppf f ->
+          match f with
+          | Mvl.Wormhole.Hypercube n -> Format.fprintf ppf "hypercube:%d" n
+          | Mvl.Wormhole.Torus { k; n } -> Format.fprintf ppf "torus:%d:%d" k n
+      )
+  in
+  let fabric_arg =
+    Arg.(
+      required
+      & pos 0 (some fabric_conv) None
+      & info [] ~docv:"FABRIC" ~doc:"hypercube:N or torus:K:N.")
+  in
+  let load_arg =
+    Arg.(
+      value & opt float 0.02
+      & info [ "load" ] ~docv:"P" ~doc:"Packet injection probability.")
+  in
+  let adaptive_arg =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:"Duato minimal-adaptive routing instead of e-cube.")
+  in
+  let vcs_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "vcs" ] ~docv:"V" ~doc:"Virtual channels per link.")
+  in
+  let run fabric load adaptive vcs =
+    let cfg =
+      { Mvl.Wormhole.default_config with
+        Mvl.Wormhole.offered_load = load;
+        routing =
+          (if adaptive then Mvl.Wormhole.Adaptive
+           else Mvl.Wormhole.Deterministic);
+        vcs }
+    in
+    let r = Mvl.Wormhole.run ~config:cfg fabric in
+    Format.printf "%a@." Mvl.Wormhole.pp_result r
+  in
+  Cmd.v
+    (Cmd.info "wormhole"
+       ~doc:"Flit-level wormhole simulation (VCs, credits, e-cube/adaptive)")
+    Term.(const run $ fabric_arg $ load_arg $ adaptive_arg $ vcs_arg)
+
+(* --- verify command -------------------------------------------------------- *)
+
+let verify_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A layout saved with 'layout --save'.")
+  in
+  let thompson_arg =
+    Arg.(
+      value & flag
+      & info [ "thompson" ]
+          ~doc:"Verify under the Thompson model (point crossings allowed) \
+                instead of the strict multilayer grid model.")
+  in
+  let run file thompson =
+    match Mvl.Serialize.read_file file with
+    | Error msg ->
+        Printf.eprintf "parse error: %s\n" msg;
+        exit 2
+    | Ok layout -> (
+        let mode = if thompson then Mvl.Check.Thompson else Mvl.Check.Strict in
+        Format.printf "%a@." Mvl.Report.pp (Mvl.Report.analyze layout);
+        match Mvl.Check.validate ~mode layout with
+        | [] -> print_endline "verification: ok"
+        | violations ->
+            List.iter
+              (fun v -> Format.printf "VIOLATION %a@." Mvl.Check.pp_violation v)
+              violations;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Re-verify a serialized layout file")
+    Term.(const run $ file_arg $ thompson_arg)
+
+(* --- list command --------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    print_endline "families (with a representative small instance):";
+    List.iter
+      (fun fam ->
+        Printf.printf "  %-32s N=%d\n" fam.Mvl.Families.name
+          fam.Mvl.Families.n_nodes)
+      (Mvl.Families.all_small ())
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the supported network families")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "multilayer VLSI layouts for interconnection networks" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "mvl" ~doc)
+          [ layout_cmd; layout3d_cmd; tracks_cmd; figure_cmd; verify_cmd; sim_cmd;
+            wormhole_cmd; list_cmd ]))

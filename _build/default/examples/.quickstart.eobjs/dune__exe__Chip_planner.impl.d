@@ -1,0 +1,1 @@
+examples/chip_planner.ml: Array List Mvl Mvl_core Printf Sys

@@ -1,0 +1,1 @@
+examples/figure_gallery.ml: Filename List Mvl Mvl_core Printf Unix

@@ -1,0 +1,1 @@
+examples/layer_scaling.ml: Array List Mvl Mvl_core Printf Sys

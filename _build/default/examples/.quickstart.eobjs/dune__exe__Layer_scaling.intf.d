@@ -1,0 +1,1 @@
+examples/layer_scaling.mli:

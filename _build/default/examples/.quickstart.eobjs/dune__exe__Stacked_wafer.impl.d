@@ -1,0 +1,1 @@
+examples/stacked_wafer.ml: Format List Mvl Mvl_core Printf

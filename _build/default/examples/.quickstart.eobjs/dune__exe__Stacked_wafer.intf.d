@@ -1,0 +1,1 @@
+examples/stacked_wafer.mli:

@@ -1,0 +1,94 @@
+(* Chip planner: the single-chip multiprocessor scenario from the
+   paper's introduction.  Given a target node count and the number of
+   wiring layers the process offers, compare the interconnect
+   candidates' silicon cost (area, volume) and performance proxies
+   (max wire length, worst accumulated wire on a shortest route).
+
+   Run with:  dune exec examples/chip_planner.exe [-- layers] *)
+open Mvl_core
+
+type verdict = {
+  name : string;
+  nodes : int;
+  degree : int;
+  diameter : int;
+  area : int;
+  volume : int;
+  max_wire : int;
+  path_wire : int;
+  latency : float;  (* worst RC route latency, repeatered wires *)
+}
+
+let evaluate fam ~layers =
+  let layout = fam.Mvl.Families.layout ~layers in
+  assert (Mvl.Check.is_valid ~mode:Mvl.Check.Strict layout
+          || Mvl.Graph.m fam.Mvl.Families.graph > 20000);
+  let m = Mvl.Layout.metrics layout in
+  let route = Mvl.Route.of_layout layout in
+  {
+    name = fam.Mvl.Families.name;
+    nodes = fam.Mvl.Families.n_nodes;
+    degree = Mvl.Graph.max_degree fam.Mvl.Families.graph;
+    diameter = Mvl.Graph.diameter fam.Mvl.Families.graph;
+    area = m.Mvl.Layout.area;
+    volume = m.Mvl.Layout.volume;
+    max_wire = m.Mvl.Layout.max_wire;
+    path_wire = Mvl.Route.max_path_wire ~samples:8 route;
+    latency =
+      Mvl.Delay.worst_route_latency ~samples:8
+        (Mvl.Delay.with_repeaters 64) layout;
+  }
+
+let () =
+  let layers =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 8
+  in
+  Printf.printf
+    "planning a ~256-node single-chip multiprocessor with %d wiring layers\n\n"
+    layers;
+  (* candidates at (close to) 256 nodes *)
+  let candidates =
+    [
+      Mvl.Families.hypercube 8;
+      Mvl.Families.kary ~k:4 ~n:4 ();
+      Mvl.Families.kary ~fold:true ~k:4 ~n:4 ();
+      Mvl.Families.generalized_hypercube ~r:16 ~n:2 ();
+      Mvl.Families.ccc 6 (* 384 nodes, degree 3 *);
+      Mvl.Families.hsn ~levels:2 ~radix:16;
+      Mvl.Families.folded_hypercube 8;
+      Mvl.Families.reduced_hypercube 4 (* 64 nodes, shown for contrast *);
+    ]
+  in
+  Printf.printf "%-28s %6s %4s %5s %10s %10s %9s %10s %9s\n" "network" "nodes"
+    "deg" "diam" "area" "volume" "max-wire" "path-wire" "latency";
+  let verdicts = List.map (fun fam -> evaluate fam ~layers) candidates in
+  List.iter
+    (fun v ->
+      Printf.printf "%-28s %6d %4d %5d %10d %10d %9d %10d %9.0f\n" v.name
+        v.nodes v.degree v.diameter v.area v.volume v.max_wire v.path_wire
+        v.latency)
+    verdicts;
+  (* a crude figure of merit: area x diameter x max wire, normalized per
+     node to compare across slightly different sizes *)
+  print_newline ();
+  let merit v =
+    float_of_int v.area /. float_of_int (v.nodes * v.nodes)
+    *. float_of_int v.diameter
+    *. float_of_int v.max_wire /. float_of_int v.nodes
+  in
+  let best =
+    List.fold_left
+      (fun acc v -> match acc with
+        | Some b when merit b <= merit v -> acc
+        | _ -> Some v)
+      None verdicts
+  in
+  (match best with
+  | Some b ->
+      Printf.printf
+        "lowest (area x diameter x max-wire) per node^3: %s\n" b.name
+  | None -> ());
+  Printf.printf
+    "note: degree-3 networks (CCC) trade silicon for hops; the paper's\n\
+     point is that every candidate shrinks by ~(L/2)^2 in area when laid\n\
+     out natively for L layers.\n"

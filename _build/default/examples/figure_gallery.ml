@@ -1,0 +1,40 @@
+(* Figure gallery: regenerates the paper's construction figures as
+   ASCII (to stdout) and renders small multilayer layouts as SVG files
+   in the current directory.
+
+   Run with:  dune exec examples/figure_gallery.exe *)
+open Mvl_core
+
+let save name svg =
+  (try Unix.mkdir "gallery" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let name = Filename.concat "gallery" name in
+  let oc = open_out name in
+  output_string oc svg;
+  close_out oc;
+  Printf.printf "wrote %s\n" name
+
+let () =
+  print_endline "--- Fig. 2: collinear 3-ary 2-cube ---";
+  print_string
+    (Mvl.Render.collinear_ascii (Mvl.Collinear_kary.create ~k:3 ~n:2 ()));
+  print_endline "\n--- Fig. 3: collinear K_9 ---";
+  print_string (Mvl.Render.collinear_ascii (Mvl.Collinear_complete.create 9));
+  print_endline "\n--- Fig. 4: collinear 4-cube ---";
+  print_string (Mvl.Render.collinear_ascii (Mvl.Collinear_hypercube.create 4));
+  print_newline ();
+  (* SVG gallery of realized multilayer layouts *)
+  let shots =
+    [
+      ("hypercube5_l2.svg", Mvl.Families.hypercube 5, 2);
+      ("hypercube5_l4.svg", Mvl.Families.hypercube 5, 4);
+      ("kary3x3_l2.svg", Mvl.Families.kary ~k:3 ~n:2 (), 2);
+      ("ccc3_l2.svg", Mvl.Families.ccc 3, 2);
+      ("ghc4x2_l4.svg", Mvl.Families.generalized_hypercube ~r:4 ~n:2 (), 4);
+      ("folded4_l2.svg", Mvl.Families.folded_hypercube 4, 2);
+    ]
+  in
+  List.iter
+    (fun (name, fam, layers) ->
+      save name (Mvl.Render.layout_svg (fam.Mvl.Families.layout ~layers)))
+    shots;
+  print_endline "done; open the .svg files in a browser (one colour per layer)"

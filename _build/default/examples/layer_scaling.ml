@@ -1,0 +1,51 @@
+(* Layer scaling: how one network's layout cost falls as the process
+   gains wiring layers — the paper's headline claims (1)-(4) — and how
+   the two lazy alternatives (folding a finished 2-layer layout, or a
+   multilayer collinear layout) fail to keep up.
+
+   Run with:  dune exec examples/layer_scaling.exe [-- n] *)
+open Mvl_core
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 12 in
+  let fam = Mvl.Families.hypercube n in
+  let collinear = Mvl.Collinear_hypercube.create n in
+  Printf.printf "layer scaling for %s (%d nodes)\n\n" fam.Mvl.Families.name
+    fam.Mvl.Families.n_nodes;
+  let m2 = Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers:2) in
+  Printf.printf "baseline (L=2): area=%d volume=%d max_wire=%d\n\n"
+    m2.Mvl.Layout.area m2.Mvl.Layout.volume m2.Mvl.Layout.max_wire;
+  Printf.printf "%3s | %22s | %22s | %22s\n" "L" "direct multilayer"
+    "folded Thompson" "multilayer collinear";
+  Printf.printf "%3s | %10s %11s | %10s %11s | %10s %11s\n" "" "area"
+    "(gain)" "area" "(gain)" "area" "(gain)";
+  let c2 = Mvl.Baselines.collinear_multilayer collinear ~layers:2 in
+  List.iter
+    (fun layers ->
+      let direct = Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers) in
+      let folded = Mvl.Baselines.fold_thompson m2 ~layers in
+      let coll = Mvl.Baselines.collinear_multilayer collinear ~layers in
+      let gain base a = float_of_int base /. float_of_int a in
+      Printf.printf "%3d | %10d %10.2fx | %10d %10.2fx | %10d %10.2fx\n" layers
+        direct.Mvl.Layout.area
+        (gain m2.Mvl.Layout.area direct.Mvl.Layout.area)
+        folded.Mvl.Layout.area
+        (gain m2.Mvl.Layout.area folded.Mvl.Layout.area)
+        coll.Mvl.Layout.area
+        (gain c2.Mvl.Layout.area coll.Mvl.Layout.area))
+    [ 2; 4; 6; 8; 12; 16 ];
+  print_newline ();
+  Printf.printf "%3s | %10s %10s | %12s %12s\n" "L" "direct-W" "folded-W"
+    "direct-vol" "folded-vol";
+  List.iter
+    (fun layers ->
+      let direct = Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers) in
+      let folded = Mvl.Baselines.fold_thompson m2 ~layers in
+      Printf.printf "%3d | %10d %10d | %12d %12d\n" layers
+        direct.Mvl.Layout.max_wire folded.Mvl.Layout.max_wire
+        direct.Mvl.Layout.volume folded.Mvl.Layout.volume)
+    [ 2; 4; 8; 16 ];
+  print_newline ();
+  Printf.printf
+    "paper: direct design gains ~L^2/4 area, ~L/2 volume, ~L/2 max wire;\n\
+     folding gains only ~L/2 area and nothing else.\n"

@@ -1,0 +1,75 @@
+(* Network simulation demo: the paper's performance claim measured at
+   the system level.  The same 256-node hypercube is laid out for 2 and
+   8 wiring layers; link latencies derived from the realized wire
+   lengths feed a cycle-driven simulator, producing latency-vs-load
+   curves for both designs.
+
+   Run with:  dune exec examples/network_sim_demo.exe *)
+open Mvl_core
+
+let () =
+  let fam = Mvl.Families.hypercube 8 in
+  let g = fam.Mvl.Families.graph in
+  Printf.printf
+    "cycle-driven simulation of %s (%d nodes), uniform traffic;\n\
+     link latency = 1 + wire_length/32 cycles from the realized layout\n\n"
+    fam.Mvl.Families.name fam.Mvl.Families.n_nodes;
+  let latency_fn layers =
+    let lay = fam.Mvl.Families.layout ~layers in
+    Mvl.Network_sim.link_latency_of_layout ~units_per_cycle:32 lay
+  in
+  let ll2 = latency_fn 2 and ll8 = latency_fn 8 in
+  Printf.printf "zero-load latency: L=2 -> %.1f cycles, L=8 -> %.1f cycles\n\n"
+    (Mvl.Network_sim.zero_load_latency ~link_latency:ll2 g)
+    (Mvl.Network_sim.zero_load_latency ~link_latency:ll8 g);
+  Printf.printf "%8s | %12s %12s | %12s %12s\n" "load" "L=2 avg" "L=2 p99"
+    "L=8 avg" "L=8 p99";
+  List.iter
+    (fun load ->
+      let cfg =
+        { Mvl.Network_sim.default_config with
+          Mvl.Network_sim.offered_load = load; warmup = 300; measure = 1500 }
+      in
+      let r2 = Mvl.Network_sim.run ~config:cfg ~link_latency:ll2 g in
+      let r8 = Mvl.Network_sim.run ~config:cfg ~link_latency:ll8 g in
+      Printf.printf "%8.2f | %12.1f %12d | %12.1f %12d\n" load
+        r2.Mvl.Network_sim.avg_latency r2.Mvl.Network_sim.p99_latency
+        r8.Mvl.Network_sim.avg_latency r8.Mvl.Network_sim.p99_latency)
+    [ 0.02; 0.05; 0.1; 0.2; 0.3 ];
+  print_newline ();
+  (* traffic pattern sweep at fixed load on the 8-layer design *)
+  Printf.printf "pattern sweep at load 0.1 on the 8-layer layout:\n";
+  List.iter
+    (fun pattern ->
+      let cfg =
+        { Mvl.Network_sim.default_config with
+          Mvl.Network_sim.traffic = pattern; offered_load = 0.1;
+          warmup = 300; measure = 1500 }
+      in
+      let r = Mvl.Network_sim.run ~config:cfg ~link_latency:ll8 g in
+      let name = Format.asprintf "%a" Mvl.Traffic.pp pattern in
+      Format.printf "  %-16s %a@." name Mvl.Network_sim.pp_result r)
+    [
+      Mvl.Traffic.Uniform;
+      Mvl.Traffic.Transpose;
+      Mvl.Traffic.Bit_reversal;
+      Mvl.Traffic.Bit_complement;
+      Mvl.Traffic.Hotspot 0;
+    ];
+  print_newline ();
+  (* flit-level wormhole with adaptive routing on a torus *)
+  Printf.printf
+    "wormhole (4-flit packets, 3 VCs) on a 4-ary 3-cube, transpose 0.08:\n";
+  List.iter
+    (fun (name, routing) ->
+      let cfg =
+        { Mvl.Wormhole.default_config with
+          Mvl.Wormhole.routing; vcs = 3; traffic = Mvl.Traffic.Transpose;
+          offered_load = 0.08; warmup = 300; measure = 1500 }
+      in
+      let r = Mvl.Wormhole.run ~config:cfg (Mvl.Wormhole.Torus { k = 4; n = 3 }) in
+      Format.printf "  %-14s %a@." name Mvl.Wormhole.pp_result r)
+    [
+      ("e-cube", Mvl.Wormhole.Deterministic);
+      ("adaptive", Mvl.Wormhole.Adaptive);
+    ]

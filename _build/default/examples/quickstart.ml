@@ -1,0 +1,51 @@
+(* Quickstart: build a network, lay it out for a given number of wiring
+   layers, verify the geometry and read off the cost metrics.
+
+   Run with:  dune exec examples/quickstart.exe *)
+open Mvl_core
+
+let () =
+  (* 1. pick a network family: the 8-dimensional hypercube (256 nodes) *)
+  let fam = Mvl.Families.hypercube 8 in
+  Printf.printf "network: %s with %d nodes, %d links\n" fam.Mvl.Families.name
+    fam.Mvl.Families.n_nodes
+    (Mvl.Graph.m fam.Mvl.Families.graph);
+
+  (* 2. lay it out under the multilayer grid model with 8 wiring layers *)
+  let layout = fam.Mvl.Families.layout ~layers:8 in
+
+  (* 3. verify: the strict model demands node-disjoint routed wires *)
+  (match Mvl.Check.validate ~mode:Mvl.Check.Strict layout with
+  | [] -> print_endline "layout verified: node-disjoint, on-terminal, in-range"
+  | violations ->
+      List.iter
+        (fun v -> Format.printf "VIOLATION %a@." Mvl.Check.pp_violation v)
+        violations;
+      exit 1);
+
+  (* 4. metrics *)
+  let m = Mvl.Layout.metrics layout in
+  Format.printf "metrics: %a@." Mvl.Layout.pp_metrics m;
+
+  (* 5. compare with the paper's leading term, 16 N^2 / 9 L^2 *)
+  (match fam.Mvl.Families.paper_area with
+  | Some f ->
+      let paper = f ~layers:8 in
+      Printf.printf "paper leading term: %.0f (measured/paper = %.2f)\n" paper
+        (float_of_int m.Mvl.Layout.area /. paper)
+  | None -> ());
+
+  (* 6. the multilayer pay-off: same network, only two layers *)
+  let m2 = Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers:2) in
+  Printf.printf
+    "2-layer (Thompson) area: %d -> 8-layer area: %d (%.1fx smaller)\n"
+    m2.Mvl.Layout.area m.Mvl.Layout.area
+    (float_of_int m2.Mvl.Layout.area /. float_of_int m.Mvl.Layout.area);
+
+  (* 7. render a small instance for inspection *)
+  let small = Mvl.Families.hypercube 4 in
+  let svg = Mvl.Render.layout_svg (small.Mvl.Families.layout ~layers:4) in
+  let oc = open_out "hypercube4_l4.svg" in
+  output_string oc svg;
+  close_out oc;
+  print_endline "wrote hypercube4_l4.svg"

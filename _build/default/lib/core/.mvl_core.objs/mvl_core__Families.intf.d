@@ -1,0 +1,1 @@
+lib/core/families.mli: Collinear Graph Layout Mvl_layout Mvl_topology

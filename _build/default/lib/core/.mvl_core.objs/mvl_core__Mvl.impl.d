@@ -1,0 +1,1 @@
+lib/core/mvl.ml: Families Mvl_geometry Mvl_layout Mvl_model Mvl_routing Mvl_sim Mvl_topology

@@ -1,0 +1,576 @@
+open Mvl_topology
+open Mvl_layout
+open Mvl_model
+
+type t = {
+  name : string;
+  n_nodes : int;
+  graph : Graph.t;
+  layout : layers:int -> Layout.t;
+  paper_area : (layers:int -> float) option;
+  paper_volume : (layers:int -> float) option;
+  paper_max_wire : (layers:int -> float) option;
+  bisection : int option;
+}
+
+let trivial_collinear = Collinear.natural (Graph.of_edges ~n:1 [])
+
+(* --- product families ------------------------------------------------ *)
+
+let hypercube_factors ?(fold = false) n =
+  let maybe_fold c = if fold then Collinear.fold c else c in
+  let row_dims = (n + 1) / 2 in
+  let col_dims = n - row_dims in
+  let row = maybe_fold (Collinear_hypercube.create row_dims) in
+  let col =
+    if col_dims = 0 then trivial_collinear
+    else maybe_fold (Collinear_hypercube.create col_dims)
+  in
+  (row, col)
+
+let hypercube ?fold n =
+  if n < 1 then invalid_arg "Families.hypercube: n < 1";
+  let graph = Hypercube.create n in
+  let row, col = hypercube_factors ?fold n in
+  let ortho = Orthogonal.of_product ~row_factor:row ~col_factor:col graph in
+  let n_nodes = 1 lsl n in
+  {
+    name = Printf.sprintf "hypercube(n=%d)" n;
+    n_nodes;
+    graph;
+    layout = (fun ~layers -> Multilayer.realize ortho ~layers);
+    paper_area = Some (fun ~layers -> Formulas.hypercube_area ~n_nodes ~layers);
+    paper_volume =
+      Some (fun ~layers -> Formulas.hypercube_volume ~n_nodes ~layers);
+    paper_max_wire =
+      Some (fun ~layers -> Formulas.hypercube_max_wire ~n_nodes ~layers);
+    bisection = Some (Lower_bounds.hypercube_bisection n);
+  }
+
+let kary ?(fold = false) ~k ~n () =
+  if k < 3 then invalid_arg "Families.kary: k < 3 (use hypercube for k = 2)";
+  let graph = Kary_ncube.create ~k ~n in
+  let row_dims = (n + 1) / 2 in
+  let col_dims = n - row_dims in
+  let row = Collinear_kary.create ~fold ~k ~n:row_dims () in
+  let col =
+    if col_dims = 0 then trivial_collinear
+    else Collinear_kary.create ~fold ~k ~n:col_dims ()
+  in
+  let ortho = Orthogonal.of_product ~row_factor:row ~col_factor:col graph in
+  let n_nodes = Graph.n graph in
+  {
+    name = Printf.sprintf "kary(k=%d,n=%d%s)" k n (if fold then ",fold" else "");
+    n_nodes;
+    graph;
+    layout = (fun ~layers -> Multilayer.realize ortho ~layers);
+    paper_area = Some (fun ~layers -> Formulas.kary_area ~n_nodes ~k ~layers);
+    paper_volume = Some (fun ~layers -> Formulas.kary_volume ~n_nodes ~k ~layers);
+    paper_max_wire = None;
+    bisection = Some (Lower_bounds.kary_bisection ~k ~n);
+  }
+
+let generic_product ~row ~col =
+  let graph =
+    Graph.cartesian_product row.Collinear.graph col.Collinear.graph
+  in
+  let ortho = Orthogonal.of_product ~row_factor:row ~col_factor:col graph in
+  {
+    name =
+      Printf.sprintf "product(%dx%d)"
+        (Graph.n row.Collinear.graph)
+        (Graph.n col.Collinear.graph);
+    n_nodes = Graph.n graph;
+    graph;
+    layout = (fun ~layers -> Multilayer.realize ortho ~layers);
+    paper_area = None;
+    paper_volume = None;
+    paper_max_wire = None;
+    bisection = None;
+  }
+
+let torus ?(fold = false) ~dims () =
+  if Array.length dims < 1 then invalid_arg "Families.torus: no dimensions";
+  Array.iter (fun k -> if k < 3 then invalid_arg "Families.torus: side < 3") dims;
+  let ring k = Ring.create k in
+  let ring_layout k = Collinear_ring.create ~fold k in
+  let fold_factors lo hi =
+    (* collinear product over dims.(lo..hi-1), low dimension fastest *)
+    if hi <= lo then trivial_collinear
+    else begin
+      let acc = ref (ring_layout dims.(lo)) in
+      for j = lo + 1 to hi - 1 do
+        acc := Collinear_product.create !acc (ring_layout dims.(j))
+      done;
+      !acc
+    end
+  in
+  let ndims = Array.length dims in
+  let row_dims = (ndims + 1) / 2 in
+  let row = fold_factors 0 row_dims in
+  let col = fold_factors row_dims ndims in
+  let graph =
+    let acc = ref (ring dims.(0)) in
+    for j = 1 to ndims - 1 do
+      acc := Graph.cartesian_product !acc (ring dims.(j))
+    done;
+    !acc
+  in
+  let ortho = Orthogonal.of_product ~row_factor:row ~col_factor:col graph in
+  let n_nodes = Graph.n graph in
+  let max_side = Array.fold_left max 0 dims in
+  let name =
+    Printf.sprintf "torus(%s%s)"
+      (String.concat "x" (Array.to_list (Array.map string_of_int dims)))
+      (if fold then ",fold" else "")
+  in
+  {
+    name;
+    n_nodes;
+    graph;
+    layout = (fun ~layers -> Multilayer.realize ortho ~layers);
+    paper_area = None;
+    paper_volume = None;
+    paper_max_wire = None;
+    bisection = Some (2 * n_nodes / max_side);
+  }
+
+let generalized_hypercube ?(fold = false) ~r ~n () =
+  if r < 2 then invalid_arg "Families.generalized_hypercube: r < 2";
+  let radices = Mixed_radix.uniform ~radix:r ~dims:n in
+  let graph = Generalized_hypercube.create radices in
+  let row_dims = (n + 1) / 2 in
+  let col_dims = n - row_dims in
+  let row = Collinear_ghc.create ~fold (Mixed_radix.uniform ~radix:r ~dims:row_dims) in
+  let col =
+    if col_dims = 0 then trivial_collinear
+    else Collinear_ghc.create ~fold (Mixed_radix.uniform ~radix:r ~dims:col_dims)
+  in
+  let ortho = Orthogonal.of_product ~row_factor:row ~col_factor:col graph in
+  let n_nodes = Graph.n graph in
+  {
+    name = Printf.sprintf "ghc(r=%d,n=%d)" r n;
+    n_nodes;
+    graph;
+    layout = (fun ~layers -> Multilayer.realize ortho ~layers);
+    paper_area = Some (fun ~layers -> Formulas.ghc_area ~n_nodes ~r ~layers);
+    paper_volume = Some (fun ~layers -> Formulas.ghc_volume ~n_nodes ~r ~layers);
+    paper_max_wire =
+      Some (fun ~layers -> Formulas.ghc_max_wire ~n_nodes ~r ~layers);
+    bisection = Some (Lower_bounds.ghc_bisection ~r ~n);
+  }
+
+(* --- single-row collinear realizations ------------------------------- *)
+
+let one_row_layout (c : Collinear.t) ~layers =
+  let n = Graph.n c.Collinear.graph in
+  let ortho =
+    Orthogonal.create c.Collinear.graph ~rows:1 ~cols:n ~place:(fun u ->
+        (0, c.Collinear.position.(u)))
+  in
+  Multilayer.realize ortho ~layers
+
+let complete nn =
+  let c = Collinear_complete.create nn in
+  {
+    name = Printf.sprintf "complete(N=%d)" nn;
+    n_nodes = nn;
+    graph = c.Collinear.graph;
+    layout = (fun ~layers -> one_row_layout c ~layers);
+    paper_area = None;
+    paper_volume = None;
+    paper_max_wire = None;
+    bisection = Some (Lower_bounds.complete_bisection nn);
+  }
+
+let cayley_family ?(optimize = false) name graph =
+  let c =
+    if optimize then Order_opt.optimize ~iterations:12000 graph
+    else Collinear.natural graph
+  in
+  {
+    name;
+    n_nodes = Graph.n graph;
+    graph;
+    layout = (fun ~layers -> one_row_layout c ~layers);
+    paper_area = None;
+    paper_volume = None;
+    paper_max_wire = None;
+    bisection = None;
+  }
+
+let opt_tag optimize = if Option.value ~default:false optimize then ",opt" else ""
+
+let star ?optimize d =
+  cayley_family ?optimize
+    (Printf.sprintf "star(d=%d%s)" d (opt_tag optimize))
+    (Cayley.star d)
+
+let pancake ?optimize d =
+  cayley_family ?optimize
+    (Printf.sprintf "pancake(d=%d%s)" d (opt_tag optimize))
+    (Cayley.pancake d)
+
+let bubble_sort ?optimize d =
+  cayley_family ?optimize
+    (Printf.sprintf "bubble_sort(d=%d%s)" d (opt_tag optimize))
+    (Cayley.bubble_sort d)
+
+let transposition ?optimize d =
+  cayley_family ?optimize
+    (Printf.sprintf "transposition(d=%d%s)" d (opt_tag optimize))
+    (Cayley.transposition d)
+
+let shuffle_exchange ?optimize n =
+  cayley_family ?optimize
+    (Printf.sprintf "shuffle_exchange(n=%d%s)" n (opt_tag optimize))
+    (Shuffle.shuffle_exchange n)
+
+let de_bruijn ?optimize n =
+  cayley_family ?optimize
+    (Printf.sprintf "de_bruijn(n=%d%s)" n (opt_tag optimize))
+    (Shuffle.de_bruijn n)
+
+let mesh ~dims =
+  if Array.length dims < 1 then invalid_arg "Families.mesh: no dimensions";
+  let path_layout k = Collinear.natural (Mesh.path k) in
+  let fold_factors lo hi =
+    if hi <= lo then trivial_collinear
+    else begin
+      let acc = ref (path_layout dims.(lo)) in
+      for j = lo + 1 to hi - 1 do
+        acc := Collinear_product.create !acc (path_layout dims.(j))
+      done;
+      !acc
+    end
+  in
+  let ndims = Array.length dims in
+  let row_dims = (ndims + 1) / 2 in
+  let row = fold_factors 0 row_dims in
+  let col = fold_factors row_dims ndims in
+  let graph = Mesh.create ~dims in
+  let ortho = Orthogonal.of_product ~row_factor:row ~col_factor:col graph in
+  {
+    name =
+      Printf.sprintf "mesh(%s)"
+        (String.concat "x" (Array.to_list (Array.map string_of_int dims)));
+    n_nodes = Graph.n graph;
+    graph;
+    layout = (fun ~layers -> Multilayer.realize ortho ~layers);
+    paper_area = None;
+    paper_volume = None;
+    paper_max_wire = None;
+    bisection = None;
+  }
+
+let binary_tree levels =
+  let graph = Tree.complete_binary levels in
+  let c = Collinear.of_order graph ~node_at:(Tree.in_order levels) in
+  {
+    name = Printf.sprintf "binary_tree(levels=%d)" levels;
+    n_nodes = Graph.n graph;
+    graph;
+    layout = (fun ~layers -> one_row_layout c ~layers);
+    paper_area = None;
+    paper_volume = None;
+    paper_max_wire = None;
+    bisection = Some 1;
+  }
+
+(* --- PN-cluster families ---------------------------------------------- *)
+
+let ghc_quotient_factors ?(fold = false) ~r ~dims () =
+  let row_dims = (dims + 1) / 2 in
+  let col_dims = dims - row_dims in
+  let row = Collinear_ghc.create ~fold (Mixed_radix.uniform ~radix:r ~dims:row_dims) in
+  let col =
+    if col_dims = 0 then trivial_collinear
+    else Collinear_ghc.create ~fold (Mixed_radix.uniform ~radix:r ~dims:col_dims)
+  in
+  (row, col)
+
+let cluster_family ~name ~pn ~row ~col ~intra ~paper_area ~paper_max_wire
+    ~bisection =
+  let spec = Cluster_expand.of_product_quotient ~pn ~row_factor:row
+      ~col_factor:col ~intra
+  in
+  let graph = pn.Pn_cluster.graph in
+  {
+    name;
+    n_nodes = Graph.n graph;
+    graph;
+    layout = (fun ~layers -> Cluster_expand.realize spec ~layers);
+    paper_area;
+    paper_volume = None;
+    paper_max_wire;
+    bisection;
+  }
+
+let hsn ~levels ~radix =
+  if levels < 2 then invalid_arg "Families.hsn: levels < 2";
+  let hsn_net = Hsn.create_complete ~levels ~radix in
+  (* the PN-cluster view: quotient GHC(radix, levels-1); the level-i swap
+     link between clusters X and Y (differing in cluster digit i) joins
+     the node of X whose nucleus digit equals Y's digit with the node of
+     Y whose nucleus digit equals X's *)
+  let quotient =
+    Generalized_hypercube.create
+      (Mixed_radix.uniform ~radix ~dims:(levels - 1))
+  in
+  let radices = Mixed_radix.uniform ~radix ~dims:(levels - 1) in
+  let attach (qu, qv) _ =
+    let du = Mixed_radix.to_digits radices qu in
+    let dv = Mixed_radix.to_digits radices qv in
+    let i = ref (-1) in
+    Array.iteri (fun j x -> if x <> dv.(j) then i := j) du;
+    (dv.(!i), du.(!i))
+  in
+  let pn =
+    Pn_cluster.create ~quotient ~intra:(Complete.create radix) ~attach ()
+  in
+  if not (Graph.equal pn.Pn_cluster.graph hsn_net.Hsn.graph) then
+    invalid_arg "Families.hsn: PN-cluster view disagrees with the generator";
+  let row, col = ghc_quotient_factors ~r:radix ~dims:(levels - 1) () in
+  let n_nodes = Graph.n pn.Pn_cluster.graph in
+  cluster_family
+    ~name:(Printf.sprintf "hsn(l=%d,r=%d)" levels radix)
+    ~pn ~row ~col
+    ~intra:(Collinear_complete.create radix)
+    ~paper_area:(Some (fun ~layers -> Formulas.hsn_area ~n_nodes ~layers))
+    ~paper_max_wire:(Some (fun ~layers -> Formulas.hsn_max_wire ~n_nodes ~layers))
+    ~bisection:None
+
+let hhn ~levels ~cube_dims =
+  if levels < 2 then invalid_arg "Families.hhn: levels < 2";
+  let radix = 1 lsl cube_dims in
+  let hhn_net = Hhn.create ~levels ~cube_dims in
+  let quotient =
+    Generalized_hypercube.create
+      (Mixed_radix.uniform ~radix ~dims:(levels - 1))
+  in
+  let radices = Mixed_radix.uniform ~radix ~dims:(levels - 1) in
+  let attach (qu, qv) _ =
+    let du = Mixed_radix.to_digits radices qu in
+    let dv = Mixed_radix.to_digits radices qv in
+    let i = ref (-1) in
+    Array.iteri (fun j x -> if x <> dv.(j) then i := j) du;
+    (dv.(!i), du.(!i))
+  in
+  let pn =
+    Pn_cluster.create ~quotient ~intra:(Hypercube.create cube_dims) ~attach ()
+  in
+  if not (Graph.equal pn.Pn_cluster.graph hhn_net.Hsn.graph) then
+    invalid_arg "Families.hhn: PN-cluster view disagrees with the generator";
+  let row, col = ghc_quotient_factors ~r:radix ~dims:(levels - 1) () in
+  let n_nodes = Graph.n pn.Pn_cluster.graph in
+  cluster_family
+    ~name:(Printf.sprintf "hhn(l=%d,m=%d)" levels cube_dims)
+    ~pn ~row ~col
+    ~intra:(Collinear_hypercube.create cube_dims)
+    ~paper_area:(Some (fun ~layers -> Formulas.hsn_area ~n_nodes ~layers))
+    ~paper_max_wire:(Some (fun ~layers -> Formulas.hsn_max_wire ~n_nodes ~layers))
+    ~bisection:None
+
+let ccc n =
+  if n < 3 then invalid_arg "Families.ccc: n < 3";
+  let quotient = Hypercube.create n in
+  let attach (qu, qv) _ =
+    let d = Hypercube.dimension_of_edge qu qv in
+    (d, d)
+  in
+  let pn = Pn_cluster.create ~quotient ~intra:(Ring.create n) ~attach () in
+  let direct = (Ccc.create n).Ccc.graph in
+  if not (Graph.equal pn.Pn_cluster.graph direct) then
+    invalid_arg "Families.ccc: PN-cluster view disagrees with the generator";
+  let row, col = hypercube_factors n in
+  let n_nodes = Graph.n pn.Pn_cluster.graph in
+  cluster_family
+    ~name:(Printf.sprintf "ccc(n=%d)" n)
+    ~pn ~row ~col
+    ~intra:(Collinear_ring.create n)
+    ~paper_area:(Some (fun ~layers -> Formulas.ccc_area ~n_nodes ~layers))
+    ~paper_max_wire:None ~bisection:None
+
+let reduced_hypercube n =
+  let quotient = Hypercube.create n in
+  let rh = Reduced_hypercube.create n in
+  let attach (qu, qv) _ =
+    let d = Hypercube.dimension_of_edge qu qv in
+    (d, d)
+  in
+  let pn =
+    Pn_cluster.create ~quotient
+      ~intra:(Hypercube.create rh.Reduced_hypercube.cluster_dims)
+      ~attach ()
+  in
+  if not (Graph.equal pn.Pn_cluster.graph rh.Reduced_hypercube.graph) then
+    invalid_arg
+      "Families.reduced_hypercube: PN-cluster view disagrees with generator";
+  let row, col = hypercube_factors n in
+  let n_nodes = Graph.n pn.Pn_cluster.graph in
+  cluster_family
+    ~name:(Printf.sprintf "rh(n=%d)" n)
+    ~pn ~row ~col
+    ~intra:(Collinear_hypercube.create rh.Reduced_hypercube.cluster_dims)
+    ~paper_area:(Some (fun ~layers -> Formulas.ccc_area ~n_nodes ~layers))
+    ~paper_max_wire:None ~bisection:None
+
+let butterfly_cluster ~radix ~quotient_dims =
+  let quotient =
+    Generalized_hypercube.create_uniform ~r:radix ~n:quotient_dims
+  in
+  let intra = Mesh.create ~dims:[| radix; quotient_dims + 1 |] in
+  let pn = Pn_cluster.create ~quotient ~intra ~multiplicity:4 () in
+  let row, col = ghc_quotient_factors ~r:radix ~dims:quotient_dims () in
+  let n_nodes = Graph.n pn.Pn_cluster.graph in
+  cluster_family
+    ~name:(Printf.sprintf "butterfly_cluster(r=%d,m=%d)" radix quotient_dims)
+    ~pn ~row ~col ~intra:(Collinear.natural intra)
+    ~paper_area:
+      (Some (fun ~layers -> Formulas.butterfly_area ~n_nodes ~layers))
+    ~paper_max_wire:
+      (Some (fun ~layers -> Formulas.butterfly_max_wire ~n_nodes ~layers))
+    ~bisection:None
+
+let isn ~radix ~quotient_dims =
+  let pn = Isn.create ~radix ~quotient_dims ~levels:(quotient_dims + 1) in
+  let row, col = ghc_quotient_factors ~r:radix ~dims:quotient_dims () in
+  let n_nodes = Graph.n pn.Pn_cluster.graph in
+  cluster_family
+    ~name:(Printf.sprintf "isn(r=%d,m=%d)" radix quotient_dims)
+    ~pn ~row ~col
+    ~intra:(Collinear.natural pn.Pn_cluster.intra)
+    ~paper_area:
+      (Some
+         (fun ~layers ->
+           Formulas.butterfly_area ~n_nodes ~layers
+           /. Formulas.isn_vs_butterfly_area_factor))
+    ~paper_max_wire:
+      (Some
+         (fun ~layers ->
+           Formulas.butterfly_max_wire ~n_nodes ~layers
+           /. Formulas.isn_vs_butterfly_wire_factor))
+    ~bisection:None
+
+let kary_cluster ~k ~n ~c =
+  let pn = Kary_cluster.create_hypercube_clusters ~k ~n ~c in
+  let row_dims = (n + 1) / 2 in
+  let col_dims = n - row_dims in
+  let row = Collinear_kary.create ~k ~n:row_dims () in
+  let col =
+    if col_dims = 0 then trivial_collinear
+    else Collinear_kary.create ~k ~n:col_dims ()
+  in
+  let n_nodes = Graph.n pn.Pn_cluster.graph in
+  cluster_family
+    ~name:(Printf.sprintf "kary_cluster(k=%d,n=%d,c=%d)" k n c)
+    ~pn ~row ~col
+    ~intra:(Collinear.natural pn.Pn_cluster.intra)
+    ~paper_area:
+      (Some (fun ~layers -> Formulas.kary_area ~n_nodes:(Graph.n pn.Pn_cluster.quotient) ~k ~layers))
+    ~paper_max_wire:None ~bisection:None
+  |> fun fam -> { fam with n_nodes }
+
+let scc d =
+  let scc_net = Scc.create d in
+  let quotient = Cayley.star d in
+  let attach (qu, qv) _ =
+    let p = Permutation.unrank ~d qu and q = Permutation.unrank ~d qv in
+    (* find the star generator connecting the two permutations *)
+    let gen = ref (-1) in
+    for i = 1 to d - 1 do
+      if Permutation.swap p 0 i = q then gen := i
+    done;
+    if !gen < 0 then invalid_arg "Families.scc: not a star edge";
+    (!gen - 1, !gen - 1)
+  in
+  let pn =
+    Pn_cluster.create ~quotient ~intra:(Ring.create (d - 1)) ~attach ()
+  in
+  if not (Graph.equal pn.Pn_cluster.graph scc_net.Scc.graph) then
+    invalid_arg "Families.scc: PN-cluster view disagrees with the generator";
+  (* the star quotient is not a product: place it on a single row *)
+  let row = Collinear.natural quotient in
+  let spec =
+    Cluster_expand.of_product_quotient ~pn ~row_factor:row
+      ~col_factor:trivial_collinear
+      ~intra:(Collinear_ring.create (d - 1))
+  in
+  let graph = pn.Pn_cluster.graph in
+  {
+    name = Printf.sprintf "scc(d=%d)" d;
+    n_nodes = Graph.n graph;
+    graph;
+    layout = (fun ~layers -> Cluster_expand.realize spec ~layers);
+    paper_area = None;
+    paper_volume = None;
+    paper_max_wire = None;
+    bisection = None;
+  }
+
+(* --- augmented families ----------------------------------------------- *)
+
+let folded_hypercube n =
+  let base = Hypercube.create n in
+  let full = Folded_hypercube.create n in
+  let row, col = hypercube_factors n in
+  let ortho = Orthogonal.of_product ~row_factor:row ~col_factor:col base in
+  let n_nodes = 1 lsl n in
+  {
+    name = Printf.sprintf "folded_hypercube(n=%d)" n;
+    n_nodes;
+    graph = full;
+    layout =
+      (fun ~layers -> Multilayer.realize_augmented ortho ~full_graph:full ~layers);
+    paper_area =
+      Some (fun ~layers -> Formulas.folded_hypercube_area ~n_nodes ~layers);
+    paper_volume = None;
+    paper_max_wire = None;
+    bisection = Some (Lower_bounds.folded_hypercube_bisection n);
+  }
+
+let enhanced_cube ~n ~seed =
+  let base = Hypercube.create n in
+  let full = Enhanced_cube.create ~n ~seed in
+  let row, col = hypercube_factors n in
+  let ortho = Orthogonal.of_product ~row_factor:row ~col_factor:col base in
+  let n_nodes = 1 lsl n in
+  {
+    name = Printf.sprintf "enhanced_cube(n=%d,seed=%d)" n seed;
+    n_nodes;
+    graph = full;
+    layout =
+      (fun ~layers -> Multilayer.realize_augmented ortho ~full_graph:full ~layers);
+    paper_area =
+      Some (fun ~layers -> Formulas.enhanced_cube_area ~n_nodes ~layers);
+    paper_volume = None;
+    paper_max_wire = None;
+    bisection = None;
+  }
+
+let all_small () =
+  [
+    hypercube 5;
+    kary ~k:3 ~n:3 ();
+    torus ~dims:[| 3; 4; 5 |] ();
+    generalized_hypercube ~r:4 ~n:2 ();
+    complete 9;
+    hsn ~levels:3 ~radix:3;
+    hhn ~levels:2 ~cube_dims:2;
+    ccc 4;
+    reduced_hypercube 4;
+    butterfly_cluster ~radix:3 ~quotient_dims:2;
+    isn ~radix:3 ~quotient_dims:2;
+    folded_hypercube 5;
+    enhanced_cube ~n:5 ~seed:7;
+    kary_cluster ~k:4 ~n:2 ~c:4;
+    star 4;
+    pancake 4;
+    bubble_sort 4;
+    transposition 4;
+    scc 4;
+    shuffle_exchange 4;
+    de_bruijn 4;
+    mesh ~dims:[| 4; 3 |];
+    binary_tree 4;
+  ]

@@ -1,0 +1,108 @@
+(** One-call drivers: for every network family in the paper, build the
+    graph and produce its multilayer layout, together with the paper's
+    predicted leading terms for comparison. *)
+
+open Mvl_topology
+open Mvl_layout
+
+type t = {
+  name : string;
+  n_nodes : int;
+  graph : Graph.t;
+  layout : layers:int -> Layout.t;
+      (** the paper's construction for this family at [L] layers *)
+  paper_area : (layers:int -> float) option;
+  paper_volume : (layers:int -> float) option;
+  paper_max_wire : (layers:int -> float) option;
+  bisection : int option;
+      (** exact bisection width, when a closed form is known *)
+}
+
+val hypercube : ?fold:bool -> int -> t
+(** §5.1: [n]-cube via the product of two [floor(2N/3)]-track collinear
+    factors. *)
+
+val kary : ?fold:bool -> k:int -> n:int -> unit -> t
+(** §3.1: [k]-ary [n]-cube, [k >= 3].  [~fold] uses folded ring orders
+    (shorter wrap wires, same track count). *)
+
+val generic_product : row:Collinear.t -> col:Collinear.t -> t
+(** §3.2 in full generality: the Cartesian product of any two factor
+    graphs, laid out from their collinear layouts (rows like the first
+    factor, columns like the second) — e.g. clique x ring or
+    hypercube x path hybrids. *)
+
+val torus : ?fold:bool -> dims:int array -> unit -> t
+(** §3.2 generalization: mixed-radix torus (product of rings of the
+    given sizes, [dims.(0)] fastest), laid out with the generic
+    collinear-product recursion.  Every side must be >= 3. *)
+
+val generalized_hypercube : ?fold:bool -> r:int -> n:int -> unit -> t
+(** §4.1 (uniform radix). *)
+
+val complete : int -> t
+(** [K_N] via the single-row collinear layout (§4.1's building block). *)
+
+val hsn : levels:int -> radix:int -> t
+(** §4.3: hierarchical swap network with complete-graph nucleus, laid
+    out as a PN cluster over its generalized-hypercube quotient. *)
+
+val hhn : levels:int -> cube_dims:int -> t
+(** §4.3: hierarchical hypercube network (HSN with hypercube nucleus). *)
+
+val ccc : int -> t
+(** §5.2: cube-connected cycles as a hypercube PN cluster. *)
+
+val reduced_hypercube : int -> t
+(** §5.2: RH — CCC with cycles replaced by hypercubes. *)
+
+val butterfly_cluster : radix:int -> quotient_dims:int -> t
+(** §4.2: the butterfly's PN-cluster structure — a generalized-hypercube
+    quotient with multiplicity 4 and small butterfly-like clusters
+    ([radix * quotient_dims]-sized grids; see DESIGN.md for the
+    substitution note). *)
+
+val isn : radix:int -> quotient_dims:int -> t
+(** §4.3: indirect swap network substitute — same quotient with
+    multiplicity 2. *)
+
+val folded_hypercube : int -> t
+(** §5.3. *)
+
+val enhanced_cube : n:int -> seed:int -> t
+(** §5.3. *)
+
+val kary_cluster : k:int -> n:int -> c:int -> t
+(** §3.2: [k]-ary [n]-cube cluster-[c] with hypercube clusters. *)
+
+val star : ?optimize:bool -> int -> t
+(** §4.3 extension: star graph [S_d] on the single-row collinear
+    layout.  [~optimize:true] runs simulated annealing over the node
+    order (no constructive order is known for these families; the
+    optimizer typically halves the track count). *)
+
+val pancake : ?optimize:bool -> int -> t
+val bubble_sort : ?optimize:bool -> int -> t
+val transposition : ?optimize:bool -> int -> t
+
+val scc : int -> t
+(** §4.3: star-connected cycles — the star graph's cycles expanded by
+    the recursive grid scheme over a single-row star-graph quotient. *)
+
+val shuffle_exchange : ?optimize:bool -> int -> t
+(** Extension: the classic Thompson/Leighton benchmark on the
+    single-row collinear scheme. *)
+
+val de_bruijn : ?optimize:bool -> int -> t
+
+val mesh : dims:int array -> t
+(** Open mesh (product of paths) on the orthogonal product scheme —
+    the cheap, low-bisection end of the comparison. *)
+
+val binary_tree : int -> t
+(** Complete binary tree on the in-order collinear layout (cutwidth
+    [<= levels]) — the minimal-area extreme. *)
+
+val all_small : unit -> t list
+(** A representative small instance of every family (used by tests and
+    the quickstart example). *)

@@ -1,0 +1,1 @@
+lib/geometry/segment.ml: Format Interval Point

@@ -1,0 +1,13 @@
+type t = { lo : int; hi : int }
+
+let make a b = if a <= b then { lo = a; hi = b } else { lo = b; hi = a }
+let length i = i.hi - i.lo
+let contains i x = i.lo <= x && x <= i.hi
+
+let overlap_interior a b =
+  (* closed intervals share an interior point iff max lo < min hi *)
+  max a.lo b.lo < min a.hi b.hi
+
+let touches a b = max a.lo b.lo <= min a.hi b.hi
+let hull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+let pp ppf i = Format.fprintf ppf "[%d,%d]" i.lo i.hi

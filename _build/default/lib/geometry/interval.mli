@@ -1,0 +1,27 @@
+(** Closed integer intervals [\[lo, hi\]] with [lo <= hi], the basic
+    currency of track assignment: a wire's span on a track is an
+    interval, and two wires may share a track iff their spans overlap in
+    at most a point. *)
+
+type t = { lo : int; hi : int }
+
+val make : int -> int -> t
+(** [make a b] is the interval from [min a b] to [max a b]. *)
+
+val length : t -> int
+(** [hi - lo]. *)
+
+val contains : t -> int -> bool
+
+val overlap_interior : t -> t -> bool
+(** True when the two intervals share more than a single point, i.e.
+    their open interiors intersect: such spans conflict on a common
+    track. *)
+
+val touches : t -> t -> bool
+(** True when the closed intervals intersect at all. *)
+
+val hull : t -> t -> t
+(** Smallest interval containing both. *)
+
+val pp : Format.formatter -> t -> unit

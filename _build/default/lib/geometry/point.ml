@@ -1,0 +1,8 @@
+type t = { x : int; y : int; z : int }
+
+let make ~x ~y ~z = { x; y; z }
+let equal a b = a.x = b.x && a.y = b.y && a.z = b.z
+
+let manhattan a b = abs (a.x - b.x) + abs (a.y - b.y) + abs (a.z - b.z)
+
+let pp ppf p = Format.fprintf ppf "(%d,%d,%d)" p.x p.y p.z

@@ -1,0 +1,12 @@
+(** Points of the 3-D layout grid.  [x] runs along columns, [y] along
+    rows, [z] is the wiring layer (layer numbering starts at 1; active
+    nodes sit on layer 1 in the multilayer 2-D grid model). *)
+
+type t = { x : int; y : int; z : int }
+
+val make : x:int -> y:int -> z:int -> t
+val equal : t -> t -> bool
+val manhattan : t -> t -> int
+(** [|dx| + |dy| + |dz|]. *)
+
+val pp : Format.formatter -> t -> unit

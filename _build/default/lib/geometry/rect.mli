@@ -1,0 +1,25 @@
+(** Axis-aligned rectangles (node footprints, bounding boxes).  A
+    rectangle covers the grid points with [x0 <= x <= x1] and
+    [y0 <= y <= y1]. *)
+
+type t = { x0 : int; y0 : int; x1 : int; y1 : int }
+
+val make : x0:int -> y0:int -> x1:int -> y1:int -> t
+(** Requires [x0 <= x1] and [y0 <= y1]. *)
+
+val width : t -> int
+(** [x1 - x0 + 1] grid columns — side length in tracks. *)
+
+val height : t -> int
+val area : t -> int
+(** [width * height]. *)
+
+val contains : t -> x:int -> y:int -> bool
+val contains_interior : t -> x:int -> y:int -> bool
+(** Strictly inside (not on the boundary). *)
+
+val overlaps : t -> t -> bool
+(** Closed rectangles share at least one point. *)
+
+val hull : t -> t -> t
+val pp : Format.formatter -> t -> unit

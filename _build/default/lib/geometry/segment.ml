@@ -1,0 +1,33 @@
+type orientation = Along_x | Along_y | Along_z
+
+type t = { a : Point.t; b : Point.t; orientation : orientation }
+
+let make (p : Point.t) (q : Point.t) =
+  let dx = q.x - p.x and dy = q.y - p.y and dz = q.z - p.z in
+  match (dx <> 0, dy <> 0, dz <> 0) with
+  | true, false, false ->
+      if dx > 0 then { a = p; b = q; orientation = Along_x }
+      else { a = q; b = p; orientation = Along_x }
+  | false, true, false ->
+      if dy > 0 then { a = p; b = q; orientation = Along_y }
+      else { a = q; b = p; orientation = Along_y }
+  | false, false, true ->
+      if dz > 0 then { a = p; b = q; orientation = Along_z }
+      else { a = q; b = p; orientation = Along_z }
+  | _ -> invalid_arg "Segment.make: not axis-aligned or degenerate"
+
+let length s = Point.manhattan s.a s.b
+
+let span s =
+  match s.orientation with
+  | Along_x -> Interval.make s.a.x s.b.x
+  | Along_y -> Interval.make s.a.y s.b.y
+  | Along_z -> Interval.make s.a.z s.b.z
+
+let contains_point s (p : Point.t) =
+  match s.orientation with
+  | Along_x -> p.y = s.a.y && p.z = s.a.z && s.a.x <= p.x && p.x <= s.b.x
+  | Along_y -> p.x = s.a.x && p.z = s.a.z && s.a.y <= p.y && p.y <= s.b.y
+  | Along_z -> p.x = s.a.x && p.y = s.a.y && s.a.z <= p.z && p.z <= s.b.z
+
+let pp ppf s = Format.fprintf ppf "%a--%a" Point.pp s.a Point.pp s.b

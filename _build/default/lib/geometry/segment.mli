@@ -1,0 +1,27 @@
+(** Axis-aligned grid segments: the building blocks of routed wires. *)
+
+type orientation =
+  | Along_x  (** horizontal in the plane: [y], [z] fixed *)
+  | Along_y  (** vertical in the plane: [x], [z] fixed *)
+  | Along_z  (** a via: [x], [y] fixed *)
+
+type t = private {
+  a : Point.t;
+  b : Point.t;
+  orientation : orientation;
+}
+(** Invariant: [a] and [b] differ in exactly the coordinate given by
+    [orientation], with the [a]-side coordinate strictly smaller. *)
+
+val make : Point.t -> Point.t -> t
+(** Raises [Invalid_argument] when the points differ in zero or more than
+    one coordinate. *)
+
+val length : t -> int
+val span : t -> Interval.t
+(** The varying coordinate's range. *)
+
+val contains_point : t -> Point.t -> bool
+(** Whether the (closed) segment passes through a grid point. *)
+
+val pp : Format.formatter -> t -> unit

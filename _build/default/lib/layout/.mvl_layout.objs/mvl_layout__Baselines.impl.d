@@ -1,0 +1,1 @@
+lib/layout/baselines.ml: Array Collinear Graph Layout Mvl_topology

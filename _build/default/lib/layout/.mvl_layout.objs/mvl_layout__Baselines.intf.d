@@ -1,0 +1,1 @@
+lib/layout/baselines.mli: Collinear Layout

@@ -1,0 +1,1 @@
+lib/layout/check.ml: Array Format Graph Hashtbl Interval Layout List Mvl_geometry Mvl_topology Point Rect Segment Wire

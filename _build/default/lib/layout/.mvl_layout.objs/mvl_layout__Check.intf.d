@@ -1,0 +1,1 @@
+lib/layout/check.mli: Format Layout

@@ -1,0 +1,1 @@
+lib/layout/cluster_expand.ml: Array Collinear Graph Hashtbl Interval Layout List Multilayer Mvl_geometry Mvl_topology Option Pn_cluster Point Printf Rect Track_assign Wire

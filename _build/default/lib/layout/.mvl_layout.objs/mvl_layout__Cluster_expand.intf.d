@@ -1,0 +1,1 @@
+lib/layout/cluster_expand.mli: Collinear Layout Mvl_topology Pn_cluster

@@ -1,0 +1,1 @@
+lib/layout/collinear.ml: Array Format Graph Interval List Mvl_geometry Mvl_topology Printf Result Track_assign

@@ -1,0 +1,1 @@
+lib/layout/collinear.mli: Graph Mvl_geometry Mvl_topology

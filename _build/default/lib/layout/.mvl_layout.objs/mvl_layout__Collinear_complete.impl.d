@@ -1,0 +1,1 @@
+lib/layout/collinear_complete.ml: Collinear Mvl_topology

@@ -1,0 +1,1 @@
+lib/layout/collinear_ghc.ml: Array Collinear Generalized_hypercube Mixed_radix Mvl_topology Orders

@@ -1,0 +1,1 @@
+lib/layout/collinear_ghc.mli: Collinear Mvl_topology

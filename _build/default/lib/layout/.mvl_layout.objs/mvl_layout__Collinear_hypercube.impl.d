@@ -1,0 +1,1 @@
+lib/layout/collinear_hypercube.ml: Array Collinear Graph Hypercube Mvl_topology Orders

@@ -1,0 +1,1 @@
+lib/layout/collinear_hypercube.mli: Collinear

@@ -1,0 +1,1 @@
+lib/layout/collinear_kary.ml: Array Collinear Graph Kary_ncube Mixed_radix Mvl_topology Orders

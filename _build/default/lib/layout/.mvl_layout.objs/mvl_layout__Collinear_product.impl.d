@@ -1,0 +1,1 @@
+lib/layout/collinear_product.ml: Array Collinear Graph Mvl_topology

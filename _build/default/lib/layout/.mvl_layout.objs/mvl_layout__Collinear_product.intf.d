@@ -1,0 +1,1 @@
+lib/layout/collinear_product.mli: Collinear Graph Mvl_topology

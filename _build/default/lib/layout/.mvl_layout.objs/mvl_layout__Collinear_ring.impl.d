@@ -1,0 +1,1 @@
+lib/layout/collinear_ring.ml: Array Collinear Mvl_topology Orders

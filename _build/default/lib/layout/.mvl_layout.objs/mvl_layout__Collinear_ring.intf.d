@@ -1,0 +1,1 @@
+lib/layout/collinear_ring.mli: Collinear

@@ -1,0 +1,1 @@
+lib/layout/congestion.ml: Array Format Orthogonal

@@ -1,0 +1,1 @@
+lib/layout/congestion.mli: Format Orthogonal

@@ -1,0 +1,1 @@
+lib/layout/layout.ml: Array Format Graph List Mvl_geometry Mvl_topology Point Rect Wire

@@ -1,0 +1,1 @@
+lib/layout/layout.mli: Format Graph Mvl_geometry Mvl_topology Rect Wire

@@ -1,0 +1,1 @@
+lib/layout/maze_router.ml: Array Bytes Graph Hashtbl Layout List Mvl_geometry Mvl_topology Point Queue Rect Wire

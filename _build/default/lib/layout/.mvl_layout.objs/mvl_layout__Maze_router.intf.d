@@ -1,0 +1,1 @@
+lib/layout/maze_router.mli: Graph Layout Mvl_geometry Mvl_topology

@@ -1,0 +1,1 @@
+lib/layout/multilayer.ml: Array Graph Hashtbl Layout List Mvl_geometry Mvl_topology Option Orthogonal Point Printf Rect Wire

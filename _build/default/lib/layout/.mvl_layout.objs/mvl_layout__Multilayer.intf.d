@@ -1,0 +1,1 @@
+lib/layout/multilayer.mli: Layout Mvl_topology Orthogonal

@@ -1,0 +1,1 @@
+lib/layout/multilayer3d.ml: Array Collinear Collinear_hypercube Graph Hashtbl Hypercube Layout Multilayer Mvl_geometry Mvl_topology Orthogonal Point Printf Rect Wire

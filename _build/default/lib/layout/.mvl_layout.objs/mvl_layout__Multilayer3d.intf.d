@@ -1,0 +1,1 @@
+lib/layout/multilayer3d.mli: Graph Layout Mvl_topology Orthogonal

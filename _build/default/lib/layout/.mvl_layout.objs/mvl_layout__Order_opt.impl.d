@@ -1,0 +1,1 @@
+lib/layout/order_opt.ml: Array Collinear Graph Interval Mvl_geometry Mvl_topology Track_assign

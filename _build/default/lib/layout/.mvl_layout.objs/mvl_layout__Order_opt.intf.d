@@ -1,0 +1,1 @@
+lib/layout/order_opt.mli: Collinear Graph Mvl_topology

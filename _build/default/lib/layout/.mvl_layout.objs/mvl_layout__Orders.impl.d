@@ -1,0 +1,1 @@
+lib/layout/orders.ml: Array Mixed_radix Mvl_topology

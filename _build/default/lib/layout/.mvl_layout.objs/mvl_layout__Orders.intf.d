@@ -1,0 +1,1 @@
+lib/layout/orders.mli: Mixed_radix Mvl_topology

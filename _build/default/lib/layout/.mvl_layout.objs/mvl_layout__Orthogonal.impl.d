@@ -1,0 +1,1 @@
+lib/layout/orthogonal.ml: Array Collinear Graph Interval Mvl_geometry Mvl_topology Printf Track_assign

@@ -1,0 +1,1 @@
+lib/layout/orthogonal.mli: Collinear Graph Mvl_topology

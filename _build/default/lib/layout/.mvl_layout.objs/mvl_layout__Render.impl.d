@@ -1,0 +1,1 @@
+lib/layout/render.ml: Array Buffer Bytes Collinear Graph Layout List Mvl_geometry Mvl_topology Option Orthogonal Point Printf Rect Segment String Wire

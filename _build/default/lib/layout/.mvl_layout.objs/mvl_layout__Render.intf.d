@@ -1,0 +1,1 @@
+lib/layout/render.mli: Collinear Layout Orthogonal

@@ -1,0 +1,1 @@
+lib/layout/report.ml: Array Format Hashtbl Layout List Mvl_geometry Option Point Rect Segment Wire

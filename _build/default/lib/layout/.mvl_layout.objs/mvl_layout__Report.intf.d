@@ -1,0 +1,1 @@
+lib/layout/report.mli: Format Layout

@@ -1,0 +1,1 @@
+lib/layout/serialize.ml: Array Buffer Graph Hashtbl Layout List Mvl_geometry Mvl_topology Point Printf Rect String Wire

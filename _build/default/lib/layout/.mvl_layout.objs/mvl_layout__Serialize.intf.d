@@ -1,0 +1,1 @@
+lib/layout/serialize.mli: Graph Layout Mvl_topology Wire

@@ -1,0 +1,1 @@
+lib/layout/track_assign.ml: Array Interval Mvl_geometry

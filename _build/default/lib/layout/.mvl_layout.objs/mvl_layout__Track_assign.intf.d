@@ -1,0 +1,1 @@
+lib/layout/track_assign.mli: Interval Mvl_geometry

@@ -1,0 +1,1 @@
+lib/layout/wire.ml: Array Format Mvl_geometry Point Segment

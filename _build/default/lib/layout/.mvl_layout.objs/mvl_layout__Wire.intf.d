@@ -1,0 +1,1 @@
+lib/layout/wire.mli: Format Mvl_geometry Point Segment

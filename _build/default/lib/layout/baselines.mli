@@ -1,0 +1,24 @@
+(** The two baseline uses of [L] layers that §2.2 compares against:
+
+    - {b folding} a finished 2-layer (Thompson) layout into [L/2]
+      two-layer slabs: area shrinks by only [~L/2], while volume and
+      maximum wire length stay put;
+    - a {b multilayer collinear} layout (all nodes on a line, tracks
+      spread over the layers): area again shrinks by at most [~L/2] and
+      the maximum wire length remains proportional to [N].
+
+    Both are computed as exact metric transforms so benches can print
+    direct-multilayer vs. baseline ratios. *)
+
+val fold_thompson : Layout.metrics -> layers:int -> Layout.metrics
+(** Metrics of the 2-layer layout folded into [layers/2] slabs along the
+    y axis ([layers] must be even and >= 2): [height' = ceil(H / s)],
+    width unchanged, [volume' = layers * area'], wire lengths
+    unchanged. *)
+
+val collinear_multilayer : Collinear.t -> layers:int -> Layout.metrics
+(** Metrics of laying the collinear layout out with its tracks divided
+    over [ceil(L/2)] wiring-layer groups: width stays [Θ(N)] (one column
+    band per node), height shrinks to [ceil(T / ceil(L/2))], so the area
+    gain is bounded by [~L/2] and the maximum wire length stays
+    [Θ(max span * node pitch)]. *)

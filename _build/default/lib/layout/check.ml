@@ -1,0 +1,392 @@
+open Mvl_geometry
+open Mvl_topology
+
+type mode = Strict | Thompson
+
+type violation = { rule : string; detail : string }
+
+let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.rule v.detail
+
+(* A recorded horizontal/vertical run on one layer: [fixed] is the
+   constant in-plane coordinate, [span] the varying one. *)
+type run = { wire : int; span : Interval.t }
+(* every segment extremity is a polyline vertex where the wire bends or
+   terminates, so for Thompson-mode crossings only strict interior
+   points are free *)
+
+type via = { wire : int; zspan : Interval.t }
+
+type collector = {
+  mutable violations : violation list;
+  mutable count : int;
+  limit : int;
+}
+
+let report c rule fmt =
+  Format.kasprintf
+    (fun detail ->
+      if c.count < c.limit then begin
+        c.violations <- { rule; detail } :: c.violations;
+        c.count <- c.count + 1
+      end)
+    fmt
+
+let overfull c = c.count >= c.limit
+
+(* --- indexes ------------------------------------------------------- *)
+
+type indexes = {
+  (* (z, y) -> horizontal runs; (z, x) -> vertical runs *)
+  h_runs : (int * int, run list ref) Hashtbl.t;
+  v_runs : (int * int, run list ref) Hashtbl.t;
+  (* (x, y) -> vias *)
+  vias : (int * int, via list ref) Hashtbl.t;
+}
+
+let add_to tbl key value =
+  match Hashtbl.find_opt tbl key with
+  | Some l -> l := value :: !l
+  | None -> Hashtbl.add tbl key (ref [ value ])
+
+let build_indexes (layout : Layout.t) =
+  let idx =
+    {
+      h_runs = Hashtbl.create 1024;
+      v_runs = Hashtbl.create 1024;
+      vias = Hashtbl.create 1024;
+    }
+  in
+  Array.iteri
+    (fun wire_id w ->
+      Array.iter
+        (fun (s : Segment.t) ->
+          let run = { wire = wire_id; span = Segment.span s } in
+          match s.orientation with
+          | Segment.Along_x -> add_to idx.h_runs (s.a.Point.z, s.a.Point.y) run
+          | Segment.Along_y -> add_to idx.v_runs (s.a.Point.z, s.a.Point.x) run
+          | Segment.Along_z ->
+              add_to idx.vias
+                (s.a.Point.x, s.a.Point.y)
+                { wire = wire_id; zspan = Segment.span s })
+        (Wire.segments w))
+    layout.wires;
+  idx
+
+(* --- collinear (same line) overlap checks -------------------------- *)
+
+let check_collinear c ~what runs =
+  let arr = Array.of_list runs in
+  Array.sort (fun r1 r2 -> compare r1.span.Interval.lo r2.span.Interval.lo) arr;
+  (* sweep keeping the farthest-reaching span seen so far, plus the
+     farthest-reaching one owned by a different wire, so containment
+     chains are caught too *)
+  let hi1 = ref min_int and wire1 = ref (-1) in
+  let hi2 = ref min_int and wire2 = ref (-1) in
+  Array.iter
+    (fun (b : run) ->
+      let clash prev_hi prev_wire =
+        if prev_wire >= 0 && prev_wire <> b.wire && prev_hi >= b.span.Interval.lo
+        then
+          report c "overlap" "%s runs of wires %d and %d share x/y=%d.." what
+            prev_wire b.wire b.span.Interval.lo
+      in
+      clash !hi1 !wire1;
+      if !wire2 <> !wire1 then clash !hi2 !wire2;
+      (* update the two leaders *)
+      if b.span.Interval.hi >= !hi1 then begin
+        if b.wire <> !wire1 then begin
+          hi2 := !hi1;
+          wire2 := !wire1
+        end;
+        hi1 := b.span.Interval.hi;
+        wire1 := b.wire
+      end
+      else if b.wire <> !wire1 && b.span.Interval.hi > !hi2 then begin
+        hi2 := b.span.Interval.hi;
+        wire2 := b.wire
+      end)
+    arr
+
+(* --- crossing checks (H vs V on one layer) ------------------------- *)
+
+(* For each layer present in both tables, detect H/V meetings.  In the
+   multilayer grid model any shared point is illegal; under Thompson a
+   crossing is legal iff it is interior to both runs. *)
+let check_crossings c ~mode (idx : indexes) =
+  (* collect per layer: y -> sorted H runs, and the V runs *)
+  let layers_h = Hashtbl.create 16 and layers_v = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (z, y) runs -> add_to layers_h z (y, !runs))
+    idx.h_runs;
+  Hashtbl.iter
+    (fun (z, x) runs -> add_to layers_v z (x, !runs))
+    idx.v_runs;
+  Hashtbl.iter
+    (fun z v_lines ->
+      match Hashtbl.find_opt layers_h z with
+      | None -> ()
+      | Some h_lines ->
+          let h_sorted =
+            List.sort (fun (y1, _) (y2, _) -> compare y1 y2) !h_lines
+          in
+          let h_arr = Array.of_list h_sorted in
+          let ys = Array.map fst h_arr in
+          List.iter
+            (fun (x, v_list) ->
+              List.iter
+                (fun (v : run) ->
+                  if not (overfull c) then begin
+                    (* binary search the band of H lines with
+                       y within the vertical run's span *)
+                    let lo = v.span.Interval.lo and hi = v.span.Interval.hi in
+                    let start =
+                      let l = ref 0 and r = ref (Array.length ys) in
+                      while !l < !r do
+                        let m = (!l + !r) / 2 in
+                        if ys.(m) < lo then l := m + 1 else r := m
+                      done;
+                      !l
+                    in
+                    let i = ref start in
+                    while !i < Array.length ys && ys.(!i) <= hi do
+                      let y, h_list = h_arr.(!i) in
+                      List.iter
+                        (fun (h : run) ->
+                          if h.wire <> v.wire
+                             && Interval.contains h.span x
+                          then begin
+                            let interior_h =
+                              h.span.Interval.lo < x && x < h.span.Interval.hi
+                            in
+                            let interior_v =
+                              v.span.Interval.lo < y && y < v.span.Interval.hi
+                            in
+                            let ok =
+                              match mode with
+                              | Strict -> false
+                              | Thompson -> interior_h && interior_v
+                            in
+                            if not ok then
+                              report c "crossing"
+                                "wires %d and %d meet at (%d,%d,z=%d)" h.wire
+                                v.wire x y z
+                          end)
+                        h_list;
+                      incr i
+                    done
+                  end)
+                v_list)
+            !v_lines)
+    layers_v
+
+(* --- via checks ----------------------------------------------------- *)
+
+let check_vias c (idx : indexes) =
+  (* via-via at the same (x, y) *)
+  Hashtbl.iter
+    (fun (x, y) vias ->
+      let arr = Array.of_list !vias in
+      Array.sort (fun a b -> compare a.zspan.Interval.lo b.zspan.Interval.lo) arr;
+      for i = 0 to Array.length arr - 2 do
+        let a = arr.(i) and b = arr.(i + 1) in
+        if a.wire <> b.wire && a.zspan.Interval.hi >= b.zspan.Interval.lo then
+          report c "via-overlap" "vias of wires %d and %d collide at (%d,%d)"
+            a.wire b.wire x y
+      done;
+      (* via against in-plane runs on every layer it traverses: a via is
+         a bend, so this is illegal in both modes *)
+      Array.iter
+        (fun via ->
+          for z = via.zspan.Interval.lo to via.zspan.Interval.hi do
+            (match Hashtbl.find_opt idx.h_runs (z, y) with
+            | Some runs ->
+                List.iter
+                  (fun (h : run) ->
+                    if h.wire <> via.wire && Interval.contains h.span x then
+                      report c "via-run"
+                        "via of wire %d pierces run of wire %d at (%d,%d,%d)"
+                        via.wire h.wire x y z)
+                  !runs
+            | None -> ());
+            match Hashtbl.find_opt idx.v_runs (z, x) with
+            | Some runs ->
+                List.iter
+                  (fun (v : run) ->
+                    if v.wire <> via.wire && Interval.contains v.span y then
+                      report c "via-run"
+                        "via of wire %d pierces run of wire %d at (%d,%d,%d)"
+                        via.wire v.wire x y z)
+                  !runs
+            | None -> ()
+          done)
+        arr)
+    idx.vias
+
+(* --- node footprint checks ------------------------------------------ *)
+
+let check_nodes c (layout : Layout.t) =
+  let nodes = layout.nodes in
+  (* pairwise disjointness via sweep on x0 *)
+  let order = Array.init (Array.length nodes) (fun i -> i) in
+  Array.sort (fun a b -> compare nodes.(a).Rect.x0 nodes.(b).Rect.x0) order;
+  Array.iteri
+    (fun i a ->
+      let ra = nodes.(a) in
+      let j = ref (i + 1) in
+      while
+        !j < Array.length order && nodes.(order.(!j)).Rect.x0 <= ra.Rect.x1
+      do
+        let b = order.(!j) in
+        (* footprints may coincide across different active layers *)
+        if
+          layout.node_layers.(a) = layout.node_layers.(b)
+          && Rect.overlaps ra nodes.(b)
+        then
+          report c "node-overlap" "nodes %d and %d overlap: %a vs %a" a b
+            Rect.pp ra Rect.pp nodes.(b);
+        incr j
+      done)
+    order
+
+(* nodes indexed by the y rows (for H segments) and x columns (for V);
+   each entry carries the node's active layer so multi-active-layer
+   (3-D grid model) layouts are handled too *)
+let check_wires_vs_nodes c (layout : Layout.t) =
+  let by_y = Hashtbl.create 1024 and by_x = Hashtbl.create 1024 in
+  Array.iteri
+    (fun id r ->
+      let zl = layout.node_layers.(id) in
+      for y = r.Rect.y0 to r.Rect.y1 do
+        add_to by_y y (id, r, zl)
+      done;
+      for x = r.Rect.x0 to r.Rect.x1 do
+        add_to by_x x (id, r, zl)
+      done)
+    layout.nodes;
+  let endpoint_of_wire w p =
+    let a, b = Wire.endpoints w in
+    Point.equal a p || Point.equal b p
+  in
+  Array.iteri
+    (fun wire_id w ->
+      let u, v = w.Wire.edge in
+      Array.iter
+        (fun (s : Segment.t) ->
+          let check_hit node_id (r : Rect.t) (hit_lo : Point.t)
+              (hit_hi : Point.t) =
+            let foreign = node_id <> u && node_id <> v in
+            if foreign then
+              report c "node-hit"
+                "wire %d (%d-%d) crosses foreign node %d (%a)" wire_id u v
+                node_id Rect.pp r
+            else if
+              not (Point.equal hit_lo hit_hi && endpoint_of_wire w hit_lo)
+            then
+              report c "node-hit"
+                "wire %d (%d-%d) overlaps its node %d beyond its terminal"
+                wire_id u v node_id
+          in
+          match s.orientation with
+          | Segment.Along_x ->
+              let y = s.a.Point.y and z = s.a.Point.z in
+              (match Hashtbl.find_opt by_y y with
+              | None -> ()
+              | Some cands ->
+                  List.iter
+                    (fun (id, (r : Rect.t), zl) ->
+                      if zl = z then begin
+                        let lo = max s.a.Point.x r.Rect.x0
+                        and hi = min s.b.Point.x r.Rect.x1 in
+                        if lo <= hi then
+                          check_hit id r
+                            (Point.make ~x:lo ~y ~z)
+                            (Point.make ~x:hi ~y ~z)
+                      end)
+                    !cands)
+          | Segment.Along_y ->
+              let x = s.a.Point.x and z = s.a.Point.z in
+              (match Hashtbl.find_opt by_x x with
+              | None -> ()
+              | Some cands ->
+                  List.iter
+                    (fun (id, (r : Rect.t), zl) ->
+                      if zl = z then begin
+                        let lo = max s.a.Point.y r.Rect.y0
+                        and hi = min s.b.Point.y r.Rect.y1 in
+                        if lo <= hi then
+                          check_hit id r
+                            (Point.make ~x ~y:lo ~z)
+                            (Point.make ~x ~y:hi ~z)
+                      end)
+                    !cands)
+          | Segment.Along_z ->
+              (* a via hits a node when its z range crosses the node's
+                 active layer inside the footprint *)
+              let x = s.a.Point.x and y = s.a.Point.y in
+              let zlo = s.a.Point.z and zhi = s.b.Point.z in
+              (match Hashtbl.find_opt by_y y with
+              | None -> ()
+              | Some cands ->
+                  List.iter
+                    (fun (id, (r : Rect.t), zl) ->
+                      if zlo <= zl && zl <= zhi && Rect.contains r ~x ~y then
+                        check_hit id r
+                          (Point.make ~x ~y ~z:zl)
+                          (Point.make ~x ~y ~z:zl))
+                    !cands))
+        (Wire.segments w))
+    layout.wires
+
+let check_terminals c (layout : Layout.t) =
+  let graph_edges = Graph.edges layout.graph in
+  Array.iteri
+    (fun i w ->
+      if w.Wire.edge <> graph_edges.(i) then
+        report c "edge-mismatch" "wire %d realizes %d-%d but edge %d is %d-%d"
+          i (fst w.Wire.edge) (snd w.Wire.edge) i
+          (fst graph_edges.(i))
+          (snd graph_edges.(i));
+      let u, v = w.Wire.edge in
+      let a, b = Wire.endpoints w in
+      let on_boundary (p : Point.t) node =
+        let r = layout.nodes.(node) in
+        p.z = layout.node_layers.(node)
+        && Rect.contains r ~x:p.x ~y:p.y
+        && not (Rect.contains_interior r ~x:p.x ~y:p.y)
+      in
+      let ok =
+        (on_boundary a u && on_boundary b v)
+        || (on_boundary a v && on_boundary b u)
+      in
+      if not ok then
+        report c "terminal" "wire %d (%d-%d) does not terminate on its nodes"
+          i u v)
+    layout.wires
+
+let check_layers c (layout : Layout.t) =
+  Array.iteri
+    (fun i w ->
+      Array.iter
+        (fun (p : Point.t) ->
+          if p.z < 1 || p.z > layout.layers then
+            report c "layer-range" "wire %d leaves the layer range at %a" i
+              Point.pp p)
+        w.Wire.points)
+    layout.wires
+
+let validate ?(mode = Strict) ?(max_violations = 20) layout =
+  let c = { violations = []; count = 0; limit = max_violations } in
+  check_layers c layout;
+  check_nodes c layout;
+  check_terminals c layout;
+  check_wires_vs_nodes c layout;
+  let idx = build_indexes layout in
+  Hashtbl.iter (fun (_, _) runs -> check_collinear c ~what:"horizontal" !runs)
+    idx.h_runs;
+  Hashtbl.iter (fun (_, _) runs -> check_collinear c ~what:"vertical" !runs)
+    idx.v_runs;
+  check_crossings c ~mode idx;
+  check_vias c idx;
+  List.rev c.violations
+
+let is_valid ?mode layout = validate ?mode ~max_violations:1 layout = []

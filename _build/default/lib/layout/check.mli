@@ -1,0 +1,30 @@
+(** Layout verification.
+
+    [Strict] enforces the multilayer grid model of §2.2: the routed
+    paths must be pairwise node-disjoint (no two wires share any 3-D grid
+    point) and must avoid layer-1 node footprints.  [Thompson] relaxes
+    exactly one rule, matching §2.1: two wires may cross at a grid point
+    provided neither bends there (no overlap, no knock-knee). *)
+
+type mode = Strict | Thompson
+
+type violation = {
+  rule : string;       (** short machine-readable rule name *)
+  detail : string;     (** human-readable description *)
+}
+
+val validate : ?mode:mode -> ?max_violations:int -> Layout.t -> violation list
+(** Empty list = valid.  Stops after [max_violations] (default 20).
+    Checks performed:
+    - every point lies on layers [1 .. L];
+    - node footprints are pairwise disjoint;
+    - wires correspond 1:1 to graph edges and terminate on the boundary
+      of their endpoint nodes (on layer 1);
+    - no wire touches a foreign node footprint on layer 1, and touches
+      its own nodes only at its terminal points;
+    - no two wires share a grid point ([Strict]) / overlap or share a
+      bend ([Thompson]). *)
+
+val is_valid : ?mode:mode -> Layout.t -> bool
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,40 @@
+(** The recursive grid layout scheme for PN clusters (§2.3, §3.2).
+
+    Each quotient node becomes a rectangular block holding its cluster:
+    cluster nodes sit in a row at the bottom of the block, intra-cluster
+    edges are routed in an internal track region above them (multilayer,
+    like a small collinear layout), and a "jog channel" at the top of the
+    block gives every inter-cluster link a private horizontal jog that
+    decouples its cluster-node terminal from its sorted exit position.
+    Row links exit through sorted drop columns in a strip at the right of
+    the block; column links exit through the block's right edge at their
+    jog height.  Inter-cluster links are packed into the quotient grid's
+    gaps exactly as in {!Multilayer} (including parallel links:
+    multiplicity [m] simply contributes [m] spans).
+
+    The result is strict-model valid ({!Check.Strict}) and keeps the
+    quotient layout's leading area constant whenever the blocks are small
+    relative to the gaps — the paper's PN-cluster argument. *)
+
+open Mvl_topology
+
+type spec = {
+  pn : Pn_cluster.t;
+  rows : int;
+  cols : int;
+  qplace : int -> int * int;  (** quotient node -> (row, col) *)
+  intra : Collinear.t;        (** collinear layout of [pn.intra] *)
+}
+
+val of_product_quotient :
+  pn:Pn_cluster.t ->
+  row_factor:Collinear.t ->
+  col_factor:Collinear.t ->
+  intra:Collinear.t ->
+  spec
+(** Place the quotient like {!Orthogonal.of_product} does. *)
+
+val realize : spec -> layers:int -> Layout.t
+(** Full geometry of the expanded network on [pn.graph]. *)
+
+val metrics : spec -> layers:int -> Layout.metrics

@@ -1,0 +1,51 @@
+(** Abstract collinear layouts: the nodes of a graph on a line, every
+    edge assigned to a horizontal track (§3.1).
+
+    A collinear layout is valid when the positions are a permutation and
+    the spans of the edges sharing a track overlap in at most one point
+    (node-granularity; the geometric realization refines endpoints to
+    per-edge terminals, which makes same-track spans fully disjoint). *)
+
+open Mvl_topology
+
+type edge = { u : int; v : int; track : int }
+(** An edge between node ids [u] and [v] assigned to a 0-based track. *)
+
+type t = {
+  graph : Graph.t;
+  node_at : int array;   (** position -> node id *)
+  position : int array;  (** node id -> position *)
+  edges : edge array;    (** one entry per graph edge *)
+  tracks : int;          (** number of tracks used *)
+}
+
+val span : t -> edge -> Mvl_geometry.Interval.t
+(** Position interval covered by an edge. *)
+
+val of_order : Graph.t -> node_at:int array -> t
+(** Greedy (left-edge, optimal) track assignment for the given node
+    order.  [node_at.(p)] is the node placed at position [p]. *)
+
+val natural : Graph.t -> t
+(** [of_order] with positions equal to node ids. *)
+
+val validate : t -> (unit, string) result
+(** Checks the permutation structure, that [edges] matches the graph's
+    edge set exactly, and per-track interior-disjointness. *)
+
+val max_span : t -> int
+(** Longest edge span — the collinear proxy for maximum wire length. *)
+
+val density_lower_bound : t -> int
+(** Max cut density of the layout's spans: no assignment of this order
+    can use fewer tracks. *)
+
+val relabel_tracks : t -> perm:int array -> t
+(** Permutes track indices (used to interleave recursive layers). *)
+
+val fold : t -> t
+(** Folds the line in half (position [p] moves to [2p] in the first half
+    and to [2(n-1-p)+1] in the second) and re-packs tracks greedily.
+    Halves the maximum span of symmetric long edges at the cost of a
+    moderate track increase; the paper's maximum-wire-length claims
+    assume this folding (§3.1). *)

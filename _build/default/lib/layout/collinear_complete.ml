@@ -1,0 +1,3 @@
+let tracks_formula nn = nn * nn / 4
+
+let create nn = Collinear.natural (Mvl_topology.Complete.create nn)

@@ -1,0 +1,11 @@
+(** Collinear layouts of complete graphs [K_N] with the strictly optimal
+    [floor(N^2/4)] tracks (§4.1, Fig. 3; Yeh–Parhami, IPL 1998). *)
+
+val tracks_formula : int -> int
+(** [floor (N^2 / 4)]. *)
+
+val create : int -> Collinear.t
+(** [create nn] lays [K_nn] out in natural node order with greedy
+    (left-edge) packing, which meets the [floor(N^2/4)] density bound
+    exactly — the count is strictly optimal over all orders, since every
+    balanced cut of [K_N] is crossed by [floor(N^2/4)] edges. *)

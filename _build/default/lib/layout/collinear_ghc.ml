@@ -1,0 +1,21 @@
+open Mvl_topology
+
+let tracks_formula radices =
+  let n = Array.length radices in
+  if n < 1 then invalid_arg "Collinear_ghc.tracks_formula";
+  let f = ref (radices.(0) * radices.(0) / 4) in
+  for j = 1 to n - 1 do
+    f := (radices.(j) * !f) + (radices.(j) * radices.(j) / 4)
+  done;
+  !f
+
+let create ?(fold = false) radices =
+  let graph = Generalized_hypercube.create radices in
+  let node_at =
+    if fold then Orders.digit_reversed_folded radices
+    else Orders.digit_reversed radices ~node_at:()
+  in
+  Collinear.of_order graph ~node_at
+
+let create_uniform ?fold ~r ~n () =
+  create ?fold (Mixed_radix.uniform ~radix:r ~dims:n)

@@ -1,0 +1,12 @@
+(** Collinear layouts of generalized hypercubes (§4.1):
+    [f_r(n+1) = r_n f_r(n) + floor(r_n^2 / 4)]. *)
+
+val tracks_formula : Mvl_topology.Mixed_radix.radices -> int
+(** Solves the paper's recurrence for an arbitrary mixed radix;
+    for uniform radix [r] this is [(N-1) floor(r^2/4) / (r-1)]. *)
+
+val create : ?fold:bool -> Mvl_topology.Mixed_radix.radices -> Collinear.t
+(** Bottom-up layout on the digit-reversed order with greedy packing;
+    meets [tracks_formula] exactly for the natural order. *)
+
+val create_uniform : ?fold:bool -> r:int -> n:int -> unit -> Collinear.t

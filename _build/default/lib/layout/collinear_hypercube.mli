@@ -1,0 +1,16 @@
+(** Collinear layouts of binary hypercubes with [floor(2N/3)] tracks
+    (§5.1, Fig. 4), built from 2-track 2-cube blocks: dimensions are
+    consumed two at a time ([f(n+2) = 4 f(n) + 2], the four copies in
+    Gray order connected as a 4-cycle), with a final 2-copy interleave
+    for odd [n] ([f(n+1) = 2 f(n) + 1]). *)
+
+val tracks_formula : int -> int
+(** [floor (2 * 2^n / 3)]. *)
+
+val create : int -> Collinear.t
+(** [create n] lays out the [n]-cube on the Fig.-4 order with greedy
+    packing; uses exactly [tracks_formula n] tracks. *)
+
+val create_explicit : int -> Collinear.t
+(** The same order with the paper's explicit recursive track
+    assignment. *)

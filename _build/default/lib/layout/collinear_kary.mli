@@ -1,0 +1,20 @@
+(** Collinear layouts of [k]-ary [n]-cubes (§3.1), using
+    [f_k(n) = 2(k^n - 1)/(k - 1)] tracks. *)
+
+val tracks_formula : k:int -> n:int -> int
+(** The paper's [f_k(n) = 2 (k^n - 1) / (k - 1)]. *)
+
+val create : ?fold:bool -> k:int -> n:int -> unit -> Collinear.t
+(** [create ~k ~n ()] is the bottom-up recursive layout with greedy
+    (optimal) track packing on the paper's node order; it uses exactly
+    [tracks_formula ~k ~n] tracks for the natural order.  [~fold:true]
+    interleaves each dimension's copies in folded ring order, which
+    shortens the longest wire from [Θ(k^n)] to about half without using
+    more tracks.  Requires [k >= 3] (binary cubes have their own tighter
+    layout, {!Collinear_hypercube}). *)
+
+val create_explicit : k:int -> n:int -> Collinear.t
+(** The paper's recursion with its explicit track assignment
+    ([f_k(n+1) = k f_k(n) + 2]): each copy keeps its own track block and
+    two fresh tracks connect the copies.  Same order and track count as
+    [create], assignment shaped exactly as in the paper's proof. *)

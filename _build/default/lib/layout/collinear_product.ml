@@ -1,0 +1,18 @@
+open Mvl_topology
+
+let product_graph a b = Graph.cartesian_product a b
+
+let create (la : Collinear.t) (lb : Collinear.t) =
+  let a = la.Collinear.graph and b = lb.Collinear.graph in
+  let na = Graph.n a and nb = Graph.n b in
+  let graph = product_graph a b in
+  let node_at = Array.make (na * nb) (-1) in
+  for v = 0 to (na * nb) - 1 do
+    let x = v mod na and y = v / na in
+    let pos = (la.Collinear.position.(x) * nb) + lb.Collinear.position.(y) in
+    node_at.(pos) <- v
+  done;
+  Collinear.of_order graph ~node_at
+
+let tracks_bound (la : Collinear.t) (lb : Collinear.t) =
+  (Graph.n lb.Collinear.graph * la.Collinear.tracks) + lb.Collinear.tracks

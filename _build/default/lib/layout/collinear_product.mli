@@ -1,0 +1,30 @@
+(** Collinear layouts of arbitrary Cartesian products (§3.2).
+
+    The paper's bottom-up recursion generalizes beyond rings and
+    cliques: given collinear layouts of factors [A] and [B], place node
+    [(a, b)] at position [pos_A a * n_B + pos_B b] — [n_B] interleaved
+    copies of [A]'s layout, with each block of [n_B] consecutive
+    positions holding one copy of [B].  Every [A]-edge stretches by
+    [n_B] and the copies' track blocks stay disjoint; every [B]-edge
+    lives inside one block, so all blocks share [B]'s tracks.  The
+    track count obeys
+
+      [f(A x B) <= n_B * f(A) + f(B)]
+
+    (greedy packing often does better), generalizing
+    [f_k(n+1) = k f_k(n) + 2] and the GHC recurrence. *)
+
+open Mvl_topology
+
+val product_graph : Graph.t -> Graph.t -> Graph.t
+(** [product_graph a b] = [Graph.cartesian_product a b]; node [(x, y)]
+    encoded as [y * n_A + x] ([a] varies fastest). *)
+
+val create : Collinear.t -> Collinear.t -> Collinear.t
+(** [create la lb] is the collinear layout of [product_graph a b] on the
+    interleaved order, packed greedily. *)
+
+val tracks_bound : Collinear.t -> Collinear.t -> int
+(** The recursion's upper bound: [n_B * tracks(A) + tracks(B)] — the
+    [n_B] interleaved copies of [A]'s layout need disjoint track blocks,
+    while every group reuses [B]'s tracks. *)

@@ -1,0 +1,13 @@
+let create ?(fold = false) k =
+  let graph = Mvl_topology.Ring.create k in
+  let node_at =
+    if fold then begin
+      let node_at = Array.make k (-1) in
+      for j = 0 to k - 1 do
+        node_at.(Orders.folded_ring_position k j) <- j
+      done;
+      node_at
+    end
+    else Array.init k (fun i -> i)
+  in
+  Collinear.of_order graph ~node_at

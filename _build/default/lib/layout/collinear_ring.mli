@@ -1,0 +1,7 @@
+(** Collinear layouts of rings: 2 tracks (§3.1). *)
+
+val create : ?fold:bool -> int -> Collinear.t
+(** [create k] lays out the [k]-node ring in natural order (1 track for
+    the consecutive links, 1 for the wrap link).  [~fold:true] uses the
+    boustrophedon order, which still needs only 2 tracks but caps the
+    longest wire at span 2. *)

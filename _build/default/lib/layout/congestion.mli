@@ -1,0 +1,27 @@
+(** Channel (gap) congestion analysis for orthogonal layouts: how many
+    tracks each row/column gap really needs, quantifying the paper's
+    "the layout area is dominated by inter-cluster links" arguments and
+    showing where the area formulas' leading terms come from. *)
+
+type channel = {
+  index : int;      (** row or column index of the gap *)
+  tracks : int;     (** tracks required (the gap's density) *)
+  edges : int;      (** edges routed through the gap *)
+  utilization : float;
+      (** tracks / max-tracks over all gaps of the same direction *)
+}
+
+type t = {
+  rows : channel array;
+  cols : channel array;
+  max_row_tracks : int;
+  max_col_tracks : int;
+  avg_row_tracks : float;
+  avg_col_tracks : float;
+  balance : float;
+      (** avg/max over both directions: 1.0 = perfectly even channels *)
+}
+
+val analyze : Orthogonal.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,109 @@
+open Mvl_geometry
+open Mvl_topology
+
+type t = {
+  graph : Graph.t;
+  layers : int;
+  nodes : Rect.t array;
+  node_layers : int array;
+  wires : Wire.t array;
+}
+
+type metrics = {
+  width : int;
+  height : int;
+  area : int;
+  layers : int;
+  volume : int;
+  max_wire : int;
+  total_wire : int;
+  vias : int;
+}
+
+let make ~graph ~layers ?node_layers ~nodes ~wires () =
+  if layers < 1 then invalid_arg "Layout.make: layers < 1";
+  if Array.length nodes <> Graph.n graph then
+    invalid_arg "Layout.make: one footprint per node required";
+  if Array.length wires <> Graph.m graph then
+    invalid_arg "Layout.make: one wire per edge required";
+  let node_layers =
+    match node_layers with
+    | None -> Array.make (Graph.n graph) 1
+    | Some nl ->
+        if Array.length nl <> Graph.n graph then
+          invalid_arg "Layout.make: one active layer per node required";
+        Array.iter
+          (fun z ->
+            if z < 1 || z > layers then
+              invalid_arg "Layout.make: node layer out of range")
+          nl;
+        nl
+  in
+  { graph; layers; nodes; node_layers; wires }
+
+let active_layers t =
+  List.length (List.sort_uniq compare (Array.to_list t.node_layers))
+
+let bounding_box t =
+  let bbox = ref None in
+  let add_rect r =
+    bbox := Some (match !bbox with None -> r | Some b -> Rect.hull b r)
+  in
+  Array.iter add_rect t.nodes;
+  Array.iter
+    (fun w ->
+      Array.iter
+        (fun (p : Point.t) ->
+          add_rect (Rect.make ~x0:p.x ~y0:p.y ~x1:p.x ~y1:p.y))
+        w.Wire.points)
+    t.wires;
+  match !bbox with
+  | Some b -> b
+  | None -> Rect.make ~x0:0 ~y0:0 ~x1:0 ~y1:0
+
+let translate t ~dx ~dy =
+  let move_rect (r : Rect.t) =
+    Rect.make ~x0:(r.Rect.x0 + dx) ~y0:(r.Rect.y0 + dy) ~x1:(r.Rect.x1 + dx)
+      ~y1:(r.Rect.y1 + dy)
+  in
+  let move_wire (w : Wire.t) =
+    Wire.make ~edge:w.Wire.edge
+      (Array.to_list
+         (Array.map
+            (fun (p : Point.t) ->
+              Point.make ~x:(p.x + dx) ~y:(p.y + dy) ~z:p.z)
+            w.Wire.points))
+  in
+  {
+    t with
+    nodes = Array.map move_rect t.nodes;
+    wires = Array.map move_wire t.wires;
+  }
+
+let metrics t =
+  let bbox = bounding_box t in
+  let width = Rect.width bbox and height = Rect.height bbox in
+  let area = width * height in
+  let max_wire = ref 0 and total_wire = ref 0 and vias = ref 0 in
+  Array.iter
+    (fun w ->
+      let xy = Wire.length_xy w in
+      if xy > !max_wire then max_wire := xy;
+      total_wire := !total_wire + xy;
+      vias := !vias + (Wire.length w - xy))
+    t.wires;
+  {
+    width;
+    height;
+    area;
+    layers = t.layers;
+    volume = t.layers * area;
+    max_wire = !max_wire;
+    total_wire = !total_wire;
+    vias = !vias;
+  }
+
+let pp_metrics ppf m =
+  Format.fprintf ppf
+    "@[%dx%d area=%d layers=%d volume=%d max_wire=%d total_wire=%d vias=%d@]"
+    m.width m.height m.area m.layers m.volume m.max_wire m.total_wire m.vias

@@ -1,0 +1,52 @@
+(** Realized multilayer layouts: node footprints on layer 1 plus one
+    routed wire per network edge, with the cost metrics of §2.2. *)
+
+open Mvl_geometry
+open Mvl_topology
+
+type t = {
+  graph : Graph.t;
+  layers : int;            (** [L]: number of wiring layers *)
+  nodes : Rect.t array;    (** footprint of each node *)
+  node_layers : int array; (** active layer of each node; all 1 in the
+                               multilayer 2-D grid model, multiple
+                               values under the 3-D grid model *)
+  wires : Wire.t array;    (** one per graph edge, same order as
+                               [Graph.edges graph] *)
+}
+
+type metrics = {
+  width : int;
+  height : int;
+  area : int;              (** smallest upright bounding rectangle *)
+  layers : int;
+  volume : int;            (** [layers * area] *)
+  max_wire : int;          (** longest in-plane wire length *)
+  total_wire : int;        (** sum of in-plane wire lengths *)
+  vias : int;              (** total via length over all wires *)
+}
+
+val make :
+  graph:Graph.t ->
+  layers:int ->
+  ?node_layers:int array ->
+  nodes:Rect.t array ->
+  wires:Wire.t array ->
+  unit ->
+  t
+(** [node_layers] defaults to all nodes on layer 1 (the 2-D grid
+    model). *)
+
+val active_layers : t -> int
+(** Number of distinct active layers ([L_A] of §2.2). *)
+
+val bounding_box : t -> Rect.t
+(** Hull of all node footprints and wire vertices. *)
+
+val translate : t -> dx:int -> dy:int -> t
+(** Shifts the whole layout in the plane.  Validity and all metrics are
+    invariant under translation. *)
+
+val metrics : t -> metrics
+
+val pp_metrics : Format.formatter -> metrics -> unit

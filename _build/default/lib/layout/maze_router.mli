@@ -1,0 +1,40 @@
+(** A general-purpose sequential maze router (Lee's algorithm on the
+    multilayer grid): given any graph and any node placement, route every
+    edge through free grid cells, one net at a time.
+
+    The router respects the same discipline as the constructive layouts
+    — x-runs on odd layers, y-runs on even layers, vias anywhere — so a
+    successful routing is automatically free of same-layer crossings,
+    and the result is checked by {!Check} like any other layout.
+
+    This is the "generic CAD" baseline the paper's constructions compete
+    against: it works for arbitrary networks (no orthogonality or
+    product structure needed) but offers no area guarantee, and its
+    sequential nature can fail on dense instances until the canvas is
+    enlarged. *)
+
+open Mvl_topology
+
+type placement = {
+  nodes : Mvl_geometry.Rect.t array;  (** footprints, layer 1 *)
+  width : int;                        (** canvas extent, x in [0, width) *)
+  height : int;
+  layers : int;
+}
+
+val grid_placement :
+  Graph.t -> rows:int -> cols:int -> margin:int -> layers:int -> placement
+(** Nodes in row-major order on a [rows x cols] grid of square
+    footprints (side = max degree + 2), separated and surrounded by
+    [margin] empty tracks. *)
+
+val route : Graph.t -> placement -> Layout.t option
+(** Routes all edges (shortest nets first).  [None] when some net finds
+    no path on this canvas — retry with a larger [margin] or more
+    [layers]. *)
+
+val route_or_grow :
+  ?max_attempts:int -> Graph.t -> rows:int -> cols:int -> layers:int ->
+  Layout.t option
+(** Tries [grid_placement] with doubling margins until routing succeeds
+    (default 4 attempts starting at margin 2). *)

@@ -1,0 +1,317 @@
+open Mvl_topology
+open Mvl_geometry
+
+type groups = { horizontal : int; vertical : int }
+
+let groups_for_layers layers =
+  if layers < 2 then invalid_arg "Multilayer: layers < 2";
+  { horizontal = (layers + 1) / 2; vertical = layers / 2 }
+
+let ceil_div a b = if a = 0 then 0 else ((a - 1) / b) + 1
+
+(* terminal bookkeeping: for each node, the x offsets of its row-edge
+   terminals (sorted by the other endpoint's column) and the y offsets of
+   its column-edge terminals (sorted by the other endpoint's row) *)
+type terminals = {
+  row_term : (int, int) Hashtbl.t; (* edge_id -> x (two bindings) *)
+  col_term : (int, int) Hashtbl.t; (* edge_id -> y (two bindings) *)
+}
+
+(* an extra (non-orthogonal) link of an augmented layout, §5.3 *)
+type extra_link = {
+  xedge : int;        (* edge id in the full graph *)
+  src : int;          (* routed from src's top terminal ... *)
+  dst : int;          (* ... to dst's right terminal *)
+  mutable grp : int;  (* paired layer group *)
+  mutable hslot : int;(* dedicated horizontal slot in src's row gap *)
+  mutable vslot : int;(* dedicated vertical slot right of dst's column *)
+  mutable term_x : int;
+  mutable term_y : int;
+}
+
+type frame = {
+  col_x0 : int array;
+  col_w : int array;
+  row_y0 : int array;
+  row_h : int array;
+  col_slots : int array;
+  row_slots : int array;
+}
+
+let realize_general ?(node_side = 0) ?(z_offset = 0) ?(col_gap_extra = 0)
+    ?(node_extra_rows = 0) ?total_layers (o : Orthogonal.t) ~full_graph ~layers
+    =
+  let g = groups_for_layers layers in
+  let n = Graph.n o.graph in
+  if Graph.n full_graph <> n then
+    invalid_arg "Multilayer: full graph must have the same nodes";
+  (* --- split edges of the full graph into orthogonal + extra -------- *)
+  let ortho_id = Hashtbl.create (Graph.m o.graph) in
+  Array.iteri (fun i e -> Hashtbl.add ortho_id e i) (Graph.edges o.graph);
+  let full_edges = Graph.edges full_graph in
+  let extras = ref [] in
+  Array.iteri
+    (fun i (u, v) ->
+      if not (Hashtbl.mem ortho_id (u, v)) then
+        extras :=
+          {
+            xedge = i;
+            src = u;
+            dst = v;
+            grp = 0;
+            hslot = 0;
+            vslot = 0;
+            term_x = 0;
+            term_y = 0;
+          }
+          :: !extras)
+    full_edges;
+  let extras = Array.of_list !extras in
+  (* --- per-gap regular slots ----------------------------------------- *)
+  let row_slots = Array.map (fun t -> ceil_div t g.horizontal) o.row_tracks in
+  let col_slots = Array.map (fun t -> ceil_div t g.vertical) o.col_tracks in
+  (* --- extra links: dedicated slots, paired groups -------------------- *)
+  let extra_h = Array.make o.rows 0 and extra_v = Array.make o.cols 0 in
+  let row_extra_top = Array.make n 0 and col_extra_right = Array.make n 0 in
+  (* a slot may be shared by links of *different* groups (same in-plane
+     position, different layers), so slot allocation is per (gap, group) *)
+  let h_grp_count = Hashtbl.create 64 and v_grp_count = Hashtbl.create 64 in
+  let next tbl key =
+    let v = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+    Hashtbl.replace tbl key (v + 1);
+    v
+  in
+  let h_total = Array.make o.rows 0 in
+  Array.iter
+    (fun l ->
+      let r_src, _ = o.place.(l.src) and _, c_dst = o.place.(l.dst) in
+      l.grp <- h_total.(r_src) mod g.vertical;
+      h_total.(r_src) <- h_total.(r_src) + 1;
+      l.hslot <- row_slots.(r_src) + next h_grp_count (r_src, l.grp);
+      l.vslot <- col_slots.(c_dst) + next v_grp_count (c_dst, l.grp);
+      extra_h.(r_src) <- max extra_h.(r_src) (l.hslot - row_slots.(r_src) + 1);
+      extra_v.(c_dst) <- max extra_v.(c_dst) (l.vslot - col_slots.(c_dst) + 1);
+      row_extra_top.(l.src) <- row_extra_top.(l.src) + 1;
+      col_extra_right.(l.dst) <- col_extra_right.(l.dst) + 1)
+    extras;
+  (* --- node degrees and band sizes ----------------------------------- *)
+  let row_deg = Array.make n 0 and col_deg = Array.make n 0 in
+  Array.iteri
+    (fun r edges ->
+      Array.iter
+        (fun (e : Orthogonal.line_edge) ->
+          let u = o.node_at.(r).(e.a) and v = o.node_at.(r).(e.b) in
+          row_deg.(u) <- row_deg.(u) + 1;
+          row_deg.(v) <- row_deg.(v) + 1)
+        edges)
+    o.row_edges;
+  Array.iteri
+    (fun c edges ->
+      Array.iter
+        (fun (e : Orthogonal.line_edge) ->
+          let u = o.node_at.(e.a).(c) and v = o.node_at.(e.b).(c) in
+          col_deg.(u) <- col_deg.(u) + 1;
+          col_deg.(v) <- col_deg.(v) + 1)
+        edges)
+    o.col_edges;
+  let col_w = Array.make o.cols 1 and row_h = Array.make o.rows 1 in
+  for r = 0 to o.rows - 1 do
+    for c = 0 to o.cols - 1 do
+      let u = o.node_at.(r).(c) in
+      col_w.(c) <-
+        max col_w.(c) (max node_side (row_deg.(u) + row_extra_top.(u) + 2));
+      row_h.(r) <-
+        max row_h.(r)
+          (max node_side (col_deg.(u) + col_extra_right.(u) + node_extra_rows + 2))
+    done
+  done;
+  (* --- coordinates ----------------------------------------------------- *)
+  let col_x0 = Array.make o.cols 0 and row_y0 = Array.make o.rows 0 in
+  for c = 1 to o.cols - 1 do
+    col_x0.(c) <-
+      col_x0.(c - 1) + col_w.(c - 1) + col_slots.(c - 1) + extra_v.(c - 1)
+      + col_gap_extra + 1
+  done;
+  for r = 1 to o.rows - 1 do
+    row_y0.(r) <-
+      row_y0.(r - 1) + row_h.(r - 1) + row_slots.(r - 1) + extra_h.(r - 1) + 1
+  done;
+  let vtrack_x c slot = col_x0.(c) + col_w.(c) + slot in
+  let htrack_y r slot = row_y0.(r) + row_h.(r) + slot in
+  (* --- terminals -------------------------------------------------------- *)
+  let terms = { row_term = Hashtbl.create 256; col_term = Hashtbl.create 256 } in
+  let row_inc = Array.make n [] and col_inc = Array.make n [] in
+  Array.iteri
+    (fun r edges ->
+      Array.iter
+        (fun (e : Orthogonal.line_edge) ->
+          let u = o.node_at.(r).(e.a) and v = o.node_at.(r).(e.b) in
+          row_inc.(u) <- (e.b, e.edge_id) :: row_inc.(u);
+          row_inc.(v) <- (e.a, e.edge_id) :: row_inc.(v))
+        edges)
+    o.row_edges;
+  Array.iteri
+    (fun c edges ->
+      Array.iter
+        (fun (e : Orthogonal.line_edge) ->
+          let u = o.node_at.(e.a).(c) and v = o.node_at.(e.b).(c) in
+          col_inc.(u) <- (e.b, e.edge_id) :: col_inc.(u);
+          col_inc.(v) <- (e.a, e.edge_id) :: col_inc.(v))
+        edges)
+    o.col_edges;
+  let row_used = Array.make n 0 and col_used = Array.make n 0 in
+  for u = 0 to n - 1 do
+    let _, c = o.place.(u) and r, _ = o.place.(u) in
+    List.iteri
+      (fun i (_, edge_id) ->
+        Hashtbl.add terms.row_term edge_id (col_x0.(c) + 1 + i))
+      (List.sort compare row_inc.(u));
+    row_used.(u) <- List.length row_inc.(u);
+    List.iteri
+      (fun i (_, edge_id) ->
+        Hashtbl.add terms.col_term edge_id (row_y0.(r) + 1 + i))
+      (List.sort compare col_inc.(u));
+    col_used.(u) <- List.length col_inc.(u)
+  done;
+  (* extra terminals, appended after the regular ones *)
+  Array.iter
+    (fun l ->
+      let _, c_src = o.place.(l.src) and r_dst, _ = o.place.(l.dst) in
+      l.term_x <- col_x0.(c_src) + 1 + row_used.(l.src);
+      row_used.(l.src) <- row_used.(l.src) + 1;
+      l.term_y <- row_y0.(r_dst) + 1 + col_used.(l.dst);
+      col_used.(l.dst) <- col_used.(l.dst) + 1)
+    extras;
+  (* --- node footprints --------------------------------------------------- *)
+  let nodes =
+    Array.init n (fun u ->
+        let r, c = o.place.(u) in
+        Rect.make ~x0:(col_x0.(c)) ~y0:(row_y0.(r))
+          ~x1:(col_x0.(c) + col_w.(c) - 1)
+          ~y1:(row_y0.(r) + row_h.(r) - 1))
+  in
+  (* --- routing ------------------------------------------------------------ *)
+  let full_edge_id = Hashtbl.create (Array.length full_edges) in
+  Array.iteri (fun i e -> Hashtbl.add full_edge_id e i) full_edges;
+  let wires = Array.make (Array.length full_edges) None in
+  let pt x y z = Point.make ~x ~y ~z:(z + z_offset) in
+  let route_wire i points =
+    wires.(i) <- Some (Wire.make ~edge:full_edges.(i) points)
+  in
+  let ortho_edges = Graph.edges o.graph in
+  let id_of_ortho edge_id =
+    Hashtbl.find full_edge_id ortho_edges.(edge_id)
+  in
+  Array.iteri
+    (fun r edges ->
+      Array.iter
+        (fun (e : Orthogonal.line_edge) ->
+          let slots = max 1 row_slots.(r) in
+          let grp = e.track / slots and slot = e.track mod slots in
+          let zx = (2 * grp) + 1 in
+          let zy = if (2 * grp) + 2 <= layers then (2 * grp) + 2 else 2 * grp in
+          let ytrack = htrack_y r slot in
+          let ytop = row_y0.(r) + row_h.(r) - 1 in
+          let txa, txb =
+            match Hashtbl.find_all terms.row_term e.edge_id with
+            | [ t1; t2 ] -> (min t1 t2, max t1 t2)
+            | _ -> invalid_arg "Multilayer.realize: bad row terminals"
+          in
+          route_wire (id_of_ortho e.edge_id)
+            [
+              pt txa ytop 1;
+              pt txa ytop zy;
+              pt txa ytrack zy;
+              pt txa ytrack zx;
+              pt txb ytrack zx;
+              pt txb ytrack zy;
+              pt txb ytop zy;
+              pt txb ytop 1;
+            ])
+        edges)
+    o.row_edges;
+  Array.iteri
+    (fun c edges ->
+      Array.iter
+        (fun (e : Orthogonal.line_edge) ->
+          let slots = max 1 col_slots.(c) in
+          let grp = e.track / slots and slot = e.track mod slots in
+          let zv = (2 * grp) + 2 in
+          let zx = (2 * grp) + 1 in
+          let xtrack = vtrack_x c slot in
+          let xright = col_x0.(c) + col_w.(c) - 1 in
+          let tya, tyb =
+            match Hashtbl.find_all terms.col_term e.edge_id with
+            | [ t1; t2 ] -> (min t1 t2, max t1 t2)
+            | _ -> invalid_arg "Multilayer.realize: bad column terminals"
+          in
+          route_wire (id_of_ortho e.edge_id)
+            [
+              pt xright tya 1;
+              pt xright tya zx;
+              pt xtrack tya zx;
+              pt xtrack tya zv;
+              pt xtrack tyb zv;
+              pt xtrack tyb zx;
+              pt xright tyb zx;
+              pt xright tyb 1;
+            ])
+        edges)
+    o.col_edges;
+  (* extra links: src top terminal -> dedicated h-track -> dedicated
+     v-track -> dst right terminal, everything in the paired group *)
+  Array.iter
+    (fun l ->
+      let r_src, _ = o.place.(l.src) and r_dst, c_dst = o.place.(l.dst) in
+      let zx = (2 * l.grp) + 1 and zy = (2 * l.grp) + 2 in
+      let hy = htrack_y r_src l.hslot in
+      let vx = vtrack_x c_dst l.vslot in
+      let ytop = row_y0.(r_src) + row_h.(r_src) - 1 in
+      let xright = col_x0.(c_dst) + col_w.(c_dst) - 1 in
+      ignore r_dst;
+      route_wire l.xedge
+        [
+          pt l.term_x ytop 1;
+          pt l.term_x ytop zy;
+          pt l.term_x hy zy;
+          pt l.term_x hy zx;
+          pt vx hy zx;
+          pt vx hy zy;
+          pt vx l.term_y zy;
+          pt vx l.term_y zx;
+          pt xright l.term_y zx;
+          pt xright l.term_y 1;
+        ])
+    extras;
+  let wires =
+    Array.mapi
+      (fun i w ->
+        match w with
+        | Some w -> w
+        | None ->
+            invalid_arg (Printf.sprintf "Multilayer.realize: edge %d unrouted" i))
+      wires
+  in
+  let declared_layers = Option.value total_layers ~default:(layers + z_offset) in
+  let node_layers =
+    if z_offset = 0 then None else Some (Array.make n (1 + z_offset))
+  in
+  let layout =
+    Layout.make ~graph:full_graph ~layers:declared_layers ?node_layers ~nodes
+      ~wires ()
+  in
+  let frame = { col_x0; col_w; row_y0; row_h; col_slots; row_slots } in
+  (layout, frame)
+
+let realize ?node_side o ~layers =
+  fst (realize_general ?node_side o ~full_graph:o.Orthogonal.graph ~layers)
+
+let realize_augmented ?node_side o ~full_graph ~layers =
+  fst (realize_general ?node_side o ~full_graph ~layers)
+
+let realize_slab ?node_side o ~z_offset ~band_layers ~total_layers
+    ~col_gap_extra ~node_extra_rows =
+  realize_general ?node_side ~z_offset ~col_gap_extra ~node_extra_rows
+    ~total_layers o ~full_graph:o.Orthogonal.graph ~layers:band_layers
+
+let metrics ?node_side o ~layers = Layout.metrics (realize ?node_side o ~layers)

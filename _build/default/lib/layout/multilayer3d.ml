@@ -1,0 +1,122 @@
+open Mvl_topology
+open Mvl_geometry
+
+type t = {
+  layout : Layout.t;
+  slabs : int;
+  layers_per_slab : int;
+  product : Graph.t;
+}
+
+let realize ?node_side ~(base : Orthogonal.t) ~slab_graph ~layers_per_slab () =
+  if layers_per_slab < 2 then
+    invalid_arg "Multilayer3d.realize: layers_per_slab < 2";
+  let slabs = Graph.n slab_graph in
+  if slabs < 2 then invalid_arg "Multilayer3d.realize: need >= 2 slabs";
+  let n_base = Graph.n base.Orthogonal.graph in
+  let slab_edges = Graph.edges slab_graph in
+  let m_slab = Array.length slab_edges in
+  let total_layers = slabs * layers_per_slab in
+  let product = Graph.cartesian_product base.Orthogonal.graph slab_graph in
+  (* one slab realization per active layer; identical in the plane *)
+  let slab_layouts =
+    Array.init slabs (fun s ->
+        Multilayer.realize_slab ?node_side base
+          ~z_offset:(s * layers_per_slab)
+          ~band_layers:layers_per_slab ~total_layers
+          ~col_gap_extra:m_slab ~node_extra_rows:m_slab)
+  in
+  let _, frame = slab_layouts.(0) in
+  (* assemble nodes *)
+  let n_total = slabs * n_base in
+  let nodes = Array.make n_total (Rect.make ~x0:0 ~y0:0 ~x1:0 ~y1:0) in
+  let node_layers = Array.make n_total 1 in
+  Array.iteri
+    (fun s (lay, _) ->
+      Array.iteri
+        (fun u r ->
+          nodes.((s * n_base) + u) <- r;
+          node_layers.((s * n_base) + u) <- 1 + (s * layers_per_slab))
+        lay.Layout.nodes)
+    slab_layouts;
+  (* assemble wires, keyed by the product graph's edge list *)
+  let product_edges = Graph.edges product in
+  let edge_id = Hashtbl.create (Array.length product_edges) in
+  Array.iteri (fun i e -> Hashtbl.add edge_id e i) product_edges;
+  let find_edge u v =
+    let key = if u < v then (u, v) else (v, u) in
+    match Hashtbl.find_opt edge_id key with
+    | Some i -> i
+    | None -> invalid_arg "Multilayer3d: product edge not found"
+  in
+  let wires = Array.make (Array.length product_edges) None in
+  (* intra-slab wires: re-key each slab's wires onto the product graph *)
+  Array.iteri
+    (fun s (lay, _) ->
+      Array.iter
+        (fun w ->
+          let u, v = w.Wire.edge in
+          let id = find_edge ((s * n_base) + u) ((s * n_base) + v) in
+          let global_edge = product_edges.(id) in
+          wires.(id) <- Some { w with Wire.edge = global_edge })
+        lay.Layout.wires)
+    slab_layouts;
+  (* inter-slab wires: C-edge j of base node u runs through a reserved
+     terminal row and a reserved via column of u's column gap *)
+  let active_layer s = 1 + (s * layers_per_slab) in
+  for j = 0 to m_slab - 1 do
+    let sa, sb = slab_edges.(j) in
+    for u = 0 to n_base - 1 do
+      let r, c = base.Orthogonal.place.(u) in
+      let x1 = frame.Multilayer.col_x0.(c) + frame.Multilayer.col_w.(c) - 1 in
+      let ty = frame.Multilayer.row_y0.(r) + frame.Multilayer.row_h.(r) - 2 - j in
+      let x_res =
+        frame.Multilayer.col_x0.(c) + frame.Multilayer.col_w.(c)
+        + frame.Multilayer.col_slots.(c) + j
+      in
+      let za = active_layer sa and zb = active_layer sb in
+      let id = find_edge ((sa * n_base) + u) ((sb * n_base) + u) in
+      wires.(id) <-
+        Some
+          (Wire.make ~edge:product_edges.(id)
+             [
+               Point.make ~x:x1 ~y:ty ~z:za;
+               Point.make ~x:x_res ~y:ty ~z:za;
+               Point.make ~x:x_res ~y:ty ~z:zb;
+               Point.make ~x:x1 ~y:ty ~z:zb;
+             ])
+    done
+  done;
+  let wires =
+    Array.mapi
+      (fun i w ->
+        match w with
+        | Some w -> w
+        | None ->
+            invalid_arg (Printf.sprintf "Multilayer3d: edge %d unrouted" i))
+      wires
+  in
+  let layout =
+    Layout.make ~graph:product ~layers:total_layers ~node_layers ~nodes ~wires
+      ()
+  in
+  { layout; slabs; layers_per_slab; product }
+
+let hypercube ~n ~active ~layers_per_slab =
+  if active < 2 || active land (active - 1) <> 0 then
+    invalid_arg "Multilayer3d.hypercube: active must be a power of two >= 2";
+  let rec log2 x = if x = 1 then 0 else 1 + log2 (x / 2) in
+  let slab_dims = log2 active in
+  if slab_dims >= n then invalid_arg "Multilayer3d.hypercube: active too large";
+  let base_dims = n - slab_dims in
+  let row = Collinear_hypercube.create ((base_dims + 1) / 2) in
+  let col_dims = base_dims - ((base_dims + 1) / 2) in
+  let col =
+    if col_dims = 0 then Collinear.natural (Graph.of_edges ~n:1 [])
+    else Collinear_hypercube.create col_dims
+  in
+  let base =
+    Orthogonal.of_product ~row_factor:row ~col_factor:col
+      (Hypercube.create base_dims)
+  in
+  realize ~base ~slab_graph:(Hypercube.create slab_dims) ~layers_per_slab ()

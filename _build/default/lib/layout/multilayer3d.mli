@@ -1,0 +1,45 @@
+(** The multilayer 3-D grid model (§2.2): network nodes on [L_A] active
+    layers — the layout style the paper defines and defers ("will be
+    reported in the near future").  This module implements the natural
+    stacked-slab instance for product networks:
+
+    the network is [base x slab_graph] — [L_A = |slab_graph|] identical
+    copies ("slabs") of the base network, one per active layer, with the
+    slab factor's edges connecting vertically aligned nodes.  Every slab
+    gets a contiguous band of [layers_per_slab] wiring layers and is
+    laid out by the 2-D orthogonal scheme within its band; each
+    inter-slab edge rides a dedicated via stack in a reserved column of
+    its node's right gap, reached through a reserved terminal row, so
+    the whole construction remains valid in the strict grid model.
+
+    Since each active layer carries only [N / L_A] nodes, the footprint
+    shrinks by about [L_A^2 / (layers ratio)^2] relative to a 2-D layout
+    of the full network on the same total layer count — the area/volume
+    trade-off the paper's §2.2 motivates. *)
+
+open Mvl_topology
+
+type t = {
+  layout : Layout.t;
+  slabs : int;              (** [L_A] *)
+  layers_per_slab : int;
+  product : Graph.t;        (** [base x slab_graph]; node [(s, u)] is
+                                encoded as [s * n_base + u] *)
+}
+
+val realize :
+  ?node_side:int ->
+  base:Orthogonal.t ->
+  slab_graph:Graph.t ->
+  layers_per_slab:int ->
+  unit ->
+  t
+(** [realize ~base ~slab_graph ~layers_per_slab ()] builds the stacked
+    layout.  Total wiring layers = [|slab_graph| * layers_per_slab];
+    [layers_per_slab >= 2]. *)
+
+val hypercube : n:int -> active:int -> layers_per_slab:int -> t
+(** Convenience: the [n]-cube with its top [log2 active] dimensions
+    realized as inter-slab links ([active] must be a power of two
+    dividing [2^n]); the remaining [(n - log2 active)]-cube is the base
+    of every slab. *)

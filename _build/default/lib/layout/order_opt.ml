@@ -1,0 +1,86 @@
+open Mvl_topology
+open Mvl_geometry
+
+type objective = { tracks : int; total_span : int }
+
+let evaluate graph ~node_at =
+  let n = Graph.n graph in
+  let position = Array.make n 0 in
+  Array.iteri (fun p u -> position.(u) <- p) node_at;
+  let spans =
+    Array.map
+      (fun (u, v) -> Interval.make position.(u) position.(v))
+      (Graph.edges graph)
+  in
+  let total_span =
+    Array.fold_left (fun acc s -> acc + Interval.length s) 0 spans
+  in
+  { tracks = Track_assign.max_density spans; total_span }
+
+(* cheap xorshift so the optimizer has no external dependencies *)
+let make_rng seed =
+  let state = ref (if seed = 0 then 0x2545F491 else seed) in
+  fun bound ->
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 17) in
+    let x = x lxor (x lsl 5) in
+    state := x land max_int;
+    !state mod bound
+
+let optimize ?(seed = 1) ?(iterations = 20000) ?initial graph =
+  let n = Graph.n graph in
+  let node_at =
+    match initial with
+    | Some order ->
+        if Array.length order <> n then invalid_arg "Order_opt.optimize";
+        Array.copy order
+    | None -> Array.init n (fun i -> i)
+  in
+  if n < 3 then Collinear.of_order graph ~node_at
+  else begin
+    let rand = make_rng seed in
+    let position = Array.make n 0 in
+    Array.iteri (fun p u -> position.(u) <- p) node_at;
+    (* objective as a single comparable score: tracks dominate span *)
+    let score () =
+      let o = evaluate graph ~node_at in
+      (o.tracks * 1_000_000) + o.total_span
+    in
+    let current = ref (score ()) in
+    let best = ref !current in
+    let best_order = ref (Array.copy node_at) in
+    let temperature = ref (float_of_int n) in
+    for _ = 1 to iterations do
+      let i = rand n and j = rand n in
+      if i <> j then begin
+        let u = node_at.(i) and v = node_at.(j) in
+        node_at.(i) <- v;
+        node_at.(j) <- u;
+        position.(u) <- j;
+        position.(v) <- i;
+        let candidate = score () in
+        let accept =
+          candidate <= !current
+          || float_of_int (rand 1000) /. 1000.0
+             < exp (-.float_of_int (candidate - !current) /. (!temperature *. 1000.0))
+        in
+        if accept then begin
+          current := candidate;
+          if candidate < !best then begin
+            best := candidate;
+            best_order := Array.copy node_at
+          end
+        end
+        else begin
+          (* undo *)
+          node_at.(i) <- u;
+          node_at.(j) <- v;
+          position.(u) <- i;
+          position.(v) <- j
+        end
+      end;
+      temperature := !temperature *. 0.9995
+    done;
+    Collinear.of_order graph ~node_at:!best_order
+  end

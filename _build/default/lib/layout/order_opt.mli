@@ -1,0 +1,29 @@
+(** Heuristic node-order optimization for collinear layouts of arbitrary
+    graphs (simulated annealing over the cut-density objective).
+
+    For the families with constructive orders (§3–§5) the paper's
+    recursions are already optimal or near-optimal; this module serves
+    the "similar strategies apply" families (§4.3 Cayley graphs,
+    shuffle-exchange, ...) where no constructive order is known: it
+    starts from a given order and hill-climbs with occasional uphill
+    moves, minimizing first the track count and then the total span. *)
+
+open Mvl_topology
+
+type objective = {
+  tracks : int;      (** max cut density = greedy track count *)
+  total_span : int;  (** sum of edge spans (wire-length proxy) *)
+}
+
+val evaluate : Graph.t -> node_at:int array -> objective
+
+val optimize :
+  ?seed:int ->
+  ?iterations:int ->
+  ?initial:int array ->
+  Graph.t ->
+  Collinear.t
+(** [optimize g] runs simulated annealing (default 20000 iterations,
+    swap moves, geometric cooling) from [initial] (default: natural
+    order) and returns the best collinear layout found.  Deterministic
+    for a fixed seed. *)

@@ -1,0 +1,68 @@
+open Mvl_topology
+
+let folded_ring_position k j =
+  if j < 0 || j >= k then invalid_arg "Orders.folded_ring_position";
+  (* walk out on even positions and come back on odd ones, so ring
+     neighbours sit at most two positions apart *)
+  let h = (k + 1) / 2 in
+  if j < h then 2 * j else (2 * (k - 1 - j)) + 1
+
+let weights radices =
+  (* weight of digit j is the product of the radices above it *)
+  let n = Array.length radices in
+  let w = Array.make n 1 in
+  for j = n - 2 downto 0 do
+    w.(j) <- w.(j + 1) * radices.(j + 1)
+  done;
+  w
+
+let reversed_position radices ~digit_map v =
+  let d = Mixed_radix.to_digits radices v in
+  let w = weights radices in
+  let pos = ref 0 in
+  Array.iteri (fun j dj -> pos := !pos + (digit_map radices.(j) dj * w.(j))) d;
+  !pos
+
+let order_of_position radices position =
+  let total = Mixed_radix.cardinal radices in
+  let node_at = Array.make total (-1) in
+  for v = 0 to total - 1 do
+    node_at.(position v) <- v
+  done;
+  node_at
+
+let digit_reversed radices ~node_at:() =
+  order_of_position radices (reversed_position radices ~digit_map:(fun _ d -> d))
+
+let digit_reversed_folded radices =
+  order_of_position radices
+    (reversed_position radices ~digit_map:folded_ring_position)
+
+let gray_offset = [| 0; 1; 3; 2 |]
+(* gray_offset.(p) is the two-bit copy label at offset p; its inverse maps
+   copy label to offset *)
+
+let gray_offset_inv =
+  let inv = Array.make 4 0 in
+  Array.iteri (fun p label -> inv.(label) <- p) gray_offset;
+  inv
+
+let hypercube_order n =
+  if n < 0 then invalid_arg "Orders.hypercube_order";
+  let rec position dims v =
+    if dims = 0 then 0
+    else if dims = 1 then v
+    else if dims mod 2 = 1 then
+      (* odd: topmost bit is a 2-copy interleave *)
+      let low = v land ((1 lsl (dims - 1)) - 1) in
+      (position (dims - 1) low * 2) + (v lsr (dims - 1))
+    else
+      let low = v land ((1 lsl (dims - 2)) - 1) in
+      (position (dims - 2) low * 4) + gray_offset_inv.((v lsr (dims - 2)) land 3)
+  in
+  let total = 1 lsl n in
+  let node_at = Array.make total (-1) in
+  for v = 0 to total - 1 do
+    node_at.(position n v) <- v
+  done;
+  node_at

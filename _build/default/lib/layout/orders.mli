@@ -1,0 +1,26 @@
+(** Node orderings used by the paper's collinear constructions. *)
+
+open Mvl_topology
+
+val folded_ring_position : int -> int -> int
+(** [folded_ring_position k j] is the position of ring node [j] in the
+    boustrophedon ("folded") order [0, 2, 4, ..., 5, 3, 1], which keeps
+    every ring edge within span 2 and eliminates the long wrap wire. *)
+
+val digit_reversed : Mixed_radix.radices -> node_at:unit -> int array
+(** [digit_reversed radices ~node_at:()] is the node order produced by
+    the paper's bottom-up recursion for products of rings/cliques: node
+    [(d_{n-1}, ..., d_0)] goes to position
+    [sum_j d_j * prod_{t>j} r_t] — the [i]-th node of the [j]-th copy sits
+    next to the [i]-th node of copy [j-1].  Returns the
+    position->node array. *)
+
+val digit_reversed_folded : Mixed_radix.radices -> int array
+(** Same recursion but with each dimension's copies interleaved in folded
+    ring order, shortening wrap wires (used by the [~fold] options). *)
+
+val hypercube_order : int -> int array
+(** The Fig.-4 hypercube order: dimensions consumed two at a time with
+    the 4 sub-copies in Gray sequence (00, 01, 11, 10); an odd topmost
+    dimension becomes a final 2-copy interleave.  Returns the
+    position->node array for the [n]-cube. *)

@@ -1,0 +1,113 @@
+open Mvl_topology
+open Mvl_geometry
+
+type line_edge = { edge_id : int; a : int; b : int; track : int }
+
+type t = {
+  graph : Graph.t;
+  rows : int;
+  cols : int;
+  place : (int * int) array;
+  node_at : int array array;
+  row_edges : line_edge array array;
+  col_edges : line_edge array array;
+  row_tracks : int array;
+  col_tracks : int array;
+}
+
+let pack_line edges =
+  (* [edges]: (edge_id, a, b) with a < b; returns packed line_edges *)
+  let arr = Array.of_list edges in
+  let spans = Array.map (fun (_, a, b) -> Interval.make a b) arr in
+  let assignment = Track_assign.greedy spans in
+  ( Array.mapi
+      (fun i (edge_id, a, b) -> { edge_id; a; b; track = assignment.(i) })
+      arr,
+    Track_assign.count_tracks assignment )
+
+let create graph ~rows ~cols ~place =
+  let n = Graph.n graph in
+  if rows * cols <> n then
+    invalid_arg
+      (Printf.sprintf "Orthogonal.create: %dx%d grid for %d nodes" rows cols n);
+  let placements = Array.init n place in
+  let node_at = Array.make_matrix rows cols (-1) in
+  Array.iteri
+    (fun u (r, c) ->
+      if r < 0 || r >= rows || c < 0 || c >= cols then
+        invalid_arg "Orthogonal.create: placement out of grid";
+      if node_at.(r).(c) >= 0 then
+        invalid_arg "Orthogonal.create: two nodes on one grid cell";
+      node_at.(r).(c) <- u)
+    placements;
+  let row_acc = Array.make rows [] and col_acc = Array.make cols [] in
+  Array.iteri
+    (fun edge_id (u, v) ->
+      let ru, cu = placements.(u) and rv, cv = placements.(v) in
+      if ru = rv && cu <> cv then
+        row_acc.(ru) <- (edge_id, min cu cv, max cu cv) :: row_acc.(ru)
+      else if cu = cv && ru <> rv then
+        col_acc.(cu) <- (edge_id, min ru rv, max ru rv) :: col_acc.(cu)
+      else
+        invalid_arg
+          (Printf.sprintf
+             "Orthogonal.create: edge %d-%d is not row- or column-aligned" u v))
+    (Graph.edges graph);
+  let row_edges = Array.make rows [||] and row_tracks = Array.make rows 0 in
+  let col_edges = Array.make cols [||] and col_tracks = Array.make cols 0 in
+  for r = 0 to rows - 1 do
+    let packed, tracks = pack_line row_acc.(r) in
+    row_edges.(r) <- packed;
+    row_tracks.(r) <- tracks
+  done;
+  for c = 0 to cols - 1 do
+    let packed, tracks = pack_line col_acc.(c) in
+    col_edges.(c) <- packed;
+    col_tracks.(c) <- tracks
+  done;
+  {
+    graph;
+    rows;
+    cols;
+    place = placements;
+    node_at;
+    row_edges;
+    col_edges;
+    row_tracks;
+    col_tracks;
+  }
+
+let of_product ~row_factor ~col_factor graph =
+  let na = Graph.n row_factor.Collinear.graph in
+  let nb = Graph.n col_factor.Collinear.graph in
+  if na * nb <> Graph.n graph then
+    invalid_arg "Orthogonal.of_product: factor sizes do not match";
+  let place v =
+    let x = v mod na and y = v / na in
+    (col_factor.Collinear.position.(y), row_factor.Collinear.position.(x))
+  in
+  create graph ~rows:nb ~cols:na ~place
+
+let total_row_tracks t = Array.fold_left ( + ) 0 t.row_tracks
+let total_col_tracks t = Array.fold_left ( + ) 0 t.col_tracks
+
+let count_degrees t ~of_rows =
+  let n = Graph.n t.graph in
+  let deg = Array.make n 0 in
+  let lines = if of_rows then t.row_edges else t.col_edges in
+  let lookup line pos =
+    if of_rows then t.node_at.(line).(pos) else t.node_at.(pos).(line)
+  in
+  Array.iteri
+    (fun line edges ->
+      Array.iter
+        (fun e ->
+          let u = lookup line e.a and v = lookup line e.b in
+          deg.(u) <- deg.(u) + 1;
+          deg.(v) <- deg.(v) + 1)
+        edges)
+    lines;
+  Array.fold_left max 0 deg
+
+let max_row_degree t = count_degrees t ~of_rows:true
+let max_col_degree t = count_degrees t ~of_rows:false

@@ -1,0 +1,49 @@
+(** Orthogonal 2-D layouts (§2.4): nodes arranged on a [rows x cols]
+    grid such that every edge connects two nodes of the same row or the
+    same column.  Row edges are assigned to horizontal tracks in the gap
+    above their row, column edges to vertical tracks in the gap right of
+    their column; per-line track packing is the optimal left-edge
+    greedy. *)
+
+open Mvl_topology
+
+type line_edge = {
+  edge_id : int;  (** index into [Graph.edges graph] *)
+  a : int;        (** smaller line coordinate (column for row edges) *)
+  b : int;        (** larger line coordinate *)
+  track : int;    (** 0-based track within the line's gap *)
+}
+
+type t = {
+  graph : Graph.t;
+  rows : int;
+  cols : int;
+  place : (int * int) array;      (** node id -> (row, col) *)
+  node_at : int array array;      (** [row].(col) -> node id *)
+  row_edges : line_edge array array;  (** per row *)
+  col_edges : line_edge array array;  (** per column *)
+  row_tracks : int array;         (** tracks in the gap above each row *)
+  col_tracks : int array;         (** tracks right of each column *)
+}
+
+val create : Graph.t -> rows:int -> cols:int -> place:(int -> int * int) -> t
+(** Classifies each edge as row or column edge and packs tracks.
+    Raises [Invalid_argument] if some edge is neither (the placement is
+    not orthogonal), if the placement is not a bijection onto the grid,
+    or if the grid size does not match [Graph.n]. *)
+
+val of_product :
+  row_factor:Collinear.t -> col_factor:Collinear.t -> Graph.t -> t
+(** Orthogonal layout of a product network [G = A x B] (§3.2): node
+    [(x, y)] (encoded [y * n_A + x]) goes to column [pos_A x] and row
+    [pos_B y], so each row is laid out like [A] and each column like
+    [B].  [graph] must be the Cartesian product with that encoding. *)
+
+val total_row_tracks : t -> int
+val total_col_tracks : t -> int
+
+val max_row_degree : t -> int
+(** Largest number of row edges incident to a single node — determines
+    the minimum node width. *)
+
+val max_col_degree : t -> int

@@ -1,0 +1,16 @@
+(** Rendering: ASCII art for collinear layouts (regenerating the paper's
+    Figs. 2–4) and SVG for full multilayer layouts. *)
+
+val collinear_ascii : ?label:(int -> string) -> Collinear.t -> string
+(** Draws the node row at the bottom and one text row per track, wires as
+    [+----+] arcs with [|] drops.  [label] gives node captions (default:
+    the node id). *)
+
+val layout_svg : ?scale:int -> Layout.t -> string
+(** A self-contained SVG document: node footprints as grey rectangles,
+    each wiring layer's segments in its own colour, vias as dots. *)
+
+val grid_summary : Orthogonal.t -> string
+(** A small textual diagram of the recursive-grid structure: block grid
+    dimensions plus per-gap track counts (used to regenerate the Fig.-1
+    style overview). *)

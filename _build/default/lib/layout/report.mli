@@ -1,0 +1,24 @@
+(** Layout anatomy reports: where the area goes and how wire lengths
+    distribute — the quantities behind the paper's [o(...)] terms. *)
+
+type t = {
+  metrics : Layout.metrics;
+  node_area : int;          (** sum of footprint areas over all active
+                                layers (can exceed the bounding area for
+                                3-D grid-model layouts) *)
+  node_area_share : float;  (** node_area / bounding area *)
+  wire_count : int;
+  wire_min : int;
+  wire_median : int;
+  wire_p90 : int;
+  wire_max : int;           (** in-plane lengths *)
+  segments_per_layer : (int * int) list;
+      (** (layer, total in-plane run length on that layer) *)
+  via_count : int;          (** number of via segments *)
+  active_layers : int;
+}
+
+val analyze : Layout.t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable rendering. *)

@@ -1,0 +1,166 @@
+open Mvl_topology
+open Mvl_geometry
+
+let to_string (t : Layout.t) =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "mvl-layout 1\n";
+  Buffer.add_string buf (Printf.sprintf "layers %d\n" t.Layout.layers);
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" (Graph.n t.Layout.graph));
+  Array.iteri
+    (fun id (r : Rect.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "node %d %d %d %d %d %d\n" id r.Rect.x0 r.Rect.y0
+           r.Rect.x1 r.Rect.y1 t.Layout.node_layers.(id)))
+    t.Layout.nodes;
+  Buffer.add_string buf
+    (Printf.sprintf "edges %d\n" (Array.length t.Layout.wires));
+  Array.iter
+    (fun (w : Wire.t) ->
+      let u, v = w.Wire.edge in
+      Buffer.add_string buf
+        (Printf.sprintf "wire %d %d %d" u v (Array.length w.Wire.points));
+      Array.iter
+        (fun (p : Point.t) ->
+          Buffer.add_string buf
+            (Printf.sprintf " %d %d %d" p.Point.x p.Point.y p.Point.z))
+        w.Wire.points;
+      Buffer.add_char buf '\n')
+    t.Layout.wires;
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+let graph_of_wires wires ~n =
+  Graph.of_edges_array ~n (Array.map (fun w -> w.Wire.edge) wires)
+
+exception Parse of string
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let lines = List.filter (fun l -> String.trim l <> "") lines in
+  let ints_of rest = List.map int_of_string rest in
+  try
+    match lines with
+    | header :: rest ->
+        if String.trim header <> "mvl-layout 1" then
+          raise (Parse "bad header");
+        let layers, rest =
+          match rest with
+          | l :: rest -> (
+              match String.split_on_char ' ' l with
+              | [ "layers"; n ] -> (int_of_string n, rest)
+              | _ -> raise (Parse "expected layers line"))
+          | [] -> raise (Parse "truncated")
+        in
+        let n_nodes, rest =
+          match rest with
+          | l :: rest -> (
+              match String.split_on_char ' ' l with
+              | [ "nodes"; n ] -> (int_of_string n, rest)
+              | _ -> raise (Parse "expected nodes line"))
+          | [] -> raise (Parse "truncated")
+        in
+        let nodes = Array.make n_nodes (Rect.make ~x0:0 ~y0:0 ~x1:0 ~y1:0) in
+        let node_layers = Array.make n_nodes 1 in
+        let rest = ref rest in
+        for _ = 1 to n_nodes do
+          match !rest with
+          | l :: more -> (
+              rest := more;
+              match String.split_on_char ' ' l with
+              | "node" :: fields -> (
+                  match ints_of fields with
+                  | [ id; x0; y0; x1; y1; zl ] ->
+                      if id < 0 || id >= n_nodes then
+                        raise (Parse "node id out of range");
+                      nodes.(id) <- Rect.make ~x0 ~y0 ~x1 ~y1;
+                      node_layers.(id) <- zl
+                  | _ -> raise (Parse "bad node line"))
+              | _ -> raise (Parse "expected node line"))
+          | [] -> raise (Parse "truncated nodes")
+        done;
+        let n_edges =
+          match !rest with
+          | l :: more -> (
+              rest := more;
+              match String.split_on_char ' ' l with
+              | [ "edges"; n ] -> int_of_string n
+              | _ -> raise (Parse "expected edges line"))
+          | [] -> raise (Parse "truncated")
+        in
+        let wires = Array.make n_edges None in
+        for i = 0 to n_edges - 1 do
+          match !rest with
+          | l :: more -> (
+              rest := more;
+              match String.split_on_char ' ' l with
+              | "wire" :: fields -> (
+                  match ints_of fields with
+                  | u :: v :: k :: coords ->
+                      if List.length coords <> 3 * k then
+                        raise (Parse "bad wire coordinate count");
+                      let rec points = function
+                        | [] -> []
+                        | x :: y :: z :: tl ->
+                            Point.make ~x ~y ~z :: points tl
+                        | _ -> raise (Parse "ragged wire coordinates")
+                      in
+                      wires.(i) <- Some (Wire.make ~edge:(u, v) (points coords))
+                  | _ -> raise (Parse "bad wire line"))
+              | _ -> raise (Parse "expected wire line"))
+          | [] -> raise (Parse "truncated wires")
+        done;
+        (match !rest with
+        | [ l ] when String.trim l = "end" -> ()
+        | _ -> raise (Parse "missing end marker"));
+        let wires =
+          Array.map
+            (function Some w -> w | None -> raise (Parse "missing wire"))
+            wires
+        in
+        let graph = graph_of_wires wires ~n:n_nodes in
+        if Graph.m graph <> n_edges then
+          raise (Parse "duplicate edges in wire list");
+        (* reorder wires to the graph's canonical edge order *)
+        let order = Hashtbl.create n_edges in
+        Array.iteri (fun i e -> Hashtbl.add order e i) (Graph.edges graph);
+        let sorted = Array.make n_edges None in
+        Array.iter
+          (fun (w : Wire.t) ->
+            let u, v = w.Wire.edge in
+            let key = if u < v then (u, v) else (v, u) in
+            sorted.(Hashtbl.find order key) <- Some { w with Wire.edge = key })
+          wires;
+        let wires =
+          Array.map
+            (function Some w -> w | None -> raise (Parse "wire ordering"))
+            sorted
+        in
+        Ok (Layout.make ~graph ~layers ~node_layers ~nodes ~wires ())
+    | [] -> Error "empty input"
+  with
+  | Parse msg -> Error msg
+  | Failure _ -> Error "malformed integer"
+  | Invalid_argument msg -> Error msg
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  of_string content
+
+let roundtrip_equal (a : Layout.t) (b : Layout.t) =
+  Graph.equal a.Layout.graph b.Layout.graph
+  && a.Layout.layers = b.Layout.layers
+  && a.Layout.nodes = b.Layout.nodes
+  && a.Layout.node_layers = b.Layout.node_layers
+  && Array.length a.Layout.wires = Array.length b.Layout.wires
+  && Array.for_all2
+       (fun (wa : Wire.t) (wb : Wire.t) ->
+         wa.Wire.edge = wb.Wire.edge && wa.Wire.points = wb.Wire.points)
+       a.Layout.wires b.Layout.wires

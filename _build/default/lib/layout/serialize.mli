@@ -1,0 +1,32 @@
+(** Plain-text serialization of layouts — a stable interchange format so
+    layouts can be stored, diffed and re-verified out of process.
+
+    Format (line-oriented, all integers):
+    {v
+    mvl-layout 1
+    layers L
+    nodes N
+    node <id> <x0> <y0> <x1> <y1> <active-layer>     (N lines)
+    edges M
+    wire <u> <v> <k> <x1> <y1> <z1> ... <xk> <yk> <zk>  (M lines)
+    end
+    v} *)
+
+open Mvl_topology
+
+val to_string : Layout.t -> string
+
+val of_string : string -> (Layout.t, string) result
+(** Parses and rebuilds the layout, reconstructing the graph from the
+    wire endpoints.  Returns [Error] with a message on any malformed
+    input. *)
+
+val write_file : string -> Layout.t -> unit
+val read_file : string -> (Layout.t, string) result
+
+val roundtrip_equal : Layout.t -> Layout.t -> bool
+(** Structural equality of graph, layers, footprints, active layers and
+    wire polylines (used by tests). *)
+
+val graph_of_wires : Wire.t array -> n:int -> Graph.t
+(** The graph induced by the wires' edges. *)

@@ -1,0 +1,105 @@
+open Mvl_geometry
+
+(* a simple binary min-heap over (key, value) int pairs *)
+module Heap = struct
+  type t = { mutable data : (int * int) array; mutable size : int }
+
+  let create () = { data = Array.make 16 (0, 0); size = 0 }
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let push h kv =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) (0, 0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- kv;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let peek h = if h.size = 0 then None else Some h.data.(0)
+
+  let pop h =
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+      if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        swap h !i !smallest;
+        i := !smallest
+      end
+    done;
+    top
+end
+
+let greedy spans =
+  let count = Array.length spans in
+  let order = Array.init count (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match compare spans.(a).Interval.lo spans.(b).Interval.lo with
+      | 0 -> compare spans.(a).Interval.hi spans.(b).Interval.hi
+      | c -> c)
+    order;
+  let assignment = Array.make count 0 in
+  (* heap of (right end, track): a track is reusable for a span starting
+     at [lo] when its last span ends at or before [lo] *)
+  let heap = Heap.create () in
+  let next_track = ref 0 in
+  Array.iter
+    (fun i ->
+      let span = spans.(i) in
+      let track =
+        match Heap.peek heap with
+        | Some (finish, track) when finish <= span.Interval.lo ->
+            ignore (Heap.pop heap);
+            track
+        | _ ->
+            let t = !next_track in
+            incr next_track;
+            t
+      in
+      assignment.(i) <- track;
+      Heap.push heap (span.Interval.hi, track))
+    order;
+  assignment
+
+let max_density spans =
+  (* sweep: +1 at lo, -1 at hi; density measured on open interiors, so
+     process closings before openings at equal coordinates *)
+  let events =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun s -> [| (s.Interval.lo, 1); (s.Interval.hi, -1) |])
+            spans))
+  in
+  Array.sort
+    (fun (x1, d1) (x2, d2) ->
+      match compare x1 x2 with 0 -> compare d1 d2 | c -> c)
+    events;
+  let best = ref 0 and current = ref 0 in
+  Array.iter
+    (fun (_, d) ->
+      current := !current + d;
+      if !current > !best then best := !current)
+    events;
+  !best
+
+let count_tracks assignment =
+  Array.fold_left (fun acc t -> max acc (t + 1)) 0 assignment

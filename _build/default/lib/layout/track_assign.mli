@@ -1,0 +1,21 @@
+(** Track assignment = interval-graph colouring.
+
+    A set of spans (closed intervals over positions) must be packed into
+    horizontal tracks so that spans sharing a track overlap in at most a
+    single point.  The classic left-edge greedy algorithm is optimal: it
+    uses exactly [max_density] tracks. *)
+
+open Mvl_geometry
+
+val greedy : Interval.t array -> int array
+(** [greedy spans] returns a track index (0-based) for each span.  Spans
+    assigned the same track have disjoint interiors.  The number of
+    tracks used equals {!max_density}[ spans]. *)
+
+val max_density : Interval.t array -> int
+(** The maximum number of spans whose interiors share a common point —
+    a lower bound on (and, by {!greedy}, the exact value of) the number
+    of tracks needed. *)
+
+val count_tracks : int array -> int
+(** [count_tracks assignment] is [1 + max assignment] (0 when empty). *)

@@ -1,0 +1,46 @@
+open Mvl_geometry
+
+type t = { edge : int * int; points : Point.t array }
+
+let make ~edge points =
+  (* drop zero-length steps so callers can emit uniform point templates *)
+  let rec dedupe = function
+    | a :: b :: rest when Point.equal a b -> dedupe (a :: rest)
+    | a :: rest -> a :: dedupe rest
+    | [] -> []
+  in
+  let points = Array.of_list (dedupe points) in
+  if Array.length points < 2 then invalid_arg "Wire.make: fewer than 2 points";
+  for i = 0 to Array.length points - 2 do
+    (* Segment.make validates axis alignment and non-degeneracy *)
+    ignore (Segment.make points.(i) points.(i + 1))
+  done;
+  { edge; points }
+
+let segments w =
+  Array.init
+    (Array.length w.points - 1)
+    (fun i -> Segment.make w.points.(i) w.points.(i + 1))
+
+let length w =
+  let total = ref 0 in
+  for i = 0 to Array.length w.points - 2 do
+    total := !total + Point.manhattan w.points.(i) w.points.(i + 1)
+  done;
+  !total
+
+let length_xy w =
+  let total = ref 0 in
+  for i = 0 to Array.length w.points - 2 do
+    let a = w.points.(i) and b = w.points.(i + 1) in
+    total := !total + abs (a.Point.x - b.Point.x) + abs (a.Point.y - b.Point.y)
+  done;
+  !total
+
+let endpoints w = (w.points.(0), w.points.(Array.length w.points - 1))
+
+let pp ppf w =
+  let u, v = w.edge in
+  Format.fprintf ppf "wire(%d-%d:" u v;
+  Array.iter (fun p -> Format.fprintf ppf " %a" Point.pp p) w.points;
+  Format.fprintf ppf ")"

@@ -1,0 +1,28 @@
+(** Routed wires: rectilinear polylines in the 3-D layout grid. *)
+
+open Mvl_geometry
+
+type t = {
+  edge : int * int;       (** the graph edge this wire realizes *)
+  points : Point.t array; (** polyline vertices, at least 2 *)
+}
+
+val make : edge:int * int -> Point.t list -> t
+(** Builds a wire, silently dropping zero-length steps (consecutive
+    identical points).  Raises [Invalid_argument] if two consecutive
+    distinct points differ in more than one coordinate, or fewer than
+    two distinct points remain. *)
+
+val segments : t -> Segment.t array
+(** One segment per consecutive vertex pair. *)
+
+val length : t -> int
+(** Total grid length, vias included. *)
+
+val length_xy : t -> int
+(** In-plane length: vias excluded — the quantity the paper's
+    maximum-wire-length results refer to. *)
+
+val endpoints : t -> Point.t * Point.t
+
+val pp : Format.formatter -> t -> unit

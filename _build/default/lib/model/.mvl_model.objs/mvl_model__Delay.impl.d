@@ -1,0 +1,1 @@
+lib/model/delay.ml: Array Graph Hashtbl Layout Mvl_layout Mvl_topology Wire

@@ -1,0 +1,1 @@
+lib/model/delay.mli: Mvl_layout

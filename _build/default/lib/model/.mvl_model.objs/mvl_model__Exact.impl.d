@@ -1,0 +1,1 @@
+lib/model/exact.ml: Array Bytes Char Graph Mvl_topology

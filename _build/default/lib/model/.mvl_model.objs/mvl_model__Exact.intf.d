@@ -1,0 +1,1 @@
+lib/model/exact.mli: Graph Mvl_topology

@@ -1,0 +1,1 @@
+lib/model/formulas.ml: Array

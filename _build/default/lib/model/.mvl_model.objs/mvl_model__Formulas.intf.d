@@ -1,0 +1,1 @@
+lib/model/formulas.mli: Mvl_topology

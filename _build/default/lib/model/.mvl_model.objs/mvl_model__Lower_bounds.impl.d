@@ -1,0 +1,1 @@
+lib/model/lower_bounds.ml: Mvl_topology

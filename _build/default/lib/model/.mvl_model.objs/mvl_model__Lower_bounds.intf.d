@@ -1,0 +1,1 @@
+lib/model/lower_bounds.mli: Mvl_topology

@@ -1,0 +1,40 @@
+(** A simple RC wire-delay model translating geometric wire lengths into
+    performance numbers — making the paper's "lower cost and/or higher
+    performance" concrete.
+
+    A wire of in-plane length [len] driven through [vias] via cuts is
+    charged
+
+      [t_drive + resistance * capacitance * len^2 / 2
+       + via_penalty * vias]
+
+    (distributed-RC Elmore form, normalized grid units).  Repeaters can
+    linearize long wires: with [repeater_every > 0], segments are
+    broken every that many units and the quadratic term applies per
+    segment. *)
+
+type params = {
+  t_node : float;        (** fixed per-hop node (router) latency *)
+  t_drive : float;       (** driver latency per wire *)
+  rc : float;            (** resistance x capacitance per unit^2 *)
+  via_penalty : float;   (** extra delay per via cut *)
+  repeater_every : int;  (** 0 = no repeaters *)
+}
+
+val default : params
+(** [t_node = 20], [t_drive = 1], [rc = 0.01], [via_penalty = 0.5],
+    no repeaters — arbitrary but fixed units, fine for comparisons. *)
+
+val with_repeaters : int -> params
+(** [default] with repeaters every given number of units. *)
+
+val wire_delay : params -> length:int -> vias:int -> float
+
+val slowest_wire : params -> Mvl_layout.Layout.t -> float
+(** The layout's critical single-hop delay. *)
+
+val worst_route_latency :
+  ?samples:int -> params -> Mvl_layout.Layout.t -> float
+(** Max over sampled sources and all destinations of the best (minimum
+    total delay) hop-shortest route, where each hop costs [t_node] plus
+    its wire's delay. *)

@@ -1,0 +1,76 @@
+open Mvl_topology
+
+let bisection g =
+  let n = Graph.n g in
+  if n > 24 then invalid_arg "Exact.bisection: graph too large";
+  if n < 2 then 0
+  else begin
+    let half = n / 2 in
+    let edges = Graph.edges g in
+    let best = ref max_int in
+    (* enumerate subsets of size [half] containing node 0 (w.l.o.g.) *)
+    let rec go chosen next count =
+      if count = half then begin
+        let cut = ref 0 in
+        Array.iter
+          (fun (u, v) ->
+            let cu = chosen land (1 lsl u) <> 0
+            and cv = chosen land (1 lsl v) <> 0 in
+            if cu <> cv then incr cut)
+          edges;
+        if !cut < !best then best := !cut
+      end
+      else if next < n && n - next >= half - count then begin
+        go (chosen lor (1 lsl next)) (next + 1) (count + 1);
+        go chosen (next + 1) count
+      end
+    in
+    go 1 1 1;
+    !best
+  end
+
+(* cutwidth by subset DP: cw(S) = min over v in S of
+   max(cw(S \ v), cut(S)) where cut(S) = edges between S and V\S;
+   the order is read as "S is the prefix". *)
+let cutwidth g =
+  let n = Graph.n g in
+  if n > 20 then invalid_arg "Exact.cutwidth: graph too large";
+  if n <= 1 then 0
+  else begin
+    let full = (1 lsl n) - 1 in
+    (* cut.(s) = number of edges from s to complement *)
+    let cut = Bytes.make (full + 1) '\000' in
+    let cut_get s = Char.code (Bytes.get cut s) in
+    let cut_set s v = Bytes.set cut s (Char.chr (min 255 v)) in
+    (* incremental: cut(S + v) = cut(S) + deg(v) - 2 * |edges v->S| *)
+    for s = 1 to full do
+      (* lowest set bit as the incremental vertex *)
+      let v =
+        let rec lowest i = if s land (1 lsl i) <> 0 then i else lowest (i + 1) in
+        lowest 0
+      in
+      let prev = s land lnot (1 lsl v) in
+      let internal = ref 0 in
+      Graph.iter_neighbors g v (fun w ->
+          if prev land (1 lsl w) <> 0 then incr internal);
+      cut_set s (cut_get prev + Graph.degree g v - (2 * !internal))
+    done;
+    let dp = Array.make (full + 1) max_int in
+    dp.(0) <- 0;
+    for s = 1 to full do
+      let cs = cut_get s in
+      let best = ref max_int in
+      let rest = ref s in
+      while !rest <> 0 do
+        let v = !rest land - !rest in
+        rest := !rest land lnot v;
+        let prev = s land lnot v in
+        let candidate = max dp.(prev) cs in
+        if candidate < !best then best := candidate
+      done;
+      dp.(s) <- !best
+    done;
+    dp.(full)
+  end
+
+let best_collinear_tracks g = cutwidth g

@@ -1,0 +1,21 @@
+(** Exact (exhaustive) computations for small instances, used to pin the
+    optimality claims that the closed forms assert asymptotically.
+
+    All functions are exponential-time and guarded by size limits. *)
+
+open Mvl_topology
+
+val bisection : Graph.t -> int
+(** Exact bisection width by enumerating all balanced bipartitions.
+    Limit: 24 nodes ([C(24,12) ~ 2.7M] cuts). *)
+
+val cutwidth : Graph.t -> int
+(** Exact minimum (over all node orders) of the maximum number of edges
+    crossing a cut between consecutive positions — the lower bound on
+    collinear track counts for the best possible order.  Computed by
+    dynamic programming over subsets ([O(2^n n)]).  Limit: 20 nodes. *)
+
+val best_collinear_tracks : Graph.t -> int
+(** The minimum track count achievable by any node order: equals
+    {!cutwidth} because the left-edge greedy meets the cut density
+    exactly for every order. *)

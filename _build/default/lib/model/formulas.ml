@@ -1,0 +1,82 @@
+let layer_sq layers =
+  if layers < 2 then invalid_arg "Formulas.layer_sq: layers < 2";
+  let l = float_of_int layers in
+  if layers mod 2 = 0 then l *. l else (l *. l) -. 1.0
+
+let fl = float_of_int
+
+let kary_area ~n_nodes ~k ~layers =
+  16.0 *. fl n_nodes *. fl n_nodes /. (layer_sq layers *. fl k *. fl k)
+
+let kary_volume ~n_nodes ~k ~layers =
+  fl layers *. kary_area ~n_nodes ~k ~layers
+
+let kary_collinear_tracks ~k ~n =
+  let rec ipow acc n = if n = 0 then acc else ipow (acc * k) (n - 1) in
+  2 * ((ipow 1 n - 1) / (k - 1))
+
+let ghc_area ~n_nodes ~r ~layers =
+  fl r *. fl r *. fl n_nodes *. fl n_nodes /. (4.0 *. layer_sq layers)
+
+let ghc_volume ~n_nodes ~r ~layers = fl layers *. ghc_area ~n_nodes ~r ~layers
+
+let ghc_max_wire ~n_nodes ~r ~layers =
+  fl r *. fl n_nodes /. (2.0 *. fl layers)
+
+let ghc_path_wire ~n_nodes ~r ~layers = fl r *. fl n_nodes /. fl layers
+
+let ghc_collinear_tracks radices =
+  let n = Array.length radices in
+  if n < 1 then invalid_arg "Formulas.ghc_collinear_tracks";
+  let f = ref (radices.(0) * radices.(0) / 4) in
+  for j = 1 to n - 1 do
+    f := (radices.(j) * !f) + (radices.(j) * radices.(j) / 4)
+  done;
+  !f
+
+let log2 x = log x /. log 2.0
+
+let butterfly_area ~n_nodes ~layers =
+  let lg = log2 (fl n_nodes) in
+  4.0 *. fl n_nodes *. fl n_nodes /. (layer_sq layers *. lg *. lg)
+
+let butterfly_volume ~n_nodes ~layers =
+  fl layers *. butterfly_area ~n_nodes ~layers
+
+let butterfly_max_wire ~n_nodes ~layers =
+  2.0 *. fl n_nodes /. (fl layers *. log2 (fl n_nodes))
+
+let hsn_area ~n_nodes ~layers =
+  fl n_nodes *. fl n_nodes /. (4.0 *. layer_sq layers)
+
+let hsn_volume ~n_nodes ~layers = fl layers *. hsn_area ~n_nodes ~layers
+let hsn_max_wire ~n_nodes ~layers = fl n_nodes /. (2.0 *. fl layers)
+let hsn_path_wire ~n_nodes ~layers = fl n_nodes /. fl layers
+let isn_vs_butterfly_area_factor = 4.0
+let isn_vs_butterfly_wire_factor = 2.0
+
+let hypercube_area ~n_nodes ~layers =
+  16.0 *. fl n_nodes *. fl n_nodes /. (9.0 *. layer_sq layers)
+
+let hypercube_volume ~n_nodes ~layers =
+  fl layers *. hypercube_area ~n_nodes ~layers
+
+let hypercube_max_wire ~n_nodes ~layers =
+  2.0 *. fl n_nodes /. (3.0 *. fl layers)
+
+let hypercube_collinear_tracks n = 2 * (1 lsl n) / 3
+
+let ccc_area ~n_nodes ~layers =
+  let lg = log2 (fl n_nodes) in
+  16.0 *. fl n_nodes *. fl n_nodes /. (9.0 *. layer_sq layers *. lg *. lg)
+
+let folded_hypercube_area ~n_nodes ~layers =
+  49.0 *. fl n_nodes *. fl n_nodes /. (9.0 *. layer_sq layers)
+
+let enhanced_cube_area ~n_nodes ~layers =
+  100.0 *. fl n_nodes *. fl n_nodes /. (9.0 *. layer_sq layers)
+
+let area_reduction_vs_thompson ~layers = layer_sq layers /. 4.0
+let area_reduction_folding ~layers = fl layers /. 2.0
+let volume_reduction_vs_thompson ~layers = fl layers /. 2.0
+let wire_reduction_vs_thompson ~layers = fl layers /. 2.0

@@ -1,0 +1,105 @@
+(** Every closed-form leading term displayed in the paper (§2–§5),
+    as floats of the leading term only (the [o(...)] slack is what the
+    experiments measure).  [n_nodes] is the network size [N]; [layers]
+    is [L].
+
+    Odd/even [L] are handled per the paper: the effective area divisor is
+    [L^2] for even [L] and [L^2 - 1] for odd [L] (the spare layer carries
+    horizontal tracks only). *)
+
+val layer_sq : int -> float
+(** [L^2] for even [L], [L^2 - 1] for odd [L]. *)
+
+(* --- §3.1: k-ary n-cubes ------------------------------------------- *)
+
+val kary_area : n_nodes:int -> k:int -> layers:int -> float
+(** [16 N^2 / (L^2 k^2)]. *)
+
+val kary_volume : n_nodes:int -> k:int -> layers:int -> float
+(** [16 N^2 / (L k^2)] (odd [L]: [16 N^2 L / ((L^2-1) k^2)]). *)
+
+val kary_collinear_tracks : k:int -> n:int -> int
+(** [f_k(n) = 2 (k^n - 1) / (k - 1)]. *)
+
+(* --- §4.1: generalized hypercubes ---------------------------------- *)
+
+val ghc_area : n_nodes:int -> r:int -> layers:int -> float
+(** [r^2 N^2 / (4 L^2)]. *)
+
+val ghc_volume : n_nodes:int -> r:int -> layers:int -> float
+val ghc_max_wire : n_nodes:int -> r:int -> layers:int -> float
+(** [r N / (2 L)]. *)
+
+val ghc_path_wire : n_nodes:int -> r:int -> layers:int -> float
+(** [r N / L]: max total wire length along a shortest routing path. *)
+
+val ghc_collinear_tracks : Mvl_topology.Mixed_radix.radices -> int
+(** [f_r(n)] from the recurrence [f_r(n+1) = r_n f_r(n) + floor(r_n^2/4)]. *)
+
+(* --- §4.2: butterfly networks --------------------------------------- *)
+
+val butterfly_area : n_nodes:int -> layers:int -> float
+(** [4 N^2 / (L^2 log2^2 N)]. *)
+
+val butterfly_volume : n_nodes:int -> layers:int -> float
+val butterfly_max_wire : n_nodes:int -> layers:int -> float
+(** [2 N / (L log2 N)]. *)
+
+(* --- §4.3: HSNs, HHNs, ISNs ----------------------------------------- *)
+
+val hsn_area : n_nodes:int -> layers:int -> float
+(** [N^2 / (4 L^2)]. *)
+
+val hsn_volume : n_nodes:int -> layers:int -> float
+val hsn_max_wire : n_nodes:int -> layers:int -> float
+(** [N / (2L)]. *)
+
+val hsn_path_wire : n_nodes:int -> layers:int -> float
+(** [N / L]. *)
+
+val isn_vs_butterfly_area_factor : float
+(** ISN area is smaller than a same-size butterfly's by ~this factor (4). *)
+
+val isn_vs_butterfly_wire_factor : float
+(** ~2. *)
+
+(* --- §5.1/§5.2: hypercubes, CCC, reduced hypercubes ----------------- *)
+
+val hypercube_area : n_nodes:int -> layers:int -> float
+(** [16 N^2 / (9 L^2)]. *)
+
+val hypercube_volume : n_nodes:int -> layers:int -> float
+(** [16 N^2 / (9 L)] (the paper's §5.1 volume display repeats the area
+    formula's [L^2]; the correct leading term divides by [L], consistent
+    with [volume = L x area]). *)
+
+val hypercube_max_wire : n_nodes:int -> layers:int -> float
+(** [2 N / (3 L)]. *)
+
+val hypercube_collinear_tracks : int -> int
+(** [floor(2 N / 3)] for the [n]-cube ([N = 2^n]). *)
+
+val ccc_area : n_nodes:int -> layers:int -> float
+(** [16 N^2 / (9 L^2 log2^2 N)]. *)
+
+(* --- §5.3: folded hypercubes and enhanced cubes ---------------------- *)
+
+val folded_hypercube_area : n_nodes:int -> layers:int -> float
+(** [49 N^2 / (9 L^2)]. *)
+
+val enhanced_cube_area : n_nodes:int -> layers:int -> float
+(** [100 N^2 / (9 L^2)]. *)
+
+(* --- §2.2: claimed improvement factors over the baselines ------------ *)
+
+val area_reduction_vs_thompson : layers:int -> float
+(** [~L^2/4]: direct multilayer design vs. the 2-layer layout. *)
+
+val area_reduction_folding : layers:int -> float
+(** [~L/2]: what folding the Thompson layout achieves. *)
+
+val volume_reduction_vs_thompson : layers:int -> float
+(** [~L/2]. *)
+
+val wire_reduction_vs_thompson : layers:int -> float
+(** [~L/2]. *)

@@ -1,0 +1,23 @@
+let area ~bisection ~layers =
+  let b = float_of_int bisection /. float_of_int layers in
+  b *. b
+
+let volume ~bisection ~layers =
+  float_of_int (bisection * bisection) /. float_of_int layers
+
+let hypercube_bisection n = (1 lsl n) / 2
+
+let folded_hypercube_bisection n = 1 lsl n
+
+let kary_bisection ~k ~n =
+  let rec ipow acc m = if m = 0 then acc else ipow (acc * k) (m - 1) in
+  2 * ipow 1 (n - 1)
+
+let complete_bisection nn = nn / 2 * ((nn + 1) / 2)
+
+let ghc_bisection ~r ~n =
+  let rec ipow acc m = if m = 0 then acc else ipow (acc * r) (m - 1) in
+  ipow 1 n / r * (r * r / 4)
+
+let generic_upper_bound g ~sweeps =
+  Mvl_topology.Properties.bisection_upper_bound g ~sweeps

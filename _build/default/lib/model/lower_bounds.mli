@@ -1,0 +1,41 @@
+(** Bisection-based lower bounds, the yardstick behind the paper's
+    "optimal within a small constant factor" claims.
+
+    If every balanced bipartition of a network is crossed by at least
+    [B] edges, then any [L]-layer layout must route [B] wires across the
+    vertical cut at the layout's midline, at most [L] per grid column,
+    so [width >= B / L]; the same holds for the height, giving
+    [area >= (B / L)^2] and [volume >= B^2 / L].  The longest of the
+    [B] crossing wires also yields a max-wire bound in conjunction with
+    node-degree pigeonholing; we expose the area/volume forms the paper
+    uses. *)
+
+val area : bisection:int -> layers:int -> float
+(** [(B / L)^2]. *)
+
+val volume : bisection:int -> layers:int -> float
+(** [B^2 / L]. *)
+
+(* Exact bisection widths (standard results) per family: *)
+
+val hypercube_bisection : int -> int
+(** [N / 2] for the [n]-cube. *)
+
+val folded_hypercube_bisection : int -> int
+(** [N] for the folded [n]-cube (cube links N/2 + diameter links N/2). *)
+
+val kary_bisection : k:int -> n:int -> int
+(** [2 k^(n-1)] for even [k] (torus wrap doubles the mesh cut); for odd
+    [k] the balanced cut crosses [2 k^(n-1)] links as well up to
+    rounding — we return the even-[k] form as the reference value. *)
+
+val complete_bisection : int -> int
+(** [floor(N/2) * ceil(N/2)]. *)
+
+val ghc_bisection : r:int -> n:int -> int
+(** [N * floor(r^2/4) / r]: cut one dimension's complete graphs in
+    half. *)
+
+val generic_upper_bound : Mvl_topology.Graph.t -> sweeps:int -> int
+(** Heuristic upper bound on the bisection width of an arbitrary network
+    (BFS-sweep cuts); useful to sanity-check the closed forms. *)

@@ -1,0 +1,1 @@
+lib/routing/route.ml: Array Graph Hashtbl Layout Mvl_layout Mvl_topology Wire

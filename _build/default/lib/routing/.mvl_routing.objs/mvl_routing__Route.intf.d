@@ -1,0 +1,1 @@
+lib/routing/route.mli: Layout Mvl_layout

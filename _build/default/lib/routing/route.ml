@@ -1,0 +1,58 @@
+open Mvl_topology
+open Mvl_layout
+
+type t = {
+  graph : Graph.t;
+  lengths : (int * int, int) Hashtbl.t;
+  max_wire : int;
+}
+
+let of_layout (layout : Layout.t) =
+  let lengths = Hashtbl.create (Graph.m layout.Layout.graph) in
+  let max_wire = ref 0 in
+  Array.iter
+    (fun w ->
+      let len = Wire.length_xy w in
+      if len > !max_wire then max_wire := len;
+      Hashtbl.replace lengths w.Wire.edge len)
+    layout.Layout.wires;
+  { graph = layout.Layout.graph; lengths; max_wire = !max_wire }
+
+let edge_length t u v =
+  let key = if u < v then (u, v) else (v, u) in
+  Hashtbl.find t.lengths key
+
+let best_path_wire t ~src =
+  let n = Graph.n t.graph in
+  let dist = Graph.bfs_dist t.graph src in
+  let best = Array.make n max_int in
+  best.(src) <- 0;
+  (* relax nodes in increasing BFS distance: every hop-shortest path
+     enters a node from a predecessor one BFS level below *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare dist.(a) dist.(b)) order;
+  Array.iter
+    (fun v ->
+      if dist.(v) > 0 && dist.(v) < max_int then
+        Graph.iter_neighbors t.graph v (fun u ->
+            if dist.(u) = dist.(v) - 1 && best.(u) < max_int then begin
+              let candidate = best.(u) + edge_length t u v in
+              if candidate < best.(v) then best.(v) <- candidate
+            end))
+    order;
+  best
+
+let max_path_wire ?(samples = 16) t =
+  let n = Graph.n t.graph in
+  let step = max 1 (n / max 1 samples) in
+  let worst = ref 0 in
+  let src = ref 0 in
+  while !src < n do
+    Array.iter
+      (fun b -> if b < max_int && b > !worst then worst := b)
+      (best_path_wire t ~src:!src);
+    src := !src + step
+  done;
+  !worst
+
+let max_wire t = t.max_wire

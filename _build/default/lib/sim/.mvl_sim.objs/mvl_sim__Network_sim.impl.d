@@ -1,0 +1,1 @@
+lib/sim/network_sim.ml: Array Format Graph Hashtbl List Mvl_routing Mvl_topology Option Rng Routing_table Traffic

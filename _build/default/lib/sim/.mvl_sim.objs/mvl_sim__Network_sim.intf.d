@@ -1,0 +1,1 @@
+lib/sim/network_sim.mli: Format Graph Mvl_layout Mvl_topology Traffic

@@ -1,0 +1,1 @@
+lib/sim/resilience.ml: Array Graph Hashtbl Mvl_topology Queue Rng

@@ -1,0 +1,1 @@
+lib/sim/resilience.mli: Graph Mvl_topology

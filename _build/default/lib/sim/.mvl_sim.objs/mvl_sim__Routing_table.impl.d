@@ -1,0 +1,1 @@
+lib/sim/routing_table.ml: Array Graph Hashtbl List Mvl_topology

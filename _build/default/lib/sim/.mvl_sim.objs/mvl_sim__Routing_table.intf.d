@@ -1,0 +1,1 @@
+lib/sim/routing_table.mli: Graph Mvl_topology

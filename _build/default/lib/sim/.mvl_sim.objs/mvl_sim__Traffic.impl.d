@@ -1,0 +1,1 @@
+lib/sim/traffic.ml: Format Rng

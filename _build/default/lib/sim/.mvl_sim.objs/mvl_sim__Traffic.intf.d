@@ -1,0 +1,1 @@
+lib/sim/traffic.mli: Format Rng

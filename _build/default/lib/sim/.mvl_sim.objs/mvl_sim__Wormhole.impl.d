@@ -1,0 +1,1 @@
+lib/sim/wormhole.ml: Array Format Graph Hashtbl Kary_ncube List Mvl_topology Option Queue Rng Traffic

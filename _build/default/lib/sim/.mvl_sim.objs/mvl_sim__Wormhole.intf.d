@@ -1,0 +1,1 @@
+lib/sim/wormhole.mli: Format Mvl_topology Traffic

@@ -1,0 +1,186 @@
+open Mvl_topology
+
+type config = {
+  traffic : Traffic.t;
+  offered_load : float;
+  warmup : int;
+  measure : int;
+  drain : int;
+  seed : int;
+  lookahead : int;
+}
+
+let default_config =
+  {
+    traffic = Traffic.Uniform;
+    offered_load = 0.1;
+    warmup = 500;
+    measure = 2000;
+    drain = 5000;
+    seed = 1;
+    lookahead = 8;
+  }
+
+type result = {
+  injected : int;
+  delivered : int;
+  avg_latency : float;
+  p99_latency : int;
+  max_latency : int;
+  throughput : float;
+  avg_hops : float;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[delivered %d/%d, latency avg=%.1f p99=%d max=%d, throughput=%.4f, \
+     hops=%.2f@]"
+    r.delivered r.injected r.avg_latency r.p99_latency r.max_latency
+    r.throughput r.avg_hops
+
+type packet = {
+  dest : int;
+  born : int;
+  tracked : bool;
+  mutable hops : int;
+}
+
+let link_latency_of_layout ?(units_per_cycle = 64) layout =
+  let route = Mvl_routing.Route.of_layout layout in
+  fun u v ->
+    1 + (Mvl_routing.Route.edge_length route u v / max 1 units_per_cycle)
+
+let run ?(config = default_config) ?(link_latency = fun _ _ -> 1) graph =
+  let n = Graph.n graph in
+  if n < 2 then invalid_arg "Network_sim.run: need at least 2 nodes";
+  let rng = Rng.create ~seed:config.seed in
+  let routing = Routing_table.create ~edge_cost:link_latency graph in
+  (* router queues: one FIFO per node (front = list to pop, back = rev) *)
+  let q_front = Array.make n [] and q_back = Array.make n [] in
+  let enqueue u p = q_back.(u) <- p :: q_back.(u) in
+  (* in-flight packets keyed by arrival cycle *)
+  let arrivals : (int, (int * packet) list) Hashtbl.t = Hashtbl.create 4096 in
+  let schedule cycle node p =
+    Hashtbl.replace arrivals cycle
+      ((node, p) :: Option.value ~default:[] (Hashtbl.find_opt arrivals cycle))
+  in
+  let horizon = config.warmup + config.measure + config.drain in
+  let injected = ref 0 and delivered = ref 0 in
+  let latencies = ref [] in
+  let hop_total = ref 0 in
+  let pending_tracked = ref 0 in
+  let cycle = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let now = !cycle in
+    (* arrivals land in router queues (or terminate) *)
+    (match Hashtbl.find_opt arrivals now with
+    | None -> ()
+    | Some landed ->
+        Hashtbl.remove arrivals now;
+        List.iter
+          (fun (node, p) ->
+            if node = p.dest then begin
+              if p.tracked then begin
+                delivered := !delivered + 1;
+                pending_tracked := !pending_tracked - 1;
+                latencies := (now - p.born) :: !latencies;
+                hop_total := !hop_total + p.hops
+              end
+            end
+            else enqueue node p)
+          (List.rev landed));
+    (* injection *)
+    if now < config.warmup + config.measure then
+      for src = 0 to n - 1 do
+        if Rng.bool rng ~p:config.offered_load then begin
+          let dest =
+            Traffic.destination config.traffic rng ~n_nodes:n ~src
+          in
+          let tracked = now >= config.warmup in
+          if tracked then begin
+            injected := !injected + 1;
+            pending_tracked := !pending_tracked + 1
+          end;
+          enqueue src { dest; born = now; tracked; hops = 0 }
+        end
+      done;
+    (* switching: scan each router's queue up to the lookahead depth,
+       granting at most one packet per output port *)
+    for u = 0 to n - 1 do
+      if q_front.(u) = [] && q_back.(u) <> [] then begin
+        q_front.(u) <- List.rev q_back.(u);
+        q_back.(u) <- []
+      end;
+      if q_front.(u) <> [] then begin
+        let granted = Hashtbl.create 8 in
+        let rec scan depth kept = function
+          | [] -> List.rev kept
+          | p :: rest when depth < config.lookahead ->
+              let out = Routing_table.next_hop routing ~at:u ~dest:p.dest in
+              if Hashtbl.mem granted out then scan (depth + 1) (p :: kept) rest
+              else begin
+                Hashtbl.add granted out ();
+                p.hops <- p.hops + 1;
+                schedule (now + max 1 (link_latency u out)) out p;
+                scan (depth + 1) kept rest
+              end
+          | rest -> List.rev kept @ rest
+        in
+        q_front.(u) <- scan 0 [] q_front.(u)
+      end
+    done;
+    incr cycle;
+    if !cycle >= horizon then continue := false
+    else if
+      !cycle >= config.warmup + config.measure
+      && !pending_tracked = 0
+      && Hashtbl.length arrivals = 0
+    then continue := false
+  done;
+  let lat = Array.of_list !latencies in
+  Array.sort compare lat;
+  let count = Array.length lat in
+  let avg =
+    if count = 0 then 0.0
+    else
+      float_of_int (Array.fold_left ( + ) 0 lat) /. float_of_int count
+  in
+  {
+    injected = !injected;
+    delivered = !delivered;
+    avg_latency = avg;
+    p99_latency = (if count = 0 then 0 else lat.(min (count - 1) (count * 99 / 100)));
+    max_latency = (if count = 0 then 0 else lat.(count - 1));
+    throughput =
+      float_of_int !delivered /. float_of_int (n * max 1 config.measure);
+    avg_hops =
+      (if !delivered = 0 then 0.0
+       else float_of_int !hop_total /. float_of_int !delivered);
+  }
+
+let saturation_throughput ?(config = default_config) ?link_latency graph =
+  let cfg = { config with offered_load = 0.95 } in
+  (run ~config:cfg ?link_latency graph).throughput
+
+let zero_load_latency ?(samples = 64) ?(link_latency = fun _ _ -> 1) graph =
+  let n = Graph.n graph in
+  let routing = Routing_table.create ~edge_cost:link_latency graph in
+  let rng = Rng.create ~seed:7 in
+  let total = ref 0 and count = ref 0 in
+  for _ = 1 to samples do
+    let src = Rng.int rng ~bound:n in
+    let dest = Rng.int rng ~bound:n in
+    if src <> dest then begin
+      let path = Routing_table.path routing ~src ~dest in
+      let rec walk = function
+        | a :: (b :: _ as rest) ->
+            total := !total + max 1 (link_latency a b);
+            walk rest
+        | _ -> ()
+      in
+      walk path;
+      count := !count + 1
+    end
+  done;
+  if !count = 0 then 0.0 else float_of_int !total /. float_of_int !count

@@ -1,0 +1,87 @@
+open Mvl_topology
+
+type stats = {
+  connected_fraction : float;
+  avg_largest_component : float;
+  trials : int;
+}
+
+(* BFS over the surviving subgraph; returns (largest component size,
+   surviving node count, connected?) *)
+let survey graph ~edge_alive ~node_alive =
+  let n = Graph.n graph in
+  let visited = Array.make n false in
+  let survivors = ref 0 in
+  for u = 0 to n - 1 do
+    if node_alive u then incr survivors
+  done;
+  let largest = ref 0 and components = ref 0 in
+  let queue = Queue.create () in
+  for s = 0 to n - 1 do
+    if node_alive s && not visited.(s) then begin
+      incr components;
+      let size = ref 0 in
+      visited.(s) <- true;
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        incr size;
+        Graph.iter_neighbors graph u (fun v ->
+            if node_alive v && (not visited.(v)) && edge_alive u v then begin
+              visited.(v) <- true;
+              Queue.add v queue
+            end)
+      done;
+      if !size > !largest then largest := !size
+    end
+  done;
+  (!largest, !survivors, !components <= 1)
+
+let run graph ~p_fail ~trials ~seed ~mode =
+  if p_fail < 0.0 || p_fail > 1.0 then invalid_arg "Resilience: p_fail";
+  if trials < 1 then invalid_arg "Resilience: trials";
+  let rng = Rng.create ~seed in
+  let n = Graph.n graph in
+  let connected = ref 0 and component_share = ref 0.0 in
+  for _ = 1 to trials do
+    match mode with
+    | `Edges ->
+        (* sample failed edges into a hash set *)
+        let failed = Hashtbl.create 64 in
+        Graph.iter_edges graph (fun u v ->
+            if Rng.bool rng ~p:p_fail then Hashtbl.add failed (u, v) ());
+        let edge_alive u v =
+          let key = if u < v then (u, v) else (v, u) in
+          not (Hashtbl.mem failed key)
+        in
+        let largest, survivors, ok =
+          survey graph ~edge_alive ~node_alive:(fun _ -> true)
+        in
+        ignore survivors;
+        if ok then incr connected;
+        component_share :=
+          !component_share +. (float_of_int largest /. float_of_int n)
+    | `Nodes ->
+        let alive = Array.init n (fun _ -> not (Rng.bool rng ~p:p_fail)) in
+        let largest, survivors, ok =
+          survey graph
+            ~edge_alive:(fun _ _ -> true)
+            ~node_alive:(fun u -> alive.(u))
+        in
+        if ok then incr connected;
+        component_share :=
+          !component_share
+          +. (if survivors = 0 then 1.0
+              else float_of_int largest /. float_of_int survivors)
+  done;
+  {
+    connected_fraction = float_of_int !connected /. float_of_int trials;
+    avg_largest_component = !component_share /. float_of_int trials;
+    trials;
+  }
+
+let edge_faults graph ~p_fail ~trials ~seed =
+  run graph ~p_fail ~trials ~seed ~mode:`Edges
+
+let node_faults graph ~p_fail ~trials ~seed =
+  run graph ~p_fail ~trials ~seed ~mode:`Nodes

@@ -1,0 +1,22 @@
+(** Monte-Carlo fault-tolerance analysis — the motivation behind the
+    §5.3 augmented networks (folded hypercubes and enhanced cubes were
+    proposed as fault-tolerant variants): how much connectivity do the
+    extra links buy once links or nodes start failing? *)
+
+open Mvl_topology
+
+type stats = {
+  connected_fraction : float;
+      (** fraction of trials whose surviving graph stays connected *)
+  avg_largest_component : float;
+      (** mean size of the largest surviving component, as a fraction of
+          the surviving nodes *)
+  trials : int;
+}
+
+val edge_faults : Graph.t -> p_fail:float -> trials:int -> seed:int -> stats
+(** Each edge fails independently with probability [p_fail]. *)
+
+val node_faults : Graph.t -> p_fail:float -> trials:int -> seed:int -> stats
+(** Each node fails independently (its edges disappear); connectivity is
+    judged among the surviving nodes. *)

@@ -1,0 +1,14 @@
+(** Small deterministic PRNG (splitmix64) so simulations are exactly
+    reproducible across runs and platforms. *)
+
+type t
+
+val create : seed:int -> t
+val int : t -> bound:int -> int
+(** Uniform in [0, bound); [bound >= 1]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> p:float -> bool
+(** True with probability [p]. *)

@@ -1,0 +1,57 @@
+open Mvl_topology
+
+type t = {
+  graph : Graph.t;
+  edge_cost : int -> int -> int;
+  (* dest -> per-node next hop towards dest *)
+  cache : (int, int array) Hashtbl.t;
+}
+
+let create ?(edge_cost = fun _ _ -> 0) graph =
+  { graph; edge_cost; cache = Hashtbl.create 64 }
+
+(* build the next-hop array for one destination: BFS from [dest]; each
+   node forwards to the predecessor that minimizes (cost, id) among
+   neighbours one level closer to dest *)
+let build t dest =
+  let n = Graph.n t.graph in
+  let dist = Graph.bfs_dist t.graph dest in
+  let hop = Array.make n (-1) in
+  for u = 0 to n - 1 do
+    if u <> dest && dist.(u) < max_int then begin
+      let best = ref (-1) and best_key = ref (max_int, max_int) in
+      Graph.iter_neighbors t.graph u (fun v ->
+          if dist.(v) = dist.(u) - 1 then begin
+            let key = (t.edge_cost u v, v) in
+            if key < !best_key then begin
+              best_key := key;
+              best := v
+            end
+          end);
+      hop.(u) <- !best
+    end
+  done;
+  hop
+
+let table t dest =
+  match Hashtbl.find_opt t.cache dest with
+  | Some h -> h
+  | None ->
+      let h = build t dest in
+      Hashtbl.add t.cache dest h;
+      h
+
+let next_hop t ~at ~dest =
+  if at = dest then invalid_arg "Routing_table.next_hop: already there";
+  let hop = (table t dest).(at) in
+  if hop < 0 then invalid_arg "Routing_table.next_hop: unreachable";
+  hop
+
+let path t ~src ~dest =
+  let rec go acc at =
+    if at = dest then List.rev (dest :: acc)
+    else go (at :: acc) (next_hop t ~at ~dest)
+  in
+  if src = dest then [ src ] else go [] src
+
+let hops t ~src ~dest = List.length (path t ~src ~dest) - 1

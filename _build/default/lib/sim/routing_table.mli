@@ -1,0 +1,24 @@
+(** Deterministic minimal routing tables.
+
+    [next_hop t ~at ~dest] is the neighbour to forward to, chosen on a
+    BFS-shortest path with a deterministic tie-break (prefer the
+    lowest-latency outgoing link, then the lowest neighbour id), so the
+    routing is oblivious and reproducible.  Tables are built per
+    destination on demand and cached. *)
+
+open Mvl_topology
+
+type t
+
+val create : ?edge_cost:(int -> int -> int) -> Graph.t -> t
+(** [edge_cost u v] breaks ties among hop-shortest paths (default:
+    constant). *)
+
+val next_hop : t -> at:int -> dest:int -> int
+(** Raises [Invalid_argument] if [dest] is unreachable or
+    [at = dest]. *)
+
+val path : t -> src:int -> dest:int -> int list
+(** The full node sequence, [src] and [dest] included. *)
+
+val hops : t -> src:int -> dest:int -> int

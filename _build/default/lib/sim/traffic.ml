@@ -1,0 +1,44 @@
+type t =
+  | Uniform
+  | Transpose
+  | Bit_reversal
+  | Bit_complement
+  | Hotspot of int
+
+let pp ppf = function
+  | Uniform -> Format.fprintf ppf "uniform"
+  | Transpose -> Format.fprintf ppf "transpose"
+  | Bit_reversal -> Format.fprintf ppf "bit-reversal"
+  | Bit_complement -> Format.fprintf ppf "bit-complement"
+  | Hotspot h -> Format.fprintf ppf "hotspot(%d)" h
+
+let log2_exact n =
+  let rec go acc x = if x = 1 then acc else go (acc + 1) (x lsr 1) in
+  if n < 2 || n land (n - 1) <> 0 then
+    invalid_arg "Traffic: permutation patterns need a power-of-two size";
+  go 0 n
+
+let destination pattern rng ~n_nodes ~src =
+  let fixup d = if d = src then (src + 1) mod n_nodes else d in
+  match pattern with
+  | Uniform ->
+      let d = Rng.int rng ~bound:(n_nodes - 1) in
+      if d >= src then d + 1 else d
+  | Hotspot h -> fixup (h mod n_nodes)
+  | Transpose ->
+      let bits = log2_exact n_nodes in
+      let half = bits / 2 in
+      let low = src land ((1 lsl half) - 1) in
+      let high = src lsr half in
+      (* rotate by half: the classic matrix-transpose pattern *)
+      fixup ((low lsl (bits - half)) lor high)
+  | Bit_reversal ->
+      let bits = log2_exact n_nodes in
+      let r = ref 0 in
+      for b = 0 to bits - 1 do
+        if src land (1 lsl b) <> 0 then r := !r lor (1 lsl (bits - 1 - b))
+      done;
+      fixup !r
+  | Bit_complement ->
+      let bits = log2_exact n_nodes in
+      fixup (src lxor ((1 lsl bits) - 1))

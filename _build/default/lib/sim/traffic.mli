@@ -1,0 +1,18 @@
+(** Synthetic traffic patterns, the standard suite for interconnection
+    network evaluation.  A pattern maps a source to a destination; the
+    permutation patterns assume node labels are bit strings of the
+    network's label width. *)
+
+type t =
+  | Uniform          (** destination drawn uniformly (excluding self) *)
+  | Transpose        (** swap the two halves of the label bits *)
+  | Bit_reversal     (** reverse the label bits *)
+  | Bit_complement   (** flip all label bits *)
+  | Hotspot of int   (** all traffic to one node *)
+
+val pp : Format.formatter -> t -> unit
+
+val destination : t -> Rng.t -> n_nodes:int -> src:int -> int
+(** Picks a destination for [src].  For the permutation patterns
+    [n_nodes] must be a power of two; a self-destination (possible for
+    the fixed patterns) is mapped to [src + 1 mod n]. *)

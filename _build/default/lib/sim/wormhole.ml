@@ -1,0 +1,373 @@
+open Mvl_topology
+
+type fabric = Hypercube of int | Torus of { k : int; n : int }
+
+type routing = Deterministic | Adaptive
+
+type config = {
+  packet_len : int;
+  vcs : int;
+  buffer_depth : int;
+  routing : routing;
+  traffic : Traffic.t;
+  offered_load : float;
+  warmup : int;
+  measure : int;
+  drain : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    packet_len = 4;
+    vcs = 2;
+    buffer_depth = 4;
+    routing = Deterministic;
+    traffic = Traffic.Uniform;
+    offered_load = 0.02;
+    warmup = 500;
+    measure = 2000;
+    drain = 20000;
+    seed = 1;
+  }
+
+type result = {
+  injected : int;
+  delivered : int;
+  avg_latency : float;
+  p99_latency : int;
+  throughput : float;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[delivered %d/%d, latency avg=%.1f p99=%d, throughput=%.4f pkt/node/cyc@]"
+    r.delivered r.injected r.avg_latency r.p99_latency r.throughput
+
+let graph_of_fabric = function
+  | Hypercube n -> Mvl_topology.Hypercube.create n
+  | Torus { k; n } -> Kary_ncube.create ~k ~n
+
+(* ------------------------------------------------------------------ *)
+
+type packet = {
+  id : int;
+  dest : int;
+  born : int;
+  tracked : bool;
+  mutable vc_class : int;  (* torus dateline class *)
+  mutable cur_dim : int;   (* dimension currently being corrected *)
+}
+
+type flit = { pkt : packet; head : bool; tail : bool }
+
+type in_vc = { buf : flit Queue.t; mutable route : (int * int) option }
+(* route = (output neighbour index, output VC) once the head flit has
+   been routed at this router; cleared when the tail leaves *)
+
+let run ?(config = default_config) ?(link_latency = fun _ _ -> 1) fabric =
+  if config.packet_len < 1 then invalid_arg "Wormhole: packet_len < 1";
+  if config.vcs < 1 then invalid_arg "Wormhole: vcs < 1";
+  (match (fabric, config.routing) with
+  | Torus _, Deterministic when config.vcs < 2 ->
+      invalid_arg "Wormhole: tori need >= 2 virtual channels"
+  | Torus _, Adaptive when config.vcs < 3 ->
+      invalid_arg "Wormhole: adaptive tori need >= 3 virtual channels"
+  | Hypercube _, Adaptive when config.vcs < 2 ->
+      invalid_arg "Wormhole: adaptive hypercubes need >= 2 virtual channels"
+  | _ -> ());
+  let graph = graph_of_fabric fabric in
+  let n = Graph.n graph in
+  let rng = Rng.create ~seed:config.seed in
+  let neighbors = Array.init n (fun u -> Graph.neighbors graph u) in
+  let neighbor_idx u v =
+    let arr = neighbors.(u) in
+    let rec find i = if arr.(i) = v then i else find (i + 1) in
+    find 0
+  in
+  (* e-cube route: returns (next node, required vc or -1 for any, and a
+     thunk committing the packet's dateline-class update — run only once
+     the output VC is actually allocated, since allocation may be
+     retried across cycles) *)
+  let route_hop (p : packet) u =
+    match fabric with
+    | Hypercube _ ->
+        let diff = u lxor p.dest in
+        let b =
+          let rec lowest i = if diff land (1 lsl i) <> 0 then i else lowest (i + 1) in
+          lowest 0
+        in
+        (u lxor (1 lsl b), -1, fun () -> ())
+    | Torus { k; n = dims } ->
+        let rec digits_of x j = if j = 0 then [] else (x mod k) :: digits_of (x / k) (j - 1) in
+        let du = Array.of_list (digits_of u dims) in
+        let dd = Array.of_list (digits_of p.dest dims) in
+        let rec first_dim j =
+          if j >= dims then invalid_arg "Wormhole: routing at destination"
+          else if du.(j) <> dd.(j) then j
+          else first_dim (j + 1)
+        in
+        let j = first_dim 0 in
+        let klass = if j <> p.cur_dim then 0 else p.vc_class in
+        let fwd = (dd.(j) - du.(j) + k) mod k in
+        let go_plus = fwd <= k - fwd in
+        let next_digit = if go_plus then (du.(j) + 1) mod k else (du.(j) + k - 1) mod k in
+        let crosses =
+          (go_plus && du.(j) = k - 1) || ((not go_plus) && du.(j) = 0)
+        in
+        let rec pow acc i = if i = 0 then acc else pow (acc * k) (i - 1) in
+        let weight = pow 1 j in
+        let next = u + ((next_digit - du.(j)) * weight) in
+        ( next,
+          klass,
+          fun () ->
+            p.cur_dim <- j;
+            p.vc_class <- (if crosses then 1 else klass) )
+  in
+  (* minimal productive hops, for adaptive routing *)
+  let productive_hops (p : packet) u =
+    match fabric with
+    | Hypercube dims ->
+        let diff = u lxor p.dest in
+        List.filter_map
+          (fun b ->
+            if diff land (1 lsl b) <> 0 then Some (u lxor (1 lsl b)) else None)
+          (List.init dims (fun i -> i))
+    | Torus { k; n = dims } ->
+        let hops = ref [] in
+        let rec pow acc i = if i = 0 then acc else pow (acc * k) (i - 1) in
+        for j = 0 to dims - 1 do
+          let dj = u / pow 1 j mod k and tj = p.dest / pow 1 j mod k in
+          if dj <> tj then begin
+            let fwd = (tj - dj + k) mod k in
+            let go_plus = fwd <= k - fwd in
+            let next_digit = if go_plus then (dj + 1) mod k else (dj + k - 1) mod k in
+            hops := (u + ((next_digit - dj) * pow 1 j)) :: !hops
+          end
+        done;
+        !hops
+  in
+  (* per node: inputs = in-neighbours (by index) plus one injection
+     pseudo-input at index deg(u) *)
+  let in_vcs =
+    Array.init n (fun u ->
+        Array.init
+          (Array.length neighbors.(u) + 1)
+          (fun _ ->
+            Array.init config.vcs (fun _ ->
+                { buf = Queue.create (); route = None })))
+  in
+  let owner =
+    Array.init n (fun u ->
+        Array.init (Array.length neighbors.(u)) (fun _ ->
+            Array.make config.vcs (-1)))
+  in
+  let credits =
+    Array.init n (fun u ->
+        Array.init (Array.length neighbors.(u)) (fun _ ->
+            Array.make config.vcs config.buffer_depth))
+  in
+  let arrivals : (int, (int * int * int * flit) list) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  let credit_returns : (int, (int * int * int) list) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  let push tbl cycle x =
+    Hashtbl.replace tbl cycle
+      (x :: Option.value ~default:[] (Hashtbl.find_opt tbl cycle))
+  in
+  let horizon = config.warmup + config.measure + config.drain in
+  let injected = ref 0 and delivered = ref 0 and pending = ref 0 in
+  let latencies = ref [] in
+  let next_packet_id = ref 0 in
+  let rr = Array.make n 0 in
+  for now = 0 to horizon - 1 do
+    (* arrivals *)
+    (match Hashtbl.find_opt arrivals now with
+    | None -> ()
+    | Some l ->
+        Hashtbl.remove arrivals now;
+        List.iter
+          (fun (v, in_idx, vc, f) -> Queue.add f in_vcs.(v).(in_idx).(vc).buf)
+          (List.rev l));
+    (match Hashtbl.find_opt credit_returns now with
+    | None -> ()
+    | Some l ->
+        Hashtbl.remove credit_returns now;
+        List.iter
+          (fun (u, d, vc) -> credits.(u).(d).(vc) <- credits.(u).(d).(vc) + 1)
+          l);
+    (* injection: whole packet enqueued flit by flit into the pseudo-input *)
+    if now < config.warmup + config.measure then
+      for src = 0 to n - 1 do
+        if Rng.bool rng ~p:config.offered_load then begin
+          let dest = Traffic.destination config.traffic rng ~n_nodes:n ~src in
+          let tracked = now >= config.warmup in
+          if tracked then begin
+            incr injected;
+            incr pending
+          end;
+          let p =
+            {
+              id = !next_packet_id;
+              dest;
+              born = now;
+              tracked;
+              vc_class = 0;
+              cur_dim = -1;
+            }
+          in
+          incr next_packet_id;
+          let inj = in_vcs.(src).(Array.length neighbors.(src)).(0).buf in
+          for f = 0 to config.packet_len - 1 do
+            Queue.add
+              { pkt = p; head = (f = 0); tail = (f = config.packet_len - 1) }
+              inj
+          done
+        end
+      done;
+    (* switching *)
+    for u = 0 to n - 1 do
+      let deg = Array.length neighbors.(u) in
+      let n_inputs = deg + 1 in
+      let out_used = Array.make deg false in
+      let start = rr.(u) in
+      rr.(u) <- (rr.(u) + 1) mod n_inputs;
+      for step = 0 to n_inputs - 1 do
+        let in_idx = (start + step) mod n_inputs in
+        (* one flit per input per cycle: scan this input's VCs *)
+        let granted = ref false in
+        for vc = 0 to config.vcs - 1 do
+          let ivc = in_vcs.(u).(in_idx).(vc) in
+          if (not !granted) && not (Queue.is_empty ivc.buf) then begin
+            let f = Queue.peek ivc.buf in
+            if f.pkt.dest = u then begin
+              (* ejection *)
+              ignore (Queue.pop ivc.buf);
+              granted := true;
+              if in_idx < deg then begin
+                let upstream = neighbors.(u).(in_idx) in
+                let d_up = neighbor_idx upstream u in
+                push credit_returns
+                  (now + max 1 (link_latency upstream u))
+                  (upstream, d_up, vc)
+              end;
+              if f.tail then begin
+                ivc.route <- None;
+                if f.pkt.tracked then begin
+                  incr delivered;
+                  decr pending;
+                  latencies := (now - f.pkt.born) :: !latencies
+                end
+              end
+            end
+            else begin
+              (* route the head if not yet routed *)
+              (if ivc.route = None && f.head then begin
+                 let try_alloc d vc' commit =
+                   if owner.(u).(d).(vc') < 0 then begin
+                     owner.(u).(d).(vc') <- f.pkt.id;
+                     ivc.route <- Some (d, vc');
+                     commit ();
+                     true
+                   end
+                   else false
+                 in
+                 let escape () =
+                   let next, want_vc, commit = route_hop f.pkt u in
+                   let d = neighbor_idx u next in
+                   (* under adaptive routing the hypercube escape lane is
+                      pinned to VC 0 *)
+                   let want_vc =
+                     if config.routing = Adaptive && want_vc < 0 then 0
+                     else want_vc
+                   in
+                   if want_vc >= 0 then ignore (try_alloc d want_vc commit)
+                   else begin
+                     let ok = ref false in
+                     for off = 0 to config.vcs - 1 do
+                       if not !ok then
+                         ok :=
+                           try_alloc d ((f.pkt.id + off) mod config.vcs) commit
+                     done
+                   end
+                 in
+                 match config.routing with
+                 | Deterministic -> escape ()
+                 | Adaptive ->
+                     (* adaptive candidates: any minimal hop on an
+                        adaptive VC, most credits first; an adaptive hop
+                        resets the escape (dateline) state so a later
+                        escape re-enters its ring fresh *)
+                     let adaptive_lo =
+                       match fabric with Hypercube _ -> 1 | Torus _ -> 2
+                     in
+                     let cands = ref [] in
+                     List.iter
+                       (fun next ->
+                         let d = neighbor_idx u next in
+                         for vc' = adaptive_lo to config.vcs - 1 do
+                           if owner.(u).(d).(vc') < 0 then
+                             cands := (credits.(u).(d).(vc'), d, vc') :: !cands
+                         done)
+                       (productive_hops f.pkt u);
+                     let sorted =
+                       List.sort (fun (a, _, _) (b, _, _) -> compare b a) !cands
+                     in
+                     let commit_adaptive () =
+                       f.pkt.cur_dim <- -1;
+                       f.pkt.vc_class <- 0
+                     in
+                     let rec try_list = function
+                       | [] -> escape ()
+                       | (_, d, vc') :: rest ->
+                           if not (try_alloc d vc' commit_adaptive) then
+                             try_list rest
+                     in
+                     try_list sorted
+               end);
+              match ivc.route with
+              | Some (d, out_vc)
+                when (not out_used.(d)) && credits.(u).(d).(out_vc) > 0 ->
+                  ignore (Queue.pop ivc.buf);
+                  granted := true;
+                  out_used.(d) <- true;
+                  credits.(u).(d).(out_vc) <- credits.(u).(d).(out_vc) - 1;
+                  let v = neighbors.(u).(d) in
+                  let lat = max 1 (link_latency u v) in
+                  let v_in = neighbor_idx v u in
+                  push arrivals (now + lat) (v, v_in, out_vc, f);
+                  (* return a credit upstream for the slot we vacated *)
+                  if in_idx < deg then begin
+                    let upstream = neighbors.(u).(in_idx) in
+                    let d_up = neighbor_idx upstream u in
+                    push credit_returns
+                      (now + max 1 (link_latency upstream u))
+                      (upstream, d_up, vc)
+                  end;
+                  if f.tail then begin
+                    owner.(u).(d).(out_vc) <- -1;
+                    ivc.route <- None
+                  end
+              | _ -> ()
+            end
+          end
+        done
+      done
+    done
+  done;
+  let lat = Array.of_list !latencies in
+  Array.sort compare lat;
+  let count = Array.length lat in
+  {
+    injected = !injected;
+    delivered = !delivered;
+    avg_latency =
+      (if count = 0 then 0.0
+       else float_of_int (Array.fold_left ( + ) 0 lat) /. float_of_int count);
+    p99_latency =
+      (if count = 0 then 0 else lat.(min (count - 1) (count * 99 / 100)));
+    throughput =
+      float_of_int !delivered /. float_of_int (n * max 1 config.measure);
+  }

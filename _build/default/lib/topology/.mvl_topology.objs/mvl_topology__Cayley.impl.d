@@ -1,0 +1,1 @@
+lib/topology/cayley.ml: Array Graph List Permutation

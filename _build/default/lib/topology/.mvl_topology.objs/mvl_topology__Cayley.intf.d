@@ -1,0 +1,1 @@
+lib/topology/cayley.mli: Graph Permutation

@@ -1,0 +1,1 @@
+lib/topology/ccc.ml: Graph

@@ -1,0 +1,1 @@
+lib/topology/complete.ml: Graph

@@ -1,0 +1,1 @@
+lib/topology/complete.mli: Graph

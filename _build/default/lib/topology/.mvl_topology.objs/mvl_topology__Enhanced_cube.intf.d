@@ -1,0 +1,1 @@
+lib/topology/enhanced_cube.mli: Graph

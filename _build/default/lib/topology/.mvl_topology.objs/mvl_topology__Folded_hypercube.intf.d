@@ -1,0 +1,1 @@
+lib/topology/folded_hypercube.mli: Graph

@@ -1,0 +1,1 @@
+lib/topology/generalized_hypercube.ml: Array Graph Mixed_radix

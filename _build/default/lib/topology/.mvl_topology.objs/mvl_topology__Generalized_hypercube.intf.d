@@ -1,0 +1,1 @@
+lib/topology/generalized_hypercube.mli: Graph Mixed_radix

@@ -1,0 +1,1 @@
+lib/topology/hhn.ml: Hsn Hypercube

@@ -1,0 +1,1 @@
+lib/topology/hhn.mli: Hsn

@@ -1,0 +1,1 @@
+lib/topology/hsn.ml: Array Complete Graph Mixed_radix

@@ -1,0 +1,1 @@
+lib/topology/hsn.mli: Graph

@@ -1,0 +1,1 @@
+lib/topology/hypercube.ml: Graph

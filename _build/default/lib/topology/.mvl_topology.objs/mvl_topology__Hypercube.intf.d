@@ -1,0 +1,1 @@
+lib/topology/hypercube.mli: Graph

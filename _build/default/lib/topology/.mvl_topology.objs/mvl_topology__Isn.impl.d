@@ -1,0 +1,1 @@
+lib/topology/isn.ml: Generalized_hypercube Mesh Pn_cluster

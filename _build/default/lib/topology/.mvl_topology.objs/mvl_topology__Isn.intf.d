@@ -1,0 +1,1 @@
+lib/topology/isn.mli: Pn_cluster

@@ -1,0 +1,1 @@
+lib/topology/kary_cluster.ml: Complete Hypercube Kary_ncube Pn_cluster

@@ -1,0 +1,1 @@
+lib/topology/kary_cluster.mli: Pn_cluster

@@ -1,0 +1,1 @@
+lib/topology/kary_ncube.ml: Array Graph Mixed_radix

@@ -1,0 +1,1 @@
+lib/topology/kary_ncube.mli: Graph Mixed_radix

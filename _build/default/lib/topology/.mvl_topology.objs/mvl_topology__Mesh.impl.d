@@ -1,0 +1,1 @@
+lib/topology/mesh.ml: Array Graph

@@ -1,0 +1,1 @@
+lib/topology/mesh.mli: Graph

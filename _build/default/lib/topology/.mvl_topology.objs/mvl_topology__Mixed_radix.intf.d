@@ -1,0 +1,1 @@
+lib/topology/mixed_radix.mli: Format

@@ -1,0 +1,1 @@
+lib/topology/permutation.ml: Array List

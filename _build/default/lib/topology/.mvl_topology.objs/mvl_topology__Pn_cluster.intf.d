@@ -1,0 +1,1 @@
+lib/topology/pn_cluster.mli: Graph

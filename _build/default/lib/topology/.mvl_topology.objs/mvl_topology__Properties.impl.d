@@ -1,0 +1,1 @@
+lib/topology/properties.ml: Array Graph Hashtbl List Option

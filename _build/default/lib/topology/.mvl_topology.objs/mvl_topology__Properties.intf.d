@@ -1,0 +1,1 @@
+lib/topology/properties.mli: Graph

@@ -1,0 +1,1 @@
+lib/topology/reduced_hypercube.ml: Graph

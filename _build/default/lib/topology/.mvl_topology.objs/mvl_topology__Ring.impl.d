@@ -1,0 +1,1 @@
+lib/topology/ring.ml: Graph

@@ -1,0 +1,1 @@
+lib/topology/scc.ml: Graph Permutation

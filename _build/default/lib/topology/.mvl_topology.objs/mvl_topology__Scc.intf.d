@@ -1,0 +1,1 @@
+lib/topology/scc.mli: Graph

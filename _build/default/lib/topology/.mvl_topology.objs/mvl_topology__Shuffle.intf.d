@@ -1,0 +1,1 @@
+lib/topology/shuffle.mli: Graph

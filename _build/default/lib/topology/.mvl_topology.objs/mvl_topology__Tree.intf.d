@@ -1,0 +1,1 @@
+lib/topology/tree.mli: Graph

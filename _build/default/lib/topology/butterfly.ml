@@ -1,0 +1,41 @@
+type t = {
+  graph : Graph.t;
+  dims : int;
+  rows : int;
+  levels : int;
+  wrap : bool;
+}
+
+let node_encode ~rows ~row ~level = (level * rows) + row
+
+let create ~dims ~wrap =
+  if dims < 1 then invalid_arg "Butterfly.create: dims < 1";
+  if dims > 20 then invalid_arg "Butterfly.create: dims too large";
+  let rows = 1 lsl dims in
+  let levels = if wrap then dims else dims + 1 in
+  let total = levels * rows in
+  let edges = ref [] in
+  for level = 0 to dims - 1 do
+    let next = if wrap then (level + 1) mod dims else level + 1 in
+    (* a wrapped 1-dimensional butterfly would create self-loops on the
+       straight links; disallow it *)
+    if wrap && dims = 1 then ()
+    else
+      for row = 0 to rows - 1 do
+        let u = node_encode ~rows ~row ~level in
+        edges := (u, node_encode ~rows ~row ~level:next) :: !edges;
+        edges :=
+          (u, node_encode ~rows ~row:(row lxor (1 lsl level)) ~level:next)
+          :: !edges
+      done
+  done;
+  if wrap && dims = 1 then invalid_arg "Butterfly.create: wrap requires dims >= 2";
+  { graph = Graph.of_edges ~n:total !edges; dims; rows; levels; wrap }
+
+let node t ~row ~level =
+  if row < 0 || row >= t.rows then invalid_arg "Butterfly.node: row";
+  if level < 0 || level >= t.levels then invalid_arg "Butterfly.node: level";
+  node_encode ~rows:t.rows ~row ~level
+
+let row_of t id = id mod t.rows
+let level_of t id = id / t.rows

@@ -1,0 +1,25 @@
+(** Butterfly networks.
+
+    The ordinary [n]-dimensional butterfly has rows [w] in [{0,1}^n] and
+    levels [0 .. n]; node [(w, l)] connects to [(w, l+1)] (straight) and
+    to [(w xor 2^l, l+1)] (cross).  The wrap-around butterfly identifies
+    level [n] with level [0], giving [n 2^n] nodes of degree 4 — this is
+    the ["R x R butterfly"] of the paper with [R = 2^n] and
+    [N = R log2 R]. *)
+
+type t = {
+  graph : Graph.t;
+  dims : int;      (** [n]: number of cross dimensions. *)
+  rows : int;      (** [R = 2^n]. *)
+  levels : int;    (** number of distinct levels (n for wrapped, n+1 otherwise). *)
+  wrap : bool;
+}
+
+val create : dims:int -> wrap:bool -> t
+(** [create ~dims ~wrap] builds the butterfly.  [dims >= 1]. *)
+
+val node : t -> row:int -> level:int -> int
+(** Encoding of node [(row, level)] as [level * rows + row]. *)
+
+val row_of : t -> int -> int
+val level_of : t -> int -> int

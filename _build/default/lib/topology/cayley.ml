@@ -1,0 +1,54 @@
+let of_generators ~d ~gens =
+  if d < 1 then invalid_arg "Cayley.of_generators: d < 1";
+  List.iter
+    (fun g ->
+      if Array.length g <> d || not (Permutation.is_valid g) then
+        invalid_arg "Cayley.of_generators: bad generator")
+    gens;
+  let total = Permutation.factorial d in
+  let edges = ref [] in
+  for u = 0 to total - 1 do
+    let p = Permutation.unrank ~d u in
+    List.iter
+      (fun g ->
+        let v = Permutation.rank (Permutation.compose p g) in
+        if u < v then edges := (u, v) :: !edges)
+      gens
+  done;
+  Graph.of_edges ~n:total !edges
+
+(* [compose p g] applies the position rearrangement [g] to [p]: position i
+   of the result holds p.(g.(i)), so generators expressed as position
+   permutations act on positions as required for star/pancake graphs. *)
+
+let star d =
+  if d < 2 then invalid_arg "Cayley.star: d < 2";
+  let gens =
+    List.init (d - 1) (fun i -> Permutation.swap (Permutation.identity d) 0 (i + 1))
+  in
+  of_generators ~d ~gens
+
+let pancake d =
+  if d < 2 then invalid_arg "Cayley.pancake: d < 2";
+  let gens =
+    List.init (d - 1) (fun i ->
+        Permutation.prefix_reversal (Permutation.identity d) (i + 2))
+  in
+  of_generators ~d ~gens
+
+let bubble_sort d =
+  if d < 2 then invalid_arg "Cayley.bubble_sort: d < 2";
+  let gens =
+    List.init (d - 1) (fun i -> Permutation.swap (Permutation.identity d) i (i + 1))
+  in
+  of_generators ~d ~gens
+
+let transposition d =
+  if d < 2 then invalid_arg "Cayley.transposition: d < 2";
+  let gens = ref [] in
+  for i = 0 to d - 1 do
+    for j = i + 1 to d - 1 do
+      gens := Permutation.swap (Permutation.identity d) i j :: !gens
+    done
+  done;
+  of_generators ~d ~gens:!gens

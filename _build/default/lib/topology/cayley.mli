@@ -1,0 +1,25 @@
+(** Cayley graphs over the symmetric group S_d, covering the §4.3
+    families whose multilayer layouts the paper claims by the same
+    strategy: star graphs, pancake graphs, bubble-sort graphs and
+    transposition networks.  Nodes are permutation ranks (see
+    {!Permutation.rank}). *)
+
+val of_generators : d:int -> gens:Permutation.t list -> Graph.t
+(** Generic Cayley graph: node [p] is adjacent to [compose p g] for every
+    generator [g].  The generator set must be closed under inverse (all
+    four families below use involutions, so this holds trivially). *)
+
+val star : int -> Graph.t
+(** Star graph S_d: generators swap position 0 with position [i],
+    [1 <= i <= d-1].  Degree [d-1], [d!] nodes. *)
+
+val pancake : int -> Graph.t
+(** Pancake graph: generators are prefix reversals of length
+    [2 .. d]. *)
+
+val bubble_sort : int -> Graph.t
+(** Bubble-sort graph: generators swap adjacent positions [i], [i+1]. *)
+
+val transposition : int -> Graph.t
+(** (Complete) transposition network: generators swap any two
+    positions. *)

@@ -1,0 +1,30 @@
+type t = { graph : Graph.t; dims : int }
+
+let encode ~dims ~cube ~pos = (cube * dims) + pos
+
+let create n =
+  if n < 1 then invalid_arg "Ccc.create: n < 1";
+  if n > 20 then invalid_arg "Ccc.create: n too large";
+  let cubes = 1 lsl n in
+  let total = cubes * n in
+  let edges = ref [] in
+  for w = 0 to cubes - 1 do
+    for i = 0 to n - 1 do
+      let u = encode ~dims:n ~cube:w ~pos:i in
+      (* cycle links: successor only, wrap added by the last position *)
+      if i < n - 1 then edges := (u, encode ~dims:n ~cube:w ~pos:(i + 1)) :: !edges
+      else if n > 2 then edges := (u, encode ~dims:n ~cube:w ~pos:0) :: !edges;
+      (* cube link along dimension i *)
+      let w' = w lxor (1 lsl i) in
+      if w < w' then edges := (u, encode ~dims:n ~cube:w' ~pos:i) :: !edges
+    done
+  done;
+  { graph = Graph.of_edges ~n:total !edges; dims = n }
+
+let node t ~cube ~pos =
+  if pos < 0 || pos >= t.dims then invalid_arg "Ccc.node: pos";
+  if cube < 0 || cube >= 1 lsl t.dims then invalid_arg "Ccc.node: cube";
+  encode ~dims:t.dims ~cube ~pos
+
+let cube_of t id = id / t.dims
+let pos_of t id = id mod t.dims

@@ -1,0 +1,20 @@
+(** Cube-connected cycles (Preparata–Vuillemin).
+
+    The [n]-dimensional CCC replaces each node [w] of the [n]-cube by an
+    [n]-node cycle; node [(w, i)] has cycle links to [(w, i±1 mod n)] and
+    one cube link to [(w xor 2^i, i)].  [N = n 2^n]. *)
+
+type t = {
+  graph : Graph.t;
+  dims : int;  (** [n]. *)
+}
+
+val create : int -> t
+(** [create n] builds the [n]-dimensional CCC, [n >= 3] for the classic
+    degree-3 network ([n >= 1] accepted; small cases degenerate). *)
+
+val node : t -> cube:int -> pos:int -> int
+(** [(w, i)] encoded as [w * dims + i]. *)
+
+val cube_of : t -> int -> int
+val pos_of : t -> int -> int

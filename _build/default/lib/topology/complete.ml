@@ -1,0 +1,9 @@
+let create nn =
+  if nn < 1 then invalid_arg "Complete.create: n < 1";
+  let edges = ref [] in
+  for u = 0 to nn - 1 do
+    for v = u + 1 to nn - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:nn !edges

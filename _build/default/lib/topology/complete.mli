@@ -1,0 +1,4 @@
+(** Complete graphs [K_N]. *)
+
+val create : int -> Graph.t
+(** [create nn] is the complete graph on [nn >= 1] nodes. *)

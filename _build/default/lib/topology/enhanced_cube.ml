@@ -1,0 +1,28 @@
+(* splitmix64-style deterministic mixing, so layouts and benches are
+   reproducible across runs without touching the global RNG state *)
+let mix seed u =
+  let z = ref (Int64.of_int ((seed * 0x9E3779B9) + u)) in
+  z := Int64.add !z 0x9E3779B97F4A7C15L;
+  let z1 = Int64.logxor !z (Int64.shift_right_logical !z 30) in
+  let z2 = Int64.mul z1 0xBF58476D1CE4E5B9L in
+  let z3 = Int64.logxor z2 (Int64.shift_right_logical z2 27) in
+  let z4 = Int64.mul z3 0x94D049BB133111EBL in
+  Int64.to_int (Int64.logxor z4 (Int64.shift_right_logical z4 31))
+
+let extra_links ~n ~seed =
+  if n < 1 then invalid_arg "Enhanced_cube.extra_links: n < 1";
+  let total = 1 lsl n in
+  let links = ref [] in
+  for u = total - 1 downto 0 do
+    let rec draw attempt =
+      let v = abs (mix seed ((u * 7919) + attempt)) mod total in
+      if v = u then draw (attempt + 1) else v
+    in
+    links := (u, draw 0) :: !links
+  done;
+  !links
+
+let create ~n ~seed =
+  let cube = Hypercube.create n in
+  Graph.of_edges ~n:(Graph.n cube)
+    (Array.to_list (Graph.edges cube) @ extra_links ~n ~seed)

@@ -1,0 +1,14 @@
+(** Enhanced cubes (Varvarigos): a hypercube with one additional outgoing
+    link per node leading to a (pseudo-)random node, i.e. [N] extra links
+    in total.  A seeded deterministic generator keeps experiments
+    reproducible. *)
+
+val create : n:int -> seed:int -> Graph.t
+(** [create ~n ~seed] is the [n]-cube plus one random link per node.
+    Random partners equal to the node itself are re-drawn; a random link
+    duplicating a cube link is kept (it collapses in the simple graph but
+    is still counted by {!extra_links}). *)
+
+val extra_links : n:int -> seed:int -> (int * int) list
+(** The [2^n] random links of [create ~n ~seed], in node order (one link
+    per source node [u], as [(u, partner)]). *)

@@ -1,0 +1,16 @@
+let diameter_links n =
+  if n < 1 then invalid_arg "Folded_hypercube.diameter_links: n < 1";
+  let total = 1 lsl n in
+  let mask = total - 1 in
+  let links = ref [] in
+  for u = 0 to total - 1 do
+    let v = u lxor mask in
+    if u < v then links := (u, v) :: !links
+  done;
+  !links
+
+let create n =
+  let cube = Hypercube.create n in
+  let extra = diameter_links n in
+  Graph.of_edges ~n:(Graph.n cube)
+    (Array.to_list (Graph.edges cube) @ extra)

@@ -1,0 +1,9 @@
+(** Folded hypercubes: the [n]-cube plus one diameter link per node
+    connecting each label to its bitwise complement ([N/2] extra links). *)
+
+val create : int -> Graph.t
+(** [create n] is the [n]-dimensional folded hypercube; degree [n + 1]. *)
+
+val diameter_links : int -> (int * int) list
+(** The [2^(n-1)] complement links, each with the smaller endpoint
+    first. *)

@@ -1,0 +1,24 @@
+let create radices =
+  let total = Mixed_radix.cardinal radices in
+  let dims = Array.length radices in
+  let edges = ref [] in
+  Mixed_radix.iter radices (fun d ->
+      let u = Mixed_radix.of_digits radices d in
+      for j = 0 to dims - 1 do
+        let dj = d.(j) in
+        (* connect to every strictly larger digit value, so each complete
+           graph edge appears exactly once *)
+        for x = dj + 1 to radices.(j) - 1 do
+          d.(j) <- x;
+          edges := (u, Mixed_radix.of_digits radices d) :: !edges
+        done;
+        d.(j) <- dj
+      done);
+  Graph.of_edges ~n:total !edges
+
+let create_uniform ~r ~n =
+  if r < 2 then invalid_arg "Generalized_hypercube.create_uniform: r < 2";
+  if n < 1 then invalid_arg "Generalized_hypercube.create_uniform: n < 1";
+  create (Mixed_radix.uniform ~radix:r ~dims:n)
+
+let degree radices = Array.fold_left (fun acc r -> acc + r - 1) 0 radices

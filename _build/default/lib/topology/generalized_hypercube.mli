@@ -1,0 +1,17 @@
+(** Generalized hypercubes (Bhuyan–Agrawal).
+
+    An [n]-dimensional radix-[(r_{n-1}, ..., r_0)] generalized hypercube
+    has one node per digit vector; two nodes are adjacent iff they differ
+    in exactly one digit (by any amount), so every "row" along a dimension
+    is a complete graph. *)
+
+val create : Mixed_radix.radices -> Graph.t
+(** [create radices] builds the generalized hypercube over the given
+    mixed-radix label system. *)
+
+val create_uniform : r:int -> n:int -> Graph.t
+(** [create_uniform ~r ~n] is the radix-[r] [n]-dimensional generalized
+    hypercube on [r^n] nodes, each of degree [n(r-1)]. *)
+
+val degree : Mixed_radix.radices -> int
+(** The (uniform) node degree: sum over dimensions of [radix - 1]. *)

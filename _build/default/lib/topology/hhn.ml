@@ -1,0 +1,3 @@
+let create ~levels ~cube_dims =
+  if cube_dims < 1 then invalid_arg "Hhn.create: cube_dims < 1";
+  Hsn.create ~levels ~nucleus:(Hypercube.create cube_dims)

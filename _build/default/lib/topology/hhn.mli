@@ -1,0 +1,9 @@
+(** Hierarchical hypercube networks (Yun–Park), realized as the special
+    case of hierarchical swap networks whose basic modules (nucleus
+    graphs) are binary hypercubes — exactly how the paper lays them out
+    (§4.3). *)
+
+val create : levels:int -> cube_dims:int -> Hsn.t
+(** [create ~levels ~cube_dims] is the [levels]-level HHN whose clusters
+    are [cube_dims]-dimensional hypercubes ([r = 2^cube_dims] nodes per
+    cluster, [N = r^levels] in total). *)

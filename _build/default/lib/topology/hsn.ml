@@ -1,0 +1,45 @@
+type t = { graph : Graph.t; levels : int; radix : int; nucleus : Graph.t }
+
+let create ~levels ~nucleus =
+  if levels < 1 then invalid_arg "Hsn.create: levels < 1";
+  let r = Graph.n nucleus in
+  if r < 2 then invalid_arg "Hsn.create: nucleus must have >= 2 nodes";
+  let radices = Mixed_radix.uniform ~radix:r ~dims:levels in
+  let total = Mixed_radix.cardinal radices in
+  let edges = ref [] in
+  Mixed_radix.iter radices (fun d ->
+      let u = Mixed_radix.of_digits radices d in
+      (* nucleus links inside the cluster: add towards larger d_0 only *)
+      let d0 = d.(0) in
+      Graph.iter_neighbors nucleus d0 (fun v0 ->
+          if v0 > d0 then begin
+            d.(0) <- v0;
+            edges := (u, Mixed_radix.of_digits radices d) :: !edges;
+            d.(0) <- d0
+          end);
+      (* swap links: exchange d_0 with d_i; add each once via d0 < d_i *)
+      for i = 1 to levels - 1 do
+        if d0 < d.(i) then begin
+          let di = d.(i) in
+          d.(0) <- di;
+          d.(i) <- d0;
+          edges := (u, Mixed_radix.of_digits radices d) :: !edges;
+          d.(0) <- d0;
+          d.(i) <- di
+        end
+      done);
+  { graph = Graph.of_edges ~n:total !edges; levels; radix = r; nucleus }
+
+let create_complete ~levels ~radix =
+  create ~levels ~nucleus:(Complete.create radix)
+
+let node t ~cluster ~pos =
+  if pos < 0 || pos >= t.radix then invalid_arg "Hsn.node: pos";
+  let clusters =
+    int_of_float (float_of_int t.radix ** float_of_int (t.levels - 1))
+  in
+  if cluster < 0 || cluster >= clusters then invalid_arg "Hsn.node: cluster";
+  (cluster * t.radix) + pos
+
+let cluster_of t id = id / t.radix
+let pos_of t id = id mod t.radix

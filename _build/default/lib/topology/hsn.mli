@@ -1,0 +1,36 @@
+(** Hierarchical swap networks (Yeh–Parhami), built on the
+    index-permutation graph model.
+
+    An [l]-level HSN over an [r]-node nucleus graph has node labels
+    [(d_{l-1}, ..., d_1, d_0)] with every digit in [0 .. r-1]:
+    - nucleus links connect nodes that differ only in [d_0], according to
+      the nucleus graph's adjacency;
+    - the level-[i] swap link ([1 <= i <= l-1]) connects each node to the
+      node obtained by exchanging digits [d_0] and [d_i] (no link when
+      [d_0 = d_i]).
+
+    Contracting each cluster (the [r] nodes sharing [(d_{l-1},...,d_1)])
+    yields the [(l-1)]-dimensional radix-[r] generalized hypercube, which
+    is exactly the quotient structure the paper's layout uses (§4.3). *)
+
+type t = {
+  graph : Graph.t;
+  levels : int;   (** [l >= 1]. *)
+  radix : int;    (** nucleus size [r]. *)
+  nucleus : Graph.t;
+}
+
+val create : levels:int -> nucleus:Graph.t -> t
+(** [create ~levels ~nucleus] builds the HSN with [r = Graph.n nucleus]
+    nodes per cluster and [N = r^levels] nodes total. *)
+
+val create_complete : levels:int -> radix:int -> t
+(** HSN whose nucleus is the complete graph [K_radix] (the canonical
+    choice in the paper's analysis). *)
+
+val node : t -> cluster:int -> pos:int -> int
+(** [cluster] encodes digits [d_{l-1}..d_1] in radix [r]; [pos] is
+    [d_0]. *)
+
+val cluster_of : t -> int -> int
+val pos_of : t -> int -> int

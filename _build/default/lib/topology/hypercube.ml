@@ -1,0 +1,19 @@
+let create n =
+  if n < 0 then invalid_arg "Hypercube.create: n < 0";
+  if n > 25 then invalid_arg "Hypercube.create: n too large";
+  let total = 1 lsl n in
+  let edges = ref [] in
+  for u = 0 to total - 1 do
+    for j = 0 to n - 1 do
+      let v = u lxor (1 lsl j) in
+      if u < v then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:total !edges
+
+let dimension_of_edge u v =
+  let x = u lxor v in
+  if x = 0 || x land (x - 1) <> 0 then
+    invalid_arg "Hypercube.dimension_of_edge: not a cube edge";
+  let rec bit_index j x = if x = 1 then j else bit_index (j + 1) (x lsr 1) in
+  bit_index 0 x

@@ -1,0 +1,11 @@
+(** Binary hypercubes ([n]-cubes). *)
+
+val create : int -> Graph.t
+(** [create n] is the [n]-dimensional hypercube on [2^n] nodes;
+    nodes [u] and [v] are adjacent iff their labels differ in exactly one
+    bit.  [n = 0] yields the single node. *)
+
+val dimension_of_edge : int -> int -> int
+(** [dimension_of_edge u v] is the index of the bit in which adjacent
+    labels differ.  Raises [Invalid_argument] when [u lxor v] is not a
+    power of two. *)

@@ -1,0 +1,17 @@
+let create ~radix ~quotient_dims ~levels =
+  if radix < 2 then invalid_arg "Isn.create: radix < 2";
+  if quotient_dims < 1 then invalid_arg "Isn.create: quotient_dims < 1";
+  if levels < 1 then invalid_arg "Isn.create: levels < 1";
+  let quotient = Generalized_hypercube.create_uniform ~r:radix ~n:quotient_dims in
+  let intra = Mesh.create ~dims:[| radix; levels |] in
+  Pn_cluster.create ~quotient ~intra ~multiplicity:2 ()
+
+let of_butterfly_scale ~dims ~radix =
+  if dims < 1 then invalid_arg "Isn.of_butterfly_scale: dims < 1";
+  let rows = 1 lsl dims in
+  let cluster = radix * dims in
+  (* quotient_dims chosen as the smallest m with radix^m >= rows/cluster *)
+  let target = max 2 (rows / cluster) in
+  let rec dims_for acc m = if acc >= target then m else dims_for (acc * radix) (m + 1) in
+  let quotient_dims = max 1 (dims_for 1 0) in
+  create ~radix ~quotient_dims ~levels:dims

@@ -1,0 +1,23 @@
+(** Indirect swap networks (ISNs).
+
+    The defining reference ([35], SPAA 2000) was not available, so this
+    module implements the *structural substitute* documented in
+    DESIGN.md: everything the paper's §4.3 layout uses about an ISN is
+    that it partitions into clusters of [r (log2 R + o(log R))] nodes
+    connected as a generalized hypercube with **two** links per pair of
+    neighbouring clusters (vs. four for the butterfly).  We therefore
+    build exactly that PN-cluster structure: a radix-[r] generalized
+    hypercube quotient with multiplicity 2 whose clusters are connected
+    [r x b] grids with [b ≈ log2 R] (standing in for the "several copies
+    of small butterflies" of the real construction). *)
+
+val create : radix:int -> quotient_dims:int -> levels:int -> Pn_cluster.t
+(** [create ~radix ~quotient_dims ~levels] builds the substitute ISN:
+    quotient [GHC(radix, quotient_dims)], multiplicity 2, clusters of
+    [radix * levels] nodes. *)
+
+val of_butterfly_scale : dims:int -> radix:int -> Pn_cluster.t
+(** Convenience sizing that mirrors §4.2/§4.3: for a butterfly with
+    [R = 2^dims] rows, produce the ISN whose quotient has about
+    [R / (radix * dims)] nodes and whose clusters have [radix * dims]
+    nodes. *)

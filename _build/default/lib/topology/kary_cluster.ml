@@ -1,0 +1,15 @@
+let is_power_of_two x = x > 0 && x land (x - 1) = 0
+
+let log2_exact x =
+  let rec go acc x = if x = 1 then acc else go (acc + 1) (x lsr 1) in
+  go 0 x
+
+let create_hypercube_clusters ~k ~n ~c =
+  if not (is_power_of_two c) then
+    invalid_arg "Kary_cluster: c must be a power of two";
+  let quotient = Kary_ncube.create ~k ~n in
+  Pn_cluster.create ~quotient ~intra:(Hypercube.create (log2_exact c)) ()
+
+let create_complete_clusters ~k ~n ~c =
+  let quotient = Kary_ncube.create ~k ~n in
+  Pn_cluster.create ~quotient ~intra:(Complete.create c) ()

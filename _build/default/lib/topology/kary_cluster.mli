@@ -1,0 +1,9 @@
+(** [k]-ary [n]-cube cluster-[c] networks (Basak–Panda, §3.2): a [k]-ary
+    [n]-cube quotient whose nodes are replaced by [c]-node clusters. *)
+
+val create_hypercube_clusters : k:int -> n:int -> c:int -> Pn_cluster.t
+(** Clusters are [c]-node hypercubes ([c] must be a power of two) — the
+    case analysed in §3.2. *)
+
+val create_complete_clusters : k:int -> n:int -> c:int -> Pn_cluster.t
+(** Clusters are complete graphs [K_c] — the densest case of §3.2. *)

@@ -1,0 +1,40 @@
+let radices ~k ~n = Mixed_radix.uniform ~radix:k ~dims:n
+
+let create ~k ~n =
+  if k < 2 then invalid_arg "Kary_ncube.create: k < 2";
+  if n < 1 then invalid_arg "Kary_ncube.create: n < 1";
+  let r = radices ~k ~n in
+  let total = Mixed_radix.cardinal r in
+  let edges = ref [] in
+  Mixed_radix.iter r (fun d ->
+      let u = Mixed_radix.of_digits r d in
+      for j = 0 to n - 1 do
+        (* connect towards the successor along dimension j; the ring wrap
+           link is added only once, by the node with digit k-1 *)
+        let dj = d.(j) in
+        if dj < k - 1 then begin
+          d.(j) <- dj + 1;
+          edges := (u, Mixed_radix.of_digits r d) :: !edges;
+          d.(j) <- dj
+        end
+        else if k > 2 then begin
+          d.(j) <- 0;
+          edges := (u, Mixed_radix.of_digits r d) :: !edges;
+          d.(j) <- dj
+        end
+      done);
+  Graph.of_edges ~n:total !edges
+
+let dimension_of_edge ~k ~n u v =
+  let r = radices ~k ~n in
+  let du = Mixed_radix.to_digits r u and dv = Mixed_radix.to_digits r v in
+  let diff = ref [] in
+  for j = 0 to n - 1 do
+    if du.(j) <> dv.(j) then diff := j :: !diff
+  done;
+  match !diff with
+  | [ j ]
+    when abs (du.(j) - dv.(j)) = 1
+         || (k > 2 && abs (du.(j) - dv.(j)) = k - 1) ->
+      j
+  | _ -> invalid_arg "Kary_ncube.dimension_of_edge: not a torus edge"

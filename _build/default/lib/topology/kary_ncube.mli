@@ -1,0 +1,18 @@
+(** [k]-ary [n]-cubes: the [n]-fold Cartesian product of [k]-node rings.
+
+    Node [(i_{n-1}, ..., i_0)] is encoded as the radix-[k] integer with
+    [i_0] least significant. *)
+
+val create : k:int -> n:int -> Graph.t
+(** [create ~k ~n] is the [k]-ary [n]-cube on [k^n] nodes.  Each node has
+    degree [2n] for [k >= 3] and degree [n] for [k = 2] (where the two
+    ring neighbours coincide). *)
+
+val radices : k:int -> n:int -> Mixed_radix.radices
+(** The label system of {!create}: [n] digits of radix [k]. *)
+
+val dimension_of_edge : k:int -> n:int -> int -> int -> int
+(** [dimension_of_edge ~k ~n u v] is the dimension (digit position) in
+    which the adjacent nodes [u] and [v] differ.  Raises
+    [Invalid_argument] if they are not adjacent along a single
+    dimension. *)

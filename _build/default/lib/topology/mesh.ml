@@ -1,0 +1,14 @@
+let path k =
+  if k < 1 then invalid_arg "Mesh.path: k < 1";
+  let edges = ref [] in
+  for i = 0 to k - 2 do
+    edges := (i, i + 1) :: !edges
+  done;
+  Graph.of_edges ~n:k !edges
+
+let create ~dims =
+  if Array.length dims = 0 then invalid_arg "Mesh.create: no dimensions";
+  Array.fold_left
+    (fun acc k -> Graph.cartesian_product acc (path k))
+    (path dims.(0))
+    (Array.sub dims 1 (Array.length dims - 1))

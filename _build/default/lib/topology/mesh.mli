@@ -1,0 +1,9 @@
+(** Open meshes (products of paths). *)
+
+val path : int -> Graph.t
+(** [path k] is the simple path on [k >= 1] nodes. *)
+
+val create : dims:int array -> Graph.t
+(** [create ~dims] is the open mesh whose side lengths are [dims], i.e.
+    the Cartesian product of paths; [dims.(0)] varies fastest in the node
+    encoding. *)

@@ -1,0 +1,87 @@
+type radices = int array
+
+let check_radices r =
+  if Array.length r = 0 then invalid_arg "Mixed_radix: empty radices";
+  Array.iter (fun k -> if k < 1 then invalid_arg "Mixed_radix: radix < 1") r
+
+let cardinal r =
+  check_radices r;
+  Array.fold_left
+    (fun acc k ->
+      if acc > max_int / k then invalid_arg "Mixed_radix.cardinal: overflow"
+      else acc * k)
+    1 r
+
+let uniform ~radix ~dims =
+  if dims < 1 then invalid_arg "Mixed_radix.uniform: dims < 1";
+  if radix < 1 then invalid_arg "Mixed_radix.uniform: radix < 1";
+  Array.make dims radix
+
+let to_digits r x =
+  check_radices r;
+  if x < 0 then invalid_arg "Mixed_radix.to_digits: negative";
+  let n = Array.length r in
+  let d = Array.make n 0 in
+  let rest = ref x in
+  for j = 0 to n - 1 do
+    d.(j) <- !rest mod r.(j);
+    rest := !rest / r.(j)
+  done;
+  if !rest <> 0 then invalid_arg "Mixed_radix.to_digits: out of range";
+  d
+
+let of_digits r d =
+  check_radices r;
+  let n = Array.length r in
+  if Array.length d <> n then invalid_arg "Mixed_radix.of_digits: length";
+  let x = ref 0 in
+  for j = n - 1 downto 0 do
+    if d.(j) < 0 || d.(j) >= r.(j) then
+      invalid_arg "Mixed_radix.of_digits: digit out of range";
+    x := (!x * r.(j)) + d.(j)
+  done;
+  !x
+
+let split r ~lo_dims =
+  check_radices r;
+  let n = Array.length r in
+  if lo_dims < 1 || lo_dims >= n then invalid_arg "Mixed_radix.split";
+  (Array.sub r 0 lo_dims, Array.sub r lo_dims (n - lo_dims))
+
+let split_index r ~lo_dims x =
+  let low, _high = split r ~lo_dims in
+  let card_low = cardinal low in
+  (x / card_low, x mod card_low)
+
+let join_index r ~lo_dims ~hi ~lo =
+  let low, _high = split r ~lo_dims in
+  let card_low = cardinal low in
+  if lo < 0 || lo >= card_low then invalid_arg "Mixed_radix.join_index";
+  (hi * card_low) + lo
+
+let iter r f =
+  check_radices r;
+  let n = Array.length r in
+  let d = Array.make n 0 in
+  let total = cardinal r in
+  for _ = 1 to total do
+    f d;
+    (* increment least significant digit with carry *)
+    let j = ref 0 in
+    let carrying = ref true in
+    while !carrying && !j < n do
+      d.(!j) <- d.(!j) + 1;
+      if d.(!j) = r.(!j) then begin
+        d.(!j) <- 0;
+        incr j
+      end
+      else carrying := false
+    done
+  done
+
+let digit_pp ppf d =
+  Format.fprintf ppf "(";
+  for j = Array.length d - 1 downto 0 do
+    Format.fprintf ppf "%d%s" d.(j) (if j > 0 then "," else "")
+  done;
+  Format.fprintf ppf ")"

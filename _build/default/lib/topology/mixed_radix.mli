@@ -1,0 +1,49 @@
+(** Mixed-radix positional arithmetic.
+
+    Node labels of most networks in this library are digit vectors
+    [(i_{n-1}, ..., i_1, i_0)] where digit [j] ranges over
+    [0 .. radices.(j) - 1].  Digit index 0 is the least significant digit.
+    A digit vector is stored as an [int array] indexed by digit position,
+    i.e. element [0] is the least significant digit. *)
+
+type radices = int array
+(** [radices.(j)] is the radix of digit position [j]; every radix is >= 1. *)
+
+val cardinal : radices -> int
+(** [cardinal r] is the product of all radices: the number of distinct
+    digit vectors.  Raises [Invalid_argument] on overflow or empty/invalid
+    radices. *)
+
+val uniform : radix:int -> dims:int -> radices
+(** [uniform ~radix ~dims] is the radix vector [(radix, ..., radix)] with
+    [dims] digits. *)
+
+val to_digits : radices -> int -> int array
+(** [to_digits r x] decodes the integer [x] (with [0 <= x < cardinal r])
+    into its digit vector, least significant digit first. *)
+
+val of_digits : radices -> int array -> int
+(** [of_digits r d] encodes a digit vector back into an integer.  Inverse
+    of {!to_digits}.  Raises [Invalid_argument] if a digit is out of
+    range. *)
+
+val split : radices -> lo_dims:int -> radices * radices
+(** [split r ~lo_dims] splits the radix vector into the [lo_dims] least
+    significant radices and the remaining most significant ones:
+    [(low, high)]. *)
+
+val split_index : radices -> lo_dims:int -> int -> int * int
+(** [split_index r ~lo_dims x] is [(hi, lo)] where [lo] encodes the
+    [lo_dims] least significant digits of [x] and [hi] the remaining
+    digits, each in their own mixed-radix system from {!split}. *)
+
+val join_index : radices -> lo_dims:int -> hi:int -> lo:int -> int
+(** Inverse of {!split_index}. *)
+
+val iter : radices -> (int array -> unit) -> unit
+(** [iter r f] applies [f] to every digit vector in increasing encoded
+    order.  The array passed to [f] is reused between calls; copy it if
+    you keep it. *)
+
+val digit_pp : Format.formatter -> int array -> unit
+(** Prints a digit vector most-significant-digit first, e.g. [(2,0,1)]. *)

@@ -1,0 +1,77 @@
+type t = int array
+
+let identity d = Array.init d (fun i -> i)
+
+let is_valid p =
+  let d = Array.length p in
+  let seen = Array.make d false in
+  Array.for_all
+    (fun x ->
+      if x < 0 || x >= d || seen.(x) then false
+      else begin
+        seen.(x) <- true;
+        true
+      end)
+    p
+
+let compose p q =
+  if Array.length p <> Array.length q then invalid_arg "Permutation.compose";
+  Array.map (fun x -> p.(x)) q
+
+let invert p =
+  let d = Array.length p in
+  let inv = Array.make d 0 in
+  Array.iteri (fun i x -> inv.(x) <- i) p;
+  inv
+
+let factorial n =
+  if n < 0 || n > 20 then invalid_arg "Permutation.factorial";
+  let rec go acc k = if k <= 1 then acc else go (acc * k) (k - 1) in
+  go 1 n
+
+let rank p =
+  let d = Array.length p in
+  let r = ref 0 in
+  for i = 0 to d - 1 do
+    let smaller = ref 0 in
+    for j = i + 1 to d - 1 do
+      if p.(j) < p.(i) then incr smaller
+    done;
+    r := (!r * (d - i)) + !smaller
+  done;
+  !r
+
+let unrank ~d code =
+  if code < 0 || code >= factorial d then invalid_arg "Permutation.unrank";
+  let lehmer = Array.make d 0 in
+  let rest = ref code in
+  for i = d - 1 downto 0 do
+    let base = d - i in
+    lehmer.(i) <- !rest mod base;
+    rest := !rest / base
+  done;
+  let available = Array.to_list (Array.init d (fun i -> i)) in
+  let avail = ref available in
+  Array.map
+    (fun k ->
+      let x = List.nth !avail k in
+      avail := List.filter (fun y -> y <> x) !avail;
+      x)
+    lehmer
+
+let swap p i j =
+  let q = Array.copy p in
+  let tmp = q.(i) in
+  q.(i) <- q.(j);
+  q.(j) <- tmp;
+  q
+
+let prefix_reversal p k =
+  if k < 2 || k > Array.length p then invalid_arg "Permutation.prefix_reversal";
+  let q = Array.copy p in
+  for i = 0 to (k / 2) - 1 do
+    let tmp = q.(i) in
+    q.(i) <- q.(k - 1 - i);
+    q.(k - 1 - i) <- tmp
+  done;
+  q

@@ -1,0 +1,28 @@
+(** Permutations of [{0, ..., d-1}] with Lehmer-code ranking, used to
+    label the Cayley-graph networks of §4.3 (star, pancake, bubble-sort,
+    transposition networks). *)
+
+type t = int array
+(** [p.(i)] is the image of [i].  Arrays are treated as immutable. *)
+
+val identity : int -> t
+val is_valid : t -> bool
+val compose : t -> t -> t
+(** [compose p q] maps [i] to [p.(q.(i))]. *)
+
+val invert : t -> t
+
+val factorial : int -> int
+(** Raises [Invalid_argument] past 20 (int64 overflow territory). *)
+
+val rank : t -> int
+(** Lehmer-code rank in [0 .. d! - 1]; the identity has rank 0. *)
+
+val unrank : d:int -> int -> t
+(** Inverse of {!rank} for permutations of [d] symbols. *)
+
+val swap : t -> int -> int -> t
+(** [swap p i j] is [p] with positions [i] and [j] exchanged. *)
+
+val prefix_reversal : t -> int -> t
+(** [prefix_reversal p k] reverses the first [k] positions ([k >= 2]). *)

@@ -1,0 +1,56 @@
+type t = {
+  graph : Graph.t;
+  quotient : Graph.t;
+  cluster_size : int;
+  multiplicity : int;
+  intra : Graph.t;
+  attach : (int * int) -> int -> int * int;
+}
+
+let node t ~cluster ~pos =
+  if pos < 0 || pos >= t.cluster_size then invalid_arg "Pn_cluster.node: pos";
+  if cluster < 0 || cluster >= Graph.n t.quotient then
+    invalid_arg "Pn_cluster.node: cluster";
+  (cluster * t.cluster_size) + pos
+
+let cluster_of t id = id / t.cluster_size
+let pos_of t id = id mod t.cluster_size
+
+(* index of [v] among the sorted neighbours of [u] *)
+let neighbor_rank quotient u v =
+  let rank = ref (-1) in
+  let i = ref 0 in
+  Graph.iter_neighbors quotient u (fun w ->
+      if w = v then rank := !i;
+      incr i);
+  if !rank < 0 then invalid_arg "Pn_cluster: attach on a non-edge";
+  !rank
+
+let default_attach quotient ~cluster_size ~multiplicity (qu, qv) i =
+  let pos_u = ((neighbor_rank quotient qu qv * multiplicity) + i) mod cluster_size in
+  let pos_v = ((neighbor_rank quotient qv qu * multiplicity) + i) mod cluster_size in
+  (pos_u, pos_v)
+
+let create ~quotient ~intra ?(multiplicity = 1) ?attach () =
+  if multiplicity < 1 then invalid_arg "Pn_cluster.create: multiplicity < 1";
+  let cluster_size = Graph.n intra in
+  if cluster_size < 1 then invalid_arg "Pn_cluster.create: empty cluster";
+  let attach =
+    match attach with
+    | Some f -> f
+    | None -> default_attach quotient ~cluster_size ~multiplicity
+  in
+  let encode cluster pos = (cluster * cluster_size) + pos in
+  let edges = ref [] in
+  for c = 0 to Graph.n quotient - 1 do
+    Graph.iter_edges intra (fun p q -> edges := (encode c p, encode c q) :: !edges)
+  done;
+  Graph.iter_edges quotient (fun qu qv ->
+      for i = 0 to multiplicity - 1 do
+        let pos_u, pos_v = attach (qu, qv) i in
+        if pos_u < 0 || pos_u >= cluster_size || pos_v < 0 || pos_v >= cluster_size
+        then invalid_arg "Pn_cluster.create: attach position out of range";
+        edges := (encode qu pos_u, encode qv pos_v) :: !edges
+      done);
+  let graph = Graph.of_edges ~n:(Graph.n quotient * cluster_size) !edges in
+  { graph; quotient; cluster_size; multiplicity; intra; attach }

@@ -1,0 +1,38 @@
+(** Product-network clusters (§3.2): networks obtained by replacing each
+    node of a quotient product network with a small cluster.
+
+    The record keeps the structure the layout engines need — the quotient
+    graph, the cluster contents, the inter-cluster link multiplicity and
+    the attachment of each inter-cluster link to concrete nodes. *)
+
+type t = {
+  graph : Graph.t;           (** the expanded network *)
+  quotient : Graph.t;        (** one node per cluster *)
+  cluster_size : int;        (** [c]: nodes per cluster *)
+  multiplicity : int;        (** parallel links per quotient edge *)
+  intra : Graph.t;           (** the cluster (intra) topology *)
+  attach :
+    (int * int) -> int -> int * int;
+    (** [attach (qu, qv) i] gives, for the [i]-th parallel link of
+        quotient edge [(qu, qv)] with [qu < qv], the in-cluster positions
+        [(pos_u, pos_v)] of its endpoints. *)
+}
+
+val node : t -> cluster:int -> pos:int -> int
+(** Node encoding: [cluster * cluster_size + pos]. *)
+
+val cluster_of : t -> int -> int
+val pos_of : t -> int -> int
+
+val create :
+  quotient:Graph.t ->
+  intra:Graph.t ->
+  ?multiplicity:int ->
+  ?attach:((int * int) -> int -> int * int) ->
+  unit ->
+  t
+(** [create ~quotient ~intra ()] expands every quotient node into a copy
+    of [intra].  By default each quotient edge becomes [multiplicity = 1]
+    link, and the [i]-th link of the [e]-th edge incident to a cluster is
+    attached round-robin over cluster positions, which keeps the extra
+    degree per cluster node bounded by [ceil (q_deg * mult / c)]. *)

@@ -1,0 +1,87 @@
+let degree_histogram g =
+  let tbl = Hashtbl.create 16 in
+  for u = 0 to Graph.n g - 1 do
+    let d = Graph.degree g u in
+    Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+  done;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
+  |> List.sort compare
+
+let level_profile g s =
+  let dist = Graph.bfs_dist g s in
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun d ->
+      Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
+    dist;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [] |> List.sort compare
+
+let is_vertex_transitive_sample g ~samples =
+  let n = Graph.n g in
+  if n = 0 then true
+  else begin
+    let reference = level_profile g 0 in
+    let deg0 = Graph.degree g 0 in
+    let step = max 1 (n / max 1 samples) in
+    let ok = ref true in
+    let u = ref step in
+    while !ok && !u < n do
+      if Graph.degree g !u <> deg0 || level_profile g !u <> reference then
+        ok := false;
+      u := !u + step
+    done;
+    !ok
+  end
+
+let average_distance g =
+  let n = Graph.n g in
+  if n <= 1 then 0.0
+  else begin
+    let total = ref 0 in
+    for s = 0 to n - 1 do
+      let dist = Graph.bfs_dist g s in
+      Array.iter
+        (fun d ->
+          if d = max_int then
+            invalid_arg "Properties.average_distance: disconnected";
+          total := !total + d)
+        dist
+    done;
+    float_of_int !total /. float_of_int (n * (n - 1))
+  end
+
+let edge_cut g ~left =
+  if Array.length left <> Graph.n g then invalid_arg "Properties.edge_cut";
+  Graph.fold_edges g ~init:0 ~f:(fun acc u v ->
+      if left.(u) <> left.(v) then acc + 1 else acc)
+
+let cut_of_order g order =
+  (* balanced cut induced by taking the first half of [order] *)
+  let n = Graph.n g in
+  let left = Array.make n false in
+  Array.iteri (fun i u -> if i < n / 2 then left.(u) <- true) order;
+  edge_cut g ~left
+
+let bfs_order g s =
+  let dist = Graph.bfs_dist g s in
+  let order = Array.init (Graph.n g) (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match compare dist.(a) dist.(b) with 0 -> compare a b | c -> c)
+    order;
+  order
+
+let bisection_upper_bound g ~sweeps =
+  let n = Graph.n g in
+  if n <= 1 then 0
+  else begin
+    let best = ref (cut_of_order g (Array.init n (fun i -> i))) in
+    let step = max 1 (n / max 1 sweeps) in
+    let s = ref 0 in
+    while !s < n do
+      let cut = cut_of_order g (bfs_order g !s) in
+      if cut < !best then best := cut;
+      s := !s + step
+    done;
+    !best
+  end

@@ -1,0 +1,22 @@
+(** Structural property analysis used by tests, lower bounds and
+    experiment reports. *)
+
+val degree_histogram : Graph.t -> (int * int) list
+(** [(degree, count)] pairs, sorted by degree. *)
+
+val is_vertex_transitive_sample : Graph.t -> samples:int -> bool
+(** Cheap necessary-condition check: all sampled nodes have the same
+    degree and the same sorted multiset of BFS-level sizes.  [true] only
+    says the samples are consistent with vertex transitivity. *)
+
+val average_distance : Graph.t -> float
+(** Mean pairwise BFS distance (all pairs; O(n·m)).  Raises
+    [Invalid_argument] on disconnected graphs. *)
+
+val edge_cut : Graph.t -> left:bool array -> int
+(** Number of edges crossing the given bipartition. *)
+
+val bisection_upper_bound : Graph.t -> sweeps:int -> int
+(** Heuristic upper bound on the bisection width: best balanced cut found
+    by BFS-ordering sweeps from [sweeps] different seeds plus a
+    label-order sweep.  An upper bound on the true bisection width. *)

@@ -1,0 +1,41 @@
+type t = { graph : Graph.t; dims : int; cluster_dims : int }
+
+let is_power_of_two x = x > 0 && x land (x - 1) = 0
+
+let log2_exact x =
+  let rec go acc x = if x = 1 then acc else go (acc + 1) (x lsr 1) in
+  go 0 x
+
+let encode ~dims ~cube ~pos = (cube * dims) + pos
+
+let create n =
+  if not (is_power_of_two n) || n < 2 then
+    invalid_arg "Reduced_hypercube.create: n must be a power of two >= 2";
+  if n > 20 then invalid_arg "Reduced_hypercube.create: n too large";
+  let cluster_dims = log2_exact n in
+  let cubes = 1 lsl n in
+  let total = cubes * n in
+  let edges = ref [] in
+  for w = 0 to cubes - 1 do
+    for i = 0 to n - 1 do
+      let u = encode ~dims:n ~cube:w ~pos:i in
+      (* intra-cluster hypercube links on the position label *)
+      for b = 0 to cluster_dims - 1 do
+        let j = i lxor (1 lsl b) in
+        if i < j then edges := (u, encode ~dims:n ~cube:w ~pos:j) :: !edges
+      done;
+      (* cube link along dimension i *)
+      let w' = w lxor (1 lsl i) in
+      if w < w' then edges := (u, encode ~dims:n ~cube:w' ~pos:i) :: !edges
+    done
+  done;
+  { graph = Graph.of_edges ~n:total !edges; dims = n; cluster_dims }
+
+let node t ~cube ~pos =
+  if pos < 0 || pos >= t.dims then invalid_arg "Reduced_hypercube.node: pos";
+  if cube < 0 || cube >= 1 lsl t.dims then
+    invalid_arg "Reduced_hypercube.node: cube";
+  encode ~dims:t.dims ~cube ~pos
+
+let cube_of t id = id / t.dims
+let pos_of t id = id mod t.dims

@@ -1,0 +1,21 @@
+(** Reduced hypercubes RH (Ziavras).
+
+    [RH] is obtained from the [n]-dimensional CCC by replacing each
+    [n]-node cycle with a [log2 n]-dimensional hypercube ([n] must be a
+    power of two).  Node [(w, i)] keeps its cube link along dimension [i]
+    and is connected inside its cluster to every [(w, j)] with
+    [i xor j] a power of two. *)
+
+type t = {
+  graph : Graph.t;
+  dims : int;          (** [n], a power of two. *)
+  cluster_dims : int;  (** [log2 n]. *)
+}
+
+val create : int -> t
+(** [create n] builds RH over the [n]-cube; raises [Invalid_argument]
+    unless [n] is a power of two, [n >= 2]. *)
+
+val node : t -> cube:int -> pos:int -> int
+val cube_of : t -> int -> int
+val pos_of : t -> int -> int

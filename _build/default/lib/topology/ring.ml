@@ -1,0 +1,8 @@
+let create k =
+  if k < 1 then invalid_arg "Ring.create: k < 1";
+  let edges = ref [] in
+  for i = 0 to k - 2 do
+    edges := (i, i + 1) :: !edges
+  done;
+  if k > 2 then edges := (0, k - 1) :: !edges;
+  Graph.of_edges ~n:k !edges

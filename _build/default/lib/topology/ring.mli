@@ -1,0 +1,5 @@
+(** Rings (cycles): the [k]-ary 1-cube. *)
+
+val create : int -> Graph.t
+(** [create k] is the cycle on [k >= 3] nodes, or the single edge for
+    [k = 2] and the single node for [k = 1]. *)

@@ -1,0 +1,35 @@
+type t = { graph : Graph.t; d : int; cycle_len : int }
+
+let encode ~cycle_len ~star ~pos = (star * cycle_len) + pos
+
+let create d =
+  if d < 3 then invalid_arg "Scc.create: d < 3";
+  let cycle_len = d - 1 in
+  let total = Permutation.factorial d * cycle_len in
+  let edges = ref [] in
+  for star = 0 to Permutation.factorial d - 1 do
+    let p = Permutation.unrank ~d star in
+    for pos = 0 to cycle_len - 1 do
+      let u = encode ~cycle_len ~star ~pos in
+      (* cycle links (a single edge when the cycle has two nodes) *)
+      if pos < cycle_len - 1 then
+        edges := (u, encode ~cycle_len ~star ~pos:(pos + 1)) :: !edges
+      else if cycle_len > 2 then
+        edges := (u, encode ~cycle_len ~star ~pos:0) :: !edges;
+      (* star link: position [pos] carries generator swap(0, pos+1) *)
+      let q = Permutation.swap p 0 (pos + 1) in
+      let star' = Permutation.rank q in
+      if star < star' then
+        edges := (u, encode ~cycle_len ~star:star' ~pos) :: !edges
+    done
+  done;
+  { graph = Graph.of_edges ~n:total !edges; d; cycle_len }
+
+let node t ~star ~pos =
+  if pos < 0 || pos >= t.cycle_len then invalid_arg "Scc.node: pos";
+  if star < 0 || star >= Permutation.factorial t.d then
+    invalid_arg "Scc.node: star";
+  encode ~cycle_len:t.cycle_len ~star ~pos
+
+let star_of t id = id / t.cycle_len
+let pos_of t id = id mod t.cycle_len

@@ -1,0 +1,20 @@
+(** Star-connected cycles (Latifi–de Azevedo–Bagherzadeh), one of the
+    §4.3 families: each node of the star graph S_d is replaced by a
+    (d-1)-node cycle, position [i] of the cycle carrying the star's
+    generator [i+1] link — the star-graph analogue of the CCC. *)
+
+type t = {
+  graph : Graph.t;
+  d : int;            (** star graph dimension; N = (d-1) d! *)
+  cycle_len : int;    (** d - 1 *)
+}
+
+val create : int -> t
+(** [create d] builds SCC(d), [d >= 3]. *)
+
+val node : t -> star:int -> pos:int -> int
+(** [(star graph node rank, cycle position)] encoded as
+    [star * (d-1) + pos]. *)
+
+val star_of : t -> int -> int
+val pos_of : t -> int -> int

@@ -1,0 +1,26 @@
+let shuffle_exchange n =
+  if n < 1 then invalid_arg "Shuffle.shuffle_exchange: n < 1";
+  if n > 22 then invalid_arg "Shuffle.shuffle_exchange: n too large";
+  let total = 1 lsl n in
+  let mask = total - 1 in
+  let edges = ref [] in
+  for w = 0 to total - 1 do
+    let exchange = w lxor 1 in
+    if w < exchange then edges := (w, exchange) :: !edges;
+    let shuffle = ((w lsl 1) lor (w lsr (n - 1))) land mask in
+    if w <> shuffle then edges := (min w shuffle, max w shuffle) :: !edges
+  done;
+  Graph.of_edges ~n:total !edges
+
+let de_bruijn n =
+  if n < 1 then invalid_arg "Shuffle.de_bruijn: n < 1";
+  if n > 22 then invalid_arg "Shuffle.de_bruijn: n too large";
+  let total = 1 lsl n in
+  let mask = total - 1 in
+  let edges = ref [] in
+  for w = 0 to total - 1 do
+    List.iter
+      (fun succ -> if w <> succ then edges := (min w succ, max w succ) :: !edges)
+      [ (w lsl 1) land mask; ((w lsl 1) lor 1) land mask ]
+  done;
+  Graph.of_edges ~n:total !edges

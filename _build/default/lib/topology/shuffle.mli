@@ -1,0 +1,13 @@
+(** Shuffle-exchange and de Bruijn networks — the classic fixed-degree
+    VLSI-layout benchmarks from the Thompson/Leighton line of work the
+    paper builds on (refs [17], [23]). *)
+
+val shuffle_exchange : int -> Graph.t
+(** [shuffle_exchange n] on [2^n] nodes: exchange edges flip the lowest
+    bit, shuffle edges rotate the bit string left by one (self-loops at
+    all-0s/all-1s are dropped; a shuffle edge that coincides with an
+    exchange edge collapses). *)
+
+val de_bruijn : int -> Graph.t
+(** [de_bruijn n] on [2^n] nodes: [w] is adjacent to [2w mod 2^n] and
+    [2w + 1 mod 2^n] (undirected, self-loops dropped). *)

@@ -1,0 +1,26 @@
+let complete_binary levels =
+  if levels < 1 then invalid_arg "Tree.complete_binary: levels < 1";
+  if levels > 24 then invalid_arg "Tree.complete_binary: too large";
+  let n = (1 lsl levels) - 1 in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    let left = (2 * i) + 1 and right = (2 * i) + 2 in
+    if left < n then edges := (i, left) :: !edges;
+    if right < n then edges := (i, right) :: !edges
+  done;
+  Graph.of_edges ~n !edges
+
+let in_order levels =
+  let n = (1 lsl levels) - 1 in
+  let node_at = Array.make n (-1) in
+  let pos = ref 0 in
+  let rec visit i =
+    if i < n then begin
+      visit ((2 * i) + 1);
+      node_at.(!pos) <- i;
+      incr pos;
+      visit ((2 * i) + 2)
+    end
+  in
+  visit 0;
+  node_at

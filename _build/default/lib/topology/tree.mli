@@ -1,0 +1,12 @@
+(** Complete binary trees — the classical O(N)-area layout benchmark
+    (Leiserson's H-trees) used here as a low-bisection comparator. *)
+
+val complete_binary : int -> Graph.t
+(** [complete_binary levels] is the complete binary tree with
+    [2^levels - 1] nodes; node 0 is the root and node [i]'s children are
+    [2i+1] and [2i+2]. *)
+
+val in_order : int -> int array
+(** The in-order traversal of [complete_binary levels] as a
+    position -> node array: the canonical low-cutwidth collinear order
+    (cutwidth [<= levels]). *)

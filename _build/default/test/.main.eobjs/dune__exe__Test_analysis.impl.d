@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Format List Mvl Mvl_core String

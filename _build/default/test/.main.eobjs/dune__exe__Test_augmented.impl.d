@@ -1,0 +1,1 @@
+test/test_augmented.ml: Alcotest Array Format List Mvl Mvl_core Printf

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest List Mvl Mvl_core

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Format List Mvl Mvl_core Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_collinear.ml: Alcotest Array Gen List Mvl Mvl_core Printf QCheck QCheck_alcotest

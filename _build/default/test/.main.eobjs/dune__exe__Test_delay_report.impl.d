@@ -1,0 +1,1 @@
+test/test_delay_report.ml: Alcotest Format List Mvl Mvl_core String

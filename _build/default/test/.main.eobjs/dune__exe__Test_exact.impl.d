@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Array List Mvl Mvl_core Printf

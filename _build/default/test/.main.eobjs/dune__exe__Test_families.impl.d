@@ -1,0 +1,1 @@
+test/test_families.ml: Alcotest Array Format Gen List Mvl Mvl_core Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_generators.ml: Alcotest List Mvl Mvl_core Printf

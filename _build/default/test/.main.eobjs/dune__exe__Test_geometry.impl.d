@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Array Mvl Mvl_core QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array List Mvl Mvl_core QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Format List Mvl Mvl_core Printf

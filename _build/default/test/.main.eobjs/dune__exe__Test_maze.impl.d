@@ -1,0 +1,1 @@
+test/test_maze.ml: Alcotest Array Format Mvl Mvl_core

@@ -1,0 +1,1 @@
+test/test_mixed_radix.ml: Alcotest Array Gen List Mvl Mvl_core Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mutations.ml: Alcotest Array Mvl Mvl_core Printf QCheck QCheck_alcotest

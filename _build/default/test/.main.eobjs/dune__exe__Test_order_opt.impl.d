@@ -1,0 +1,1 @@
+test/test_order_opt.ml: Alcotest List Mvl Mvl_core

@@ -1,0 +1,1 @@
+test/test_permutation.ml: Alcotest Array List Mvl Mvl_core Printf QCheck QCheck_alcotest

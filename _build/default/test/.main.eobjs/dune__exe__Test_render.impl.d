@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest List Mvl Mvl_core Printf String

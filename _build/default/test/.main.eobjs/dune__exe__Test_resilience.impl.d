@@ -1,0 +1,1 @@
+test/test_resilience.ml: Alcotest Mvl Mvl_core

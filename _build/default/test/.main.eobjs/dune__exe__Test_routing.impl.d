@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Mvl Mvl_core Printf

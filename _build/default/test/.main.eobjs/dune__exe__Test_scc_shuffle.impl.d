@@ -1,0 +1,1 @@
+test/test_scc_shuffle.ml: Alcotest Hashtbl List Mvl Mvl_core Printf

@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Filename List Mvl Mvl_core String Sys

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Mvl Mvl_core Printf

@@ -1,0 +1,1 @@
+test/test_wormhole.ml: Alcotest Mvl Mvl_core

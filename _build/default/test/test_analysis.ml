@@ -1,0 +1,108 @@
+open Mvl_core
+
+(* --- golden figures ---------------------------------------------------- *)
+
+let fig2_golden =
+  "             +-----------+   +---+\n\
+   \             +-------+   +---#---|\n\
+   \     +-----------------------|   |\n\
+   \     |-----------+---+-----------+\n\
+   \ +---|-------|---|---|---|   |   |\n\
+   \ |---|-------|---|---|-------|   |\n\
+   \ +---|---+-----------|   |---|   |\n\
+   \ |---+---+-----------#-----------|\n\
+   [ 0 ][ 3 ][ 6 ][ 1 ][ 4 ][ 7 ][ 2 ][ 5 ][ 8 ]\n"
+
+let test_fig2_golden () =
+  let rendered =
+    Mvl.Render.collinear_ascii (Mvl.Collinear_kary.create ~k:3 ~n:2 ())
+  in
+  Alcotest.(check string) "Fig. 2 snapshot" fig2_golden rendered
+
+let test_fig_renders_stable () =
+  (* snapshot stability: two renders are byte-identical *)
+  let r1 = Mvl.Render.collinear_ascii (Mvl.Collinear_hypercube.create 4) in
+  let r2 = Mvl.Render.collinear_ascii (Mvl.Collinear_hypercube.create 4) in
+  Alcotest.(check string) "deterministic" r1 r2
+
+(* --- Thompson never stricter than Strict -------------------------------- *)
+
+let test_thompson_subset_of_strict () =
+  (* any layout valid under Strict is valid under Thompson, and every
+     Thompson violation also appears under Strict *)
+  List.iter
+    (fun fam ->
+      let lay = fam.Mvl.Families.layout ~layers:3 in
+      let strict = Mvl.Check.validate ~mode:Mvl.Check.Strict lay in
+      let thompson = Mvl.Check.validate ~mode:Mvl.Check.Thompson lay in
+      Alcotest.(check bool)
+        (fam.Mvl.Families.name ^ " thompson <= strict")
+        true
+        (List.length thompson <= List.length strict))
+    [
+      Mvl.Families.hypercube 5;
+      Mvl.Families.kary ~k:3 ~n:2 ();
+      Mvl.Families.ccc 3;
+      Mvl.Families.folded_hypercube 4;
+    ]
+
+(* --- congestion analysis ------------------------------------------------- *)
+
+let test_congestion_uniform_hypercube () =
+  let row = Mvl.Collinear_hypercube.create 3 in
+  let o =
+    Mvl.Orthogonal.of_product ~row_factor:row ~col_factor:row
+      (Mvl.Hypercube.create 6)
+  in
+  let c = Mvl.Congestion.analyze o in
+  (* a symmetric product: every gap carries the same load *)
+  Alcotest.(check bool) "perfect balance" true (c.Mvl.Congestion.balance > 0.99);
+  Alcotest.(check int) "row gap = collinear tracks"
+    (Mvl.Collinear_hypercube.tracks_formula 3)
+    c.Mvl.Congestion.max_row_tracks;
+  Array.iter
+    (fun ch ->
+      Alcotest.(check bool) "full utilization" true
+        (ch.Mvl.Congestion.utilization > 0.99))
+    c.Mvl.Congestion.rows
+
+let test_congestion_counts_edges () =
+  let row = Mvl.Collinear_ring.create 4 in
+  let o =
+    Mvl.Orthogonal.of_product ~row_factor:row ~col_factor:row
+      (Mvl.Kary_ncube.create ~k:4 ~n:2)
+  in
+  let c = Mvl.Congestion.analyze o in
+  let total_row_edges =
+    Array.fold_left (fun acc ch -> acc + ch.Mvl.Congestion.edges) 0
+      c.Mvl.Congestion.rows
+  in
+  let total_col_edges =
+    Array.fold_left (fun acc ch -> acc + ch.Mvl.Congestion.edges) 0
+      c.Mvl.Congestion.cols
+  in
+  Alcotest.(check int) "all edges accounted"
+    (Mvl.Graph.m o.Mvl.Orthogonal.graph)
+    (total_row_edges + total_col_edges)
+
+let test_congestion_renders () =
+  let row = Mvl.Collinear_ring.create 3 in
+  let o =
+    Mvl.Orthogonal.of_product ~row_factor:row ~col_factor:row
+      (Mvl.Kary_ncube.create ~k:3 ~n:2)
+  in
+  let s = Format.asprintf "%a" Mvl.Congestion.pp (Mvl.Congestion.analyze o) in
+  Alcotest.(check bool) "nonempty" true (String.length s > 20)
+
+let suite =
+  [
+    Alcotest.test_case "Fig.2 golden snapshot" `Quick test_fig2_golden;
+    Alcotest.test_case "figures render deterministically" `Quick
+      test_fig_renders_stable;
+    Alcotest.test_case "thompson <= strict" `Quick test_thompson_subset_of_strict;
+    Alcotest.test_case "congestion balance" `Quick
+      test_congestion_uniform_hypercube;
+    Alcotest.test_case "congestion edge accounting" `Quick
+      test_congestion_counts_edges;
+    Alcotest.test_case "congestion rendering" `Quick test_congestion_renders;
+  ]

@@ -1,0 +1,125 @@
+open Mvl_core
+
+let strict_valid name lay =
+  match Mvl.Check.validate ~mode:Mvl.Check.Strict lay with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.fail (Format.asprintf "%s: %a" name Mvl.Check.pp_violation v)
+
+let test_folded_hypercube_layouts () =
+  List.iter
+    (fun (n, layers) ->
+      let fam = Mvl.Families.folded_hypercube n in
+      let lay = fam.Mvl.Families.layout ~layers in
+      strict_valid (Printf.sprintf "folded(%d) L=%d" n layers) lay;
+      Alcotest.(check int) "all edges routed"
+        (Mvl.Graph.m fam.Mvl.Families.graph)
+        (Array.length lay.Mvl.Layout.wires))
+    [ (3, 2); (4, 2); (5, 4); (6, 6); (5, 3) ]
+
+let test_enhanced_cube_layouts () =
+  List.iter
+    (fun (n, layers, seed) ->
+      let fam = Mvl.Families.enhanced_cube ~n ~seed in
+      strict_valid
+        (Printf.sprintf "enhanced(%d) L=%d" n layers)
+        (fam.Mvl.Families.layout ~layers))
+    [ (4, 2, 1); (5, 4, 2); (6, 4, 3); (5, 5, 4) ]
+
+let test_folded_larger_than_plain () =
+  let plain = Mvl.Families.hypercube 6 in
+  let folded = Mvl.Families.folded_hypercube 6 in
+  let a_plain =
+    (Mvl.Layout.metrics (plain.Mvl.Families.layout ~layers:2)).Mvl.Layout.area
+  in
+  let a_folded =
+    (Mvl.Layout.metrics (folded.Mvl.Families.layout ~layers:2)).Mvl.Layout.area
+  in
+  Alcotest.(check bool) "diameter links cost area" true (a_folded > a_plain);
+  (* ... but within the paper's 49/16 factor (plus lower-order terms) *)
+  Alcotest.(check bool) "within paper bound region" true
+    (float_of_int a_folded /. float_of_int a_plain < 49.0 /. 16.0 +. 1.0)
+
+let test_enhanced_larger_than_folded () =
+  (* N random links vs N/2 diameter links *)
+  let folded = Mvl.Families.folded_hypercube 6 in
+  let enhanced = Mvl.Families.enhanced_cube ~n:6 ~seed:5 in
+  let a_f =
+    (Mvl.Layout.metrics (folded.Mvl.Families.layout ~layers:2)).Mvl.Layout.area
+  in
+  let a_e =
+    (Mvl.Layout.metrics (enhanced.Mvl.Families.layout ~layers:2)).Mvl.Layout.area
+  in
+  Alcotest.(check bool) "more extra links, more area" true (a_e > a_f)
+
+let test_extra_links_profit_from_layers () =
+  let fam = Mvl.Families.folded_hypercube 8 in
+  let a2 = (Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers:2)).Mvl.Layout.area in
+  let a8 = (Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers:8)).Mvl.Layout.area in
+  Alcotest.(check bool) "layers shrink the folded cube too" true
+    (float_of_int a2 /. float_of_int a8 > 2.5)
+
+let test_baseline_fold_thompson () =
+  let fam = Mvl.Families.hypercube 8 in
+  let m2 = Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers:2) in
+  let folded = Mvl.Baselines.fold_thompson m2 ~layers:8 in
+  (* area shrinks ~L/2 = 4x, volume stays put, wires untouched *)
+  let ratio = float_of_int m2.Mvl.Layout.area /. float_of_int folded.Mvl.Layout.area in
+  Alcotest.(check bool) "area ratio close to 4" true
+    (ratio > 3.5 && ratio <= 4.5);
+  (* folding leaves the volume essentially unchanged (2A), up to the
+     ceil() of the last slab *)
+  Alcotest.(check bool) "volume unchanged" true
+    (abs (folded.Mvl.Layout.volume - (2 * m2.Mvl.Layout.area))
+    <= 8 * m2.Mvl.Layout.width);
+  Alcotest.(check int) "max wire unchanged" m2.Mvl.Layout.max_wire
+    folded.Mvl.Layout.max_wire;
+  (try
+     ignore (Mvl.Baselines.fold_thompson m2 ~layers:3);
+     Alcotest.fail "odd layer folding accepted"
+   with Invalid_argument _ -> ());
+  let m4 = Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers:4) in
+  try
+    ignore (Mvl.Baselines.fold_thompson m4 ~layers:8);
+    Alcotest.fail "non-thompson input accepted"
+  with Invalid_argument _ -> ()
+
+let test_baseline_volume_comparison () =
+  (* §2.2: direct multilayer reduces volume by ~L/2; folding does not *)
+  let fam = Mvl.Families.hypercube 10 in
+  let m2 = Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers:2) in
+  let m8 = Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers:8) in
+  let folded8 = Mvl.Baselines.fold_thompson m2 ~layers:8 in
+  Alcotest.(check bool) "direct volume beats folded volume" true
+    (m8.Mvl.Layout.volume < folded8.Mvl.Layout.volume);
+  Alcotest.(check bool) "direct maxwire beats folded maxwire" true
+    (m8.Mvl.Layout.max_wire < folded8.Mvl.Layout.max_wire)
+
+let test_baseline_collinear_multilayer () =
+  let c = Mvl.Collinear_hypercube.create 8 in
+  let m2 = Mvl.Baselines.collinear_multilayer c ~layers:2 in
+  let m8 = Mvl.Baselines.collinear_multilayer c ~layers:8 in
+  (* area gain bounded by ~L/2 *)
+  let gain = float_of_int m2.Mvl.Layout.area /. float_of_int m8.Mvl.Layout.area in
+  Alcotest.(check bool) "collinear gain is at most ~L/2" true (gain <= 4.5);
+  (* the max wire barely moves: it is dominated by the x span *)
+  Alcotest.(check bool) "collinear maxwire stays put" true
+    (float_of_int m2.Mvl.Layout.max_wire
+     /. float_of_int m8.Mvl.Layout.max_wire
+    < 1.5)
+
+let suite =
+  [
+    Alcotest.test_case "folded hypercube layouts" `Quick
+      test_folded_hypercube_layouts;
+    Alcotest.test_case "enhanced cube layouts" `Quick test_enhanced_cube_layouts;
+    Alcotest.test_case "folded vs plain area" `Quick test_folded_larger_than_plain;
+    Alcotest.test_case "enhanced vs folded area" `Quick
+      test_enhanced_larger_than_folded;
+    Alcotest.test_case "extra links profit from layers" `Quick
+      test_extra_links_profit_from_layers;
+    Alcotest.test_case "fold-thompson baseline" `Quick test_baseline_fold_thompson;
+    Alcotest.test_case "volume comparison" `Quick test_baseline_volume_comparison;
+    Alcotest.test_case "collinear multilayer baseline" `Quick
+      test_baseline_collinear_multilayer;
+  ]

@@ -1,0 +1,215 @@
+(* Negative tests: the verifier must actually catch broken geometry. *)
+open Mvl_core
+
+let pt x y z = Mvl.Point.make ~x ~y ~z
+
+let two_node_graph = Mvl.Graph.of_edges ~n:2 [ (0, 1) ]
+
+let simple_nodes =
+  [|
+    Mvl.Rect.make ~x0:0 ~y0:0 ~x1:2 ~y1:2;
+    Mvl.Rect.make ~x0:10 ~y0:0 ~x1:12 ~y1:2;
+  |]
+
+let wire_of points = Mvl.Wire.make ~edge:(0, 1) points
+
+(* rises from node 0's top, runs above the nodes, drops into node 1 *)
+let good_layout =
+  Mvl.Layout.make ~graph:two_node_graph ~layers:2 ~nodes:simple_nodes
+    ~wires:
+      [|
+        wire_of
+          [ pt 1 2 1; pt 1 2 2; pt 1 4 2; pt 1 4 1; pt 11 4 1; pt 11 4 2; pt 11 2 2; pt 11 2 1 ];
+      |]
+    ()
+
+let rule_of_violations violations =
+  List.map (fun v -> v.Mvl.Check.rule) violations
+
+let test_good_layout_passes () =
+  Alcotest.(check (list string)) "no violations" []
+    (rule_of_violations (Mvl.Check.validate good_layout))
+
+let test_layer_range () =
+  let lay =
+    Mvl.Layout.make ~graph:two_node_graph ~layers:2 ~nodes:simple_nodes
+      ~wires:[| wire_of [ pt 1 2 1; pt 1 2 3; pt 11 2 3; pt 11 2 1 ] |] ()
+  in
+  Alcotest.(check bool) "layer overflow caught" true
+    (List.mem "layer-range" (rule_of_violations (Mvl.Check.validate lay)))
+
+let test_node_overlap () =
+  let nodes =
+    [| Mvl.Rect.make ~x0:0 ~y0:0 ~x1:4 ~y1:2; Mvl.Rect.make ~x0:3 ~y0:0 ~x1:7 ~y1:2 |]
+  in
+  let lay =
+    Mvl.Layout.make ~graph:two_node_graph ~layers:2 ~nodes
+      ~wires:[| wire_of [ pt 1 2 1; pt 1 3 1; pt 6 3 1; pt 6 2 1 ] |] ()
+  in
+  Alcotest.(check bool) "overlapping footprints caught" true
+    (List.mem "node-overlap" (rule_of_violations (Mvl.Check.validate lay)))
+
+let test_terminal_mismatch () =
+  (* wire endpoints float in space rather than on the node boundary *)
+  let lay =
+    Mvl.Layout.make ~graph:two_node_graph ~layers:2 ~nodes:simple_nodes
+      ~wires:[| wire_of [ pt 5 5 1; pt 6 5 1 ] |] ()
+  in
+  Alcotest.(check bool) "bad terminal caught" true
+    (List.mem "terminal" (rule_of_violations (Mvl.Check.validate lay)))
+
+let test_foreign_node_crossing () =
+  (* a third node sits in the wire's path on layer 1 *)
+  let graph = Mvl.Graph.of_edges ~n:3 [ (0, 1) ] in
+  let nodes =
+    [|
+      Mvl.Rect.make ~x0:0 ~y0:0 ~x1:2 ~y1:2;
+      Mvl.Rect.make ~x0:10 ~y0:0 ~x1:12 ~y1:2;
+      Mvl.Rect.make ~x0:5 ~y0:0 ~x1:7 ~y1:2;
+    |]
+  in
+  let lay =
+    Mvl.Layout.make ~graph ~layers:2 ~nodes
+      ~wires:[| wire_of [ pt 2 1 1; pt 10 1 1 ] |] ()
+  in
+  Alcotest.(check bool) "foreign node hit caught" true
+    (List.mem "node-hit" (rule_of_violations (Mvl.Check.validate lay)))
+
+let overlapping_wires_layout () =
+  (* two wires sharing a horizontal run on the same layer *)
+  let graph = Mvl.Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  let nodes =
+    [|
+      Mvl.Rect.make ~x0:0 ~y0:0 ~x1:2 ~y1:2;
+      Mvl.Rect.make ~x0:10 ~y0:0 ~x1:12 ~y1:2;
+      Mvl.Rect.make ~x0:0 ~y0:10 ~x1:2 ~y1:12;
+      Mvl.Rect.make ~x0:10 ~y0:10 ~x1:12 ~y1:12;
+    |]
+  in
+  let w1 = wire_of [ pt 1 2 1; pt 1 5 1; pt 11 5 1; pt 11 2 1 ] in
+  let w2 =
+    Mvl.Wire.make ~edge:(2, 3) [ pt 2 11 1; pt 5 11 1; pt 5 5 1; pt 8 5 1; pt 8 11 1; pt 10 11 1 ]
+  in
+  Mvl.Layout.make ~graph ~layers:2 ~nodes ~wires:[| w1; w2 |] ()
+
+let test_wire_overlap () =
+  let rules = rule_of_violations (Mvl.Check.validate (overlapping_wires_layout ())) in
+  Alcotest.(check bool) "same-line overlap caught" true
+    (List.mem "overlap" rules)
+
+let crossing_layout () =
+  (* two wires crossing at a point on the same layer *)
+  let graph = Mvl.Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  let nodes =
+    [|
+      Mvl.Rect.make ~x0:0 ~y0:4 ~x1:1 ~y1:5;
+      Mvl.Rect.make ~x0:10 ~y0:4 ~x1:11 ~y1:5;
+      Mvl.Rect.make ~x0:4 ~y0:0 ~x1:5 ~y1:1;
+      Mvl.Rect.make ~x0:4 ~y0:10 ~x1:5 ~y1:11;
+    |]
+  in
+  (* horizontal wire through y=4.5 region: runs at y=4 between nodes *)
+  let w1 = Mvl.Wire.make ~edge:(0, 1) [ pt 1 4 1; pt 10 4 1 ] in
+  (* vertical wire crossing it at (4,4) on the same layer *)
+  let w2 = Mvl.Wire.make ~edge:(2, 3) [ pt 4 1 1; pt 4 10 1 ] in
+  Mvl.Layout.make ~graph ~layers:2 ~nodes ~wires:[| w1; w2 |] ()
+
+let test_crossing_strict_vs_thompson () =
+  let lay = crossing_layout () in
+  Alcotest.(check bool) "strict rejects point crossing" true
+    (List.mem "crossing"
+       (rule_of_violations (Mvl.Check.validate ~mode:Mvl.Check.Strict lay)));
+  Alcotest.(check bool) "thompson allows interior crossing" false
+    (List.mem "crossing"
+       (rule_of_violations (Mvl.Check.validate ~mode:Mvl.Check.Thompson lay)))
+
+let test_knock_knee_rejected_in_thompson () =
+  (* crossing exactly at a wire's bend: a knock-knee, illegal even under
+     Thompson *)
+  let graph = Mvl.Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  let nodes =
+    [|
+      Mvl.Rect.make ~x0:0 ~y0:4 ~x1:1 ~y1:5;
+      Mvl.Rect.make ~x0:10 ~y0:0 ~x1:11 ~y1:1;
+      Mvl.Rect.make ~x0:4 ~y0:8 ~x1:5 ~y1:9;
+      Mvl.Rect.make ~x0:6 ~y0:8 ~x1:7 ~y1:9;
+    |]
+  in
+  (* w1 turns left->down at (4,4); w2 turns up->right at the same point:
+     the arms are disjoint except for the shared bend — a knock-knee *)
+  let w1 = Mvl.Wire.make ~edge:(0, 1) [ pt 1 4 1; pt 4 4 1; pt 4 0 1; pt 10 0 1 ] in
+  let w2 = Mvl.Wire.make ~edge:(2, 3) [ pt 4 8 1; pt 4 4 1; pt 6 4 1; pt 6 8 1 ] in
+  let lay = Mvl.Layout.make ~graph ~layers:2 ~nodes ~wires:[| w1; w2 |] () in
+  Alcotest.(check bool) "knock-knee rejected" true
+    (rule_of_violations (Mvl.Check.validate ~mode:Mvl.Check.Thompson lay) <> [])
+
+let test_via_collision () =
+  let graph = Mvl.Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  let nodes =
+    [|
+      Mvl.Rect.make ~x0:0 ~y0:0 ~x1:1 ~y1:1;
+      Mvl.Rect.make ~x0:10 ~y0:0 ~x1:11 ~y1:1;
+      Mvl.Rect.make ~x0:0 ~y0:10 ~x1:1 ~y1:11;
+      Mvl.Rect.make ~x0:10 ~y0:10 ~x1:11 ~y1:11;
+    |]
+  in
+  (* both wires drop a via at (5,5) *)
+  let w1 =
+    Mvl.Wire.make ~edge:(0, 1)
+      [ pt 1 1 1; pt 5 1 1; pt 5 5 1; pt 5 5 2; pt 10 5 2; pt 10 1 2; pt 10 1 1 ]
+  in
+  let w2 =
+    Mvl.Wire.make ~edge:(2, 3)
+      [ pt 1 10 1; pt 5 10 1; pt 5 5 1; pt 5 5 2; pt 10 5 2; pt 10 10 2; pt 10 10 1 ]
+  in
+  let lay = Mvl.Layout.make ~graph ~layers:2 ~nodes ~wires:[| w1; w2 |] () in
+  let rules = rule_of_violations (Mvl.Check.validate lay) in
+  Alcotest.(check bool) "via collision caught" true
+    (List.exists (fun r -> r = "via-overlap" || r = "overlap") rules)
+
+let test_via_pierces_run () =
+  let graph = Mvl.Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  let nodes =
+    [|
+      Mvl.Rect.make ~x0:0 ~y0:0 ~x1:1 ~y1:1;
+      Mvl.Rect.make ~x0:10 ~y0:0 ~x1:11 ~y1:1;
+      Mvl.Rect.make ~x0:0 ~y0:6 ~x1:1 ~y1:7;
+      Mvl.Rect.make ~x0:10 ~y0:6 ~x1:11 ~y1:7;
+    |]
+  in
+  (* w2 runs horizontally on layer 2 at y=3 passing x=5; w1 vias through
+     layer 2 at (5,3) *)
+  let w1 =
+    Mvl.Wire.make ~edge:(0, 1)
+      [ pt 1 1 1; pt 5 1 1; pt 5 3 1; pt 5 3 3; pt 10 3 3; pt 10 1 3; pt 10 1 1 ]
+  in
+  let w2 =
+    Mvl.Wire.make ~edge:(2, 3)
+      [ pt 1 6 1; pt 1 3 1; pt 1 3 2; pt 9 3 2; pt 9 6 2; pt 9 6 1; pt 10 6 1 ]
+  in
+  let lay = Mvl.Layout.make ~graph ~layers:3 ~nodes ~wires:[| w1; w2 |] () in
+  let rules = rule_of_violations (Mvl.Check.validate lay) in
+  Alcotest.(check bool) "via piercing caught" true (List.mem "via-run" rules)
+
+let test_max_violations_limit () =
+  let lay = overlapping_wires_layout () in
+  let all = Mvl.Check.validate ~max_violations:1 lay in
+  Alcotest.(check int) "limit respected" 1 (List.length all)
+
+let suite =
+  [
+    Alcotest.test_case "hand-built good layout passes" `Quick
+      test_good_layout_passes;
+    Alcotest.test_case "layer range" `Quick test_layer_range;
+    Alcotest.test_case "node overlap" `Quick test_node_overlap;
+    Alcotest.test_case "terminal mismatch" `Quick test_terminal_mismatch;
+    Alcotest.test_case "foreign node crossing" `Quick test_foreign_node_crossing;
+    Alcotest.test_case "wire overlap" `Quick test_wire_overlap;
+    Alcotest.test_case "strict vs thompson crossings" `Quick
+      test_crossing_strict_vs_thompson;
+    Alcotest.test_case "knock-knee in thompson" `Quick
+      test_knock_knee_rejected_in_thompson;
+    Alcotest.test_case "via collision" `Quick test_via_collision;
+    Alcotest.test_case "via pierces run" `Quick test_via_pierces_run;
+    Alcotest.test_case "violation limit" `Quick test_max_violations_limit;
+  ]

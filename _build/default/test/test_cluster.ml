@@ -1,0 +1,162 @@
+open Mvl_core
+
+let strict_valid name lay =
+  match Mvl.Check.validate ~mode:Mvl.Check.Strict lay with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.fail (Format.asprintf "%s: %a" name Mvl.Check.pp_violation v)
+
+let test_ccc_structure () =
+  let fam = Mvl.Families.ccc 3 in
+  Alcotest.(check int) "N = n 2^n" 24 fam.Mvl.Families.n_nodes;
+  let lay = fam.Mvl.Families.layout ~layers:2 in
+  strict_valid "ccc(3) L=2" lay
+
+let test_ccc_layers () =
+  let fam = Mvl.Families.ccc 4 in
+  List.iter
+    (fun layers ->
+      strict_valid
+        (Printf.sprintf "ccc(4) L=%d" layers)
+        (fam.Mvl.Families.layout ~layers))
+    [ 2; 3; 4; 6; 8 ]
+
+let test_reduced_hypercube () =
+  let fam = Mvl.Families.reduced_hypercube 4 in
+  Alcotest.(check int) "N" 64 fam.Mvl.Families.n_nodes;
+  List.iter
+    (fun layers ->
+      strict_valid
+        (Printf.sprintf "rh(4) L=%d" layers)
+        (fam.Mvl.Families.layout ~layers))
+    [ 2; 4 ]
+
+let test_hsn () =
+  List.iter
+    (fun (levels, radix) ->
+      let fam = Mvl.Families.hsn ~levels ~radix in
+      List.iter
+        (fun layers ->
+          strict_valid
+            (Printf.sprintf "hsn(%d,%d) L=%d" levels radix layers)
+            (fam.Mvl.Families.layout ~layers))
+        [ 2; 4 ])
+    [ (2, 3); (3, 3); (2, 5); (3, 4) ]
+
+let test_hhn () =
+  let fam = Mvl.Families.hhn ~levels:2 ~cube_dims:2 in
+  strict_valid "hhn L=2" (fam.Mvl.Families.layout ~layers:2);
+  strict_valid "hhn L=5" (fam.Mvl.Families.layout ~layers:5)
+
+let test_butterfly_cluster () =
+  let fam = Mvl.Families.butterfly_cluster ~radix:3 ~quotient_dims:2 in
+  List.iter
+    (fun layers ->
+      strict_valid
+        (Printf.sprintf "butterfly_cluster L=%d" layers)
+        (fam.Mvl.Families.layout ~layers))
+    [ 2; 4; 7 ]
+
+let test_isn () =
+  let fam = Mvl.Families.isn ~radix:3 ~quotient_dims:2 in
+  List.iter
+    (fun layers ->
+      strict_valid
+        (Printf.sprintf "isn L=%d" layers)
+        (fam.Mvl.Families.layout ~layers))
+    [ 2; 4 ]
+
+let test_isn_beats_butterfly () =
+  (* multiplicity 2 vs 4 should make the ISN layout smaller than the
+     butterfly-structured one at equal quotient *)
+  let bf = Mvl.Families.butterfly_cluster ~radix:4 ~quotient_dims:2 in
+  let isn = Mvl.Families.isn ~radix:4 ~quotient_dims:2 in
+  let a_bf = (Mvl.Layout.metrics (bf.Mvl.Families.layout ~layers:4)).Mvl.Layout.area in
+  let a_isn = (Mvl.Layout.metrics (isn.Mvl.Families.layout ~layers:4)).Mvl.Layout.area in
+  Alcotest.(check bool) "isn smaller" true (a_isn < a_bf)
+
+let test_kary_cluster_area_overhead () =
+  (* §3.2: for small c the cluster-c network costs about the same as its
+     quotient *)
+  let quotient = Mvl.Families.kary ~k:6 ~n:2 () in
+  let clustered = Mvl.Families.kary_cluster ~k:6 ~n:2 ~c:2 in
+  strict_valid "kary cluster" (clustered.Mvl.Families.layout ~layers:2);
+  let a_q =
+    (Mvl.Layout.metrics (quotient.Mvl.Families.layout ~layers:2)).Mvl.Layout.area
+  in
+  let a_c =
+    (Mvl.Layout.metrics (clustered.Mvl.Families.layout ~layers:2)).Mvl.Layout.area
+  in
+  Alcotest.(check bool) "overhead bounded" true
+    (float_of_int a_c /. float_of_int a_q < 6.0)
+
+let test_multiplicity_scaling () =
+  (* doubling the link multiplicity should roughly double the gaps *)
+  let build mult =
+    let quotient = Mvl.Generalized_hypercube.create_uniform ~r:3 ~n:2 in
+    let intra = Mvl.Mesh.create ~dims:[| 3; 2 |] in
+    let pn = Mvl.Pn_cluster.create ~quotient ~intra ~multiplicity:mult () in
+    let row = Mvl.Collinear_ghc.create_uniform ~r:3 ~n:1 () in
+    let col = Mvl.Collinear_ghc.create_uniform ~r:3 ~n:1 () in
+    let spec =
+      Mvl.Cluster_expand.of_product_quotient ~pn ~row_factor:row
+        ~col_factor:col ~intra:(Mvl.Collinear.natural intra)
+    in
+    let lay = Mvl.Cluster_expand.realize spec ~layers:2 in
+    strict_valid (Printf.sprintf "mult=%d" mult) lay;
+    (Mvl.Layout.metrics lay).Mvl.Layout.area
+  in
+  let a1 = build 1 and a2 = build 2 and a4 = build 4 in
+  Alcotest.(check bool) "monotone in multiplicity" true (a1 < a2 && a2 < a4)
+
+let test_expanded_graph_connectivity () =
+  List.iter
+    (fun fam ->
+      Alcotest.(check bool)
+        (fam.Mvl.Families.name ^ " connected")
+        true
+        (Mvl.Graph.is_connected fam.Mvl.Families.graph))
+    [
+      Mvl.Families.ccc 4;
+      Mvl.Families.hsn ~levels:3 ~radix:3;
+      Mvl.Families.butterfly_cluster ~radix:3 ~quotient_dims:2;
+      Mvl.Families.isn ~radix:3 ~quotient_dims:2;
+    ]
+
+let prop_random_pn_clusters_valid =
+  QCheck.Test.make ~count:25 ~name:"random PN clusters lay out strict-valid"
+    QCheck.(
+      quad (int_range 3 5) (int_range 3 5) (int_range 2 4) (int_range 1 2))
+    (fun (qa, qb, csize, mult) ->
+      (* quotient = ring(qa) x ring(qb); clusters = K_csize *)
+      let quotient =
+        Mvl.Graph.cartesian_product (Mvl.Ring.create qa) (Mvl.Ring.create qb)
+      in
+      let intra = Mvl.Complete.create csize in
+      let pn = Mvl.Pn_cluster.create ~quotient ~intra ~multiplicity:mult () in
+      let spec =
+        Mvl.Cluster_expand.of_product_quotient ~pn
+          ~row_factor:(Mvl.Collinear_ring.create qa)
+          ~col_factor:(Mvl.Collinear_ring.create qb)
+          ~intra:(Mvl.Collinear_complete.create csize)
+      in
+      let lay = Mvl.Cluster_expand.realize spec ~layers:3 in
+      Mvl.Check.is_valid ~mode:Mvl.Check.Strict lay)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_random_pn_clusters_valid;
+    Alcotest.test_case "ccc structure" `Quick test_ccc_structure;
+    Alcotest.test_case "ccc across layers" `Quick test_ccc_layers;
+    Alcotest.test_case "reduced hypercube" `Quick test_reduced_hypercube;
+    Alcotest.test_case "hsn layouts" `Quick test_hsn;
+    Alcotest.test_case "hhn layouts" `Quick test_hhn;
+    Alcotest.test_case "butterfly cluster" `Quick test_butterfly_cluster;
+    Alcotest.test_case "isn" `Quick test_isn;
+    Alcotest.test_case "isn beats butterfly" `Quick test_isn_beats_butterfly;
+    Alcotest.test_case "kary cluster overhead" `Quick
+      test_kary_cluster_area_overhead;
+    Alcotest.test_case "multiplicity scaling" `Quick test_multiplicity_scaling;
+    Alcotest.test_case "expanded graphs connected" `Quick
+      test_expanded_graph_connectivity;
+  ]

@@ -1,0 +1,274 @@
+open Mvl_core
+module C = Mvl.Collinear
+
+let check_valid name c =
+  match C.validate c with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail (name ^ ": " ^ msg)
+
+let test_track_assign_greedy () =
+  let spans =
+    [| Mvl.Interval.make 0 2; Mvl.Interval.make 2 4; Mvl.Interval.make 1 3 |]
+  in
+  let assignment = Mvl.Track_assign.greedy spans in
+  (* endpoint-sharing spans reuse a track; the overlapping one cannot *)
+  Alcotest.(check int) "two tracks" 2 (Mvl.Track_assign.count_tracks assignment);
+  Alcotest.(check int) "density" 2 (Mvl.Track_assign.max_density spans)
+
+let prop_greedy_optimal =
+  QCheck.Test.make ~count:300 ~name:"greedy track count equals max density"
+    QCheck.(list_of_size (Gen.int_range 1 40) (pair (int_range 0 20) (int_range 0 20)))
+    (fun pairs ->
+      let spans =
+        Array.of_list
+          (List.filter_map
+             (fun (a, b) -> if a = b then None else Some (Mvl.Interval.make a b))
+             pairs)
+      in
+      Array.length spans = 0
+      || Mvl.Track_assign.count_tracks (Mvl.Track_assign.greedy spans)
+         = Mvl.Track_assign.max_density spans)
+
+let prop_greedy_valid =
+  QCheck.Test.make ~count:300 ~name:"greedy assignment is interior-disjoint"
+    QCheck.(list_of_size (Gen.int_range 1 40) (pair (int_range 0 20) (int_range 0 20)))
+    (fun pairs ->
+      let spans =
+        Array.of_list
+          (List.filter_map
+             (fun (a, b) -> if a = b then None else Some (Mvl.Interval.make a b))
+             pairs)
+      in
+      let assignment = Mvl.Track_assign.greedy spans in
+      let ok = ref true in
+      Array.iteri
+        (fun i si ->
+          Array.iteri
+            (fun j sj ->
+              if i < j && assignment.(i) = assignment.(j)
+                 && Mvl.Interval.overlap_interior si sj
+              then ok := false)
+            spans)
+        spans;
+      !ok)
+
+let test_ring_tracks () =
+  List.iter
+    (fun k ->
+      let c = Mvl.Collinear_ring.create k in
+      check_valid "ring" c;
+      Alcotest.(check int) (Printf.sprintf "ring %d tracks" k)
+        (if k <= 2 then 1 else 2)
+        c.C.tracks;
+      let f = Mvl.Collinear_ring.create ~fold:true k in
+      check_valid "folded ring" c;
+      Alcotest.(check bool) "folded tracks <= 2" true (f.C.tracks <= 2);
+      if k > 4 then
+        Alcotest.(check bool)
+          (Printf.sprintf "folded ring %d span <= 2" k)
+          true
+          (C.max_span f <= 2))
+    [ 2; 3; 4; 5; 6; 9; 12 ]
+
+let test_kary_formula () =
+  List.iter
+    (fun (k, n) ->
+      let c = Mvl.Collinear_kary.create ~k ~n () in
+      check_valid "kary" c;
+      Alcotest.(check int)
+        (Printf.sprintf "f_%d(%d)" k n)
+        (Mvl.Collinear_kary.tracks_formula ~k ~n)
+        c.C.tracks;
+      let e = Mvl.Collinear_kary.create_explicit ~k ~n in
+      check_valid "kary explicit" e;
+      Alcotest.(check int) "explicit matches formula"
+        (Mvl.Collinear_kary.tracks_formula ~k ~n)
+        e.C.tracks)
+    [ (3, 1); (3, 2); (3, 3); (4, 1); (4, 2); (4, 3); (5, 2); (6, 2); (8, 1) ]
+
+let test_kary_folded () =
+  List.iter
+    (fun (k, n) ->
+      let f = Mvl.Collinear_kary.create ~fold:true ~k ~n () in
+      check_valid "kary folded" f;
+      Alcotest.(check int) "folded keeps the track formula"
+        (Mvl.Collinear_kary.tracks_formula ~k ~n)
+        f.C.tracks;
+      let natural = Mvl.Collinear_kary.create ~k ~n () in
+      Alcotest.(check bool) "folded span is no longer" true
+        (C.max_span f <= C.max_span natural))
+    [ (4, 2); (5, 2); (6, 2); (4, 3); (8, 2) ]
+
+let test_complete_formula () =
+  List.iter
+    (fun nn ->
+      let c = Mvl.Collinear_complete.create nn in
+      check_valid "complete" c;
+      Alcotest.(check int)
+        (Printf.sprintf "K_%d tracks" nn)
+        (Mvl.Collinear_complete.tracks_formula nn)
+        c.C.tracks;
+      (* optimality: the greedy count equals the cut lower bound *)
+      Alcotest.(check int) "strictly optimal" (C.density_lower_bound c) c.C.tracks)
+    [ 2; 3; 4; 5; 6; 7; 8; 9; 12; 16; 20; 32 ]
+
+let test_fig3_complete_9 () =
+  (* Fig. 3: K_9 in 20 tracks *)
+  let c = Mvl.Collinear_complete.create 9 in
+  Alcotest.(check int) "20 tracks" 20 c.C.tracks
+
+let test_ghc_formula () =
+  (* odd radices meet the paper's recurrence exactly; even radices may
+     beat it slightly (greedy shares the fresh complete-graph tracks) *)
+  List.iter
+    (fun (r, n) ->
+      let radices = Mvl.Mixed_radix.uniform ~radix:r ~dims:n in
+      let c = Mvl.Collinear_ghc.create radices in
+      check_valid "ghc" c;
+      let formula = Mvl.Collinear_ghc.tracks_formula radices in
+      Alcotest.(check bool)
+        (Printf.sprintf "GHC(%d,%d) within formula" r n)
+        true (c.C.tracks <= formula);
+      if r mod 2 = 1 then
+        Alcotest.(check int) "odd radix meets the recurrence exactly" formula
+          c.C.tracks)
+    [ (3, 1); (3, 2); (3, 3); (5, 2); (7, 1); (4, 2); (4, 3); (6, 2) ]
+
+let test_ghc_mixed_radix () =
+  let radices = [| 3; 4; 2 |] in
+  let c = Mvl.Collinear_ghc.create radices in
+  check_valid "ghc mixed" c;
+  Alcotest.(check bool) "mixed radix within recurrence" true
+    (c.C.tracks <= Mvl.Collinear_ghc.tracks_formula radices)
+
+let test_hypercube_formula () =
+  List.iter
+    (fun n ->
+      let c = Mvl.Collinear_hypercube.create n in
+      check_valid "hypercube" c;
+      Alcotest.(check int)
+        (Printf.sprintf "floor(2N/3) for n=%d" n)
+        (Mvl.Collinear_hypercube.tracks_formula n)
+        c.C.tracks;
+      let e = Mvl.Collinear_hypercube.create_explicit n in
+      check_valid "hypercube explicit" e;
+      Alcotest.(check int) "explicit matches"
+        (Mvl.Collinear_hypercube.tracks_formula n)
+        e.C.tracks)
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+let test_fig4_hypercube_4 () =
+  (* Fig. 4: the 4-cube in 10 tracks *)
+  let c = Mvl.Collinear_hypercube.create 4 in
+  Alcotest.(check int) "10 tracks" 10 c.C.tracks
+
+let test_fold_halves_span () =
+  let c = Mvl.Collinear_hypercube.create 8 in
+  let f = C.fold c in
+  check_valid "folded hypercube line" f;
+  Alcotest.(check int) "span falls to N/2" (1 lsl 7) (C.max_span f);
+  Alcotest.(check int) "natural span is 3N/4" (3 * (1 lsl 8) / 4) (C.max_span c)
+
+let test_of_order_rejects_bad_input () =
+  let g = Mvl.Ring.create 4 in
+  (try
+     ignore (C.of_order g ~node_at:[| 0; 1; 2 |]);
+     Alcotest.fail "wrong length accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (C.of_order g ~node_at:[| 0; 1; 2; 2 |]);
+    Alcotest.fail "duplicate accepted"
+  with Invalid_argument _ -> ()
+
+let test_validate_catches_conflict () =
+  let g = Mvl.Ring.create 4 in
+  let c = C.natural g in
+  (* force all edges onto one track: spans overlap *)
+  let broken =
+    { c with C.edges = Array.map (fun e -> { e with C.track = 0 }) c.C.edges;
+             C.tracks = 1 }
+  in
+  match C.validate broken with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "conflicting assignment accepted"
+
+let prop_random_order_valid =
+  QCheck.Test.make ~count:100 ~name:"greedy collinear is valid on any order"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let n = 4 + (seed mod 5) in
+      let g = Mvl.Hypercube.create n in
+      let node_at = Array.init (Mvl.Graph.n g) (fun i -> i) in
+      (* deterministic shuffle *)
+      let state = ref seed in
+      let rand bound =
+        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+        !state mod bound
+      in
+      for i = Mvl.Graph.n g - 1 downto 1 do
+        let j = rand (i + 1) in
+        let tmp = node_at.(i) in
+        node_at.(i) <- node_at.(j);
+        node_at.(j) <- tmp
+      done;
+      let c = C.of_order g ~node_at in
+      C.validate c = Ok ())
+
+let test_collinear_product () =
+  (* the generic product recursion reproduces the specialized counts *)
+  let r3 = Mvl.Collinear_ring.create 3 in
+  let p = Mvl.Collinear_product.create r3 r3 in
+  check_valid "ring3 x ring3" p;
+  Alcotest.(check int) "matches f_3(2)"
+    (Mvl.Collinear_kary.tracks_formula ~k:3 ~n:2)
+    p.C.tracks;
+  Alcotest.(check int) "bound"
+    (Mvl.Collinear_product.tracks_bound r3 r3)
+    ((3 * r3.C.tracks) + r3.C.tracks);
+  let h2 = Mvl.Collinear_hypercube.create 2 in
+  let hp = Mvl.Collinear_product.create h2 h2 in
+  check_valid "2cube x 2cube" hp;
+  Alcotest.(check int) "matches floor(2*16/3)"
+    (Mvl.Collinear_hypercube.tracks_formula 4)
+    hp.C.tracks;
+  (* heterogeneous: mesh path x clique *)
+  let path4 = Mvl.Collinear.natural (Mvl.Mesh.path 4) in
+  let k3 = Mvl.Collinear_complete.create 3 in
+  let mixed = Mvl.Collinear_product.create path4 k3 in
+  check_valid "path4 x K3" mixed;
+  Alcotest.(check bool) "within the recursion bound" true
+    (mixed.C.tracks <= Mvl.Collinear_product.tracks_bound path4 k3)
+
+let prop_product_within_bound =
+  QCheck.Test.make ~count:60 ~name:"product tracks within recursion bound"
+    QCheck.(pair (int_range 3 6) (int_range 3 6))
+    (fun (ka, kb) ->
+      let la = Mvl.Collinear_ring.create ka in
+      let lb = Mvl.Collinear_ring.create kb in
+      let p = Mvl.Collinear_product.create la lb in
+      Mvl.Collinear.validate p = Ok ()
+      && p.C.tracks <= Mvl.Collinear_product.tracks_bound la lb)
+
+let suite =
+  [
+    Alcotest.test_case "greedy basics" `Quick test_track_assign_greedy;
+    Alcotest.test_case "collinear products" `Quick test_collinear_product;
+    QCheck_alcotest.to_alcotest prop_product_within_bound;
+    QCheck_alcotest.to_alcotest prop_greedy_optimal;
+    QCheck_alcotest.to_alcotest prop_greedy_valid;
+    Alcotest.test_case "ring tracks" `Quick test_ring_tracks;
+    Alcotest.test_case "kary f_k(n) formula" `Quick test_kary_formula;
+    Alcotest.test_case "kary folded order" `Quick test_kary_folded;
+    Alcotest.test_case "complete floor(N^2/4)" `Quick test_complete_formula;
+    Alcotest.test_case "Fig.3: K_9 in 20 tracks" `Quick test_fig3_complete_9;
+    Alcotest.test_case "ghc recurrence" `Quick test_ghc_formula;
+    Alcotest.test_case "ghc mixed radix" `Quick test_ghc_mixed_radix;
+    Alcotest.test_case "hypercube floor(2N/3)" `Quick test_hypercube_formula;
+    Alcotest.test_case "Fig.4: 4-cube in 10 tracks" `Quick test_fig4_hypercube_4;
+    Alcotest.test_case "global fold halves the span" `Quick test_fold_halves_span;
+    Alcotest.test_case "of_order input validation" `Quick
+      test_of_order_rejects_bad_input;
+    Alcotest.test_case "validate catches conflicts" `Quick
+      test_validate_catches_conflict;
+    QCheck_alcotest.to_alcotest prop_random_order_valid;
+  ]

@@ -1,0 +1,100 @@
+open Mvl_core
+
+let test_wire_delay_monotone () =
+  let p = Mvl.Delay.default in
+  let d len = Mvl.Delay.wire_delay p ~length:len ~vias:0 in
+  Alcotest.(check bool) "monotone" true (d 10 < d 20 && d 20 < d 100);
+  (* quadratic: doubling the length more than doubles the delay *)
+  Alcotest.(check bool) "superlinear" true (d 200 > 2.0 *. d 100);
+  (* vias cost extra *)
+  Alcotest.(check bool) "vias cost" true
+    (Mvl.Delay.wire_delay p ~length:10 ~vias:4
+    > Mvl.Delay.wire_delay p ~length:10 ~vias:0)
+
+let test_repeaters_help_long_wires () =
+  let plain = Mvl.Delay.default in
+  let rep = Mvl.Delay.with_repeaters 50 in
+  let long = 1000 in
+  Alcotest.(check bool) "repeaters win on long wires" true
+    (Mvl.Delay.wire_delay rep ~length:long ~vias:0
+    < Mvl.Delay.wire_delay plain ~length:long ~vias:0);
+  Alcotest.(check bool) "no effect on short wires" true
+    (abs_float
+       (Mvl.Delay.wire_delay rep ~length:10 ~vias:0
+       -. Mvl.Delay.wire_delay plain ~length:10 ~vias:0)
+    < 1e-9)
+
+let test_layers_cut_latency () =
+  (* more layers -> shorter wires -> lower critical delay and latency *)
+  let fam = Mvl.Families.hypercube 8 in
+  let p = Mvl.Delay.default in
+  let l2 = fam.Mvl.Families.layout ~layers:2 in
+  let l8 = fam.Mvl.Families.layout ~layers:8 in
+  Alcotest.(check bool) "slowest wire improves" true
+    (Mvl.Delay.slowest_wire p l8 < Mvl.Delay.slowest_wire p l2);
+  Alcotest.(check bool) "route latency improves" true
+    (Mvl.Delay.worst_route_latency ~samples:4 p l8
+    < Mvl.Delay.worst_route_latency ~samples:4 p l2)
+
+let test_latency_at_least_hops () =
+  let fam = Mvl.Families.hypercube 5 in
+  let lay = fam.Mvl.Families.layout ~layers:2 in
+  let p = Mvl.Delay.default in
+  let diameter = Mvl.Graph.diameter fam.Mvl.Families.graph in
+  Alcotest.(check bool) "latency >= diameter * t_node" true
+    (Mvl.Delay.worst_route_latency ~samples:0 p lay
+    >= float_of_int diameter *. p.Mvl.Delay.t_node)
+
+let test_report_consistency () =
+  let fam = Mvl.Families.hypercube 6 in
+  let lay = fam.Mvl.Families.layout ~layers:4 in
+  let r = Mvl.Report.analyze lay in
+  let m = Mvl.Layout.metrics lay in
+  Alcotest.(check int) "wire count" (Mvl.Graph.m fam.Mvl.Families.graph)
+    r.Mvl.Report.wire_count;
+  Alcotest.(check int) "max matches metrics" m.Mvl.Layout.max_wire
+    r.Mvl.Report.wire_max;
+  Alcotest.(check bool) "ordering" true
+    (r.Mvl.Report.wire_min <= r.Mvl.Report.wire_median
+    && r.Mvl.Report.wire_median <= r.Mvl.Report.wire_p90
+    && r.Mvl.Report.wire_p90 <= r.Mvl.Report.wire_max);
+  Alcotest.(check bool) "node share in (0,1)" true
+    (r.Mvl.Report.node_area_share > 0.0 && r.Mvl.Report.node_area_share < 1.0);
+  (* per-layer run lengths add up to the total in-plane wire length *)
+  let per_layer_total =
+    List.fold_left (fun acc (_, len) -> acc + len) 0
+      r.Mvl.Report.segments_per_layer
+  in
+  Alcotest.(check int) "per-layer sums to total" m.Mvl.Layout.total_wire
+    per_layer_total;
+  Alcotest.(check int) "active layers" 1 r.Mvl.Report.active_layers
+
+let test_report_3d_active_layers () =
+  let t = Mvl.Multilayer3d.hypercube ~n:6 ~active:4 ~layers_per_slab:2 in
+  let r = Mvl.Report.analyze t.Mvl.Multilayer3d.layout in
+  Alcotest.(check int) "four active layers" 4 r.Mvl.Report.active_layers
+
+let test_report_renders () =
+  let fam = Mvl.Families.kary ~k:3 ~n:2 () in
+  let r = Mvl.Report.analyze (fam.Mvl.Families.layout ~layers:2) in
+  let s = Format.asprintf "%a" Mvl.Report.pp r in
+  Alcotest.(check bool) "mentions wires" true
+    (String.length s > 0
+    &&
+    let rec contains i =
+      i + 5 <= String.length s && (String.sub s i 5 = "wires" || contains (i + 1))
+    in
+    contains 0)
+
+let suite =
+  [
+    Alcotest.test_case "wire delay monotone/quadratic" `Quick
+      test_wire_delay_monotone;
+    Alcotest.test_case "repeaters" `Quick test_repeaters_help_long_wires;
+    Alcotest.test_case "layers cut latency" `Quick test_layers_cut_latency;
+    Alcotest.test_case "latency lower bound" `Quick test_latency_at_least_hops;
+    Alcotest.test_case "report consistency" `Quick test_report_consistency;
+    Alcotest.test_case "report 3-D active layers" `Quick
+      test_report_3d_active_layers;
+    Alcotest.test_case "report rendering" `Quick test_report_renders;
+  ]

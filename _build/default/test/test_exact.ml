@@ -1,0 +1,92 @@
+open Mvl_core
+
+let test_bisection_closed_forms () =
+  Alcotest.(check int) "Q3" (Mvl.Lower_bounds.hypercube_bisection 3)
+    (Mvl.Exact.bisection (Mvl.Hypercube.create 3));
+  Alcotest.(check int) "Q4" (Mvl.Lower_bounds.hypercube_bisection 4)
+    (Mvl.Exact.bisection (Mvl.Hypercube.create 4));
+  Alcotest.(check int) "K9" (Mvl.Lower_bounds.complete_bisection 9)
+    (Mvl.Exact.bisection (Mvl.Complete.create 9));
+  Alcotest.(check int) "K10" (Mvl.Lower_bounds.complete_bisection 10)
+    (Mvl.Exact.bisection (Mvl.Complete.create 10));
+  Alcotest.(check int) "4-ary 2-cube" (Mvl.Lower_bounds.kary_bisection ~k:4 ~n:2)
+    (Mvl.Exact.bisection (Mvl.Kary_ncube.create ~k:4 ~n:2));
+  Alcotest.(check int) "GHC(4,2)" (Mvl.Lower_bounds.ghc_bisection ~r:4 ~n:2)
+    (Mvl.Exact.bisection (Mvl.Generalized_hypercube.create_uniform ~r:4 ~n:2))
+
+let test_bisection_folded () =
+  Alcotest.(check int) "folded Q4" (Mvl.Lower_bounds.folded_hypercube_bisection 4)
+    (Mvl.Exact.bisection (Mvl.Folded_hypercube.create 4))
+
+let test_cutwidth_basics () =
+  Alcotest.(check int) "path" 1 (Mvl.Exact.cutwidth (Mvl.Mesh.path 8));
+  Alcotest.(check int) "ring" 2 (Mvl.Exact.cutwidth (Mvl.Ring.create 9));
+  (* complete graphs: floor(N^2/4) for every order *)
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "K%d" n)
+        (n * n / 4)
+        (Mvl.Exact.cutwidth (Mvl.Complete.create n)))
+    [ 3; 4; 5; 6; 7; 8 ]
+
+let test_paper_layouts_are_order_optimal () =
+  (* the paper's collinear constructions achieve the true cutwidth at
+     small sizes — stronger than the asymptotic optimality it claims *)
+  Alcotest.(check int) "3-cube: floor(2N/3) = cutwidth"
+    (Mvl.Collinear_hypercube.tracks_formula 3)
+    (Mvl.Exact.cutwidth (Mvl.Hypercube.create 3));
+  Alcotest.(check int) "4-cube: floor(2N/3) = cutwidth"
+    (Mvl.Collinear_hypercube.tracks_formula 4)
+    (Mvl.Exact.cutwidth (Mvl.Hypercube.create 4));
+  Alcotest.(check int) "3-ary 2-cube: f_3(2) = cutwidth"
+    (Mvl.Collinear_kary.tracks_formula ~k:3 ~n:2)
+    (Mvl.Exact.cutwidth (Mvl.Kary_ncube.create ~k:3 ~n:2));
+  Alcotest.(check int) "GHC(3,2) greedy = cutwidth"
+    (Mvl.Collinear_ghc.create_uniform ~r:3 ~n:2 ()).Mvl.Collinear.tracks
+    (Mvl.Exact.cutwidth (Mvl.Generalized_hypercube.create_uniform ~r:3 ~n:2))
+
+let test_cutwidth_lower_bounds_every_order () =
+  (* no order can beat the cutwidth: qcheck over random orders *)
+  let g = Mvl.Hypercube.create 4 in
+  let cw = Mvl.Exact.cutwidth g in
+  let state = ref 12345 in
+  let rand bound =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+  in
+  for _ = 1 to 50 do
+    let node_at = Array.init 16 (fun i -> i) in
+    for i = 15 downto 1 do
+      let j = rand (i + 1) in
+      let tmp = node_at.(i) in
+      node_at.(i) <- node_at.(j);
+      node_at.(j) <- tmp
+    done;
+    let c = Mvl.Collinear.of_order g ~node_at in
+    Alcotest.(check bool) "no order beats cutwidth" true
+      (c.Mvl.Collinear.tracks >= cw)
+  done
+
+let test_size_guards () =
+  (try
+     ignore (Mvl.Exact.bisection (Mvl.Hypercube.create 5));
+     Alcotest.fail "32 nodes accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Mvl.Exact.cutwidth (Mvl.Hypercube.create 5));
+    Alcotest.fail "32 nodes accepted"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "exact bisection matches closed forms" `Quick
+      test_bisection_closed_forms;
+    Alcotest.test_case "folded bisection" `Quick test_bisection_folded;
+    Alcotest.test_case "cutwidth basics" `Quick test_cutwidth_basics;
+    Alcotest.test_case "paper layouts are order-optimal" `Quick
+      test_paper_layouts_are_order_optimal;
+    Alcotest.test_case "cutwidth is a floor" `Quick
+      test_cutwidth_lower_bounds_every_order;
+    Alcotest.test_case "size guards" `Quick test_size_guards;
+  ]

@@ -1,0 +1,208 @@
+open Mvl_core
+
+let test_all_small_strict_valid () =
+  List.iter
+    (fun fam ->
+      List.iter
+        (fun layers ->
+          let lay = fam.Mvl.Families.layout ~layers in
+          match Mvl.Check.validate ~mode:Mvl.Check.Strict lay with
+          | [] -> ()
+          | v :: _ ->
+              Alcotest.fail
+                (Format.asprintf "%s L=%d: %a" fam.Mvl.Families.name layers
+                   Mvl.Check.pp_violation v))
+        [ 2; 3; 4 ])
+    (Mvl.Families.all_small ())
+
+let test_graph_sizes () =
+  List.iter
+    (fun fam ->
+      Alcotest.(check int)
+        (fam.Mvl.Families.name ^ " node count")
+        fam.Mvl.Families.n_nodes
+        (Mvl.Graph.n fam.Mvl.Families.graph))
+    (Mvl.Families.all_small ())
+
+let test_area_ratio_trends_to_one () =
+  (* the measured/paper area ratio must fall as N grows (the o() terms
+     shrink relatively) *)
+  let ratio n =
+    let fam = Mvl.Families.hypercube n in
+    let m = Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers:2) in
+    match fam.Mvl.Families.paper_area with
+    | Some f -> float_of_int m.Mvl.Layout.area /. f ~layers:2
+    | None -> Alcotest.fail "hypercube has a paper area"
+  in
+  let r8 = ratio 8 and r10 = ratio 10 and r12 = ratio 12 in
+  Alcotest.(check bool) "monotone decreasing" true (r12 < r10 && r10 < r8);
+  Alcotest.(check bool) "already below 2 at n=12" true (r12 < 2.0)
+
+let test_kary_ratio () =
+  (* for n = 2 the per-gap track count is a constant (~2), so node
+     footprints dominate and the measured/paper ratio is large; raising
+     n makes the gaps dominate and the ratio fall towards 1 (the bench's
+     E4 sweep shows the full trend) *)
+  let ratio ~k ~n =
+    let fam = Mvl.Families.kary ~k ~n () in
+    let m = Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers:2) in
+    match fam.Mvl.Families.paper_area with
+    | Some f -> float_of_int m.Mvl.Layout.area /. f ~layers:2
+    | None -> Alcotest.fail "kary has a paper area"
+  in
+  let r2 = ratio ~k:4 ~n:2 and r4 = ratio ~k:4 ~n:4 in
+  Alcotest.(check bool) "never below the leading term" true
+    (r2 > 0.9 && r4 > 0.9);
+  Alcotest.(check bool) "ratio falls as n grows" true (r4 < r2);
+  (* at k=4, n=4 the node bands are still as wide as the gaps, which
+     costs ((tracks + node)/tracks)^2 ~ 4.4x; the bench sweeps larger
+     instances where this factor fades *)
+  Alcotest.(check bool) "within the small-instance envelope at n=4" true
+    (r4 < 5.0)
+
+let test_layer_sweep_improves_area () =
+  List.iter
+    (fun fam ->
+      let a2 = (Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers:2)).Mvl.Layout.area in
+      let a6 = (Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers:6)).Mvl.Layout.area in
+      Alcotest.(check bool)
+        (fam.Mvl.Families.name ^ " profits from layers")
+        true (a6 < a2))
+    [
+      Mvl.Families.hypercube 8;
+      Mvl.Families.kary ~k:4 ~n:3 ();
+      Mvl.Families.generalized_hypercube ~r:4 ~n:2 ();
+      Mvl.Families.hsn ~levels:3 ~radix:4;
+      Mvl.Families.ccc 5;
+    ]
+
+let test_fold_option_reduces_maxwire () =
+  let plain = Mvl.Families.kary ~k:8 ~n:2 () in
+  let folded = Mvl.Families.kary ~fold:true ~k:8 ~n:2 () in
+  let w_plain =
+    (Mvl.Layout.metrics (plain.Mvl.Families.layout ~layers:2)).Mvl.Layout.max_wire
+  in
+  let w_folded =
+    (Mvl.Layout.metrics (folded.Mvl.Families.layout ~layers:2)).Mvl.Layout.max_wire
+  in
+  Alcotest.(check bool) "folded torus has shorter wires" true
+    (w_folded < w_plain);
+  (* and the area stays the same (identical track counts) *)
+  let a_plain =
+    (Mvl.Layout.metrics (plain.Mvl.Families.layout ~layers:2)).Mvl.Layout.area
+  in
+  let a_folded =
+    (Mvl.Layout.metrics (folded.Mvl.Families.layout ~layers:2)).Mvl.Layout.area
+  in
+  Alcotest.(check int) "same area" a_plain a_folded
+
+let test_mesh_and_tree () =
+  let mesh = Mvl.Families.mesh ~dims:[| 8; 8 |] in
+  Alcotest.(check int) "mesh nodes" 64 mesh.Mvl.Families.n_nodes;
+  Alcotest.(check bool) "mesh valid" true
+    (Mvl.Check.is_valid ~mode:Mvl.Check.Strict (mesh.Mvl.Families.layout ~layers:2));
+  let tree = Mvl.Families.binary_tree 7 in
+  Alcotest.(check int) "tree nodes" 127 tree.Mvl.Families.n_nodes;
+  Alcotest.(check bool) "tree valid" true
+    (Mvl.Check.is_valid ~mode:Mvl.Check.Strict (tree.Mvl.Families.layout ~layers:2));
+  (* the in-order tree layout uses at most [levels] tracks *)
+  let c =
+    Mvl.Collinear.of_order tree.Mvl.Families.graph
+      ~node_at:(Mvl.Tree.in_order 7)
+  in
+  Alcotest.(check bool) "tree cutwidth bound" true (c.Mvl.Collinear.tracks <= 7);
+  (* ordering: mesh < hypercube in area at equal node count *)
+  let hc = Mvl.Families.hypercube 6 in
+  let area fam =
+    (Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers:2)).Mvl.Layout.area
+  in
+  Alcotest.(check bool) "mesh cheaper than hypercube" true
+    (area (Mvl.Families.mesh ~dims:[| 8; 8 |]) < area hc)
+
+let test_generic_products () =
+  (* clique rows x ring columns *)
+  let fam =
+    Mvl.Families.generic_product
+      ~row:(Mvl.Collinear_complete.create 5)
+      ~col:(Mvl.Collinear_ring.create 6)
+  in
+  Alcotest.(check int) "nodes" 30 fam.Mvl.Families.n_nodes;
+  Alcotest.(check bool) "K5 x C6 valid" true
+    (Mvl.Check.is_valid ~mode:Mvl.Check.Strict (fam.Mvl.Families.layout ~layers:3));
+  (* hypercube rows x path columns *)
+  let fam2 =
+    Mvl.Families.generic_product
+      ~row:(Mvl.Collinear_hypercube.create 3)
+      ~col:(Mvl.Collinear.natural (Mvl.Mesh.path 5))
+  in
+  Alcotest.(check bool) "Q3 x P5 valid" true
+    (Mvl.Check.is_valid ~mode:Mvl.Check.Strict (fam2.Mvl.Families.layout ~layers:4));
+  (* structure: (u,v)-(u',v) edges iff u-u' in the row factor *)
+  Alcotest.(check bool) "row edge present" true
+    (Mvl.Graph.mem_edge fam.Mvl.Families.graph 0 1);
+  Alcotest.(check bool) "col edge present" true
+    (Mvl.Graph.mem_edge fam.Mvl.Families.graph 0 5)
+
+let test_cayley_layouts_valid () =
+  List.iter
+    (fun fam ->
+      let lay = fam.Mvl.Families.layout ~layers:4 in
+      Alcotest.(check bool) (fam.Mvl.Families.name ^ " valid") true
+        (Mvl.Check.is_valid ~mode:Mvl.Check.Strict lay))
+    [
+      Mvl.Families.star 4;
+      Mvl.Families.pancake 4;
+      Mvl.Families.bubble_sort 4;
+      Mvl.Families.transposition 4;
+    ]
+
+let test_torus_family () =
+  let fam = Mvl.Families.torus ~dims:[| 3; 5; 4 |] () in
+  Alcotest.(check int) "node count" 60 fam.Mvl.Families.n_nodes;
+  Alcotest.(check bool) "regular degree 6" true
+    (Mvl.Graph.is_regular fam.Mvl.Families.graph
+    && Mvl.Graph.max_degree fam.Mvl.Families.graph = 6);
+  List.iter
+    (fun layers ->
+      Alcotest.(check bool)
+        (Printf.sprintf "torus L=%d valid" layers)
+        true
+        (Mvl.Check.is_valid ~mode:Mvl.Check.Strict
+           (fam.Mvl.Families.layout ~layers)))
+    [ 2; 3; 4 ];
+  (* the uniform torus agrees with the k-ary n-cube generator *)
+  let t = Mvl.Families.torus ~dims:[| 4; 4; 4 |] () in
+  Alcotest.(check bool) "uniform torus = 4-ary 3-cube" true
+    (Mvl.Graph.equal t.Mvl.Families.graph (Mvl.Kary_ncube.create ~k:4 ~n:3))
+
+let prop_random_torus_valid =
+  QCheck.Test.make ~count:25 ~name:"random mixed tori lay out valid"
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 3) (int_range 3 5))
+        (int_range 2 5))
+    (fun (dims, layers) ->
+      let dims = Array.of_list dims in
+      let fam = Mvl.Families.torus ~dims () in
+      Mvl.Check.is_valid ~mode:Mvl.Check.Strict
+        (fam.Mvl.Families.layout ~layers))
+
+let suite =
+  [
+    Alcotest.test_case "all families strict-valid at L=2..4" `Slow
+      test_all_small_strict_valid;
+    Alcotest.test_case "mixed-radix torus" `Quick test_torus_family;
+    QCheck_alcotest.to_alcotest prop_random_torus_valid;
+    Alcotest.test_case "node counts" `Quick test_graph_sizes;
+    Alcotest.test_case "hypercube ratio trends to 1" `Slow
+      test_area_ratio_trends_to_one;
+    Alcotest.test_case "kary ratio sane" `Quick test_kary_ratio;
+    Alcotest.test_case "layers improve area everywhere" `Slow
+      test_layer_sweep_improves_area;
+    Alcotest.test_case "fold option shortens wires" `Quick
+      test_fold_option_reduces_maxwire;
+    Alcotest.test_case "mesh and binary tree" `Quick test_mesh_and_tree;
+    Alcotest.test_case "generic heterogeneous products" `Quick
+      test_generic_products;
+    Alcotest.test_case "cayley layouts valid" `Quick test_cayley_layouts_valid;
+  ]

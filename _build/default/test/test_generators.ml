@@ -1,0 +1,198 @@
+open Mvl_core
+module G = Mvl.Graph
+
+let check_regular_connected name g ~nodes ~degree ~edges =
+  Alcotest.(check int) (name ^ " nodes") nodes (G.n g);
+  Alcotest.(check int) (name ^ " edges") edges (G.m g);
+  Alcotest.(check bool) (name ^ " regular") true (G.is_regular g);
+  Alcotest.(check int) (name ^ " degree") degree (G.max_degree g);
+  Alcotest.(check bool) (name ^ " connected") true (G.is_connected g)
+
+let test_ring () =
+  check_regular_connected "ring 5" (Mvl.Ring.create 5) ~nodes:5 ~degree:2
+    ~edges:5;
+  let two = Mvl.Ring.create 2 in
+  Alcotest.(check int) "2-ring edges" 1 (G.m two)
+
+let test_complete () =
+  check_regular_connected "K7" (Mvl.Complete.create 7) ~nodes:7 ~degree:6
+    ~edges:21
+
+let test_hypercube () =
+  List.iter
+    (fun n ->
+      check_regular_connected
+        (Printf.sprintf "%d-cube" n)
+        (Mvl.Hypercube.create n) ~nodes:(1 lsl n) ~degree:n
+        ~edges:(n * (1 lsl (n - 1))))
+    [ 1; 2; 3; 4; 5; 6 ];
+  Alcotest.(check int) "diameter" 4 (G.diameter (Mvl.Hypercube.create 4));
+  Alcotest.(check int) "edge dimension" 2
+    (Mvl.Hypercube.dimension_of_edge 1 5)
+
+let test_kary () =
+  check_regular_connected "3-ary 2-cube"
+    (Mvl.Kary_ncube.create ~k:3 ~n:2)
+    ~nodes:9 ~degree:4 ~edges:18;
+  check_regular_connected "4-ary 3-cube"
+    (Mvl.Kary_ncube.create ~k:4 ~n:3)
+    ~nodes:64 ~degree:6 ~edges:192;
+  (* k = 2 degenerates to the hypercube *)
+  Alcotest.(check bool) "2-ary n-cube = hypercube" true
+    (G.equal (Mvl.Kary_ncube.create ~k:2 ~n:4) (Mvl.Hypercube.create 4));
+  Alcotest.(check int) "torus diameter" (2 * 2)
+    (G.diameter (Mvl.Kary_ncube.create ~k:5 ~n:2))
+
+let test_ghc () =
+  check_regular_connected "GHC(3,2)"
+    (Mvl.Generalized_hypercube.create_uniform ~r:3 ~n:2)
+    ~nodes:9 ~degree:4 ~edges:18;
+  check_regular_connected "GHC(4,3)"
+    (Mvl.Generalized_hypercube.create_uniform ~r:4 ~n:3)
+    ~nodes:64 ~degree:9 ~edges:288;
+  (* r = 2 is the binary hypercube *)
+  Alcotest.(check bool) "GHC(2,n) = hypercube" true
+    (G.equal
+       (Mvl.Generalized_hypercube.create_uniform ~r:2 ~n:5)
+       (Mvl.Hypercube.create 5));
+  (* GHC diameter is the number of dimensions *)
+  Alcotest.(check int) "diameter = n" 3
+    (G.diameter (Mvl.Generalized_hypercube.create_uniform ~r:3 ~n:3));
+  (* mixed radix: one dimension of 2 and one of 3 -> K2 x K3 *)
+  let mixed = Mvl.Generalized_hypercube.create [| 2; 3 |] in
+  Alcotest.(check int) "mixed nodes" 6 (G.n mixed);
+  Alcotest.(check int) "mixed edges" ((3 * 1) + (2 * 3)) (G.m mixed)
+
+let test_butterfly () =
+  let bf = Mvl.Butterfly.create ~dims:3 ~wrap:false in
+  Alcotest.(check int) "ordinary nodes" (4 * 8) (G.n bf.Mvl.Butterfly.graph);
+  Alcotest.(check int) "ordinary edges" (3 * 8 * 2) (G.m bf.Mvl.Butterfly.graph);
+  Alcotest.(check bool) "connected" true (G.is_connected bf.Mvl.Butterfly.graph);
+  let wbf = Mvl.Butterfly.create ~dims:3 ~wrap:true in
+  check_regular_connected "wrapped butterfly" wbf.Mvl.Butterfly.graph
+    ~nodes:(3 * 8) ~degree:4
+    ~edges:(3 * 8 * 2);
+  (* node coordinate helpers *)
+  let id = Mvl.Butterfly.node wbf ~row:5 ~level:2 in
+  Alcotest.(check int) "row roundtrip" 5 (Mvl.Butterfly.row_of wbf id);
+  Alcotest.(check int) "level roundtrip" 2 (Mvl.Butterfly.level_of wbf id)
+
+let test_ccc () =
+  let c = Mvl.Ccc.create 3 in
+  check_regular_connected "CCC(3)" c.Mvl.Ccc.graph ~nodes:24 ~degree:3
+    ~edges:36;
+  let c4 = Mvl.Ccc.create 4 in
+  Alcotest.(check int) "CCC(4) nodes" 64 (G.n c4.Mvl.Ccc.graph);
+  Alcotest.(check bool) "CCC(4) regular degree 3" true
+    (G.is_regular c4.Mvl.Ccc.graph && G.max_degree c4.Mvl.Ccc.graph = 3)
+
+let test_folded () =
+  let f = Mvl.Folded_hypercube.create 4 in
+  check_regular_connected "folded 4-cube" f ~nodes:16 ~degree:5
+    ~edges:((4 * 8) + 8);
+  (* folding halves the diameter (ceil n/2) *)
+  Alcotest.(check int) "diameter" 2 (G.diameter f)
+
+let test_enhanced () =
+  let e = Mvl.Enhanced_cube.create ~n:5 ~seed:11 in
+  Alcotest.(check int) "nodes" 32 (G.n e);
+  Alcotest.(check bool) "connected" true (G.is_connected e);
+  Alcotest.(check bool) "deterministic" true
+    (G.equal e (Mvl.Enhanced_cube.create ~n:5 ~seed:11));
+  Alcotest.(check bool) "seed matters" false
+    (G.equal e (Mvl.Enhanced_cube.create ~n:5 ~seed:12));
+  Alcotest.(check int) "one extra link per node" 32
+    (List.length (Mvl.Enhanced_cube.extra_links ~n:5 ~seed:11))
+
+let test_reduced () =
+  let rh = Mvl.Reduced_hypercube.create 4 in
+  check_regular_connected "RH(4)" rh.Mvl.Reduced_hypercube.graph ~nodes:64
+    ~degree:3
+    ~edges:(64 * 3 / 2);
+  Alcotest.(check int) "cluster dims" 2 rh.Mvl.Reduced_hypercube.cluster_dims;
+  (try
+     ignore (Mvl.Reduced_hypercube.create 5);
+     Alcotest.fail "non power of two accepted"
+   with Invalid_argument _ -> ())
+
+let test_hsn () =
+  let h = Mvl.Hsn.create_complete ~levels:2 ~radix:3 in
+  (* 2-level HSN over K3: 9 nodes; nucleus edges 3 per cluster x 3
+     clusters, plus one swap link per unordered digit pair *)
+  Alcotest.(check int) "nodes" 9 (G.n h.Mvl.Hsn.graph);
+  Alcotest.(check bool) "connected" true (G.is_connected h.Mvl.Hsn.graph);
+  let h3 = Mvl.Hsn.create_complete ~levels:3 ~radix:3 in
+  Alcotest.(check int) "27 nodes" 27 (G.n h3.Mvl.Hsn.graph);
+  Alcotest.(check bool) "connected" true (G.is_connected h3.Mvl.Hsn.graph);
+  (* cluster/pos helpers *)
+  Alcotest.(check int) "cluster of node 7" 2 (Mvl.Hsn.cluster_of h3 7);
+  Alcotest.(check int) "pos of node 7" 1 (Mvl.Hsn.pos_of h3 7)
+
+let test_hhn () =
+  let h = Mvl.Hhn.create ~levels:2 ~cube_dims:2 in
+  Alcotest.(check int) "nodes" 16 (G.n h.Mvl.Hsn.graph);
+  Alcotest.(check bool) "connected" true (G.is_connected h.Mvl.Hsn.graph)
+
+let test_pn_cluster () =
+  let quotient = Mvl.Ring.create 4 in
+  let intra = Mvl.Complete.create 3 in
+  let pn = Mvl.Pn_cluster.create ~quotient ~intra () in
+  Alcotest.(check int) "nodes" 12 (G.n pn.Mvl.Pn_cluster.graph);
+  (* 4 clusters x 3 intra edges + 4 quotient edges *)
+  Alcotest.(check int) "edges" ((4 * 3) + 4) (G.m pn.Mvl.Pn_cluster.graph);
+  Alcotest.(check bool) "connected" true (G.is_connected pn.Mvl.Pn_cluster.graph);
+  (* multiplicity: parallel links land on distinct node pairs *)
+  let pn2 = Mvl.Pn_cluster.create ~quotient ~intra ~multiplicity:3 () in
+  Alcotest.(check int) "edges with multiplicity"
+    ((4 * 3) + (4 * 3))
+    (G.m pn2.Mvl.Pn_cluster.graph)
+
+let test_kary_cluster () =
+  let pn = Mvl.Kary_cluster.create_hypercube_clusters ~k:3 ~n:2 ~c:4 in
+  Alcotest.(check int) "nodes" 36 (G.n pn.Mvl.Pn_cluster.graph);
+  Alcotest.(check bool) "connected" true (G.is_connected pn.Mvl.Pn_cluster.graph)
+
+let test_isn () =
+  let pn = Mvl.Isn.create ~radix:3 ~quotient_dims:2 ~levels:2 in
+  Alcotest.(check int) "nodes" (9 * 6) (G.n pn.Mvl.Pn_cluster.graph);
+  Alcotest.(check int) "multiplicity" 2 pn.Mvl.Pn_cluster.multiplicity;
+  Alcotest.(check bool) "connected" true (G.is_connected pn.Mvl.Pn_cluster.graph)
+
+let test_mesh () =
+  let m = Mvl.Mesh.create ~dims:[| 3; 4 |] in
+  Alcotest.(check int) "nodes" 12 (G.n m);
+  Alcotest.(check int) "edges" ((2 * 4) + (3 * 3)) (G.m m);
+  Alcotest.(check bool) "connected" true (G.is_connected m)
+
+let test_vertex_transitive () =
+  Alcotest.(check bool) "hypercube" true
+    (Mvl.Properties.is_vertex_transitive_sample (Mvl.Hypercube.create 5)
+       ~samples:8);
+  Alcotest.(check bool) "kary" true
+    (Mvl.Properties.is_vertex_transitive_sample
+       (Mvl.Kary_ncube.create ~k:4 ~n:2)
+       ~samples:8);
+  (* a path is not vertex transitive: endpoints differ *)
+  Alcotest.(check bool) "path is not" false
+    (Mvl.Properties.is_vertex_transitive_sample (Mvl.Mesh.path 5) ~samples:5)
+
+let suite =
+  [
+    Alcotest.test_case "ring" `Quick test_ring;
+    Alcotest.test_case "complete" `Quick test_complete;
+    Alcotest.test_case "hypercube" `Quick test_hypercube;
+    Alcotest.test_case "k-ary n-cube" `Quick test_kary;
+    Alcotest.test_case "generalized hypercube" `Quick test_ghc;
+    Alcotest.test_case "butterfly" `Quick test_butterfly;
+    Alcotest.test_case "ccc" `Quick test_ccc;
+    Alcotest.test_case "folded hypercube" `Quick test_folded;
+    Alcotest.test_case "enhanced cube" `Quick test_enhanced;
+    Alcotest.test_case "reduced hypercube" `Quick test_reduced;
+    Alcotest.test_case "hsn" `Quick test_hsn;
+    Alcotest.test_case "hhn" `Quick test_hhn;
+    Alcotest.test_case "pn cluster" `Quick test_pn_cluster;
+    Alcotest.test_case "kary cluster" `Quick test_kary_cluster;
+    Alcotest.test_case "isn" `Quick test_isn;
+    Alcotest.test_case "mesh" `Quick test_mesh;
+    Alcotest.test_case "vertex transitivity probe" `Quick test_vertex_transitive;
+  ]

@@ -1,0 +1,105 @@
+open Mvl_core
+module I = Mvl.Interval
+module S = Mvl.Segment
+module R = Mvl.Rect
+module P = Mvl.Point
+
+let test_interval () =
+  let a = I.make 3 1 in
+  Alcotest.(check int) "normalized lo" 1 a.I.lo;
+  Alcotest.(check int) "normalized hi" 3 a.I.hi;
+  Alcotest.(check int) "length" 2 (I.length a);
+  Alcotest.(check bool) "contains" true (I.contains a 2);
+  Alcotest.(check bool) "interior overlap" true
+    (I.overlap_interior (I.make 0 2) (I.make 1 3));
+  Alcotest.(check bool) "endpoint sharing is not interior overlap" false
+    (I.overlap_interior (I.make 0 2) (I.make 2 4));
+  Alcotest.(check bool) "touching" true (I.touches (I.make 0 2) (I.make 2 4));
+  Alcotest.(check bool) "disjoint" false (I.touches (I.make 0 1) (I.make 3 4));
+  let h = I.hull (I.make 0 1) (I.make 5 6) in
+  Alcotest.(check int) "hull lo" 0 h.I.lo;
+  Alcotest.(check int) "hull hi" 6 h.I.hi
+
+let test_zero_length_interval () =
+  (* degenerate spans never conflict on a track *)
+  Alcotest.(check bool) "point vs containing" false
+    (I.overlap_interior (I.make 3 3) (I.make 0 5))
+
+let test_segment () =
+  let p = P.make ~x:0 ~y:2 ~z:1 and q = P.make ~x:5 ~y:2 ~z:1 in
+  let s = S.make q p in
+  Alcotest.(check bool) "orientation" true (s.S.orientation = S.Along_x);
+  Alcotest.(check int) "normalized start" 0 s.S.a.P.x;
+  Alcotest.(check int) "length" 5 (S.length s);
+  Alcotest.(check bool) "contains midpoint" true
+    (S.contains_point s (P.make ~x:3 ~y:2 ~z:1));
+  Alcotest.(check bool) "misses off-line point" false
+    (S.contains_point s (P.make ~x:3 ~y:3 ~z:1));
+  let via = S.make (P.make ~x:1 ~y:1 ~z:1) (P.make ~x:1 ~y:1 ~z:4) in
+  Alcotest.(check bool) "via orientation" true (via.S.orientation = S.Along_z);
+  (try
+     ignore (S.make p p);
+     Alcotest.fail "degenerate segment accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (S.make p (P.make ~x:1 ~y:3 ~z:1));
+    Alcotest.fail "diagonal segment accepted"
+  with Invalid_argument _ -> ()
+
+let test_rect () =
+  let r = R.make ~x0:2 ~y0:3 ~x1:5 ~y1:7 in
+  Alcotest.(check int) "width" 4 (R.width r);
+  Alcotest.(check int) "height" 5 (R.height r);
+  Alcotest.(check int) "area" 20 (R.area r);
+  Alcotest.(check bool) "contains corner" true (R.contains r ~x:2 ~y:3);
+  Alcotest.(check bool) "interior excludes boundary" false
+    (R.contains_interior r ~x:2 ~y:5);
+  Alcotest.(check bool) "interior point" true (R.contains_interior r ~x:3 ~y:5);
+  Alcotest.(check bool) "overlap" true
+    (R.overlaps r (R.make ~x0:5 ~y0:7 ~x1:9 ~y1:9));
+  Alcotest.(check bool) "disjoint" false
+    (R.overlaps r (R.make ~x0:6 ~y0:3 ~x1:9 ~y1:9))
+
+let test_point () =
+  let a = P.make ~x:1 ~y:2 ~z:3 and b = P.make ~x:4 ~y:0 ~z:3 in
+  Alcotest.(check int) "manhattan" 5 (P.manhattan a b);
+  Alcotest.(check bool) "equal" true (P.equal a (P.make ~x:1 ~y:2 ~z:3))
+
+let test_wire () =
+  let w =
+    Mvl.Wire.make ~edge:(0, 1)
+      [
+        P.make ~x:0 ~y:0 ~z:1;
+        P.make ~x:0 ~y:0 ~z:2;
+        P.make ~x:0 ~y:5 ~z:2;
+        P.make ~x:3 ~y:5 ~z:2;
+      ]
+  in
+  Alcotest.(check int) "length with via" 9 (Mvl.Wire.length w);
+  Alcotest.(check int) "xy length" 8 (Mvl.Wire.length_xy w);
+  Alcotest.(check int) "segments" 3 (Array.length (Mvl.Wire.segments w));
+  (* duplicate points are dropped silently *)
+  let w2 =
+    Mvl.Wire.make ~edge:(0, 1)
+      [ P.make ~x:0 ~y:0 ~z:1; P.make ~x:0 ~y:0 ~z:1; P.make ~x:2 ~y:0 ~z:1 ]
+  in
+  Alcotest.(check int) "deduped segments" 1 (Array.length (Mvl.Wire.segments w2))
+
+let prop_interval_overlap_symmetric =
+  QCheck.Test.make ~count:500 ~name:"interval overlap is symmetric"
+    QCheck.(quad small_int small_int small_int small_int)
+    (fun (a, b, c, d) ->
+      let i = I.make a b and j = I.make c d in
+      I.overlap_interior i j = I.overlap_interior j i
+      && I.touches i j = I.touches j i)
+
+let suite =
+  [
+    Alcotest.test_case "interval" `Quick test_interval;
+    Alcotest.test_case "degenerate interval" `Quick test_zero_length_interval;
+    Alcotest.test_case "segment" `Quick test_segment;
+    Alcotest.test_case "rect" `Quick test_rect;
+    Alcotest.test_case "point" `Quick test_point;
+    Alcotest.test_case "wire" `Quick test_wire;
+    QCheck_alcotest.to_alcotest prop_interval_overlap_symmetric;
+  ]

@@ -1,0 +1,113 @@
+open Mvl_core
+module G = Mvl.Graph
+
+let path n =
+  G.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let test_basic () =
+  let g = G.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  Alcotest.(check int) "n" 4 (G.n g);
+  Alcotest.(check int) "m" 4 (G.m g);
+  Alcotest.(check bool) "regular" true (G.is_regular g);
+  Alcotest.(check int) "degree" 2 (G.degree g 0);
+  Alcotest.(check bool) "edge" true (G.mem_edge g 0 3);
+  Alcotest.(check bool) "non-edge" false (G.mem_edge g 0 2)
+
+let test_dedupe () =
+  let g = G.of_edges ~n:3 [ (0, 1); (1, 0); (0, 1); (1, 2) ] in
+  Alcotest.(check int) "duplicates collapsed" 2 (G.m g)
+
+let test_self_loop () =
+  try
+    ignore (G.of_edges ~n:2 [ (1, 1) ]);
+    Alcotest.fail "self loop accepted"
+  with Invalid_argument _ -> ()
+
+let test_out_of_range () =
+  try
+    ignore (G.of_edges ~n:2 [ (0, 2) ]);
+    Alcotest.fail "endpoint out of range accepted"
+  with Invalid_argument _ -> ()
+
+let test_neighbors_sorted () =
+  let g = G.of_edges ~n:5 [ (2, 4); (2, 0); (2, 3); (2, 1) ] in
+  Alcotest.(check (array int)) "sorted" [| 0; 1; 3; 4 |] (G.neighbors g 2)
+
+let test_bfs () =
+  let g = path 6 in
+  let dist = G.bfs_dist g 0 in
+  Alcotest.(check (array int)) "path distances" [| 0; 1; 2; 3; 4; 5 |] dist;
+  Alcotest.(check int) "diameter" 5 (G.diameter g)
+
+let test_connectivity () =
+  Alcotest.(check bool) "path connected" true (G.is_connected (path 5));
+  let disconnected = G.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "two components" false (G.is_connected disconnected)
+
+let test_product () =
+  (* path(2) x path(3) is the 2x3 grid: 6 nodes, 7 edges *)
+  let g = G.cartesian_product (path 2) (path 3) in
+  Alcotest.(check int) "nodes" 6 (G.n g);
+  Alcotest.(check int) "edges" 7 (G.m g);
+  Alcotest.(check bool) "grid edge (0,0)-(1,0)" true (G.mem_edge g 0 1);
+  Alcotest.(check bool) "grid edge (0,0)-(0,1)" true (G.mem_edge g 0 2);
+  Alcotest.(check bool) "no diagonal" false (G.mem_edge g 0 3)
+
+let test_product_is_hypercube () =
+  let k1 = path 2 in
+  let product = G.cartesian_product (G.cartesian_product k1 k1) k1 in
+  Alcotest.(check bool) "3-cube as product" true
+    (G.equal product (Mvl.Hypercube.create 3))
+
+let test_relabel () =
+  let g = path 3 in
+  let h = G.relabel g ~perm:[| 2; 1; 0 |] in
+  Alcotest.(check bool) "edge 2-1" true (G.mem_edge h 2 1);
+  Alcotest.(check bool) "edge 1-0" true (G.mem_edge h 1 0);
+  Alcotest.(check bool) "no 0-2" false (G.mem_edge h 0 2)
+
+let test_fold_edges () =
+  let g = path 4 in
+  let total = G.fold_edges g ~init:0 ~f:(fun acc u v -> acc + u + v) in
+  Alcotest.(check int) "sum of endpoints" (0 + 1 + 1 + 2 + 2 + 3) total
+
+let prop_degree_sum =
+  QCheck.Test.make ~count:200 ~name:"sum of degrees = 2m"
+    QCheck.(list (pair (int_range 0 19) (int_range 0 19)))
+    (fun pairs ->
+      let edges = List.filter (fun (u, v) -> u <> v) pairs in
+      let g = G.of_edges ~n:20 edges in
+      let sum = ref 0 in
+      for u = 0 to 19 do
+        sum := !sum + G.degree g u
+      done;
+      !sum = 2 * G.m g)
+
+let prop_bfs_triangle =
+  QCheck.Test.make ~count:100 ~name:"bfs distances satisfy edge relaxation"
+    QCheck.(list (pair (int_range 0 14) (int_range 0 14)))
+    (fun pairs ->
+      let edges = (0, 1) :: List.filter (fun (u, v) -> u <> v) pairs in
+      let g = G.of_edges ~n:15 edges in
+      let dist = G.bfs_dist g 0 in
+      G.fold_edges g ~init:true ~f:(fun acc u v ->
+          acc
+          && (dist.(u) = max_int || dist.(v) = max_int
+             || abs (dist.(u) - dist.(v)) <= 1)))
+
+let suite =
+  [
+    Alcotest.test_case "basic accessors" `Quick test_basic;
+    Alcotest.test_case "duplicate edges collapse" `Quick test_dedupe;
+    Alcotest.test_case "self loops rejected" `Quick test_self_loop;
+    Alcotest.test_case "bad endpoints rejected" `Quick test_out_of_range;
+    Alcotest.test_case "neighbors sorted" `Quick test_neighbors_sorted;
+    Alcotest.test_case "bfs distances" `Quick test_bfs;
+    Alcotest.test_case "connectivity" `Quick test_connectivity;
+    Alcotest.test_case "cartesian product grid" `Quick test_product;
+    Alcotest.test_case "product builds hypercube" `Quick test_product_is_hypercube;
+    Alcotest.test_case "relabel" `Quick test_relabel;
+    Alcotest.test_case "fold over edges" `Quick test_fold_edges;
+    QCheck_alcotest.to_alcotest prop_degree_sum;
+    QCheck_alcotest.to_alcotest prop_bfs_triangle;
+  ]

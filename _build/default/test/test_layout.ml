@@ -1,0 +1,162 @@
+open Mvl_core
+
+let strict_valid name lay =
+  match Mvl.Check.validate ~mode:Mvl.Check.Strict lay with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.fail (Format.asprintf "%s: %a" name Mvl.Check.pp_violation v)
+
+let hypercube_ortho n =
+  let row = Mvl.Collinear_hypercube.create ((n + 1) / 2) in
+  let col = Mvl.Collinear_hypercube.create (n - ((n + 1) / 2)) in
+  let col =
+    if n - ((n + 1) / 2) = 0 then
+      Mvl.Collinear.natural (Mvl.Graph.of_edges ~n:1 [])
+    else col
+  in
+  Mvl.Orthogonal.of_product ~row_factor:row ~col_factor:col
+    (Mvl.Hypercube.create n)
+
+let test_orthogonal_classification () =
+  let o = hypercube_ortho 4 in
+  Alcotest.(check int) "rows" 4 o.Mvl.Orthogonal.rows;
+  Alcotest.(check int) "cols" 4 o.Mvl.Orthogonal.cols;
+  (* every row is a 2-cube line: 2 tracks each *)
+  Array.iter
+    (fun t -> Alcotest.(check int) "row tracks" 2 t)
+    o.Mvl.Orthogonal.row_tracks;
+  Array.iter
+    (fun t -> Alcotest.(check int) "col tracks" 2 t)
+    o.Mvl.Orthogonal.col_tracks
+
+let test_orthogonal_rejects_non_orthogonal () =
+  (* a triangle cannot be placed orthogonally on a 1x3 grid... it can
+     (all in one row); use a graph with an edge that is neither *)
+  let g = Mvl.Graph.of_edges ~n:4 [ (0, 3) ] in
+  try
+    ignore
+      (Mvl.Orthogonal.create g ~rows:2 ~cols:2 ~place:(fun u ->
+           (u / 2, u mod 2)));
+    Alcotest.fail "diagonal edge accepted"
+  with Invalid_argument _ -> ()
+
+let test_groups () =
+  let g = Mvl.Multilayer.groups_for_layers 2 in
+  Alcotest.(check int) "L=2 horizontal" 1 g.Mvl.Multilayer.horizontal;
+  Alcotest.(check int) "L=2 vertical" 1 g.Mvl.Multilayer.vertical;
+  let g5 = Mvl.Multilayer.groups_for_layers 5 in
+  Alcotest.(check int) "L=5 horizontal" 3 g5.Mvl.Multilayer.horizontal;
+  Alcotest.(check int) "L=5 vertical" 2 g5.Mvl.Multilayer.vertical
+
+let test_realize_valid_all_layers () =
+  let o = hypercube_ortho 5 in
+  List.iter
+    (fun layers ->
+      let lay = Mvl.Multilayer.realize o ~layers in
+      strict_valid (Printf.sprintf "5-cube L=%d" layers) lay;
+      let m = Mvl.Layout.metrics lay in
+      Alcotest.(check int) "volume = layers * area" (layers * m.Mvl.Layout.area)
+        m.Mvl.Layout.volume)
+    [ 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_area_shrinks_with_layers () =
+  let o = hypercube_ortho 10 in
+  let a2 = (Mvl.Multilayer.metrics o ~layers:2).Mvl.Layout.area in
+  let a4 = (Mvl.Multilayer.metrics o ~layers:4).Mvl.Layout.area in
+  let a8 = (Mvl.Multilayer.metrics o ~layers:8).Mvl.Layout.area in
+  Alcotest.(check bool) "A(4) < A(2)" true (a4 < a2);
+  Alcotest.(check bool) "A(8) < A(4)" true (a8 < a4);
+  (* the asymptotic gain is (L/2)^2 = 16; node footprints still eat a
+     good part of it at n=10 *)
+  Alcotest.(check bool) "A(2)/A(8) is substantial" true
+    (float_of_int a2 /. float_of_int a8 > 3.5)
+
+let test_maxwire_shrinks_with_layers () =
+  let o = hypercube_ortho 8 in
+  let w2 = (Mvl.Multilayer.metrics o ~layers:2).Mvl.Layout.max_wire in
+  let w8 = (Mvl.Multilayer.metrics o ~layers:8).Mvl.Layout.max_wire in
+  Alcotest.(check bool) "maxwire(8) < maxwire(2)" true (w8 < w2)
+
+let test_node_side_scaling () =
+  (* growing node footprints within o(gap) must not break validity and
+     must grow area only modestly (optimal scalability, §3.2) *)
+  let o = hypercube_ortho 6 in
+  let base = (Mvl.Multilayer.metrics o ~layers:2).Mvl.Layout.area in
+  let lay = Mvl.Multilayer.realize ~node_side:10 o ~layers:2 in
+  strict_valid "node_side=10" lay;
+  let grown = (Mvl.Layout.metrics lay).Mvl.Layout.area in
+  Alcotest.(check bool) "bigger nodes, bigger area" true (grown > base);
+  Alcotest.(check bool) "still dominated by tracks" true
+    (float_of_int grown /. float_of_int base < 4.0)
+
+let test_thompson_mode_accepts_strict () =
+  let o = hypercube_ortho 4 in
+  let lay = Mvl.Multilayer.realize o ~layers:2 in
+  Alcotest.(check bool) "strict-valid is thompson-valid" true
+    (Mvl.Check.is_valid ~mode:Mvl.Check.Thompson lay)
+
+let test_kary_realization () =
+  List.iter
+    (fun (k, n, layers) ->
+      let fam = Mvl.Families.kary ~k ~n () in
+      let lay = fam.Mvl.Families.layout ~layers in
+      strict_valid (Printf.sprintf "kary %d,%d L=%d" k n layers) lay)
+    [ (3, 2, 2); (3, 2, 3); (4, 2, 4); (3, 3, 6); (5, 2, 5) ]
+
+let test_ghc_realization () =
+  List.iter
+    (fun (r, n, layers) ->
+      let fam = Mvl.Families.generalized_hypercube ~r ~n () in
+      let lay = fam.Mvl.Families.layout ~layers in
+      strict_valid (Printf.sprintf "ghc %d,%d L=%d" r n layers) lay)
+    [ (3, 2, 2); (4, 2, 4); (3, 3, 8); (5, 2, 3) ]
+
+let test_one_dimensional_factor () =
+  (* n = 1: single row of nodes, no column edges *)
+  let fam = Mvl.Families.hypercube 1 in
+  let lay = fam.Mvl.Families.layout ~layers:2 in
+  strict_valid "1-cube" lay
+
+let test_translation_invariance () =
+  let fam = Mvl.Families.hypercube 5 in
+  let lay = fam.Mvl.Families.layout ~layers:4 in
+  let moved = Mvl.Layout.translate lay ~dx:17 ~dy:(-3) in
+  strict_valid "translated layout" moved;
+  let m = Mvl.Layout.metrics lay and m' = Mvl.Layout.metrics moved in
+  Alcotest.(check int) "area invariant" m.Mvl.Layout.area m'.Mvl.Layout.area;
+  Alcotest.(check int) "max wire invariant" m.Mvl.Layout.max_wire
+    m'.Mvl.Layout.max_wire;
+  Alcotest.(check int) "total wire invariant" m.Mvl.Layout.total_wire
+    m'.Mvl.Layout.total_wire
+
+let test_wire_count_and_edges () =
+  let fam = Mvl.Families.hypercube 5 in
+  let lay = fam.Mvl.Families.layout ~layers:4 in
+  Alcotest.(check int) "one wire per edge"
+    (Mvl.Graph.m fam.Mvl.Families.graph)
+    (Array.length lay.Mvl.Layout.wires)
+
+let suite =
+  [
+    Alcotest.test_case "orthogonal classification" `Quick
+      test_orthogonal_classification;
+    Alcotest.test_case "non-orthogonal rejected" `Quick
+      test_orthogonal_rejects_non_orthogonal;
+    Alcotest.test_case "layer groups" `Quick test_groups;
+    Alcotest.test_case "strict-valid for L=2..8" `Quick
+      test_realize_valid_all_layers;
+    Alcotest.test_case "area shrinks with L" `Quick test_area_shrinks_with_layers;
+    Alcotest.test_case "max wire shrinks with L" `Quick
+      test_maxwire_shrinks_with_layers;
+    Alcotest.test_case "optimal node-size scalability" `Quick
+      test_node_side_scaling;
+    Alcotest.test_case "thompson accepts strict layouts" `Quick
+      test_thompson_mode_accepts_strict;
+    Alcotest.test_case "kary realizations" `Quick test_kary_realization;
+    Alcotest.test_case "ghc realizations" `Quick test_ghc_realization;
+    Alcotest.test_case "one-dimensional factor" `Quick
+      test_one_dimensional_factor;
+    Alcotest.test_case "translation invariance" `Quick
+      test_translation_invariance;
+    Alcotest.test_case "wire count" `Quick test_wire_count_and_edges;
+  ]

@@ -1,0 +1,88 @@
+open Mvl_core
+
+let strict_valid name lay =
+  match Mvl.Check.validate ~mode:Mvl.Check.Strict lay with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.fail (Format.asprintf "%s: %a" name Mvl.Check.pp_violation v)
+
+let test_product_is_hypercube () =
+  let t = Mvl.Multilayer3d.hypercube ~n:6 ~active:4 ~layers_per_slab:2 in
+  Alcotest.(check bool) "stacked product = 6-cube" true
+    (Mvl.Graph.equal t.Mvl.Multilayer3d.product (Mvl.Hypercube.create 6))
+
+let test_strict_valid_sweep () =
+  List.iter
+    (fun (n, active, lps) ->
+      let t = Mvl.Multilayer3d.hypercube ~n ~active ~layers_per_slab:lps in
+      strict_valid
+        (Printf.sprintf "3d n=%d LA=%d Lw=%d" n active lps)
+        t.Mvl.Multilayer3d.layout)
+    [ (4, 2, 2); (5, 2, 2); (6, 2, 3); (6, 4, 2); (8, 4, 2); (7, 2, 4) ]
+
+let test_active_layers () =
+  let t = Mvl.Multilayer3d.hypercube ~n:6 ~active:4 ~layers_per_slab:3 in
+  Alcotest.(check int) "L_A" 4 (Mvl.Layout.active_layers t.Mvl.Multilayer3d.layout);
+  Alcotest.(check int) "total layers" 12 t.Mvl.Multilayer3d.layout.Mvl.Layout.layers
+
+let test_footprint_shrinks () =
+  (* stacking on 4 active layers must beat the 2-D layout at the same
+     total layer count in area (the §2.2 motivation) *)
+  let t = Mvl.Multilayer3d.hypercube ~n:10 ~active:4 ~layers_per_slab:4 in
+  let m3 = Mvl.Layout.metrics t.Mvl.Multilayer3d.layout in
+  let fam = Mvl.Families.hypercube 10 in
+  let m2 = Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers:16) in
+  Alcotest.(check bool) "smaller footprint" true
+    (m3.Mvl.Layout.area < m2.Mvl.Layout.area);
+  Alcotest.(check bool) "smaller volume" true
+    (m3.Mvl.Layout.volume < m2.Mvl.Layout.volume)
+
+let test_wire_accounting () =
+  let n = 6 and active = 4 and lps = 2 in
+  let t = Mvl.Multilayer3d.hypercube ~n ~active ~layers_per_slab:lps in
+  let lay = t.Mvl.Multilayer3d.layout in
+  (* product edge count: slabs * base edges + slab edges * base nodes *)
+  let base_dims = 4 in
+  let base_edges = base_dims * (1 lsl (base_dims - 1)) in
+  let slab_edges = 2 * (1 lsl 1) in
+  let expected = (4 * base_edges) + (slab_edges * (1 lsl base_dims)) in
+  Alcotest.(check int) "edge count" expected (Array.length lay.Mvl.Layout.wires)
+
+let test_generic_base () =
+  (* a torus base with a ring of slabs: k-ary (n+1)-cube overall *)
+  let k = 4 in
+  let row = Mvl.Collinear_kary.create ~k ~n:1 () in
+  let base =
+    Mvl.Orthogonal.of_product ~row_factor:row ~col_factor:row
+      (Mvl.Kary_ncube.create ~k ~n:2)
+  in
+  let t =
+    Mvl.Multilayer3d.realize ~base ~slab_graph:(Mvl.Ring.create k)
+      ~layers_per_slab:2 ()
+  in
+  strict_valid "torus slabs" t.Mvl.Multilayer3d.layout;
+  Alcotest.(check bool) "product is the 4-ary 3-cube" true
+    (Mvl.Graph.equal t.Mvl.Multilayer3d.product (Mvl.Kary_ncube.create ~k ~n:3))
+
+let test_rejects_bad_params () =
+  (try
+     ignore (Mvl.Multilayer3d.hypercube ~n:4 ~active:3 ~layers_per_slab:2);
+     Alcotest.fail "non power of two accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Mvl.Multilayer3d.hypercube ~n:4 ~active:4 ~layers_per_slab:1);
+    Alcotest.fail "single-layer band accepted"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "product graph is the hypercube" `Quick
+      test_product_is_hypercube;
+    Alcotest.test_case "strict validity sweep" `Quick test_strict_valid_sweep;
+    Alcotest.test_case "active layer accounting" `Quick test_active_layers;
+    Alcotest.test_case "footprint beats 2-D at equal L" `Quick
+      test_footprint_shrinks;
+    Alcotest.test_case "wire accounting" `Quick test_wire_accounting;
+    Alcotest.test_case "generic (torus) base" `Quick test_generic_base;
+    Alcotest.test_case "parameter validation" `Quick test_rejects_bad_params;
+  ]

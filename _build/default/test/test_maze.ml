@@ -1,0 +1,67 @@
+open Mvl_core
+
+let route_ok name g ~rows ~cols ~layers =
+  match Mvl.Maze_router.route_or_grow g ~rows ~cols ~layers with
+  | None -> Alcotest.fail (name ^ ": routing failed")
+  | Some lay ->
+      (match Mvl.Check.validate ~mode:Mvl.Check.Strict lay with
+      | [] -> ()
+      | v :: _ ->
+          Alcotest.fail
+            (Format.asprintf "%s: %a" name Mvl.Check.pp_violation v));
+      lay
+
+let test_routes_products () =
+  ignore (route_ok "ring" (Mvl.Ring.create 8) ~rows:2 ~cols:4 ~layers:2);
+  ignore (route_ok "hypercube" (Mvl.Hypercube.create 4) ~rows:4 ~cols:4 ~layers:2);
+  ignore (route_ok "kary" (Mvl.Kary_ncube.create ~k:4 ~n:2) ~rows:4 ~cols:4 ~layers:2)
+
+let test_routes_non_orthogonal () =
+  (* networks the orthogonal scheme cannot handle directly *)
+  ignore (route_ok "star" (Mvl.Cayley.star 4) ~rows:4 ~cols:6 ~layers:4);
+  ignore
+    (route_ok "shuffle-exchange" (Mvl.Shuffle.shuffle_exchange 4) ~rows:4
+       ~cols:4 ~layers:4);
+  ignore (route_ok "K8" (Mvl.Complete.create 8) ~rows:2 ~cols:4 ~layers:4)
+
+let test_all_edges_routed () =
+  let g = Mvl.Hypercube.create 4 in
+  let lay = route_ok "hc4" g ~rows:4 ~cols:4 ~layers:2 in
+  Alcotest.(check int) "wire per edge" (Mvl.Graph.m g)
+    (Array.length lay.Mvl.Layout.wires)
+
+let test_constructive_beats_maze () =
+  (* the paper's constructive layout should use less area than the
+     generic router at equal layers *)
+  let fam = Mvl.Families.hypercube 5 in
+  let constructive =
+    (Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers:4)).Mvl.Layout.area
+  in
+  match
+    Mvl.Maze_router.route_or_grow fam.Mvl.Families.graph ~rows:4 ~cols:8
+      ~layers:4
+  with
+  | None -> Alcotest.fail "maze failed"
+  | Some lay ->
+      let maze = (Mvl.Layout.metrics lay).Mvl.Layout.area in
+      Alcotest.(check bool) "constructive wins" true (constructive < maze)
+
+let test_small_canvas_fails_gracefully () =
+  (* a dense graph on a tiny canvas with few layers cannot route *)
+  let g = Mvl.Complete.create 9 in
+  let placement =
+    Mvl.Maze_router.grid_placement g ~rows:3 ~cols:3 ~margin:1 ~layers:2
+  in
+  Alcotest.(check bool) "returns None rather than looping" true
+    (Mvl.Maze_router.route g placement = None)
+
+let suite =
+  [
+    Alcotest.test_case "routes product networks" `Quick test_routes_products;
+    Alcotest.test_case "routes non-orthogonal networks" `Quick
+      test_routes_non_orthogonal;
+    Alcotest.test_case "all edges routed" `Quick test_all_edges_routed;
+    Alcotest.test_case "constructive beats maze" `Quick
+      test_constructive_beats_maze;
+    Alcotest.test_case "graceful failure" `Quick test_small_canvas_fails_gracefully;
+  ]

@@ -1,0 +1,72 @@
+open Mvl_core
+module MR = Mvl.Mixed_radix
+
+let test_cardinal () =
+  Alcotest.(check int) "3^4" 81 (MR.cardinal (MR.uniform ~radix:3 ~dims:4));
+  Alcotest.(check int) "mixed" 24 (MR.cardinal [| 2; 3; 4 |]);
+  Alcotest.(check int) "unary" 1 (MR.cardinal [| 1; 1; 1 |])
+
+let test_roundtrip () =
+  let radices = [| 3; 2; 5; 4 |] in
+  let total = MR.cardinal radices in
+  for x = 0 to total - 1 do
+    let d = MR.to_digits radices x in
+    Alcotest.(check int) (Printf.sprintf "roundtrip %d" x) x
+      (MR.of_digits radices d)
+  done
+
+let test_digit_order () =
+  (* digit 0 is least significant *)
+  let d = MR.to_digits [| 10; 10; 10 |] 123 in
+  Alcotest.(check (array int)) "123 decimal" [| 3; 2; 1 |] d
+
+let test_split () =
+  let radices = [| 3; 2; 5 |] in
+  let low, high = MR.split radices ~lo_dims:2 in
+  Alcotest.(check (array int)) "low" [| 3; 2 |] low;
+  Alcotest.(check (array int)) "high" [| 5 |] high;
+  for x = 0 to MR.cardinal radices - 1 do
+    let hi, lo = MR.split_index radices ~lo_dims:2 x in
+    Alcotest.(check int) "join inverse" x
+      (MR.join_index radices ~lo_dims:2 ~hi ~lo)
+  done
+
+let test_iter () =
+  let seen = ref [] in
+  MR.iter [| 2; 3 |] (fun d -> seen := Array.copy d :: !seen);
+  Alcotest.(check int) "count" 6 (List.length !seen);
+  let sorted = List.sort_uniq compare !seen in
+  Alcotest.(check int) "distinct" 6 (List.length sorted)
+
+let test_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Mixed_radix: empty radices")
+    (fun () -> ignore (MR.cardinal [||]));
+  (try
+     ignore (MR.of_digits [| 3 |] [| 3 |]);
+     Alcotest.fail "digit out of range accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (MR.to_digits [| 2; 2 |] 4);
+    Alcotest.fail "value out of range accepted"
+  with Invalid_argument _ -> ()
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"mixed-radix roundtrip"
+    QCheck.(
+      pair (list_of_size (Gen.int_range 1 5) (int_range 1 6)) (int_range 0 10000))
+    (fun (radices, salt) ->
+      let radices = Array.of_list radices in
+      let total = MR.cardinal radices in
+      let x = salt mod total in
+      MR.of_digits radices (MR.to_digits radices x) = x)
+
+let suite =
+  [
+    Alcotest.test_case "cardinal" `Quick test_cardinal;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "digit order" `Quick test_digit_order;
+    Alcotest.test_case "split/join" `Quick test_split;
+    Alcotest.test_case "iter covers all" `Quick test_iter;
+    Alcotest.test_case "invalid inputs" `Quick test_invalid;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

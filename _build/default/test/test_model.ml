@@ -1,0 +1,141 @@
+open Mvl_core
+module F = Mvl.Formulas
+module LB = Mvl.Lower_bounds
+
+let close ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let test_layer_sq () =
+  Alcotest.(check bool) "even" true (close (F.layer_sq 4) 16.0);
+  Alcotest.(check bool) "odd" true (close (F.layer_sq 5) 24.0);
+  Alcotest.(check bool) "two" true (close (F.layer_sq 2) 4.0)
+
+let test_track_formulas_match_layout_lib () =
+  List.iter
+    (fun (k, n) ->
+      Alcotest.(check int) "kary tracks agree"
+        (Mvl.Collinear_kary.tracks_formula ~k ~n)
+        (F.kary_collinear_tracks ~k ~n))
+    [ (3, 2); (4, 3); (7, 2) ];
+  List.iter
+    (fun n ->
+      Alcotest.(check int) "hypercube tracks agree"
+        (Mvl.Collinear_hypercube.tracks_formula n)
+        (F.hypercube_collinear_tracks n))
+    [ 2; 5; 9 ];
+  let radices = Mvl.Mixed_radix.uniform ~radix:5 ~dims:3 in
+  Alcotest.(check int) "ghc tracks agree"
+    (Mvl.Collinear_ghc.tracks_formula radices)
+    (F.ghc_collinear_tracks radices)
+
+let test_area_formulas_scale () =
+  (* quadrupling N multiplies every area formula by 16 *)
+  let pairs =
+    [
+      (fun n_nodes -> F.hypercube_area ~n_nodes ~layers:4);
+      (fun n_nodes -> F.kary_area ~n_nodes ~k:4 ~layers:4);
+      (fun n_nodes -> F.ghc_area ~n_nodes ~r:4 ~layers:4);
+      (fun n_nodes -> F.hsn_area ~n_nodes ~layers:4);
+      (fun n_nodes -> F.folded_hypercube_area ~n_nodes ~layers:4);
+      (fun n_nodes -> F.enhanced_cube_area ~n_nodes ~layers:4);
+    ]
+  in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "quadratic in N" true
+        (close (f 4096 /. f 1024) 16.0))
+    pairs
+
+let test_area_formulas_layers () =
+  (* doubling (even) L divides areas by 4 *)
+  Alcotest.(check bool) "hypercube" true
+    (close
+       (F.hypercube_area ~n_nodes:1024 ~layers:4
+       /. F.hypercube_area ~n_nodes:1024 ~layers:8)
+       4.0);
+  (* odd L uses L^2 - 1 *)
+  Alcotest.(check bool) "odd L" true
+    (close
+       (F.hsn_area ~n_nodes:100 ~layers:3)
+       (100.0 *. 100.0 /. (4.0 *. 8.0)))
+
+let test_volume_is_layers_times_area () =
+  Alcotest.(check bool) "hypercube volume" true
+    (close
+       (F.hypercube_volume ~n_nodes:512 ~layers:6)
+       (6.0 *. F.hypercube_area ~n_nodes:512 ~layers:6));
+  Alcotest.(check bool) "ghc volume" true
+    (close
+       (F.ghc_volume ~n_nodes:512 ~r:8 ~layers:6)
+       (6.0 *. F.ghc_area ~n_nodes:512 ~r:8 ~layers:6))
+
+let test_reduction_factors () =
+  Alcotest.(check bool) "area vs thompson" true
+    (close (F.area_reduction_vs_thompson ~layers:8) 16.0);
+  Alcotest.(check bool) "folding" true
+    (close (F.area_reduction_folding ~layers:8) 4.0);
+  Alcotest.(check bool) "volume" true
+    (close (F.volume_reduction_vs_thompson ~layers:8) 4.0)
+
+let test_bisections () =
+  Alcotest.(check int) "hypercube" 16 (LB.hypercube_bisection 5);
+  Alcotest.(check int) "folded" 32 (LB.folded_hypercube_bisection 5);
+  Alcotest.(check int) "kary" (2 * 16) (LB.kary_bisection ~k:4 ~n:3);
+  Alcotest.(check int) "complete 9" 20 (LB.complete_bisection 9);
+  Alcotest.(check int) "complete 8" 16 (LB.complete_bisection 8);
+  Alcotest.(check int) "ghc" (16 / 4 * 4) (LB.ghc_bisection ~r:4 ~n:2)
+
+let test_bisection_consistent_with_heuristic () =
+  (* the BFS-sweep upper bound can never fall below the true bisection *)
+  List.iter
+    (fun (g, closed_form, name) ->
+      let ub = LB.generic_upper_bound g ~sweeps:8 in
+      Alcotest.(check bool) (name ^ " heuristic >= closed form") true
+        (ub >= closed_form))
+    [
+      (Mvl.Hypercube.create 6, LB.hypercube_bisection 6, "hypercube");
+      (Mvl.Complete.create 10, LB.complete_bisection 10, "complete");
+      (Mvl.Kary_ncube.create ~k:4 ~n:2, LB.kary_bisection ~k:4 ~n:2, "kary");
+    ]
+
+let test_lower_bound_area () =
+  Alcotest.(check bool) "area bound" true
+    (close (LB.area ~bisection:128 ~layers:4) (32.0 *. 32.0));
+  Alcotest.(check bool) "volume bound" true
+    (close (LB.volume ~bisection:128 ~layers:4) (128.0 *. 128.0 /. 4.0))
+
+let test_layout_respects_lower_bound () =
+  (* measured area must stay above the bisection bound *)
+  List.iter
+    (fun (fam, layers) ->
+      match fam.Mvl.Families.bisection with
+      | None -> ()
+      | Some b ->
+          let m = Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers) in
+          Alcotest.(check bool)
+            (fam.Mvl.Families.name ^ " above lower bound")
+            true
+            (float_of_int m.Mvl.Layout.area >= LB.area ~bisection:b ~layers))
+    [
+      (Mvl.Families.hypercube 6, 2);
+      (Mvl.Families.hypercube 8, 4);
+      (Mvl.Families.kary ~k:4 ~n:2 (), 2);
+      (Mvl.Families.generalized_hypercube ~r:4 ~n:2 (), 2);
+      (Mvl.Families.complete 12, 2);
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "layer_sq" `Quick test_layer_sq;
+    Alcotest.test_case "track formulas agree across libs" `Quick
+      test_track_formulas_match_layout_lib;
+    Alcotest.test_case "areas quadratic in N" `Quick test_area_formulas_scale;
+    Alcotest.test_case "areas vs layers" `Quick test_area_formulas_layers;
+    Alcotest.test_case "volume = L x area" `Quick test_volume_is_layers_times_area;
+    Alcotest.test_case "reduction factors" `Quick test_reduction_factors;
+    Alcotest.test_case "bisection closed forms" `Quick test_bisections;
+    Alcotest.test_case "bisection heuristic consistency" `Quick
+      test_bisection_consistent_with_heuristic;
+    Alcotest.test_case "lower bound arithmetic" `Quick test_lower_bound_area;
+    Alcotest.test_case "layouts respect lower bounds" `Quick
+      test_layout_respects_lower_bound;
+  ]

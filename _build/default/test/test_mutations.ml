@@ -1,0 +1,109 @@
+(* Checker hardening: start from a known-valid layout and apply
+   guaranteed-breaking mutations; the verifier must flag every one. *)
+open Mvl_core
+
+let base_layout () =
+  let fam = Mvl.Families.hypercube 4 in
+  fam.Mvl.Families.layout ~layers:4
+
+let with_wires (lay : Mvl.Layout.t) wires =
+  Mvl.Layout.make ~graph:lay.Mvl.Layout.graph ~layers:lay.Mvl.Layout.layers
+    ~node_layers:lay.Mvl.Layout.node_layers ~nodes:lay.Mvl.Layout.nodes ~wires
+    ()
+
+let shift_wire (w : Mvl.Wire.t) ~dx ~dy =
+  Mvl.Wire.make ~edge:w.Mvl.Wire.edge
+    (Array.to_list
+       (Array.map
+          (fun (p : Mvl.Point.t) ->
+            Mvl.Point.make ~x:(p.Mvl.Point.x + dx) ~y:(p.Mvl.Point.y + dy)
+              ~z:p.Mvl.Point.z)
+          w.Mvl.Wire.points))
+
+let test_detached_wire () =
+  (* translating a wire far away detaches it from its terminals (small
+     shifts can legitimately land on a free neighbouring terminal slot,
+     which the checker rightly accepts) *)
+  let lay = base_layout () in
+  for victim = 0 to min 9 (Array.length lay.Mvl.Layout.wires - 1) do
+    let wires = Array.copy lay.Mvl.Layout.wires in
+    wires.(victim) <- shift_wire wires.(victim) ~dx:10_000 ~dy:0;
+    let mutated = with_wires lay wires in
+    Alcotest.(check bool)
+      (Printf.sprintf "shifted wire %d caught" victim)
+      false
+      (Mvl.Check.is_valid mutated)
+  done
+
+let test_cloned_route () =
+  (* give one edge another edge's route: overlap + wrong terminals *)
+  let lay = base_layout () in
+  let wires = Array.copy lay.Mvl.Layout.wires in
+  let donor = wires.(0) in
+  wires.(1) <- { donor with Mvl.Wire.edge = wires.(1).Mvl.Wire.edge };
+  let mutated = with_wires lay wires in
+  Alcotest.(check bool) "cloned route caught" false (Mvl.Check.is_valid mutated)
+
+let test_swapped_footprints () =
+  (* swapping two node footprints leaves every wire mis-terminated *)
+  let lay = base_layout () in
+  let nodes = Array.copy lay.Mvl.Layout.nodes in
+  let tmp = nodes.(0) in
+  nodes.(0) <- nodes.(3);
+  nodes.(3) <- tmp;
+  let mutated =
+    Mvl.Layout.make ~graph:lay.Mvl.Layout.graph ~layers:lay.Mvl.Layout.layers
+      ~nodes ~wires:lay.Mvl.Layout.wires ()
+  in
+  Alcotest.(check bool) "swapped footprints caught" false
+    (Mvl.Check.is_valid mutated)
+
+let test_flattened_layers () =
+  (* projecting all wiring onto one layer must collide somewhere *)
+  let lay = base_layout () in
+  let wires =
+    Array.map
+      (fun (w : Mvl.Wire.t) ->
+        Mvl.Wire.make ~edge:w.Mvl.Wire.edge
+          (Array.to_list
+             (Array.map
+                (fun (p : Mvl.Point.t) ->
+                  Mvl.Point.make ~x:p.Mvl.Point.x ~y:p.Mvl.Point.y ~z:1)
+                w.Mvl.Wire.points)))
+      lay.Mvl.Layout.wires
+  in
+  let mutated = with_wires lay wires in
+  Alcotest.(check bool) "flattening caught" false (Mvl.Check.is_valid mutated)
+
+let prop_random_shifts_caught =
+  QCheck.Test.make ~count:60 ~name:"random wire shifts are caught"
+    QCheck.(pair (int_range 0 31) (int_range 0 3))
+    (fun (victim, direction) ->
+      let lay = base_layout () in
+      let victim = victim mod Array.length lay.Mvl.Layout.wires in
+      let dx, dy =
+        match direction with
+        | 0 -> (10_000, 0)
+        | 1 -> (-10_000, 0)
+        | 2 -> (0, 10_000)
+        | _ -> (0, -10_000)
+      in
+      let wires = Array.copy lay.Mvl.Layout.wires in
+      wires.(victim) <- shift_wire wires.(victim) ~dx ~dy;
+      not (Mvl.Check.is_valid (with_wires lay wires)))
+
+let test_valid_survives_identity () =
+  let lay = base_layout () in
+  let wires = Array.copy lay.Mvl.Layout.wires in
+  Alcotest.(check bool) "identity mutation stays valid" true
+    (Mvl.Check.is_valid (with_wires lay wires))
+
+let suite =
+  [
+    Alcotest.test_case "detached wires" `Quick test_detached_wire;
+    Alcotest.test_case "cloned route" `Quick test_cloned_route;
+    Alcotest.test_case "swapped footprints" `Quick test_swapped_footprints;
+    Alcotest.test_case "flattened layers" `Quick test_flattened_layers;
+    QCheck_alcotest.to_alcotest prop_random_shifts_caught;
+    Alcotest.test_case "identity is valid" `Quick test_valid_survives_identity;
+  ]

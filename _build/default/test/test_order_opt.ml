@@ -1,0 +1,66 @@
+open Mvl_core
+
+let test_never_worse_than_initial () =
+  List.iter
+    (fun (name, g) ->
+      let natural = Mvl.Collinear.natural g in
+      let opt = Mvl.Order_opt.optimize ~iterations:4000 g in
+      Alcotest.(check bool) (name ^ " not worse") true
+        (opt.Mvl.Collinear.tracks <= natural.Mvl.Collinear.tracks);
+      Alcotest.(check bool) (name ^ " valid") true
+        (Mvl.Collinear.validate opt = Ok ()))
+    [
+      ("star", Mvl.Cayley.star 4);
+      ("pancake", Mvl.Cayley.pancake 4);
+      ("shuffle", Mvl.Shuffle.shuffle_exchange 5);
+      ("ring", Mvl.Ring.create 12);
+    ]
+
+let test_improves_star () =
+  let g = Mvl.Cayley.star 4 in
+  let natural = Mvl.Collinear.natural g in
+  let opt = Mvl.Order_opt.optimize ~iterations:8000 g in
+  Alcotest.(check bool) "substantial improvement" true
+    (opt.Mvl.Collinear.tracks * 2 <= natural.Mvl.Collinear.tracks)
+
+let test_cannot_beat_cutwidth () =
+  (* the optimizer can at best match the exact cutwidth *)
+  let g = Mvl.Hypercube.create 4 in
+  let cw = Mvl.Exact.cutwidth g in
+  let opt =
+    Mvl.Order_opt.optimize ~iterations:8000
+      ~initial:(Mvl.Orders.hypercube_order 4) g
+  in
+  Alcotest.(check int) "matches the optimum" cw opt.Mvl.Collinear.tracks
+
+let test_deterministic () =
+  let g = Mvl.Cayley.star 4 in
+  let a = Mvl.Order_opt.optimize ~seed:5 ~iterations:2000 g in
+  let b = Mvl.Order_opt.optimize ~seed:5 ~iterations:2000 g in
+  Alcotest.(check int) "same result" a.Mvl.Collinear.tracks
+    b.Mvl.Collinear.tracks;
+  Alcotest.(check (array int)) "same order" a.Mvl.Collinear.node_at
+    b.Mvl.Collinear.node_at
+
+let test_evaluate () =
+  let g = Mvl.Ring.create 6 in
+  let o = Mvl.Order_opt.evaluate g ~node_at:[| 0; 1; 2; 3; 4; 5 |] in
+  Alcotest.(check int) "ring density" 2 o.Mvl.Order_opt.tracks;
+  Alcotest.(check int) "ring span" (5 + 5) o.Mvl.Order_opt.total_span
+
+let test_optimized_family_layout_valid () =
+  let fam = Mvl.Families.star ~optimize:true 4 in
+  Alcotest.(check bool) "optimized star layout valid" true
+    (Mvl.Check.is_valid ~mode:Mvl.Check.Strict (fam.Mvl.Families.layout ~layers:4))
+
+let suite =
+  [
+    Alcotest.test_case "never worse than initial" `Quick
+      test_never_worse_than_initial;
+    Alcotest.test_case "improves star graphs" `Quick test_improves_star;
+    Alcotest.test_case "cannot beat the cutwidth" `Quick test_cannot_beat_cutwidth;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "evaluate" `Quick test_evaluate;
+    Alcotest.test_case "optimized family layouts valid" `Quick
+      test_optimized_family_layout_valid;
+  ]

@@ -1,0 +1,111 @@
+open Mvl_core
+module P = Mvl.Permutation
+module G = Mvl.Graph
+
+let test_rank_unrank () =
+  for d = 1 to 5 do
+    for code = 0 to P.factorial d - 1 do
+      let p = P.unrank ~d code in
+      Alcotest.(check bool)
+        (Printf.sprintf "valid d=%d code=%d" d code)
+        true (P.is_valid p);
+      Alcotest.(check int) "rank inverse" code (P.rank p)
+    done
+  done
+
+let test_identity_rank () =
+  Alcotest.(check int) "identity ranks 0" 0 (P.rank (P.identity 6))
+
+let test_compose_invert () =
+  let p = P.unrank ~d:5 37 and q = P.unrank ~d:5 91 in
+  let pq = P.compose p q in
+  Alcotest.(check bool) "compose valid" true (P.is_valid pq);
+  let p_inv = P.invert p in
+  Alcotest.(check (array int)) "p p^-1 = id" (P.identity 5) (P.compose p p_inv);
+  Alcotest.(check (array int)) "p^-1 p = id" (P.identity 5) (P.compose p_inv p)
+
+let test_prefix_reversal () =
+  let p = [| 0; 1; 2; 3; 4 |] in
+  Alcotest.(check (array int)) "reverse 3" [| 2; 1; 0; 3; 4 |]
+    (P.prefix_reversal p 3);
+  Alcotest.(check (array int)) "involution" p
+    (P.prefix_reversal (P.prefix_reversal p 4) 4)
+
+let test_star_graph () =
+  (* S_d: d! nodes, degree d-1, vertex transitive *)
+  List.iter
+    (fun d ->
+      let g = Mvl.Cayley.star d in
+      Alcotest.(check int) "nodes" (P.factorial d) (G.n g);
+      Alcotest.(check bool) "regular" true (G.is_regular g);
+      Alcotest.(check int) "degree" (d - 1) (G.max_degree g);
+      Alcotest.(check bool) "connected" true (G.is_connected g))
+    [ 2; 3; 4; 5 ];
+  (* S_3 is the 6-cycle *)
+  Alcotest.(check int) "S3 diameter" 3 (G.diameter (Mvl.Cayley.star 3))
+
+let test_pancake () =
+  let g = Mvl.Cayley.pancake 4 in
+  Alcotest.(check int) "nodes" 24 (G.n g);
+  Alcotest.(check int) "degree" 3 (G.max_degree g);
+  Alcotest.(check bool) "connected" true (G.is_connected g);
+  (* known: pancake(4) has diameter 4 *)
+  Alcotest.(check int) "diameter" 4 (G.diameter g)
+
+let test_bubble_sort () =
+  let g = Mvl.Cayley.bubble_sort 4 in
+  Alcotest.(check int) "nodes" 24 (G.n g);
+  Alcotest.(check int) "degree" 3 (G.max_degree g);
+  (* bubble-sort graph diameter = d(d-1)/2 *)
+  Alcotest.(check int) "diameter" 6 (G.diameter g)
+
+let test_transposition () =
+  let g = Mvl.Cayley.transposition 4 in
+  Alcotest.(check int) "nodes" 24 (G.n g);
+  Alcotest.(check int) "degree" 6 (G.max_degree g);
+  (* diameter of the complete transposition network is d-1 *)
+  Alcotest.(check int) "diameter" 3 (G.diameter g)
+
+let test_cayley_bipartite_consistency () =
+  (* all four generator sets are involutions: every edge connects
+     permutations of opposite parity, so the graphs are bipartite and
+     triangle-free except for transposition (3-cycles of transpositions
+     exist only via odd composition: still bipartite!) *)
+  let parity p =
+    let inversions = ref 0 in
+    let d = Array.length p in
+    for i = 0 to d - 1 do
+      for j = i + 1 to d - 1 do
+        if p.(i) > p.(j) then incr inversions
+      done
+    done;
+    !inversions mod 2
+  in
+  List.iter
+    (fun g ->
+      G.iter_edges g (fun u v ->
+          let pu = P.unrank ~d:4 u and pv = P.unrank ~d:4 v in
+          Alcotest.(check bool) "opposite parity" true (parity pu <> parity pv)))
+    [ Mvl.Cayley.star 4; Mvl.Cayley.bubble_sort 4; Mvl.Cayley.transposition 4 ]
+
+let prop_compose_rank =
+  QCheck.Test.make ~count:300 ~name:"compose of valid perms is valid"
+    QCheck.(pair (int_range 0 119) (int_range 0 119))
+    (fun (a, b) ->
+      let p = P.unrank ~d:5 a and q = P.unrank ~d:5 b in
+      P.is_valid (P.compose p q))
+
+let suite =
+  [
+    Alcotest.test_case "rank/unrank bijection" `Quick test_rank_unrank;
+    Alcotest.test_case "identity rank" `Quick test_identity_rank;
+    Alcotest.test_case "compose and invert" `Quick test_compose_invert;
+    Alcotest.test_case "prefix reversal" `Quick test_prefix_reversal;
+    Alcotest.test_case "star graphs" `Quick test_star_graph;
+    Alcotest.test_case "pancake graphs" `Quick test_pancake;
+    Alcotest.test_case "bubble-sort graphs" `Quick test_bubble_sort;
+    Alcotest.test_case "transposition networks" `Quick test_transposition;
+    Alcotest.test_case "cayley parity bipartiteness" `Quick
+      test_cayley_bipartite_consistency;
+    QCheck_alcotest.to_alcotest prop_compose_rank;
+  ]

@@ -1,0 +1,66 @@
+open Mvl_core
+
+let test_collinear_ascii () =
+  let c = Mvl.Collinear_kary.create ~k:3 ~n:2 () in
+  let art = Mvl.Render.collinear_ascii c in
+  (* one line per track plus the node row *)
+  let lines = String.split_on_char '\n' (String.trim art) in
+  Alcotest.(check int) "line count" (c.Mvl.Collinear.tracks + 1)
+    (List.length lines);
+  (* every node label appears *)
+  for u = 0 to 8 do
+    Alcotest.(check bool)
+      (Printf.sprintf "label %d present" u)
+      true
+      (let needle = Printf.sprintf "[ %d ]" u in
+       let rec contains i =
+         i + String.length needle <= String.length art
+         && (String.sub art i (String.length needle) = needle || contains (i + 1))
+       in
+       contains 0)
+  done
+
+let test_svg_well_formed () =
+  let fam = Mvl.Families.hypercube 3 in
+  let svg = Mvl.Render.layout_svg (fam.Mvl.Families.layout ~layers:2) in
+  Alcotest.(check bool) "opens svg" true
+    (String.length svg > 10 && String.sub svg 0 4 = "<svg");
+  let ends_with s suffix =
+    let ls = String.length s and lf = String.length suffix in
+    ls >= lf && String.sub s (ls - lf) lf = suffix
+  in
+  Alcotest.(check bool) "closes svg" true (ends_with (String.trim svg) "</svg>");
+  (* one rect per node plus the background *)
+  let count_sub needle =
+    let n = ref 0 in
+    let len = String.length needle in
+    for i = 0 to String.length svg - len do
+      if String.sub svg i len = needle then incr n
+    done;
+    !n
+  in
+  Alcotest.(check int) "node rectangles" (8 + 1) (count_sub "<rect")
+
+let test_grid_summary () =
+  let fam = Mvl.Families.hypercube 4 in
+  ignore fam;
+  let row = Mvl.Collinear_hypercube.create 2 in
+  let o =
+    Mvl.Orthogonal.of_product ~row_factor:row ~col_factor:row
+      (Mvl.Hypercube.create 4)
+  in
+  let s = Mvl.Render.grid_summary o in
+  Alcotest.(check bool) "mentions the grid" true
+    (String.length s > 0
+    &&
+    let rec contains i =
+      i + 4 <= String.length s && (String.sub s i 4 = "rows" || contains (i + 1))
+    in
+    contains 0)
+
+let suite =
+  [
+    Alcotest.test_case "collinear ascii" `Quick test_collinear_ascii;
+    Alcotest.test_case "svg well formed" `Quick test_svg_well_formed;
+    Alcotest.test_case "grid summary" `Quick test_grid_summary;
+  ]

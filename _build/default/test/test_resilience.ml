@@ -1,0 +1,61 @@
+open Mvl_core
+
+let test_no_faults_connected () =
+  let g = Mvl.Hypercube.create 5 in
+  let s = Mvl.Resilience.edge_faults g ~p_fail:0.0 ~trials:5 ~seed:1 in
+  Alcotest.(check bool) "always connected" true
+    (s.Mvl.Resilience.connected_fraction = 1.0);
+  Alcotest.(check bool) "full component" true
+    (s.Mvl.Resilience.avg_largest_component > 0.999)
+
+let test_total_faults_disconnect () =
+  let g = Mvl.Hypercube.create 4 in
+  let s = Mvl.Resilience.edge_faults g ~p_fail:1.0 ~trials:3 ~seed:1 in
+  Alcotest.(check bool) "never connected" true
+    (s.Mvl.Resilience.connected_fraction = 0.0)
+
+let test_monotone_in_fault_rate () =
+  let g = Mvl.Hypercube.create 6 in
+  let frac p =
+    (Mvl.Resilience.edge_faults g ~p_fail:p ~trials:150 ~seed:2)
+      .Mvl.Resilience.connected_fraction
+  in
+  Alcotest.(check bool) "more faults, less connectivity" true
+    (frac 0.5 <= frac 0.2 && frac 0.2 <= frac 0.02)
+
+let test_extra_links_help () =
+  let plain = Mvl.Hypercube.create 7 in
+  let enhanced = Mvl.Enhanced_cube.create ~n:7 ~seed:3 in
+  let frac g =
+    (Mvl.Resilience.edge_faults g ~p_fail:0.4 ~trials:250 ~seed:1)
+      .Mvl.Resilience.connected_fraction
+  in
+  Alcotest.(check bool) "enhanced cube survives more" true
+    (frac enhanced > frac plain)
+
+let test_node_faults () =
+  let g = Mvl.Complete.create 12 in
+  (* a complete graph's survivors are always connected *)
+  let s = Mvl.Resilience.node_faults g ~p_fail:0.5 ~trials:50 ~seed:4 in
+  Alcotest.(check bool) "complete graph survivors connected" true
+    (s.Mvl.Resilience.connected_fraction = 1.0);
+  let ring = Mvl.Ring.create 24 in
+  let s2 = Mvl.Resilience.node_faults ring ~p_fail:0.3 ~trials:100 ~seed:4 in
+  Alcotest.(check bool) "rings shatter" true
+    (s2.Mvl.Resilience.connected_fraction < 0.5)
+
+let test_deterministic () =
+  let g = Mvl.Hypercube.create 5 in
+  let a = Mvl.Resilience.edge_faults g ~p_fail:0.3 ~trials:50 ~seed:9 in
+  let b = Mvl.Resilience.edge_faults g ~p_fail:0.3 ~trials:50 ~seed:9 in
+  Alcotest.(check bool) "same seed, same stats" true (a = b)
+
+let suite =
+  [
+    Alcotest.test_case "no faults" `Quick test_no_faults_connected;
+    Alcotest.test_case "total faults" `Quick test_total_faults_disconnect;
+    Alcotest.test_case "monotone in fault rate" `Quick test_monotone_in_fault_rate;
+    Alcotest.test_case "extra links help" `Quick test_extra_links_help;
+    Alcotest.test_case "node faults" `Quick test_node_faults;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+  ]

@@ -1,0 +1,67 @@
+open Mvl_core
+
+let test_edge_lengths () =
+  let fam = Mvl.Families.hypercube 4 in
+  let lay = fam.Mvl.Families.layout ~layers:2 in
+  let r = Mvl.Route.of_layout lay in
+  (* every edge has a positive recorded length *)
+  Mvl.Graph.iter_edges fam.Mvl.Families.graph (fun u v ->
+      Alcotest.(check bool) "positive length" true (Mvl.Route.edge_length r u v > 0))
+
+let test_max_wire_agrees () =
+  let fam = Mvl.Families.kary ~k:4 ~n:2 () in
+  let lay = fam.Mvl.Families.layout ~layers:2 in
+  let m = Mvl.Layout.metrics lay in
+  let r = Mvl.Route.of_layout lay in
+  Alcotest.(check int) "max wire matches metrics" m.Mvl.Layout.max_wire
+    (Mvl.Route.max_wire r)
+
+let test_best_path_monotone () =
+  let fam = Mvl.Families.hypercube 5 in
+  let lay = fam.Mvl.Families.layout ~layers:2 in
+  let r = Mvl.Route.of_layout lay in
+  let best = Mvl.Route.best_path_wire r ~src:0 in
+  Alcotest.(check int) "src at zero" 0 best.(0);
+  (* a path's accumulated wire is at least the longest single hop on it
+     and at least the direct edge for neighbours *)
+  Mvl.Graph.iter_neighbors fam.Mvl.Families.graph 0 (fun v ->
+      Alcotest.(check int) "neighbour best = edge length"
+        (Mvl.Route.edge_length r 0 v)
+        best.(v))
+
+let test_path_wire_shrinks_with_layers () =
+  let fam = Mvl.Families.hypercube 8 in
+  let p2 =
+    Mvl.Route.max_path_wire ~samples:4
+      (Mvl.Route.of_layout (fam.Mvl.Families.layout ~layers:2))
+  in
+  let p8 =
+    Mvl.Route.max_path_wire ~samples:4
+      (Mvl.Route.of_layout (fam.Mvl.Families.layout ~layers:8))
+  in
+  Alcotest.(check bool) "claim (4): path wire shrinks" true (p8 < p2)
+
+let test_triangle_inequality_on_bfs_paths () =
+  let fam = Mvl.Families.generalized_hypercube ~r:3 ~n:2 () in
+  let lay = fam.Mvl.Families.layout ~layers:2 in
+  let r = Mvl.Route.of_layout lay in
+  let best = Mvl.Route.best_path_wire r ~src:0 in
+  let dist = Mvl.Graph.bfs_dist fam.Mvl.Families.graph 0 in
+  Array.iteri
+    (fun v b ->
+      if dist.(v) < max_int then
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d reachable via shortest path" v)
+          true (b < max_int))
+    best
+
+let suite =
+  [
+    Alcotest.test_case "edge lengths recorded" `Quick test_edge_lengths;
+    Alcotest.test_case "max wire agrees with metrics" `Quick test_max_wire_agrees;
+    Alcotest.test_case "best path basics" `Quick test_best_path_monotone;
+    Alcotest.test_case "path wire shrinks with L" `Quick
+      test_path_wire_shrinks_with_layers;
+    Alcotest.test_case "all reachable on shortest paths" `Quick
+      test_triangle_inequality_on_bfs_paths;
+  ]

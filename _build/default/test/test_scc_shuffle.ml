@@ -1,0 +1,84 @@
+open Mvl_core
+module G = Mvl.Graph
+
+let test_scc_structure () =
+  List.iter
+    (fun d ->
+      let s = Mvl.Scc.create d in
+      let fact = Mvl.Permutation.factorial d in
+      Alcotest.(check int)
+        (Printf.sprintf "SCC(%d) nodes" d)
+        (fact * (d - 1))
+        (G.n s.Mvl.Scc.graph);
+      Alcotest.(check bool) "connected" true (G.is_connected s.Mvl.Scc.graph);
+      Alcotest.(check bool) "regular degree 3 for d>=4" true
+        (d < 4 || (G.is_regular s.Mvl.Scc.graph && G.max_degree s.Mvl.Scc.graph = 3)))
+    [ 3; 4; 5 ]
+
+let test_scc_star_links () =
+  (* contracting the cycles gives back the star graph *)
+  let d = 4 in
+  let s = Mvl.Scc.create d in
+  let star = Mvl.Cayley.star d in
+  let contracted = Hashtbl.create 64 in
+  G.iter_edges s.Mvl.Scc.graph (fun u v ->
+      let su = Mvl.Scc.star_of s u and sv = Mvl.Scc.star_of s v in
+      if su <> sv then
+        Hashtbl.replace contracted (min su sv, max su sv) ());
+  Alcotest.(check int) "contracted edge count" (G.m star)
+    (Hashtbl.length contracted);
+  Hashtbl.iter
+    (fun (su, sv) () ->
+      Alcotest.(check bool) "contracted edge is a star edge" true
+        (G.mem_edge star su sv))
+    contracted
+
+let test_scc_layout_valid () =
+  List.iter
+    (fun (d, layers) ->
+      let fam = Mvl.Families.scc d in
+      let lay = fam.Mvl.Families.layout ~layers in
+      Alcotest.(check bool)
+        (Printf.sprintf "scc(%d) L=%d" d layers)
+        true
+        (Mvl.Check.is_valid ~mode:Mvl.Check.Strict lay))
+    [ (3, 2); (4, 2); (4, 4); (4, 5) ]
+
+let test_shuffle_exchange () =
+  let g = Mvl.Shuffle.shuffle_exchange 5 in
+  Alcotest.(check int) "nodes" 32 (G.n g);
+  Alcotest.(check bool) "connected" true (G.is_connected g);
+  (* degree at most 3: exchange + two shuffle directions (collapsing) *)
+  Alcotest.(check bool) "degree <= 3" true (G.max_degree g <= 3);
+  (* exchange edges present *)
+  Alcotest.(check bool) "exchange edge" true (G.mem_edge g 6 7);
+  (* shuffle of 6 = 12 *)
+  Alcotest.(check bool) "shuffle edge" true (G.mem_edge g 6 12)
+
+let test_de_bruijn () =
+  let g = Mvl.Shuffle.de_bruijn 5 in
+  Alcotest.(check int) "nodes" 32 (G.n g);
+  Alcotest.(check bool) "connected" true (G.is_connected g);
+  Alcotest.(check bool) "degree <= 4" true (G.max_degree g <= 4);
+  (* diameter of de Bruijn on 2^n nodes is n *)
+  Alcotest.(check int) "diameter" 5 (G.diameter g);
+  Alcotest.(check bool) "successor edge" true (G.mem_edge g 3 6);
+  Alcotest.(check bool) "successor+1 edge" true (G.mem_edge g 3 7)
+
+let test_fixed_degree_layouts () =
+  List.iter
+    (fun fam ->
+      let lay = fam.Mvl.Families.layout ~layers:4 in
+      Alcotest.(check bool) (fam.Mvl.Families.name ^ " valid") true
+        (Mvl.Check.is_valid ~mode:Mvl.Check.Strict lay))
+    [ Mvl.Families.shuffle_exchange 6; Mvl.Families.de_bruijn 6 ]
+
+let suite =
+  [
+    Alcotest.test_case "scc structure" `Quick test_scc_structure;
+    Alcotest.test_case "scc star quotient" `Quick test_scc_star_links;
+    Alcotest.test_case "scc layouts valid" `Quick test_scc_layout_valid;
+    Alcotest.test_case "shuffle-exchange" `Quick test_shuffle_exchange;
+    Alcotest.test_case "de bruijn" `Quick test_de_bruijn;
+    Alcotest.test_case "fixed-degree layouts" `Quick test_fixed_degree_layouts;
+  ]

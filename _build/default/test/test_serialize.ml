@@ -1,0 +1,94 @@
+open Mvl_core
+
+let roundtrip name lay =
+  match Mvl.Serialize.of_string (Mvl.Serialize.to_string lay) with
+  | Ok parsed ->
+      Alcotest.(check bool) (name ^ " roundtrip") true
+        (Mvl.Serialize.roundtrip_equal lay parsed);
+      Alcotest.(check bool) (name ^ " parsed still valid") true
+        (Mvl.Check.is_valid ~mode:Mvl.Check.Strict parsed)
+  | Error msg -> Alcotest.fail (name ^ ": " ^ msg)
+
+let test_roundtrip_families () =
+  roundtrip "hypercube"
+    ((Mvl.Families.hypercube 5).Mvl.Families.layout ~layers:4);
+  roundtrip "ccc" ((Mvl.Families.ccc 3).Mvl.Families.layout ~layers:2);
+  roundtrip "folded"
+    ((Mvl.Families.folded_hypercube 4).Mvl.Families.layout ~layers:2)
+
+let test_roundtrip_3d () =
+  let t = Mvl.Multilayer3d.hypercube ~n:5 ~active:2 ~layers_per_slab:2 in
+  roundtrip "stacked" t.Mvl.Multilayer3d.layout
+
+let test_roundtrip_maze () =
+  match
+    Mvl.Maze_router.route_or_grow (Mvl.Hypercube.create 4) ~rows:4 ~cols:4
+      ~layers:2
+  with
+  | None -> Alcotest.fail "maze routing failed"
+  | Some lay -> roundtrip "maze" lay
+
+let test_rejects_garbage () =
+  List.iter
+    (fun (name, input) ->
+      match Mvl.Serialize.of_string input with
+      | Ok _ -> Alcotest.fail (name ^ " accepted")
+      | Error _ -> ())
+    [
+      ("empty", "");
+      ("bad header", "nonsense 9\nlayers 2\n");
+      ("truncated", "mvl-layout 1\nlayers 2\nnodes 3\n");
+      ( "bad wire arity",
+        "mvl-layout 1\nlayers 2\nnodes 1\nnode 0 0 0 1 1 1\nedges 1\n\
+         wire 0 0 2 0 0 1\nend\n" );
+      ( "missing end",
+        "mvl-layout 1\nlayers 2\nnodes 1\nnode 0 0 0 1 1 1\nedges 0\n" );
+    ]
+
+let test_file_io () =
+  let lay = (Mvl.Families.kary ~k:3 ~n:2 ()).Mvl.Families.layout ~layers:2 in
+  let path = Filename.temp_file "mvl" ".layout" in
+  Mvl.Serialize.write_file path lay;
+  (match Mvl.Serialize.read_file path with
+  | Ok parsed ->
+      Alcotest.(check bool) "file roundtrip" true
+        (Mvl.Serialize.roundtrip_equal lay parsed)
+  | Error msg -> Alcotest.fail msg);
+  Sys.remove path
+
+let test_mutated_file_caught_by_checker () =
+  (* serialize, corrupt one coordinate massively, re-verify *)
+  let lay = (Mvl.Families.hypercube 4).Mvl.Families.layout ~layers:2 in
+  let text = Mvl.Serialize.to_string lay in
+  (* find the first wire line and shift its x coordinates *)
+  let lines = String.split_on_char '\n' text in
+  let mutated =
+    List.map
+      (fun l ->
+        if String.length l > 4 && String.sub l 0 4 = "wire" then
+          match String.split_on_char ' ' l with
+          | "wire" :: u :: v :: k :: x :: restc ->
+              String.concat " "
+                ("wire" :: u :: v :: k
+                :: string_of_int (int_of_string x + 5000)
+                :: restc)
+          | _ -> l
+        else l)
+      lines
+  in
+  match Mvl.Serialize.of_string (String.concat "\n" mutated) with
+  | Ok parsed ->
+      Alcotest.(check bool) "corruption caught by checker" false
+        (Mvl.Check.is_valid parsed)
+  | Error _ -> () (* also acceptable: parse-level rejection *)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip families" `Quick test_roundtrip_families;
+    Alcotest.test_case "roundtrip 3-D" `Quick test_roundtrip_3d;
+    Alcotest.test_case "roundtrip maze layouts" `Quick test_roundtrip_maze;
+    Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+    Alcotest.test_case "file io" `Quick test_file_io;
+    Alcotest.test_case "corrupted file caught" `Quick
+      test_mutated_file_caught_by_checker;
+  ]

@@ -1,0 +1,170 @@
+open Mvl_core
+
+let test_rng_deterministic () =
+  let a = Mvl.Rng.create ~seed:5 and b = Mvl.Rng.create ~seed:5 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Mvl.Rng.int a ~bound:1000)
+      (Mvl.Rng.int b ~bound:1000)
+  done;
+  let c = Mvl.Rng.create ~seed:6 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Mvl.Rng.int a ~bound:1000 <> Mvl.Rng.int c ~bound:1000 then
+      differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_bounds () =
+  let r = Mvl.Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let x = Mvl.Rng.int r ~bound:7 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 7);
+    let f = Mvl.Rng.float r in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_traffic_patterns () =
+  let rng = Mvl.Rng.create ~seed:1 in
+  (* permutation patterns are self-inverse on their domain *)
+  for src = 0 to 63 do
+    let d = Mvl.Traffic.destination Mvl.Traffic.Bit_complement rng ~n_nodes:64 ~src in
+    Alcotest.(check bool) "complement differs" true (d <> src);
+    let dr = Mvl.Traffic.destination Mvl.Traffic.Bit_reversal rng ~n_nodes:64 ~src in
+    Alcotest.(check bool) "reversal in range" true (dr >= 0 && dr < 64)
+  done;
+  (* uniform never picks self *)
+  for _ = 1 to 500 do
+    let d = Mvl.Traffic.destination Mvl.Traffic.Uniform rng ~n_nodes:10 ~src:4 in
+    Alcotest.(check bool) "no self traffic" true (d <> 4 && d >= 0 && d < 10)
+  done;
+  (* hotspot goes to the hotspot *)
+  let d = Mvl.Traffic.destination (Mvl.Traffic.Hotspot 3) rng ~n_nodes:8 ~src:0 in
+  Alcotest.(check int) "hotspot" 3 d
+
+let test_bit_reversal_involution () =
+  let rng = Mvl.Rng.create ~seed:1 in
+  for src = 0 to 255 do
+    let d = Mvl.Traffic.destination Mvl.Traffic.Bit_reversal rng ~n_nodes:256 ~src in
+    if d <> src then begin
+      let back = Mvl.Traffic.destination Mvl.Traffic.Bit_reversal rng ~n_nodes:256 ~src:d in
+      (* reversal is an involution except for the self-fixup *)
+      if back <> d + 1 && d <> src + 1 then
+        Alcotest.(check int) (Printf.sprintf "involution at %d" src) src back
+    end
+  done
+
+let test_routing_table_minimal () =
+  let g = Mvl.Hypercube.create 5 in
+  let t = Mvl.Routing_table.create g in
+  for dest = 0 to 31 do
+    for src = 0 to 31 do
+      if src <> dest then begin
+        (* hop count equals Hamming distance *)
+        let expected = ref 0 in
+        let x = ref (src lxor dest) in
+        while !x > 0 do
+          expected := !expected + (!x land 1);
+          x := !x lsr 1
+        done;
+        Alcotest.(check int)
+          (Printf.sprintf "hops %d->%d" src dest)
+          !expected
+          (Mvl.Routing_table.hops t ~src ~dest)
+      end
+    done
+  done
+
+let test_routing_deterministic () =
+  let g = Mvl.Kary_ncube.create ~k:4 ~n:2 in
+  let t = Mvl.Routing_table.create g in
+  let p1 = Mvl.Routing_table.path t ~src:0 ~dest:10 in
+  let p2 = Mvl.Routing_table.path t ~src:0 ~dest:10 in
+  Alcotest.(check (list int)) "stable" p1 p2
+
+let test_sim_delivers_everything_at_low_load () =
+  let g = Mvl.Hypercube.create 6 in
+  let cfg =
+    { Mvl.Network_sim.default_config with
+      Mvl.Network_sim.offered_load = 0.02; warmup = 100; measure = 500 }
+  in
+  let r = Mvl.Network_sim.run ~config:cfg g in
+  Alcotest.(check int) "all delivered" r.Mvl.Network_sim.injected
+    r.Mvl.Network_sim.delivered;
+  Alcotest.(check bool) "sane latency" true
+    (r.Mvl.Network_sim.avg_latency >= 1.0
+    && r.Mvl.Network_sim.avg_latency < 20.0)
+
+let test_sim_latency_grows_with_load () =
+  let g = Mvl.Hypercube.create 6 in
+  let latency load =
+    let cfg =
+      { Mvl.Network_sim.default_config with
+        Mvl.Network_sim.offered_load = load; warmup = 200; measure = 1000 }
+    in
+    (Mvl.Network_sim.run ~config:cfg g).Mvl.Network_sim.avg_latency
+  in
+  Alcotest.(check bool) "contention costs" true (latency 0.4 > latency 0.05)
+
+let test_sim_reproducible () =
+  let g = Mvl.Kary_ncube.create ~k:4 ~n:2 in
+  let run () = Mvl.Network_sim.run g in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical results" true (a = b)
+
+let test_layout_latencies_improve_with_layers () =
+  let fam = Mvl.Families.hypercube 7 in
+  let g = fam.Mvl.Families.graph in
+  let zero layers =
+    let lay = fam.Mvl.Families.layout ~layers in
+    Mvl.Network_sim.zero_load_latency
+      ~link_latency:(Mvl.Network_sim.link_latency_of_layout ~units_per_cycle:16 lay)
+      g
+  in
+  Alcotest.(check bool) "more layers, faster network" true (zero 8 < zero 2)
+
+let test_saturation_below_bisection_bound () =
+  let cfg =
+    { Mvl.Network_sim.default_config with
+      Mvl.Network_sim.warmup = 100; measure = 400; drain = 0 }
+  in
+  let sat g = Mvl.Network_sim.saturation_throughput ~config:cfg g in
+  (* hypercube: bound 2B/N = 1.0; mesh 8x8: bound 0.25 *)
+  let hc = sat (Mvl.Hypercube.create 6) in
+  let mesh = sat (Mvl.Mesh.create ~dims:[| 8; 8 |]) in
+  Alcotest.(check bool) "hypercube below bound" true (hc <= 1.0);
+  Alcotest.(check bool) "mesh below bound" true (mesh <= 0.26);
+  Alcotest.(check bool) "richer network, more capacity" true (hc > mesh)
+
+let test_zero_load_matches_sim () =
+  let g = Mvl.Hypercube.create 6 in
+  let zl = Mvl.Network_sim.zero_load_latency ~samples:200 g in
+  let cfg =
+    { Mvl.Network_sim.default_config with
+      Mvl.Network_sim.offered_load = 0.005; warmup = 100; measure = 2000 }
+  in
+  let r = Mvl.Network_sim.run ~config:cfg g in
+  (* at vanishing load the simulated latency approaches the analytic
+     zero-load value (within ~30%) *)
+  Alcotest.(check bool) "consistent" true
+    (abs_float (r.Mvl.Network_sim.avg_latency -. zl) /. zl < 0.3)
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "traffic patterns" `Quick test_traffic_patterns;
+    Alcotest.test_case "bit reversal involution" `Quick
+      test_bit_reversal_involution;
+    Alcotest.test_case "routing is minimal" `Quick test_routing_table_minimal;
+    Alcotest.test_case "routing deterministic" `Quick test_routing_deterministic;
+    Alcotest.test_case "low load delivers all" `Quick
+      test_sim_delivers_everything_at_low_load;
+    Alcotest.test_case "latency grows with load" `Quick
+      test_sim_latency_grows_with_load;
+    Alcotest.test_case "simulation reproducible" `Quick test_sim_reproducible;
+    Alcotest.test_case "layers speed up the network" `Quick
+      test_layout_latencies_improve_with_layers;
+    Alcotest.test_case "saturation below bisection bound" `Quick
+      test_saturation_below_bisection_bound;
+    Alcotest.test_case "zero-load consistency" `Quick test_zero_load_matches_sim;
+  ]

@@ -1,0 +1,139 @@
+open Mvl_core
+
+let run_with ?(fabric = Mvl.Wormhole.Hypercube 6) ?(load = 0.01)
+    ?(packet_len = 4) ?link_latency () =
+  let cfg =
+    { Mvl.Wormhole.default_config with
+      Mvl.Wormhole.offered_load = load; packet_len; warmup = 300;
+      measure = 1500 }
+  in
+  Mvl.Wormhole.run ~config:cfg ?link_latency fabric
+
+let test_low_load_delivers_all () =
+  let r = run_with () in
+  Alcotest.(check int) "hypercube all delivered" r.Mvl.Wormhole.injected
+    r.Mvl.Wormhole.delivered;
+  let rt = run_with ~fabric:(Mvl.Wormhole.Torus { k = 4; n = 2 }) () in
+  Alcotest.(check int) "torus all delivered" rt.Mvl.Wormhole.injected
+    rt.Mvl.Wormhole.delivered
+
+let test_serialization_latency () =
+  (* zero-load packet latency ~ hops + (packet_len - 1) + ejection *)
+  let short = run_with ~load:0.001 ~packet_len:1 () in
+  let long = run_with ~load:0.001 ~packet_len:8 () in
+  Alcotest.(check bool) "longer packets, higher latency" true
+    (long.Mvl.Wormhole.avg_latency
+    > short.Mvl.Wormhole.avg_latency +. 5.0)
+
+let test_contention_grows_latency () =
+  let quiet = run_with ~load:0.002 () in
+  let busy = run_with ~load:0.05 () in
+  Alcotest.(check bool) "contention" true
+    (busy.Mvl.Wormhole.avg_latency > quiet.Mvl.Wormhole.avg_latency)
+
+let test_no_deadlock_under_stress () =
+  (* past saturation the network must keep making progress (wormhole
+     with e-cube + dateline VCs is deadlock-free) *)
+  let r =
+    run_with ~fabric:(Mvl.Wormhole.Torus { k = 4; n = 2 }) ~load:0.2 ()
+  in
+  Alcotest.(check bool) "progress under overload" true
+    (r.Mvl.Wormhole.delivered > r.Mvl.Wormhole.injected / 2)
+
+let test_torus_needs_two_vcs () =
+  try
+    let cfg = { Mvl.Wormhole.default_config with Mvl.Wormhole.vcs = 1 } in
+    ignore (Mvl.Wormhole.run ~config:cfg (Mvl.Wormhole.Torus { k = 4; n = 2 }));
+    Alcotest.fail "single-VC torus accepted"
+  with Invalid_argument _ -> ()
+
+let test_deterministic () =
+  let a = run_with () and b = run_with () in
+  Alcotest.(check bool) "reproducible" true (a = b)
+
+let test_layout_latencies_matter () =
+  let fam = Mvl.Families.hypercube 6 in
+  let link layers =
+    Mvl.Network_sim.link_latency_of_layout ~units_per_cycle:16
+      (fam.Mvl.Families.layout ~layers)
+  in
+  let slow = run_with ~link_latency:(link 2) () in
+  let fast = run_with ~link_latency:(link 8) () in
+  Alcotest.(check bool) "more layers, faster wormhole network" true
+    (fast.Mvl.Wormhole.avg_latency < slow.Mvl.Wormhole.avg_latency)
+
+let test_adaptive_delivers () =
+  let cfg =
+    { Mvl.Wormhole.default_config with
+      Mvl.Wormhole.routing = Mvl.Wormhole.Adaptive; vcs = 3;
+      offered_load = 0.02; warmup = 200; measure = 1000 }
+  in
+  let r = Mvl.Wormhole.run ~config:cfg (Mvl.Wormhole.Torus { k = 4; n = 2 }) in
+  Alcotest.(check int) "adaptive torus delivers all" r.Mvl.Wormhole.injected
+    r.Mvl.Wormhole.delivered;
+  let rh =
+    Mvl.Wormhole.run
+      ~config:{ cfg with Mvl.Wormhole.vcs = 2 }
+      (Mvl.Wormhole.Hypercube 5)
+  in
+  Alcotest.(check int) "adaptive hypercube delivers all"
+    rh.Mvl.Wormhole.injected rh.Mvl.Wormhole.delivered
+
+let test_adaptive_no_deadlock_under_stress () =
+  let cfg =
+    { Mvl.Wormhole.default_config with
+      Mvl.Wormhole.routing = Mvl.Wormhole.Adaptive; vcs = 3;
+      traffic = Mvl.Traffic.Transpose; offered_load = 0.25; warmup = 200;
+      measure = 800 }
+  in
+  let r = Mvl.Wormhole.run ~config:cfg (Mvl.Wormhole.Torus { k = 4; n = 2 }) in
+  Alcotest.(check bool) "keeps making progress" true
+    (r.Mvl.Wormhole.delivered > r.Mvl.Wormhole.injected / 2)
+
+let test_adaptive_vc_requirements () =
+  (try
+     let cfg =
+       { Mvl.Wormhole.default_config with
+         Mvl.Wormhole.routing = Mvl.Wormhole.Adaptive; vcs = 2 }
+     in
+     ignore (Mvl.Wormhole.run ~config:cfg (Mvl.Wormhole.Torus { k = 4; n = 2 }));
+     Alcotest.fail "2-VC adaptive torus accepted"
+   with Invalid_argument _ -> ());
+  try
+    let cfg =
+      { Mvl.Wormhole.default_config with
+        Mvl.Wormhole.routing = Mvl.Wormhole.Adaptive; vcs = 1 }
+    in
+    ignore (Mvl.Wormhole.run ~config:cfg (Mvl.Wormhole.Hypercube 4));
+    Alcotest.fail "1-VC adaptive hypercube accepted"
+  with Invalid_argument _ -> ()
+
+let test_graph_of_fabric () =
+  Alcotest.(check bool) "hypercube fabric" true
+    (Mvl.Graph.equal
+       (Mvl.Wormhole.graph_of_fabric (Mvl.Wormhole.Hypercube 4))
+       (Mvl.Hypercube.create 4));
+  Alcotest.(check bool) "torus fabric" true
+    (Mvl.Graph.equal
+       (Mvl.Wormhole.graph_of_fabric (Mvl.Wormhole.Torus { k = 5; n = 2 }))
+       (Mvl.Kary_ncube.create ~k:5 ~n:2))
+
+let suite =
+  [
+    Alcotest.test_case "low load delivers all" `Quick test_low_load_delivers_all;
+    Alcotest.test_case "serialization latency" `Quick test_serialization_latency;
+    Alcotest.test_case "contention grows latency" `Quick
+      test_contention_grows_latency;
+    Alcotest.test_case "no deadlock under stress" `Slow
+      test_no_deadlock_under_stress;
+    Alcotest.test_case "torus needs 2 VCs" `Quick test_torus_needs_two_vcs;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "layout latencies matter" `Quick
+      test_layout_latencies_matter;
+    Alcotest.test_case "adaptive delivers" `Quick test_adaptive_delivers;
+    Alcotest.test_case "adaptive stress" `Slow
+      test_adaptive_no_deadlock_under_stress;
+    Alcotest.test_case "adaptive vc requirements" `Quick
+      test_adaptive_vc_requirements;
+    Alcotest.test_case "fabric graphs" `Quick test_graph_of_fabric;
+  ]
