@@ -1,4 +1,4 @@
-.PHONY: all build test bench repro clean doc
+.PHONY: all build test check bench repro clean doc
 
 all: build
 
@@ -7,6 +7,15 @@ build:
 
 test:
 	dune runtest
+
+# what CI runs: full build, test suite, and a CLI smoke pass
+# (list + one validated layout + a malformed spec that must fail)
+check:
+	dune build @all
+	dune runtest
+	dune exec bin/mvl_cli.exe -- list > /dev/null
+	dune exec bin/mvl_cli.exe -- layout hypercube:6 -l 4 --validate
+	! dune exec bin/mvl_cli.exe -- layout hypercube:abc -l 4 2> /dev/null
 
 bench:
 	dune exec bench/main.exe

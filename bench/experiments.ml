@@ -1,10 +1,21 @@
 (* The per-table experiment harness: every numbered experiment of
-   DESIGN.md prints measured values next to the paper's closed forms. *)
+   DESIGN.md prints measured values next to the paper's closed forms.
+
+   Family instances are named by their registry spec strings and built
+   through the cached pipeline, so a (spec, L) pair that appears in
+   several tables constructs its layout exactly once per bench run. *)
 open Mvl_core
 
-let metrics_of fam ~layers =
-  let lay = fam.Mvl.Families.layout ~layers in
-  (lay, Mvl.Layout.metrics lay)
+let run spec ~layers =
+  match Mvl.Pipeline.run_string ~layers spec with
+  | Ok r -> r
+  | Error msg -> failwith msg
+
+let fam_of spec = Mvl.Registry.build_exn (Mvl.Registry.spec_exn spec)
+
+let metrics_of spec ~layers =
+  let r = run spec ~layers in
+  (r.Mvl.Pipeline.layout, r.Mvl.Pipeline.metrics)
 
 (* --- E1–E3: collinear track counts ---------------------------------- *)
 
@@ -56,8 +67,10 @@ let family_table id title instances =
   Util.row "%-26s %3s %12s %14s %7s %10s %7s %6s\n" "instance" "L" "area"
     "paper-area" "ratio" "max-wire" "paperW" "valid";
   List.iter
-    (fun (fam, layers) ->
-      let lay, m = metrics_of fam ~layers in
+    (fun (spec, layers) ->
+      let r = run spec ~layers in
+      let fam = r.Mvl.Pipeline.family in
+      let lay, m = (r.Mvl.Pipeline.layout, r.Mvl.Pipeline.metrics) in
       let paper_area =
         match fam.Mvl.Families.paper_area with
         | Some f -> f ~layers
@@ -78,27 +91,26 @@ let e4 () =
   family_table "E4"
     "k-ary n-cube multilayer area: 16N^2/(L^2 k^2), even & odd L (§3.1)"
     [
-      (Mvl.Families.kary ~k:4 ~n:4 (), 2);
-      (Mvl.Families.kary ~k:4 ~n:4 (), 4);
-      (Mvl.Families.kary ~k:4 ~n:4 (), 8);
-      (Mvl.Families.kary ~k:4 ~n:6 (), 2);
-      (Mvl.Families.kary ~k:4 ~n:6 (), 4);
-      (Mvl.Families.kary ~k:4 ~n:6 (), 8);
-      (Mvl.Families.kary ~k:4 ~n:6 (), 3);
-      (Mvl.Families.kary ~k:4 ~n:6 (), 5);
-      (Mvl.Families.kary ~k:8 ~n:4 (), 2);
-      (Mvl.Families.kary ~k:8 ~n:4 (), 8);
-      (Mvl.Families.kary ~k:16 ~n:2 (), 2);
+      ("kary:4:4", 2);
+      ("kary:4:4", 4);
+      ("kary:4:4", 8);
+      ("kary:4:6", 2);
+      ("kary:4:6", 4);
+      ("kary:4:6", 8);
+      ("kary:4:6", 3);
+      ("kary:4:6", 5);
+      ("kary:8:4", 2);
+      ("kary:8:4", 8);
+      ("kary:16:2", 2);
     ];
   (* folding ablation: same area, shorter wrap wires *)
   Printf.printf "\n  folding ablation (k=8, n=4, L=4):\n";
   List.iter
-    (fun fold ->
-      let fam = Mvl.Families.kary ~fold ~k:8 ~n:4 () in
-      let _, m = metrics_of fam ~layers:4 in
-      Printf.printf "    fold=%-5b area=%10d max_wire=%7d\n" fold
+    (fun spec ->
+      let _, m = metrics_of spec ~layers:4 in
+      Printf.printf "    %-15s area=%10d max_wire=%7d\n" spec
         m.Mvl.Layout.area m.Mvl.Layout.max_wire)
-    [ false; true ]
+    [ "kary:8:4"; "kary:8:4:fold" ]
 
 (* --- E5: generalized hypercubes -------------------------------------- *)
 
@@ -106,23 +118,23 @@ let e5 () =
   family_table "E5"
     "generalized hypercube: area r^2N^2/4L^2, max wire rN/2L (§4.1)"
     [
-      (Mvl.Families.generalized_hypercube ~r:4 ~n:2 (), 2);
-      (Mvl.Families.generalized_hypercube ~r:4 ~n:3 (), 2);
-      (Mvl.Families.generalized_hypercube ~r:4 ~n:3 (), 4);
-      (Mvl.Families.generalized_hypercube ~r:4 ~n:4 (), 2);
-      (Mvl.Families.generalized_hypercube ~r:4 ~n:4 (), 8);
-      (Mvl.Families.generalized_hypercube ~r:8 ~n:2 (), 2);
-      (Mvl.Families.generalized_hypercube ~r:8 ~n:3 (), 2);
-      (Mvl.Families.generalized_hypercube ~r:8 ~n:3 (), 4);
-      (Mvl.Families.generalized_hypercube ~r:8 ~n:3 (), 3);
+      ("ghc:4:2", 2);
+      ("ghc:4:3", 2);
+      ("ghc:4:3", 4);
+      ("ghc:4:4", 2);
+      ("ghc:4:4", 8);
+      ("ghc:8:2", 2);
+      ("ghc:8:3", 2);
+      ("ghc:8:3", 4);
+      ("ghc:8:3", 3);
     ];
   (* claim (4): total wire along shortest routing paths ~ rN/L *)
   Printf.printf "\n  path wire (GHC r=8, n=3): paper rN/L\n";
   List.iter
     (fun layers ->
-      let fam = Mvl.Families.generalized_hypercube ~r:8 ~n:3 () in
-      let lay = fam.Mvl.Families.layout ~layers in
-      let route = Mvl.Route.of_layout lay in
+      let r = run "ghc:8:3" ~layers in
+      let fam = r.Mvl.Pipeline.family in
+      let route = Mvl.Route.of_layout r.Mvl.Pipeline.layout in
       let pw = Mvl.Route.max_path_wire ~samples:8 route in
       let paper =
         Mvl.Formulas.ghc_path_wire ~n_nodes:fam.Mvl.Families.n_nodes ~r:8
@@ -139,12 +151,12 @@ let e6 () =
   family_table "E6"
     "butterfly as GHC cluster (multiplicity 4): area 4N^2/(L^2 log^2 N) (§4.2)"
     [
-      (Mvl.Families.butterfly_cluster ~radix:4 ~quotient_dims:2, 2);
-      (Mvl.Families.butterfly_cluster ~radix:4 ~quotient_dims:2, 4);
-      (Mvl.Families.butterfly_cluster ~radix:4 ~quotient_dims:3, 2);
-      (Mvl.Families.butterfly_cluster ~radix:4 ~quotient_dims:3, 8);
-      (Mvl.Families.butterfly_cluster ~radix:8 ~quotient_dims:2, 2);
-      (Mvl.Families.butterfly_cluster ~radix:8 ~quotient_dims:2, 4);
+      ("butterfly:4:2", 2);
+      ("butterfly:4:2", 4);
+      ("butterfly:4:3", 2);
+      ("butterfly:4:3", 8);
+      ("butterfly:8:2", 2);
+      ("butterfly:8:2", 4);
     ];
   (* The asymptotic columns above are dominated by block footprints at
      laptop scale; the paper's actual argument is structural: the
@@ -155,10 +167,10 @@ let e6 () =
     \  (paper: ratio -> 16 as gaps dominate the blocks)\n";
   List.iter
     (fun (radix, m, layers) ->
-      let bf = Mvl.Families.butterfly_cluster ~radix ~quotient_dims:m in
-      let ghc = Mvl.Families.generalized_hypercube ~r:radix ~n:m () in
-      let _, mb = metrics_of bf ~layers in
-      let _, mg = metrics_of ghc ~layers in
+      let _, mb =
+        metrics_of (Printf.sprintf "butterfly:%d:%d" radix m) ~layers
+      in
+      let _, mg = metrics_of (Printf.sprintf "ghc:%d:%d" radix m) ~layers in
       Printf.printf "    r=%2d m=%d L=%d: ratio=%6.2f (paper: 16)\n" radix m
         layers
         (float_of_int mb.Mvl.Layout.area /. float_of_int mg.Mvl.Layout.area))
@@ -169,16 +181,16 @@ let e6 () =
 let e7 () =
   family_table "E7" "HSN area N^2/4L^2; HHN; ISN vs butterfly (§4.3)"
     [
-      (Mvl.Families.hsn ~levels:2 ~radix:8, 2);
-      (Mvl.Families.hsn ~levels:3 ~radix:8, 2);
-      (Mvl.Families.hsn ~levels:3 ~radix:8, 4);
-      (Mvl.Families.hsn ~levels:3 ~radix:8, 8);
-      (Mvl.Families.hsn ~levels:3 ~radix:8, 3);
-      (Mvl.Families.hsn ~levels:3 ~radix:16, 2);
-      (Mvl.Families.hhn ~levels:3 ~cube_dims:3, 2);
-      (Mvl.Families.hhn ~levels:3 ~cube_dims:3, 4);
-      (Mvl.Families.isn ~radix:4 ~quotient_dims:2, 2);
-      (Mvl.Families.isn ~radix:4 ~quotient_dims:3, 2);
+      ("hsn:2:8", 2);
+      ("hsn:3:8", 2);
+      ("hsn:3:8", 4);
+      ("hsn:3:8", 8);
+      ("hsn:3:8", 3);
+      ("hsn:3:16", 2);
+      ("hhn:3:3", 2);
+      ("hhn:3:3", 4);
+      ("isn:4:2", 2);
+      ("isn:4:3", 2);
     ];
   (* HSN structurally: its layout IS the quotient GHC layout plus
      cluster blocks, so measured HSN / measured GHC(r, l-1) -> 1 as the
@@ -187,12 +199,12 @@ let e7 () =
     "\n  structural check: HSN area vs quotient GHC area (paper: ratio -> 1)\n";
   List.iter
     (fun (levels, radix) ->
-      let hsn = Mvl.Families.hsn ~levels ~radix in
-      let ghc =
-        Mvl.Families.generalized_hypercube ~r:radix ~n:(levels - 1) ()
+      let _, mh =
+        metrics_of (Printf.sprintf "hsn:%d:%d" levels radix) ~layers:2
       in
-      let _, mh = metrics_of hsn ~layers:2 in
-      let _, mg = metrics_of ghc ~layers:2 in
+      let _, mg =
+        metrics_of (Printf.sprintf "ghc:%d:%d" radix (levels - 1)) ~layers:2
+      in
       Printf.printf "    l=%d r=%2d: ratio=%6.2f\n" levels radix
         (float_of_int mh.Mvl.Layout.area /. float_of_int mg.Mvl.Layout.area))
     [ (2, 8); (3, 8); (3, 16); (4, 8) ];
@@ -200,10 +212,10 @@ let e7 () =
   Printf.printf "\n  ISN vs butterfly at equal quotient (paper: area /4, wire /2):\n";
   List.iter
     (fun (radix, m, layers) ->
-      let bf = Mvl.Families.butterfly_cluster ~radix ~quotient_dims:m in
-      let isn = Mvl.Families.isn ~radix ~quotient_dims:m in
-      let _, mb = metrics_of bf ~layers in
-      let _, mi = metrics_of isn ~layers in
+      let _, mb =
+        metrics_of (Printf.sprintf "butterfly:%d:%d" radix m) ~layers
+      in
+      let _, mi = metrics_of (Printf.sprintf "isn:%d:%d" radix m) ~layers in
       Printf.printf
         "    r=%d m=%d L=%d: area ratio=%.2f   max-wire ratio=%.2f\n" radix m
         layers
@@ -217,23 +229,23 @@ let e7 () =
 let e8 () =
   family_table "E8" "hypercube: area 16N^2/9L^2, max wire 2N/3L (§5.1)"
     [
-      (Mvl.Families.hypercube 8, 2);
-      (Mvl.Families.hypercube 10, 2);
-      (Mvl.Families.hypercube 12, 2);
-      (Mvl.Families.hypercube 14, 2);
-      (Mvl.Families.hypercube 12, 4);
-      (Mvl.Families.hypercube 12, 8);
-      (Mvl.Families.hypercube 14, 8);
-      (Mvl.Families.hypercube 14, 16);
-      (Mvl.Families.hypercube 13, 3);
-      (Mvl.Families.hypercube 13, 5);
+      ("hypercube:8", 2);
+      ("hypercube:10", 2);
+      ("hypercube:12", 2);
+      ("hypercube:14", 2);
+      ("hypercube:12", 4);
+      ("hypercube:12", 8);
+      ("hypercube:14", 8);
+      ("hypercube:14", 16);
+      ("hypercube:13", 3);
+      ("hypercube:13", 5);
     ];
   (* claim (4) for hypercubes: max accumulated wire on a shortest route *)
   Printf.printf "\n  path wire (hypercube n=10): shrinks ~L/2 like max wire\n";
   List.iter
     (fun layers ->
-      let fam = Mvl.Families.hypercube 10 in
-      let route = Mvl.Route.of_layout (fam.Mvl.Families.layout ~layers) in
+      let lay, _ = metrics_of "hypercube:10" ~layers in
+      let route = Mvl.Route.of_layout lay in
       Printf.printf "    L=%2d max-path-wire=%7d\n" layers
         (Mvl.Route.max_path_wire ~samples:8 route))
     [ 2; 4; 8; 16 ]
@@ -243,15 +255,15 @@ let e8 () =
 let e9 () =
   family_table "E9" "CCC area 16N^2/(9 L^2 log^2 N); reduced hypercubes (§5.2)"
     [
-      (Mvl.Families.ccc 4, 2);
-      (Mvl.Families.ccc 6, 2);
-      (Mvl.Families.ccc 8, 2);
-      (Mvl.Families.ccc 8, 4);
-      (Mvl.Families.ccc 8, 8);
-      (Mvl.Families.ccc 7, 3);
-      (Mvl.Families.reduced_hypercube 4, 2);
-      (Mvl.Families.reduced_hypercube 8, 2);
-      (Mvl.Families.reduced_hypercube 8, 4);
+      ("ccc:4", 2);
+      ("ccc:6", 2);
+      ("ccc:8", 2);
+      ("ccc:8", 4);
+      ("ccc:8", 8);
+      ("ccc:7", 3);
+      ("rh:4", 2);
+      ("rh:8", 2);
+      ("rh:8", 4);
     ];
   (* structural check: a CCC's area is dominated by its hypercube links
      (§5.2), so measured CCC(n) / measured hypercube(n) -> 1 *)
@@ -259,10 +271,8 @@ let e9 () =
     "\n  structural check: CCC(n) area vs n-cube area (paper: ratio -> 1)\n";
   List.iter
     (fun n ->
-      let ccc = Mvl.Families.ccc n in
-      let hc = Mvl.Families.hypercube n in
-      let _, mc = metrics_of ccc ~layers:2 in
-      let _, mh = metrics_of hc ~layers:2 in
+      let _, mc = metrics_of (Printf.sprintf "ccc:%d" n) ~layers:2 in
+      let _, mh = metrics_of (Printf.sprintf "hypercube:%d" n) ~layers:2 in
       Printf.printf "    n=%2d: ratio=%6.2f\n" n
         (float_of_int mc.Mvl.Layout.area /. float_of_int mh.Mvl.Layout.area))
     [ 4; 6; 8; 10 ]
@@ -273,15 +283,15 @@ let e10 () =
   family_table "E10"
     "folded hypercube 49N^2/9L^2; enhanced cube 100N^2/9L^2 (§5.3)"
     [
-      (Mvl.Families.folded_hypercube 6, 2);
-      (Mvl.Families.folded_hypercube 8, 2);
-      (Mvl.Families.folded_hypercube 10, 2);
-      (Mvl.Families.folded_hypercube 10, 4);
-      (Mvl.Families.folded_hypercube 10, 8);
-      (Mvl.Families.enhanced_cube ~n:6 ~seed:1, 2);
-      (Mvl.Families.enhanced_cube ~n:8 ~seed:1, 2);
-      (Mvl.Families.enhanced_cube ~n:10 ~seed:1, 2);
-      (Mvl.Families.enhanced_cube ~n:10 ~seed:1, 8);
+      ("folded:6", 2);
+      ("folded:8", 2);
+      ("folded:10", 2);
+      ("folded:10", 4);
+      ("folded:10", 8);
+      ("enhanced:6:1", 2);
+      ("enhanced:8:1", 2);
+      ("enhanced:10:1", 2);
+      ("enhanced:10:1", 8);
     ];
   Printf.printf
     "\n  note: the paper's 49/9 and 100/9 constants are conservative; the\n\
@@ -292,14 +302,13 @@ let e10 () =
 let e11 () =
   Util.heading "E11"
     "direct multilayer vs folded-Thompson vs multilayer-collinear (§2.2)";
-  let fam = Mvl.Families.hypercube 12 in
   let collinear = Mvl.Collinear_hypercube.create 12 in
-  let _, m2 = metrics_of fam ~layers:2 in
+  let _, m2 = metrics_of "hypercube:12" ~layers:2 in
   Util.row "%4s | %12s %8s | %12s %8s | %12s %8s || %8s %8s\n" "L" "direct-A"
     "gainA" "folded-A" "gainA" "collin-A" "gainA" "L^2/4" "L/2";
   List.iter
     (fun layers ->
-      let _, md = metrics_of fam ~layers in
+      let _, md = metrics_of "hypercube:12" ~layers in
       let mf = Mvl.Baselines.fold_thompson m2 ~layers in
       let mc = Mvl.Baselines.collinear_multilayer collinear ~layers in
       let mc2 = Mvl.Baselines.collinear_multilayer collinear ~layers:2 in
@@ -320,7 +329,7 @@ let e11 () =
     "direct-W" "folded-W" "L/2";
   List.iter
     (fun layers ->
-      let _, md = metrics_of fam ~layers in
+      let _, md = metrics_of "hypercube:12" ~layers in
       let mf = Mvl.Baselines.fold_thompson m2 ~layers in
       Util.row "%4d | %14d %14d | %10d %10d || %6.1f\n" layers
         md.Mvl.Layout.volume mf.Mvl.Layout.volume md.Mvl.Layout.max_wire
@@ -335,8 +344,8 @@ let e12 () =
   (* the paper's condition is c = o(k^(n/2-1)); with k=4, n=4 that means
      c well below 4 stays essentially free, and the area *per node*
      improves because each block packs c nodes *)
-  let quotient = Mvl.Families.kary ~k:4 ~n:4 () in
-  let _, mq = metrics_of quotient ~layers:2 in
+  let quotient = (run "kary:4:4" ~layers:2).Mvl.Pipeline.family in
+  let _, mq = metrics_of "kary:4:4" ~layers:2 in
   Util.row "%4s %10s %12s %12s %14s\n" "c" "nodes" "area" "vs quotient"
     "area/node";
   Util.row "%4s %10d %12d %12s %14.1f\n" "-" quotient.Mvl.Families.n_nodes
@@ -345,8 +354,9 @@ let e12 () =
     /. float_of_int quotient.Mvl.Families.n_nodes);
   List.iter
     (fun c ->
-      let fam = Mvl.Families.kary_cluster ~k:4 ~n:4 ~c in
-      let _, m = metrics_of fam ~layers:2 in
+      let r = run (Printf.sprintf "karycluster:4:4:%d" c) ~layers:2 in
+      let fam = r.Mvl.Pipeline.family in
+      let m = r.Mvl.Pipeline.metrics in
       Util.row "%4d %10d %12d %12s %14.1f\n" c fam.Mvl.Families.n_nodes
         m.Mvl.Layout.area
         (Util.pp_ratio
@@ -384,27 +394,29 @@ let e14 () =
   Util.row "%-26s %3s %12s %14s %7s %7s\n" "instance" "L" "area" "lower-bound"
     "ratio" "limit";
   List.iter
-    (fun (fam, layers, limit) ->
+    (fun (spec, layers, limit) ->
+      let r = run spec ~layers in
+      let fam = r.Mvl.Pipeline.family in
       match fam.Mvl.Families.bisection with
       | None -> ()
       | Some b ->
-          let _, m = metrics_of fam ~layers in
+          let m = r.Mvl.Pipeline.metrics in
           let lb = Mvl.Lower_bounds.area ~bisection:b ~layers in
           Util.row "%-26s %3d %12d %14.0f %7s %7s\n" fam.Mvl.Families.name
             layers m.Mvl.Layout.area lb
             (Util.pp_ratio (Util.ratio m.Mvl.Layout.area lb))
             limit)
     [
-      (Mvl.Families.hypercube 10, 2, "7.1");
-      (Mvl.Families.hypercube 12, 2, "7.1");
-      (Mvl.Families.hypercube 14, 2, "7.1");
-      (Mvl.Families.hypercube 12, 8, "7.1");
-      (Mvl.Families.generalized_hypercube ~r:8 ~n:2 (), 2, "4.0");
-      (Mvl.Families.generalized_hypercube ~r:8 ~n:3 (), 2, "4.0");
-      (Mvl.Families.generalized_hypercube ~r:8 ~n:3 (), 4, "4.0");
-      (Mvl.Families.kary ~k:8 ~n:3 (), 2, "4.0");
-      (Mvl.Families.complete 32, 2, "-");
-      (Mvl.Families.folded_hypercube 10, 2, "-");
+      ("hypercube:10", 2, "7.1");
+      ("hypercube:12", 2, "7.1");
+      ("hypercube:14", 2, "7.1");
+      ("hypercube:12", 8, "7.1");
+      ("ghc:8:2", 2, "4.0");
+      ("ghc:8:3", 2, "4.0");
+      ("ghc:8:3", 4, "4.0");
+      ("kary:8:3", 2, "4.0");
+      ("complete:32", 2, "-");
+      ("folded:10", 2, "-");
     ]
 
 (* --- X1: Cayley-graph extension (§4.3 "details in the near future") ------ *)
@@ -414,25 +426,27 @@ let x1 () =
   Util.row "%-22s %8s %8s %12s %10s %6s\n" "instance" "N" "height" "area"
     "max-wire" "valid";
   List.iter
-    (fun fam ->
-      let lay, m = metrics_of fam ~layers:4 in
+    (fun spec ->
+      let r = run spec ~layers:4 in
+      let fam = r.Mvl.Pipeline.family in
+      let lay, m = (r.Mvl.Pipeline.layout, r.Mvl.Pipeline.metrics) in
       (* the realized layout's height reveals the packed track count *)
       Util.row "%-22s %8d %8d %12d %10d %6s\n" fam.Mvl.Families.name
         fam.Mvl.Families.n_nodes
         (m.Mvl.Layout.height - 1)
         m.Mvl.Layout.area m.Mvl.Layout.max_wire (Util.validity_label lay))
     [
-      Mvl.Families.star 5;
-      Mvl.Families.star ~optimize:true 5;
-      Mvl.Families.pancake 5;
-      Mvl.Families.pancake ~optimize:true 5;
-      Mvl.Families.bubble_sort 5;
-      Mvl.Families.transposition 5;
-      Mvl.Families.transposition ~optimize:true 5;
-      Mvl.Families.scc 5;
-      Mvl.Families.shuffle_exchange 7;
-      Mvl.Families.shuffle_exchange ~optimize:true 7;
-      Mvl.Families.de_bruijn 7;
+      "star:5";
+      "star:5:opt";
+      "pancake:5";
+      "pancake:5:opt";
+      "bubble:5";
+      "transposition:5";
+      "transposition:5:opt";
+      "scc:5";
+      "shuffle:7";
+      "shuffle:7:opt";
+      "debruijn:7";
     ]
 
 (* --- E15 (extension): the multilayer 3-D grid model (§2.2) --------------- *)
@@ -446,9 +460,8 @@ let e15 () =
     (fun (n, active, lps) ->
       let t = Mvl.Multilayer3d.hypercube ~n ~active ~layers_per_slab:lps in
       let m3 = Mvl.Layout.metrics t.Mvl.Multilayer3d.layout in
-      let fam = Mvl.Families.hypercube n in
       let total = active * lps in
-      let m2 = Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers:total) in
+      let _, m2 = metrics_of (Printf.sprintf "hypercube:%d" n) ~layers:total in
       Util.row "%4d %4d %4d %4d | %12d %14d %10d | %12d %14d %10d\n" n total
         active lps m3.Mvl.Layout.area m3.Mvl.Layout.volume
         m3.Mvl.Layout.max_wire m2.Mvl.Layout.area m2.Mvl.Layout.volume
@@ -479,8 +492,9 @@ let e15 () =
           ~layers_per_slab:lps ()
       in
       let m3 = Mvl.Layout.metrics t.Mvl.Multilayer3d.layout in
-      let fam = Mvl.Families.kary ~k ~n () in
-      let m2 = Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers:(k * lps)) in
+      let _, m2 =
+        metrics_of (Printf.sprintf "kary:%d:%d" k n) ~layers:(k * lps)
+      in
       Printf.printf
         "    n=%d L=%2d (4 slabs x %d): 3D area=%8d vol=%10d | 2D area=%8d vol=%10d\n"
         n (k * lps) lps m3.Mvl.Layout.area m3.Mvl.Layout.volume
@@ -496,14 +510,13 @@ let e15 () =
 let e16 () =
   Util.heading "E16"
     "RC wire delay: shorter multilayer wires as performance (§2.2 ext.)";
-  let fam = Mvl.Families.hypercube 10 in
   let p = Mvl.Delay.default in
   let rep = Mvl.Delay.with_repeaters 64 in
   Util.row "%4s %12s %14s | %14s %16s\n" "L" "slowest-hop" "route-latency"
     "with-repeaters" "route-latency";
   List.iter
     (fun layers ->
-      let lay = fam.Mvl.Families.layout ~layers in
+      let lay, _ = metrics_of "hypercube:10" ~layers in
       Util.row "%4d %12.1f %14.1f | %14.1f %16.1f\n" layers
         (Mvl.Delay.slowest_wire p lay)
         (Mvl.Delay.worst_route_latency ~samples:4 p lay)
@@ -520,11 +533,10 @@ let e16 () =
 let e17 () =
   Util.heading "E17"
     "cycle-driven simulation with layout-derived link latencies (ext.)";
-  let fam = Mvl.Families.hypercube 8 in
-  let g = fam.Mvl.Families.graph in
+  let g = (run "hypercube:8" ~layers:2).Mvl.Pipeline.family.Mvl.Families.graph in
   let link layers =
     Mvl.Network_sim.link_latency_of_layout ~units_per_cycle:32
-      (fam.Mvl.Families.layout ~layers)
+      (fst (metrics_of "hypercube:8" ~layers))
   in
   let ll2 = link 2 and ll8 = link 8 in
   Util.row "%8s | %12s %10s | %12s %10s\n" "load" "L=2 avg" "L=2 p99"
@@ -573,10 +585,9 @@ let x2 () =
 let e18 () =
   Util.heading "E18"
     "wormhole (flit-level, VCs, credits) with layout link latencies (ext.)";
-  let fam = Mvl.Families.hypercube 8 in
   let link layers =
     Mvl.Network_sim.link_latency_of_layout ~units_per_cycle:16
-      (fam.Mvl.Families.layout ~layers)
+      (fst (metrics_of "hypercube:8" ~layers))
   in
   Util.row "%8s | %14s %10s | %14s %10s\n" "load" "L=2 latency" "thruput"
     "L=8 latency" "thruput";
@@ -610,9 +621,10 @@ let e19 () =
   Util.row "%-22s %3s | %12s %12s %7s | %10s %10s\n" "instance" "L"
     "constructive" "maze-routed" "ratio" "constr-W" "maze-W";
   List.iter
-    (fun (fam, rows, cols, layers) ->
-      let lay_c = fam.Mvl.Families.layout ~layers in
-      let mc = Mvl.Layout.metrics lay_c in
+    (fun (spec, rows, cols, layers) ->
+      let r = run spec ~layers in
+      let fam = r.Mvl.Pipeline.family in
+      let mc = r.Mvl.Pipeline.metrics in
       match
         Mvl.Maze_router.route_or_grow fam.Mvl.Families.graph ~rows ~cols
           ~layers
@@ -627,13 +639,13 @@ let e19 () =
             (float_of_int mm.Mvl.Layout.area /. float_of_int mc.Mvl.Layout.area)
             mc.Mvl.Layout.max_wire mm.Mvl.Layout.max_wire)
     [
-      (Mvl.Families.hypercube 4, 4, 4, 2);
-      (Mvl.Families.hypercube 5, 4, 8, 2);
-      (Mvl.Families.hypercube 6, 8, 8, 2);
-      (Mvl.Families.hypercube 6, 8, 8, 4);
-      (Mvl.Families.kary ~k:4 ~n:2 (), 4, 4, 2);
-      (Mvl.Families.kary ~k:5 ~n:2 (), 5, 5, 2);
-      (Mvl.Families.complete 12, 3, 4, 4);
+      ("hypercube:4", 4, 4, 2);
+      ("hypercube:5", 4, 8, 2);
+      ("hypercube:6", 8, 8, 2);
+      ("hypercube:6", 8, 8, 4);
+      ("kary:4:2", 4, 4, 2);
+      ("kary:5:2", 5, 5, 2);
+      ("complete:12", 3, 4, 4);
     ];
   Printf.printf
     "\n  the constructive layouts win on every 2-D (product) family; the\n\
@@ -698,12 +710,12 @@ let e21 () =
           Util.row "%-22s %6d %6d %12.3f %12.3f %7.2f\n" fam.Mvl.Families.name
             n b thru bound (thru /. bound))
     [
-      Mvl.Families.hypercube 6;
-      Mvl.Families.kary ~k:8 ~n:2 ();
-      Mvl.Families.mesh ~dims:[| 8; 8 |] |> (fun f -> { f with Mvl.Families.bisection = Some 8 });
-      Mvl.Families.torus ~dims:[| 4; 4; 4 |] ();
-      Mvl.Families.binary_tree 6;
-      Mvl.Families.complete 16;
+      fam_of "hypercube:6";
+      fam_of "kary:8:2";
+      fam_of "mesh:8:8" |> (fun f -> { f with Mvl.Families.bisection = Some 8 });
+      fam_of "torus:4:4:4";
+      fam_of "tree:6";
+      fam_of "complete:16";
     ];
   Printf.printf
     "\n  uniform traffic sends half the packets across any bisection, so\n\
@@ -727,18 +739,19 @@ let x3 () =
         (Mvl.Graph.max_degree fam.Mvl.Families.graph)
         m.Mvl.Layout.area m.Mvl.Layout.max_wire (Util.validity_label lay))
     [
-      Mvl.Families.mesh ~dims:[| 16; 16 |];
-      Mvl.Families.torus ~dims:[| 16; 16 |] ();
-      Mvl.Families.torus ~fold:true ~dims:[| 16; 16 |] ();
-      Mvl.Families.torus ~dims:[| 4; 8; 8 |] ();
-      Mvl.Families.binary_tree 8;
+      fam_of "mesh:16:16";
+      fam_of "torus:16:16";
+      fam_of "torus:16:16:fold";
+      fam_of "torus:4:8:8";
+      fam_of "tree:8";
+      (* heterogeneous products are combinators, not registry families *)
       Mvl.Families.generic_product
         ~row:(Mvl.Collinear_complete.create 8)
         ~col:(Mvl.Collinear_ring.create 8);
       Mvl.Families.generic_product
         ~row:(Mvl.Collinear_hypercube.create 4)
         ~col:(Mvl.Collinear.natural (Mvl.Mesh.path 8));
-      Mvl.Families.hypercube 8;
+      fam_of "hypercube:8";
     ];
   Printf.printf
     "\n  the §3.2 product machinery covers arbitrary factor mixes; at 256\n\
@@ -770,4 +783,9 @@ let all () =
   e21 ();
   x1 ();
   x2 ();
-  x3 ()
+  x3 ();
+  let s = Mvl.Pipeline.cache_stats () in
+  Printf.printf
+    "\npipeline layout cache: %d constructions, %d hits (each distinct \
+     (family, L) built once)\n"
+    s.Mvl.Pipeline.misses s.Mvl.Pipeline.hits

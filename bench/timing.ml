@@ -6,6 +6,20 @@ open Mvl_core
 
 let make name f = Test.make ~name (Staged.stage f)
 
+(* a fresh (cache-bypassing) pipeline layout of a registry spec string:
+   what the timing benches measure is the construction itself *)
+let fresh spec ~layers () =
+  ignore (Mvl.Pipeline.layout_exn ~cache:false ~layers spec)
+
+(* one bench per registered family, derived from the catalog: the
+   representative small instance at L=4 *)
+let registry_tests =
+  List.map
+    (fun e ->
+      let spec = Mvl.Registry.to_string (Mvl.Registry.small_spec e) in
+      make (Printf.sprintf "registry:%s" spec) (fresh spec ~layers:4))
+    (Mvl.Registry.all ())
+
 let tests =
   [
     make "E1:kary-collinear" (fun () ->
@@ -14,43 +28,26 @@ let tests =
         ignore (Mvl.Collinear_complete.create 48));
     make "E3:hypercube-collinear" (fun () ->
         ignore (Mvl.Collinear_hypercube.create 10));
-    make "E4:kary-layout" (fun () ->
-        let fam = Mvl.Families.kary ~k:4 ~n:4 () in
-        ignore (fam.Mvl.Families.layout ~layers:8));
-    make "E5:ghc-layout" (fun () ->
-        let fam = Mvl.Families.generalized_hypercube ~r:8 ~n:2 () in
-        ignore (fam.Mvl.Families.layout ~layers:4));
-    make "E6:butterfly-cluster" (fun () ->
-        let fam = Mvl.Families.butterfly_cluster ~radix:4 ~quotient_dims:2 in
-        ignore (fam.Mvl.Families.layout ~layers:4));
-    make "E7:hsn-layout" (fun () ->
-        let fam = Mvl.Families.hsn ~levels:3 ~radix:4 in
-        ignore (fam.Mvl.Families.layout ~layers:4));
-    make "E8:hypercube-layout" (fun () ->
-        let fam = Mvl.Families.hypercube 10 in
-        ignore (fam.Mvl.Families.layout ~layers:8));
-    make "E9:ccc-layout" (fun () ->
-        let fam = Mvl.Families.ccc 6 in
-        ignore (fam.Mvl.Families.layout ~layers:4));
-    make "E10:folded-layout" (fun () ->
-        let fam = Mvl.Families.folded_hypercube 8 in
-        ignore (fam.Mvl.Families.layout ~layers:4));
+    make "E4:kary-layout" (fresh "kary:4:4" ~layers:8);
+    make "E5:ghc-layout" (fresh "ghc:8:2" ~layers:4);
+    make "E6:butterfly-cluster" (fresh "butterfly:4:2" ~layers:4);
+    make "E7:hsn-layout" (fresh "hsn:3:4" ~layers:4);
+    make "E8:hypercube-layout" (fresh "hypercube:10" ~layers:8);
+    make "E9:ccc-layout" (fresh "ccc:6" ~layers:4);
+    make "E10:folded-layout" (fresh "folded:8" ~layers:4);
     make "E11:baselines" (fun () ->
         let c = Mvl.Collinear_hypercube.create 10 in
         ignore (Mvl.Baselines.collinear_multilayer c ~layers:8));
-    make "E12:kary-cluster" (fun () ->
-        let fam = Mvl.Families.kary_cluster ~k:4 ~n:2 ~c:4 in
-        ignore (fam.Mvl.Families.layout ~layers:2));
-    make "E13:node-side" (fun () ->
-        let fam = Mvl.Families.hypercube 8 in
-        ignore (fam.Mvl.Families.layout ~layers:2));
+    make "E12:kary-cluster" (fresh "karycluster:4:2:4" ~layers:2);
+    make "E13:node-side" (fresh "hypercube:8" ~layers:2);
     make "E14:validation" (fun () ->
-        let fam = Mvl.Families.hypercube 7 in
-        let lay = fam.Mvl.Families.layout ~layers:4 in
+        let lay = Mvl.Pipeline.layout_exn ~layers:4 "hypercube:7" in
         ignore (Mvl.Check.validate lay));
-    make "X1:star-layout" (fun () ->
-        let fam = Mvl.Families.star 5 in
-        ignore (fam.Mvl.Families.layout ~layers:4));
+    make "X1:star-layout" (fresh "star:5" ~layers:4);
+    make "P1:pipeline-cache-hit" (fun () ->
+        (* the whole cached pipeline on a warm cache: the speedup every
+           sweep gets for repeated (spec, L) pairs *)
+        ignore (Mvl.Pipeline.run_exn ~layers:8 "hypercube:10"));
     make "E15:stacked-3d" (fun () ->
         ignore (Mvl.Multilayer3d.hypercube ~n:8 ~active:4 ~layers_per_slab:2));
     make "E16:delay-model" (fun () ->
@@ -96,6 +93,7 @@ let tests =
     make "X3:order-opt" (fun () ->
         ignore (Mvl.Order_opt.optimize ~iterations:1000 (Mvl.Cayley.star 4)));
   ]
+  @ registry_tests
 
 let run () =
   print_newline ();

@@ -12,93 +12,35 @@
 open Mvl_core
 open Cmdliner
 
-(* --- family parsing ---------------------------------------------------- *)
+(* --- family parsing ----------------------------------------------------
+   The grammar, the help string and the `list` output are all derived
+   from the declarative Mvl.Registry catalog: adding a family there is
+   all it takes to make it available here. *)
 
-let family_doc =
-  "NETWORK is one of: hypercube:N | kary:K:N | torus:K1:K2[:K3] | \
-   mesh:K1:K2[:K3] | ghc:R:N | complete:N | hsn:LEVELS:R | hhn:LEVELS:M | \
-   ccc:N | rh:N | butterfly:R:M | isn:R:M | folded:N | enhanced:N:SEED | \
-   karycluster:K:N:C | star:D | pancake:D | bubble:D | transposition:D | \
-   scc:D | shuffle:N | debruijn:N | tree:LEVELS (append :opt to the \
-   Cayley families for annealed orders)"
-
-let parse_family s =
-  match String.split_on_char ':' s with
-  | [ "hypercube"; n ] -> Ok (Mvl.Families.hypercube (int_of_string n))
-  | [ "hypercube"; n; "fold" ] ->
-      Ok (Mvl.Families.hypercube ~fold:true (int_of_string n))
-  | [ "kary"; k; n ] ->
-      Ok (Mvl.Families.kary ~k:(int_of_string k) ~n:(int_of_string n) ())
-  | [ "kary"; k; n; "fold" ] ->
-      Ok
-        (Mvl.Families.kary ~fold:true ~k:(int_of_string k)
-           ~n:(int_of_string n) ())
-  | [ "ghc"; r; n ] ->
-      Ok
-        (Mvl.Families.generalized_hypercube ~r:(int_of_string r)
-           ~n:(int_of_string n) ())
-  | [ "complete"; n ] -> Ok (Mvl.Families.complete (int_of_string n))
-  | [ "hsn"; l; r ] ->
-      Ok (Mvl.Families.hsn ~levels:(int_of_string l) ~radix:(int_of_string r))
-  | [ "hhn"; l; m ] ->
-      Ok
-        (Mvl.Families.hhn ~levels:(int_of_string l)
-           ~cube_dims:(int_of_string m))
-  | [ "ccc"; n ] -> Ok (Mvl.Families.ccc (int_of_string n))
-  | [ "rh"; n ] -> Ok (Mvl.Families.reduced_hypercube (int_of_string n))
-  | [ "butterfly"; r; m ] ->
-      Ok
-        (Mvl.Families.butterfly_cluster ~radix:(int_of_string r)
-           ~quotient_dims:(int_of_string m))
-  | [ "isn"; r; m ] ->
-      Ok
-        (Mvl.Families.isn ~radix:(int_of_string r)
-           ~quotient_dims:(int_of_string m))
-  | [ "folded"; n ] -> Ok (Mvl.Families.folded_hypercube (int_of_string n))
-  | [ "enhanced"; n; seed ] ->
-      Ok
-        (Mvl.Families.enhanced_cube ~n:(int_of_string n)
-           ~seed:(int_of_string seed))
-  | [ "karycluster"; k; n; c ] ->
-      Ok
-        (Mvl.Families.kary_cluster ~k:(int_of_string k) ~n:(int_of_string n)
-           ~c:(int_of_string c))
-  | [ "star"; d ] -> Ok (Mvl.Families.star (int_of_string d))
-  | [ "star"; d; "opt" ] ->
-      Ok (Mvl.Families.star ~optimize:true (int_of_string d))
-  | [ "pancake"; d ] -> Ok (Mvl.Families.pancake (int_of_string d))
-  | [ "pancake"; d; "opt" ] ->
-      Ok (Mvl.Families.pancake ~optimize:true (int_of_string d))
-  | [ "bubble"; d ] -> Ok (Mvl.Families.bubble_sort (int_of_string d))
-  | [ "transposition"; d ] -> Ok (Mvl.Families.transposition (int_of_string d))
-  | [ "scc"; d ] -> Ok (Mvl.Families.scc (int_of_string d))
-  | [ "shuffle"; n ] -> Ok (Mvl.Families.shuffle_exchange (int_of_string n))
-  | [ "shuffle"; n; "opt" ] ->
-      Ok (Mvl.Families.shuffle_exchange ~optimize:true (int_of_string n))
-  | [ "debruijn"; n ] -> Ok (Mvl.Families.de_bruijn (int_of_string n))
-  | [ "tree"; levels ] -> Ok (Mvl.Families.binary_tree (int_of_string levels))
-  | "torus" :: dims when List.length dims >= 1 ->
-      Ok
-        (Mvl.Families.torus
-           ~dims:(Array.of_list (List.map int_of_string dims))
-           ())
-  | "mesh" :: dims when List.length dims >= 1 ->
-      Ok
-        (Mvl.Families.mesh
-           ~dims:(Array.of_list (List.map int_of_string dims)))
-  | _ -> Error (`Msg (Printf.sprintf "cannot parse network %S" s))
+let family_doc = Mvl.Registry.family_doc ()
 
 let family_conv =
   Arg.conv
-    ( (fun s -> try parse_family s with Failure _ | Invalid_argument _ ->
-          Error (`Msg (Printf.sprintf "bad parameters in %S" s))),
-      fun ppf fam -> Format.fprintf ppf "%s" fam.Mvl.Families.name )
+    ( (fun s ->
+        match Mvl.Registry.parse s with
+        | Ok spec -> Ok spec
+        | Error msg -> Error (`Msg msg)),
+      fun ppf spec -> Format.fprintf ppf "%s" (Mvl.Registry.to_string spec) )
 
 let family_arg =
   Arg.(
     required
     & pos 0 (some family_conv) None
     & info [] ~docv:"NETWORK" ~doc:family_doc)
+
+(* run the cached pipeline for a parsed spec, or exit with the registry's
+   usage message on construction errors (e.g. out-of-range parameters) *)
+let pipeline_or_die ?validate ?report ~layers spec =
+  match Mvl.Pipeline.run ?validate ?report ~layers spec with
+  | Ok r -> r
+  | Error msg ->
+      Printf.eprintf "mvl: %s\n" msg;
+      exit 2
 
 let layers_arg =
   Arg.(
@@ -135,9 +77,19 @@ let layout_cmd =
       & info [ "save" ] ~docv:"FILE"
           ~doc:"Serialize the layout to $(docv) (mvl-layout text format).")
   in
-  let run fam layers svg validate report save =
-    let layout = fam.Mvl.Families.layout ~layers in
-    let m = Mvl.Layout.metrics layout in
+  let time_arg =
+    Arg.(
+      value & flag
+      & info [ "time" ] ~doc:"Print per-stage wall-clock timings.")
+  in
+  let run spec layers svg validate report save time =
+    let r =
+      pipeline_or_die
+        ?validate:(if validate then Some Mvl.Check.Strict else None)
+        ~report ~layers spec
+    in
+    let fam = r.Mvl.Pipeline.family in
+    let m = r.Mvl.Pipeline.metrics in
     Printf.printf "%s  N=%d  L=%d\n" fam.Mvl.Families.name
       fam.Mvl.Families.n_nodes layers;
     Format.printf "  %a@." Mvl.Layout.pp_metrics m;
@@ -152,27 +104,28 @@ let layout_cmd =
         Printf.printf "  bisection lower bound: %.0f\n"
           (Mvl.Lower_bounds.area ~bisection:b ~layers)
     | None -> ());
-    if validate then begin
-      match Mvl.Check.validate ~mode:Mvl.Check.Strict layout with
-      | [] -> print_endline "  validation: ok (strict model)"
-      | violations ->
-          List.iter
-            (fun v -> Format.printf "  VIOLATION %a@." Mvl.Check.pp_violation v)
-            violations;
-          exit 1
-    end;
-    if report then
-      Format.printf "%a@." Mvl.Report.pp (Mvl.Report.analyze layout);
+    (match r.Mvl.Pipeline.violations with
+    | None -> ()
+    | Some [] -> print_endline "  validation: ok (strict model)"
+    | Some violations ->
+        List.iter
+          (fun v -> Format.printf "  VIOLATION %a@." Mvl.Check.pp_violation v)
+          violations;
+        exit 1);
+    (match r.Mvl.Pipeline.report with
+    | None -> ()
+    | Some rep -> Format.printf "%a@." Mvl.Report.pp rep);
+    if time then Format.printf "  %a@." Mvl.Pipeline.pp_timings r;
     (match save with
     | None -> ()
     | Some file ->
-        Mvl.Serialize.write_file file layout;
+        Mvl.Serialize.write_file file r.Mvl.Pipeline.layout;
         Printf.printf "  saved %s\n" file);
     match svg with
     | None -> ()
     | Some file ->
         let oc = open_out file in
-        output_string oc (Mvl.Render.layout_svg layout);
+        output_string oc (Mvl.Render.layout_svg r.Mvl.Pipeline.layout);
         close_out oc;
         Printf.printf "  wrote %s\n" file
   in
@@ -180,12 +133,19 @@ let layout_cmd =
     (Cmd.info "layout" ~doc:"Build and measure a multilayer layout")
     Term.(
       const run $ family_arg $ layers_arg $ svg_arg $ validate_arg $ report_arg
-      $ save_arg)
+      $ save_arg $ time_arg)
 
 (* --- tracks command ------------------------------------------------------ *)
 
 let tracks_cmd =
-  let run fam =
+  let run spec =
+    let fam =
+      match Mvl.Registry.build spec with
+      | Ok fam -> fam
+      | Error msg ->
+          Printf.eprintf "mvl: %s\n" msg;
+          exit 2
+    in
     let c = Mvl.Collinear.natural fam.Mvl.Families.graph in
     Printf.printf "%s: greedy collinear layout uses %d tracks (max span %d)\n"
       fam.Mvl.Families.name c.Mvl.Collinear.tracks (Mvl.Collinear.max_span c)
@@ -245,8 +205,10 @@ let sim_cmd =
             "Traffic pattern: uniform, transpose, bit-reversal, \
              bit-complement or hotspot.")
   in
-  let run fam layers load pattern =
-    let layout = fam.Mvl.Families.layout ~layers in
+  let run spec layers load pattern =
+    let r = pipeline_or_die ~layers spec in
+    let fam = r.Mvl.Pipeline.family in
+    let layout = r.Mvl.Pipeline.layout in
     let link =
       Mvl.Network_sim.link_latency_of_layout ~units_per_cycle:32 layout
     in
@@ -420,12 +382,13 @@ let verify_cmd =
 
 let list_cmd =
   let run () =
-    print_endline "families (with a representative small instance):";
+    print_endline "families (spec, representative small instance, doc):";
     List.iter
-      (fun fam ->
-        Printf.printf "  %-32s N=%d\n" fam.Mvl.Families.name
-          fam.Mvl.Families.n_nodes)
-      (Mvl.Families.all_small ())
+      (fun e ->
+        let fam = Mvl.Registry.build_exn (Mvl.Registry.small_spec e) in
+        Printf.printf "  %-28s %-32s N=%-6d %s\n" (Mvl.Registry.signature e)
+          fam.Mvl.Families.name fam.Mvl.Families.n_nodes e.Mvl.Registry.doc)
+      (Mvl.Registry.all ())
   in
   Cmd.v
     (Cmd.info "list" ~doc:"List the supported network families")

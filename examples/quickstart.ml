@@ -1,33 +1,41 @@
-(* Quickstart: build a network, lay it out for a given number of wiring
-   layers, verify the geometry and read off the cost metrics.
+(* Quickstart: build a network through the registry + cached pipeline,
+   verify the geometry and read off the cost metrics.
 
    Run with:  dune exec examples/quickstart.exe *)
 open Mvl_core
 
 let () =
-  (* 1. pick a network family: the 8-dimensional hypercube (256 nodes) *)
-  let fam = Mvl.Families.hypercube 8 in
+  (* 1. pick a network family by its registry spec string — the same
+     grammar the `mvl` CLI accepts (see `mvl list`) *)
+  let r =
+    match
+      Mvl.Pipeline.run_string ~validate:Mvl.Check.Strict ~layers:8
+        "hypercube:8"
+    with
+    | Ok r -> r
+    | Error msg -> failwith msg
+  in
+  let fam = r.Mvl.Pipeline.family in
   Printf.printf "network: %s with %d nodes, %d links\n" fam.Mvl.Families.name
     fam.Mvl.Families.n_nodes
     (Mvl.Graph.m fam.Mvl.Families.graph);
 
-  (* 2. lay it out under the multilayer grid model with 8 wiring layers *)
-  let layout = fam.Mvl.Families.layout ~layers:8 in
-
-  (* 3. verify: the strict model demands node-disjoint routed wires *)
-  (match Mvl.Check.validate ~mode:Mvl.Check.Strict layout with
-  | [] -> print_endline "layout verified: node-disjoint, on-terminal, in-range"
-  | violations ->
+  (* 2. the pipeline already ran build -> layout -> validate -> metrics *)
+  (match r.Mvl.Pipeline.violations with
+  | Some [] -> print_endline "layout verified: node-disjoint, on-terminal, in-range"
+  | Some violations ->
       List.iter
         (fun v -> Format.printf "VIOLATION %a@." Mvl.Check.pp_violation v)
         violations;
-      exit 1);
+      exit 1
+  | None -> assert false);
 
-  (* 4. metrics *)
-  let m = Mvl.Layout.metrics layout in
+  (* 3. metrics and per-stage wall-clock timings *)
+  let m = r.Mvl.Pipeline.metrics in
   Format.printf "metrics: %a@." Mvl.Layout.pp_metrics m;
+  Format.printf "timings: %a@." Mvl.Pipeline.pp_timings r;
 
-  (* 5. compare with the paper's leading term, 16 N^2 / 9 L^2 *)
+  (* 4. compare with the paper's leading term, 16 N^2 / 9 L^2 *)
   (match fam.Mvl.Families.paper_area with
   | Some f ->
       let paper = f ~layers:8 in
@@ -35,16 +43,34 @@ let () =
         (float_of_int m.Mvl.Layout.area /. paper)
   | None -> ());
 
-  (* 6. the multilayer pay-off: same network, only two layers *)
-  let m2 = Mvl.Layout.metrics (fam.Mvl.Families.layout ~layers:2) in
+  (* 5. the multilayer pay-off: same network, only two layers.  The
+     family is cached, so only the new layout is constructed. *)
+  let r2 =
+    match Mvl.Pipeline.run_string ~layers:2 "hypercube:8" with
+    | Ok r -> r
+    | Error msg -> failwith msg
+  in
+  let m2 = r2.Mvl.Pipeline.metrics in
   Printf.printf
     "2-layer (Thompson) area: %d -> 8-layer area: %d (%.1fx smaller)\n"
     m2.Mvl.Layout.area m.Mvl.Layout.area
     (float_of_int m2.Mvl.Layout.area /. float_of_int m.Mvl.Layout.area);
 
+  (* 6. rerunning a spec hits the layout cache instead of rebuilding *)
+  let again =
+    match Mvl.Pipeline.run_string ~layers:8 "hypercube:8" with
+    | Ok r -> r
+    | Error msg -> failwith msg
+  in
+  let stats = Mvl.Pipeline.cache_stats () in
+  Printf.printf "cache: %d constructions, %d hits (rerun cached: %b)\n"
+    stats.Mvl.Pipeline.misses stats.Mvl.Pipeline.hits
+    again.Mvl.Pipeline.from_cache;
+
   (* 7. render a small instance for inspection *)
-  let small = Mvl.Families.hypercube 4 in
-  let svg = Mvl.Render.layout_svg (small.Mvl.Families.layout ~layers:4) in
+  let svg =
+    Mvl.Render.layout_svg (Mvl.Pipeline.layout_exn ~layers:4 "hypercube:4")
+  in
   let oc = open_out "hypercube4_l4.svg" in
   output_string oc svg;
   close_out oc;

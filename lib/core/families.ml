@@ -548,29 +548,5 @@ let enhanced_cube ~n ~seed =
     bisection = None;
   }
 
-let all_small () =
-  [
-    hypercube 5;
-    kary ~k:3 ~n:3 ();
-    torus ~dims:[| 3; 4; 5 |] ();
-    generalized_hypercube ~r:4 ~n:2 ();
-    complete 9;
-    hsn ~levels:3 ~radix:3;
-    hhn ~levels:2 ~cube_dims:2;
-    ccc 4;
-    reduced_hypercube 4;
-    butterfly_cluster ~radix:3 ~quotient_dims:2;
-    isn ~radix:3 ~quotient_dims:2;
-    folded_hypercube 5;
-    enhanced_cube ~n:5 ~seed:7;
-    kary_cluster ~k:4 ~n:2 ~c:4;
-    star 4;
-    pancake 4;
-    bubble_sort 4;
-    transposition 4;
-    scc 4;
-    shuffle_exchange 4;
-    de_bruijn 4;
-    mesh ~dims:[| 4; 3 |];
-    binary_tree 4;
-  ]
+(* the representative small instances live in Registry.all_small, derived
+   from the declarative catalog *)

@@ -103,6 +103,5 @@ val binary_tree : int -> t
 (** Complete binary tree on the in-order collinear layout (cutwidth
     [<= levels]) — the minimal-area extreme. *)
 
-val all_small : unit -> t list
-(** A representative small instance of every family (used by tests and
-    the quickstart example). *)
+(** A representative small instance of every family is available as
+    {!Registry.all_small}, derived from the declarative catalog. *)

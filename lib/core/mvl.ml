@@ -83,3 +83,5 @@ module Wormhole = Mvl_sim.Wormhole
 
 (* drivers *)
 module Families = Families
+module Registry = Registry
+module Pipeline = Pipeline

@@ -1,0 +1,132 @@
+open Mvl_layout
+
+type stage_time = { stage : string; seconds : float }
+
+type t = {
+  spec : Registry.spec;
+  family : Families.t;
+  layers : int;
+  layout : Layout.t;
+  metrics : Layout.metrics;
+  violations : Check.violation list option;
+  report : Report.t option;
+  timings : stage_time list;
+  from_cache : bool;
+}
+
+type cache_stats = { hits : int; misses : int }
+
+(* families are memoized by canonical spec string, layouts by
+   (spec string, layers); the counters track the layout cache only,
+   since layout realization is the expensive stage sweeps repeat *)
+let family_cache : (string, Families.t) Hashtbl.t = Hashtbl.create 64
+let layout_cache : (string * int, Layout.t) Hashtbl.t = Hashtbl.create 64
+let hits = ref 0
+let misses = ref 0
+
+let cache_stats () = { hits = !hits; misses = !misses }
+
+let cache_reset () =
+  Hashtbl.reset family_cache;
+  Hashtbl.reset layout_cache;
+  hits := 0;
+  misses := 0
+
+let timed stage f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, { stage; seconds = Unix.gettimeofday () -. t0 })
+
+let run ?validate ?(report = false) ?(cache = true) ~layers spec =
+  let key = Registry.to_string spec in
+  let build_family () =
+    match
+      if cache then Hashtbl.find_opt family_cache key else None
+    with
+    | Some fam -> Ok fam
+    | None -> (
+        match Registry.build spec with
+        | Error _ as err -> err
+        | Ok fam ->
+            if cache then Hashtbl.replace family_cache key fam;
+            Ok fam)
+  in
+  let fam_res, t_build = timed "build" build_family in
+  match fam_res with
+  | Error msg -> Error msg
+  | Ok family ->
+      let realize () =
+        match
+          if cache then Hashtbl.find_opt layout_cache (key, layers) else None
+        with
+        | Some lay ->
+            if cache then incr hits;
+            (lay, true)
+        | None ->
+            let lay = family.Families.layout ~layers in
+            if cache then begin
+              incr misses;
+              Hashtbl.replace layout_cache (key, layers) lay
+            end;
+            (lay, false)
+      in
+      (match timed "layout" realize with
+      | exception (Invalid_argument msg | Failure msg) ->
+          Error (Printf.sprintf "%s: layout failed (%s)" key msg)
+      | (layout, from_cache), t_layout ->
+          let violations, t_validate =
+            match validate with
+            | None -> (None, { stage = "validate"; seconds = 0.0 })
+            | Some mode ->
+                let v, t =
+                  timed "validate" (fun () -> Check.validate ~mode layout)
+                in
+                (Some v, t)
+          in
+          let metrics, t_metrics =
+            timed "metrics" (fun () -> Layout.metrics layout)
+          in
+          let report, t_report =
+            if report then
+              let r, t = timed "report" (fun () -> Report.analyze layout) in
+              (Some r, t)
+            else (None, { stage = "report"; seconds = 0.0 })
+          in
+          Ok
+            {
+              spec;
+              family;
+              layers;
+              layout;
+              metrics;
+              violations;
+              report;
+              timings = [ t_build; t_layout; t_validate; t_metrics; t_report ];
+              from_cache;
+            })
+
+let run_string ?validate ?report ?cache ~layers s =
+  match Registry.parse s with
+  | Error _ as err -> err
+  | Ok spec -> run ?validate ?report ?cache ~layers spec
+
+let run_exn ?validate ?report ?cache ~layers s =
+  match run_string ?validate ?report ?cache ~layers s with
+  | Ok r -> r
+  | Error msg -> invalid_arg msg
+
+let layout_exn ?cache ~layers s = (run_exn ?cache ~layers s).layout
+
+let is_valid r = match r.violations with Some [] -> true | _ -> false
+
+let total_seconds r =
+  List.fold_left (fun acc t -> acc +. t.seconds) 0.0 r.timings
+
+let pp_timings ppf r =
+  List.iter
+    (fun t ->
+      if t.seconds > 0.0 || t.stage = "build" || t.stage = "layout" then
+        Format.fprintf ppf "%s %.4fs  " t.stage t.seconds)
+    r.timings;
+  Format.fprintf ppf "total %.4fs%s" (total_seconds r)
+    (if r.from_cache then " (layout cached)" else "")

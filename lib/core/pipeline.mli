@@ -1,0 +1,76 @@
+(** The cached construction pipeline: one instrumented path from a
+    family spec to a measured (optionally validated and reported)
+    layout, shared by the CLI, the bench harness, the examples and the
+    tests.
+
+    Stages: [build] (family construction) → [layout] → [validate]
+    (optional) → [metrics] → [report] (optional).  Each run records
+    per-stage wall-clock timings.
+
+    Layouts are memoized in a process-wide cache keyed by
+    [(canonical spec string, layers)], so a sweep over [L] — or a
+    metrics pass followed by a simulation on the same spec — constructs
+    each distinct layout exactly once.  Hit/miss counters are exposed
+    for verification. *)
+
+open Mvl_layout
+
+type stage_time = { stage : string; seconds : float }
+
+type t = {
+  spec : Registry.spec;
+  family : Families.t;
+  layers : int;
+  layout : Layout.t;
+  metrics : Layout.metrics;
+  violations : Check.violation list option;
+      (** [None] when validation was not requested *)
+  report : Report.t option;
+  timings : stage_time list;  (** in stage order *)
+  from_cache : bool;          (** the layout stage was a cache hit *)
+}
+
+val run :
+  ?validate:Check.mode ->
+  ?report:bool ->
+  ?cache:bool ->
+  layers:int ->
+  Registry.spec ->
+  (t, string) result
+(** Run the pipeline.  [~cache:false] (default [true]) bypasses the
+    layout cache entirely — neither reading nor populating it, nor
+    touching the counters (used by timing benches). *)
+
+val run_string :
+  ?validate:Check.mode ->
+  ?report:bool ->
+  ?cache:bool ->
+  layers:int ->
+  string ->
+  (t, string) result
+(** [run] on [Registry.parse]'s result. *)
+
+val run_exn :
+  ?validate:Check.mode -> ?report:bool -> ?cache:bool -> layers:int ->
+  string -> t
+(** [run_string], raising [Invalid_argument] on any error. *)
+
+val layout_exn : ?cache:bool -> layers:int -> string -> Layout.t
+(** Just the (cached) layout of a spec string. *)
+
+val is_valid : t -> bool
+(** [true] when validation ran and found no violations. *)
+
+val total_seconds : t -> float
+
+val pp_timings : Format.formatter -> t -> unit
+(** One line per stage, e.g. ["build 0.001s  layout 0.045s ..."]. *)
+
+(* --- cache ------------------------------------------------------------- *)
+
+type cache_stats = { hits : int; misses : int }
+(** [misses] counts actual layout constructions through the cache. *)
+
+val cache_stats : unit -> cache_stats
+val cache_reset : unit -> unit
+(** Drop all cached layouts and families and zero the counters. *)

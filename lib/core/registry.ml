@@ -1,0 +1,355 @@
+type param = { pname : string; pdoc : string }
+
+type arity =
+  | Fixed of param list
+  | Variadic of { min_args : int; param : param }
+
+type entry = {
+  name : string;
+  doc : string;
+  args : arity;
+  flags : (string * string) list;
+  small : int array * string list;
+  construct : ints:int array -> flag:(string -> bool) -> Families.t;
+}
+
+type spec = { family : string; ints : int array; set_flags : string list }
+
+(* --- the catalog ------------------------------------------------------ *)
+
+let p pname pdoc = { pname; pdoc }
+let fixed ps = Fixed ps
+let fold_flag = ("fold", "folded ring orders: shorter wrap wires, same tracks")
+let opt_flag = ("opt", "annealed node order (typically halves the tracks)")
+
+let entries : entry list =
+  [
+    {
+      name = "hypercube";
+      doc = "n-cube via two ~2N/3-track collinear factors (S5.1)";
+      args = fixed [ p "N" "dimension" ];
+      flags = [ fold_flag ];
+      small = ([| 5 |], []);
+      construct =
+        (fun ~ints ~flag -> Families.hypercube ~fold:(flag "fold") ints.(0));
+    };
+    {
+      name = "kary";
+      doc = "k-ary n-cube, k >= 3 (S3.1)";
+      args = fixed [ p "K" "radix"; p "N" "dimension" ];
+      flags = [ fold_flag ];
+      small = ([| 3; 3 |], []);
+      construct =
+        (fun ~ints ~flag ->
+          Families.kary ~fold:(flag "fold") ~k:ints.(0) ~n:ints.(1) ());
+    };
+    {
+      name = "torus";
+      doc = "mixed-radix torus, every side >= 3 (S3.2)";
+      args = Variadic { min_args = 1; param = p "K" "side length" };
+      flags = [ fold_flag ];
+      small = ([| 3; 4; 5 |], []);
+      construct =
+        (fun ~ints ~flag -> Families.torus ~fold:(flag "fold") ~dims:ints ());
+    };
+    {
+      name = "mesh";
+      doc = "open mesh: product of paths (S3.2)";
+      args = Variadic { min_args = 1; param = p "K" "side length" };
+      flags = [];
+      small = ([| 4; 3 |], []);
+      construct = (fun ~ints ~flag:_ -> Families.mesh ~dims:ints);
+    };
+    {
+      name = "ghc";
+      doc = "generalized hypercube, uniform radix (S4.1)";
+      args = fixed [ p "R" "radix"; p "N" "dimension" ];
+      flags = [ fold_flag ];
+      small = ([| 4; 2 |], []);
+      construct =
+        (fun ~ints ~flag ->
+          Families.generalized_hypercube ~fold:(flag "fold") ~r:ints.(0)
+            ~n:ints.(1) ());
+    };
+    {
+      name = "complete";
+      doc = "K_N on the single-row collinear layout (S4.1)";
+      args = fixed [ p "N" "node count" ];
+      flags = [];
+      small = ([| 9 |], []);
+      construct = (fun ~ints ~flag:_ -> Families.complete ints.(0));
+    };
+    {
+      name = "hsn";
+      doc = "hierarchical swap network over a GHC quotient (S4.3)";
+      args = fixed [ p "LEVELS" "hierarchy levels"; p "R" "nucleus radix" ];
+      flags = [];
+      small = ([| 3; 3 |], []);
+      construct =
+        (fun ~ints ~flag:_ -> Families.hsn ~levels:ints.(0) ~radix:ints.(1));
+    };
+    {
+      name = "hhn";
+      doc = "hierarchical hypercube network: HSN with cube nucleus (S4.3)";
+      args = fixed [ p "LEVELS" "hierarchy levels"; p "M" "nucleus cube dims" ];
+      flags = [];
+      small = ([| 2; 2 |], []);
+      construct =
+        (fun ~ints ~flag:_ ->
+          Families.hhn ~levels:ints.(0) ~cube_dims:ints.(1));
+    };
+    {
+      name = "ccc";
+      doc = "cube-connected cycles as a hypercube PN cluster (S5.2)";
+      args = fixed [ p "N" "cube dimension" ];
+      flags = [];
+      small = ([| 4 |], []);
+      construct = (fun ~ints ~flag:_ -> Families.ccc ints.(0));
+    };
+    {
+      name = "rh";
+      doc = "reduced hypercube: CCC with hypercube clusters (S5.2)";
+      args = fixed [ p "N" "cube dimension" ];
+      flags = [];
+      small = ([| 4 |], []);
+      construct = (fun ~ints ~flag:_ -> Families.reduced_hypercube ints.(0));
+    };
+    {
+      name = "butterfly";
+      doc = "butterfly as a multiplicity-4 GHC cluster (S4.2)";
+      args = fixed [ p "R" "quotient radix"; p "M" "quotient dims" ];
+      flags = [];
+      small = ([| 3; 2 |], []);
+      construct =
+        (fun ~ints ~flag:_ ->
+          Families.butterfly_cluster ~radix:ints.(0) ~quotient_dims:ints.(1));
+    };
+    {
+      name = "isn";
+      doc = "indirect swap network: multiplicity-2 substitute (S4.3)";
+      args = fixed [ p "R" "quotient radix"; p "M" "quotient dims" ];
+      flags = [];
+      small = ([| 3; 2 |], []);
+      construct =
+        (fun ~ints ~flag:_ ->
+          Families.isn ~radix:ints.(0) ~quotient_dims:ints.(1));
+    };
+    {
+      name = "folded";
+      doc = "folded hypercube (S5.3)";
+      args = fixed [ p "N" "dimension" ];
+      flags = [];
+      small = ([| 5 |], []);
+      construct = (fun ~ints ~flag:_ -> Families.folded_hypercube ints.(0));
+    };
+    {
+      name = "enhanced";
+      doc = "enhanced cube with N random extra links (S5.3)";
+      args = fixed [ p "N" "dimension"; p "SEED" "rng seed" ];
+      flags = [];
+      small = ([| 5; 7 |], []);
+      construct =
+        (fun ~ints ~flag:_ -> Families.enhanced_cube ~n:ints.(0) ~seed:ints.(1));
+    };
+    {
+      name = "karycluster";
+      doc = "k-ary n-cube cluster-c with hypercube clusters (S3.2)";
+      args = fixed [ p "K" "radix"; p "N" "dimension"; p "C" "cluster size" ];
+      flags = [];
+      small = ([| 4; 2; 4 |], []);
+      construct =
+        (fun ~ints ~flag:_ ->
+          Families.kary_cluster ~k:ints.(0) ~n:ints.(1) ~c:ints.(2));
+    };
+    {
+      name = "star";
+      doc = "star graph S_d on the single-row scheme (S4.3 ext.)";
+      args = fixed [ p "D" "symbols" ];
+      flags = [ opt_flag ];
+      small = ([| 4 |], []);
+      construct =
+        (fun ~ints ~flag -> Families.star ~optimize:(flag "opt") ints.(0));
+    };
+    {
+      name = "pancake";
+      doc = "pancake graph on the single-row scheme (S4.3 ext.)";
+      args = fixed [ p "D" "symbols" ];
+      flags = [ opt_flag ];
+      small = ([| 4 |], []);
+      construct =
+        (fun ~ints ~flag -> Families.pancake ~optimize:(flag "opt") ints.(0));
+    };
+    {
+      name = "bubble";
+      doc = "bubble-sort graph on the single-row scheme (S4.3 ext.)";
+      args = fixed [ p "D" "symbols" ];
+      flags = [ opt_flag ];
+      small = ([| 4 |], []);
+      construct =
+        (fun ~ints ~flag -> Families.bubble_sort ~optimize:(flag "opt") ints.(0));
+    };
+    {
+      name = "transposition";
+      doc = "transposition graph on the single-row scheme (S4.3 ext.)";
+      args = fixed [ p "D" "symbols" ];
+      flags = [ opt_flag ];
+      small = ([| 4 |], []);
+      construct =
+        (fun ~ints ~flag ->
+          Families.transposition ~optimize:(flag "opt") ints.(0));
+    };
+    {
+      name = "scc";
+      doc = "star-connected cycles over a star-graph quotient (S4.3)";
+      args = fixed [ p "D" "symbols" ];
+      flags = [];
+      small = ([| 4 |], []);
+      construct = (fun ~ints ~flag:_ -> Families.scc ints.(0));
+    };
+    {
+      name = "shuffle";
+      doc = "shuffle-exchange on the single-row scheme (ext.)";
+      args = fixed [ p "N" "address bits" ];
+      flags = [ opt_flag ];
+      small = ([| 4 |], []);
+      construct =
+        (fun ~ints ~flag ->
+          Families.shuffle_exchange ~optimize:(flag "opt") ints.(0));
+    };
+    {
+      name = "debruijn";
+      doc = "de Bruijn graph on the single-row scheme (ext.)";
+      args = fixed [ p "N" "address bits" ];
+      flags = [ opt_flag ];
+      small = ([| 4 |], []);
+      construct =
+        (fun ~ints ~flag -> Families.de_bruijn ~optimize:(flag "opt") ints.(0));
+    };
+    {
+      name = "tree";
+      doc = "complete binary tree on the in-order collinear layout";
+      args = fixed [ p "LEVELS" "tree levels" ];
+      flags = [];
+      small = ([| 4 |], []);
+      construct = (fun ~ints ~flag:_ -> Families.binary_tree ints.(0));
+    };
+  ]
+
+let all () = entries
+let names () = List.map (fun e -> e.name) entries
+let find name = List.find_opt (fun e -> e.name = name) entries
+
+(* --- signatures and help ---------------------------------------------- *)
+
+let signature e =
+  let args =
+    match e.args with
+    | Fixed ps -> List.map (fun q -> q.pname) ps
+    | Variadic { min_args; param } ->
+        let req =
+          List.init (max 1 min_args) (fun i ->
+              Printf.sprintf "%s%d" param.pname (i + 1))
+        in
+        req @ [ Printf.sprintf "[:%s%d...]" param.pname (max 1 min_args + 1) ]
+  in
+  let flags = List.map (fun (f, _) -> Printf.sprintf "[:%s]" f) e.flags in
+  let join acc part =
+    if String.length part > 0 && part.[0] = '[' then acc ^ part
+    else acc ^ ":" ^ part
+  in
+  List.fold_left join e.name (args @ flags)
+
+let usage e = Printf.sprintf "usage: %s — %s" (signature e) e.doc
+
+let family_doc () =
+  "NETWORK is one of: "
+  ^ String.concat " | " (List.map signature entries)
+  ^ ". Flags: fold = folded ring orders; opt = annealed node order."
+
+(* --- parsing ----------------------------------------------------------- *)
+
+let to_string spec =
+  String.concat ":"
+    (spec.family
+     :: List.map string_of_int (Array.to_list spec.ints)
+    @ spec.set_flags)
+
+let parse s =
+  match String.split_on_char ':' s with
+  | [] | [ "" ] -> Error "empty network spec"
+  | fam :: rest -> (
+      match find fam with
+      | None ->
+          Error
+            (Printf.sprintf "unknown network family %S; known: %s" fam
+               (String.concat ", " (names ())))
+      | Some e -> (
+          (* trailing tokens naming declared flags are flags; everything
+             before them must be an integer parameter *)
+          let is_flag t = List.mem_assoc t e.flags in
+          let rec split_flags acc = function
+            | t :: tl when is_flag t && not (List.mem t acc) ->
+                split_flags (t :: acc) tl
+            | l -> (acc, List.rev l)
+          in
+          let raw_flags, int_toks = split_flags [] (List.rev rest) in
+          let set_flags =
+            List.filter (fun (f, _) -> List.mem f raw_flags) e.flags
+            |> List.map fst
+          in
+          let ints_res =
+            List.fold_left
+              (fun acc t ->
+                match (acc, int_of_string_opt t) with
+                | Error _, _ -> acc
+                | Ok l, Some i -> Ok (i :: l)
+                | Ok _, None ->
+                    Error
+                      (Printf.sprintf "%s: bad parameter %S (expected an \
+                                       integer); %s"
+                         e.name t (usage e)))
+              (Ok []) int_toks
+          in
+          match ints_res with
+          | Error _ as err -> err
+          | Ok rev_ints ->
+              let ints = Array.of_list (List.rev rev_ints) in
+              let got = Array.length ints in
+              let arity_ok =
+                match e.args with
+                | Fixed ps -> got = List.length ps
+                | Variadic { min_args; _ } -> got >= min_args
+              in
+              if not arity_ok then
+                Error
+                  (Printf.sprintf
+                     "%s: expected %s integer parameter(s), got %d; %s" e.name
+                     (match e.args with
+                     | Fixed ps -> string_of_int (List.length ps)
+                     | Variadic { min_args; _ } ->
+                         Printf.sprintf ">= %d" min_args)
+                     got (usage e))
+              else Ok { family = e.name; ints; set_flags }))
+
+let spec_exn s =
+  match parse s with Ok spec -> spec | Error msg -> invalid_arg msg
+
+let build spec =
+  match find spec.family with
+  | None -> Error (Printf.sprintf "unknown network family %S" spec.family)
+  | Some e -> (
+      let flag f = List.mem f spec.set_flags in
+      try Ok (e.construct ~ints:spec.ints ~flag)
+      with Invalid_argument msg | Failure msg ->
+        Error
+          (Printf.sprintf "%s: cannot build %s (%s); %s" e.name
+             (to_string spec) msg (usage e)))
+
+let build_exn spec =
+  match build spec with Ok fam -> fam | Error msg -> invalid_arg msg
+
+let small_spec e =
+  let ints, set_flags = e.small in
+  { family = e.name; ints; set_flags }
+
+let all_small () = List.map (fun e -> build_exn (small_spec e)) entries

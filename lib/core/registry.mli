@@ -1,0 +1,87 @@
+(** Declarative catalog of the paper's network families.
+
+    Each entry describes one family once — CLI name, integer-parameter
+    signature (with arity checking), optional trailing flags, a one-line
+    doc and the constructor — and everything else is {e derived} from
+    it: the [mvl] command-line parser and its help string, the [mvl
+    list] output, the representative small instances used by tests and
+    examples, and the bench enumerations.  Adding a family to the
+    library means adding one entry to {!all} in [registry.ml]; no other
+    file needs editing. *)
+
+type param = {
+  pname : string;  (** placeholder shown in the signature, e.g. ["N"] *)
+  pdoc : string;   (** short meaning, e.g. ["dimension"] *)
+}
+
+type arity =
+  | Fixed of param list
+      (** exactly these integer parameters, in order *)
+  | Variadic of { min_args : int; param : param }
+      (** at least [min_args] integers of the same kind (e.g. torus
+          side lengths) *)
+
+type entry = {
+  name : string;  (** CLI family name, e.g. ["hypercube"] *)
+  doc : string;   (** one-line description (paper section reference) *)
+  args : arity;
+  flags : (string * string) list;
+      (** optional trailing flag tokens, [(flag, doc)], e.g.
+          [("fold", "folded ring orders")] *)
+  small : int array * string list;
+      (** parameters of a representative small instance *)
+  construct : ints:int array -> flag:(string -> bool) -> Families.t;
+      (** build the family; [ints] is already arity-checked.  May still
+          raise [Invalid_argument] on out-of-range values — {!build}
+          converts that to an [Error]. *)
+}
+
+type spec = {
+  family : string;        (** entry name *)
+  ints : int array;       (** integer parameters, in signature order *)
+  set_flags : string list;
+      (** flags present, normalized to the entry's declaration order *)
+}
+(** A parsed, arity-checked family specification.  [to_string] and
+    {!parse} round-trip: [parse (to_string s) = Ok s]. *)
+
+val all : unit -> entry list
+(** Every registered family, in presentation order. *)
+
+val names : unit -> string list
+
+val find : string -> entry option
+
+val signature : entry -> string
+(** The colon-joined usage pattern, e.g. ["hypercube:N[:fold]"] or
+    ["torus:K1[:K2...]"]. *)
+
+val family_doc : unit -> string
+(** The CLI help string listing every signature — derived, not
+    hand-maintained. *)
+
+val parse : string -> (spec, string) result
+(** Parse ["name:int:...[:flag...]"].  Unknown names, non-integer
+    parameters and wrong arity all return [Error] with a usage message
+    naming the family's expected signature (never a raw
+    [int_of_string] failure). *)
+
+val to_string : spec -> string
+(** Canonical spec string; re-parses to the same spec. *)
+
+val spec_exn : string -> spec
+(** [parse], raising [Invalid_argument] on [Error] (for hard-coded
+    specs in benches and examples). *)
+
+val build : spec -> (Families.t, string) result
+(** Run the entry's constructor; constructor-level [Invalid_argument]
+    / [Failure] become [Error] messages naming the family. *)
+
+val build_exn : spec -> Families.t
+
+val small_spec : entry -> spec
+(** The entry's representative small instance as a spec. *)
+
+val all_small : unit -> Families.t list
+(** A representative small instance of every family (used by tests,
+    [mvl list] and the quickstart example). *)

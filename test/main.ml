@@ -22,6 +22,7 @@ let () =
       ("maze", Test_maze.suite);
       ("order_opt", Test_order_opt.suite);
       ("families", Test_families.suite);
+      ("registry", Test_registry.suite);
       ("render", Test_render.suite);
       ("serialize", Test_serialize.suite);
       ("sim", Test_sim.suite);

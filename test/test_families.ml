@@ -13,7 +13,7 @@ let test_all_small_strict_valid () =
                 (Format.asprintf "%s L=%d: %a" fam.Mvl.Families.name layers
                    Mvl.Check.pp_violation v))
         [ 2; 3; 4 ])
-    (Mvl.Families.all_small ())
+    (Mvl.Registry.all_small ())
 
 let test_graph_sizes () =
   List.iter
@@ -22,7 +22,7 @@ let test_graph_sizes () =
         (fam.Mvl.Families.name ^ " node count")
         fam.Mvl.Families.n_nodes
         (Mvl.Graph.n fam.Mvl.Families.graph))
-    (Mvl.Families.all_small ())
+    (Mvl.Registry.all_small ())
 
 let test_area_ratio_trends_to_one () =
   (* the measured/paper area ratio must fall as N grows (the o() terms
