@@ -9,13 +9,17 @@ test:
 	dune runtest
 
 # what CI runs: full build, test suite, and a CLI smoke pass
-# (list + one validated layout + a malformed spec that must fail)
+# (list + one validated layout + a malformed spec that must fail +
+# the --json/bench-emit telemetry surfaces, which self-validate)
 check:
 	dune build @all
 	dune runtest
 	dune exec bin/mvl_cli.exe -- list > /dev/null
 	dune exec bin/mvl_cli.exe -- layout hypercube:6 -l 4 --validate
 	! dune exec bin/mvl_cli.exe -- layout hypercube:abc -l 4 2> /dev/null
+	dune exec bin/mvl_cli.exe -- layout hypercube:8 -l 4 --json | grep -q '"schema": "mvl.pipeline.run/1"'
+	dune exec bench/main.exe -- emit > /dev/null
+	grep -q '"schema": "mvl.bench.pipeline/1"' BENCH_pipeline.json
 
 bench:
 	dune exec bench/main.exe

@@ -1,0 +1,99 @@
+(* `bench emit`: the machine-readable perf trajectory.
+
+   Runs the full pipeline (with strict validation) on every registry
+   family's representative small instance across a layer sweep and
+   writes one Mvl.Telemetry record per (spec, L) to BENCH_pipeline.json.
+   Key order inside a record is fixed by Pipeline.to_json and records
+   are written one per line, so regenerating the file yields reviewable
+   diffs (only the "seconds" and cumulative "cache" numbers move).
+
+   The file is re-read and parsed before exiting: emitting invalid JSON
+   is a hard failure, which is what the CI smoke step relies on. *)
+open Mvl_core
+
+let layer_sweep = [ 2; 4; 8 ]
+
+let default_path = "BENCH_pipeline.json"
+
+let records () =
+  Mvl.Pipeline.cache_reset ();
+  List.concat_map
+    (fun entry ->
+      let spec = Mvl.Registry.small_spec entry in
+      List.map
+        (fun layers ->
+          match Mvl.Pipeline.run ~validate:Mvl.Check.Strict ~layers spec with
+          | Ok r -> Mvl.Pipeline.to_json r
+          | Error msg ->
+              Mvl.Telemetry.Obj
+                [
+                  ("schema", Mvl.Telemetry.String "mvl.pipeline.error/1");
+                  ( "spec",
+                    Mvl.Telemetry.String (Mvl.Registry.to_string spec) );
+                  ("layers", Mvl.Telemetry.Int layers);
+                  ("error", Mvl.Telemetry.String msg);
+                ])
+        layer_sweep)
+    (Mvl.Registry.all ())
+
+let write path records =
+  let oc = open_out path in
+  output_string oc "{\n  \"schema\": \"mvl.bench.pipeline/1\",\n";
+  Printf.fprintf oc "  \"layer_sweep\": %s,\n"
+    (Mvl.Telemetry.to_string
+       (Mvl.Telemetry.List (List.map (fun l -> Mvl.Telemetry.Int l) layer_sweep)));
+  output_string oc "  \"records\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then output_string oc ",\n";
+      output_string oc "    ";
+      output_string oc (Mvl.Telemetry.to_string r))
+    records;
+  output_string oc "\n  ]\n}\n";
+  close_out oc
+
+let read_back path expected_records =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  match Mvl.Telemetry.parse contents with
+  | Error msg ->
+      Printf.eprintf "bench emit: %s re-reads as invalid JSON: %s\n" path msg;
+      exit 1
+  | Ok doc -> (
+      match Mvl.Telemetry.member "records" doc with
+      | Some (Mvl.Telemetry.List rs) when List.length rs = expected_records ->
+          ()
+      | _ ->
+          Printf.eprintf
+            "bench emit: %s does not hold the %d expected records\n" path
+            expected_records;
+          exit 1)
+
+let run ?(path = default_path) () =
+  let rs = records () in
+  write path rs;
+  read_back path (List.length rs);
+  let errors =
+    List.filter
+      (fun r ->
+        Mvl.Telemetry.member "error" r <> None
+        || Mvl.Telemetry.member "violations" r
+             |> Option.map (Mvl.Telemetry.member "count")
+             |> Option.join
+             |> Option.map (fun c -> c <> Mvl.Telemetry.Int 0)
+             |> Option.value ~default:false)
+      rs
+  in
+  Printf.printf "wrote %s: %d records (%d families x L in {%s}), %d problem(s)\n"
+    path (List.length rs)
+    (List.length (Mvl.Registry.all ()))
+    (String.concat "," (List.map string_of_int layer_sweep))
+    (List.length errors);
+  List.iter
+    (fun r ->
+      match Mvl.Telemetry.member "spec" r with
+      | Some (Mvl.Telemetry.String s) -> Printf.printf "  problem: %s\n" s
+      | _ -> ())
+    errors

@@ -2,7 +2,8 @@
    result table (E1-E14, X1) of the paper, then times the constructions
    with bechamel.  `dune exec bench/main.exe` runs everything;
    `-- figures`, `-- tables`, or `-- timing` select a section, and an
-   experiment id (e.g. `-- E8`) runs a single table. *)
+   experiment id (e.g. `-- E8`) runs a single table.  `-- emit` writes
+   the machine-readable BENCH_pipeline.json trajectory instead. *)
 
 let run_one = function
   | "F1" -> Figures.f1 ()
@@ -36,6 +37,7 @@ let run_one = function
   | "figures" -> Figures.all ()
   | "tables" -> Experiments.all ()
   | "timing" -> Timing.run ()
+  | "emit" -> Emit.run ()
   | other ->
       Printf.eprintf "unknown experiment %S\n" other;
       exit 1

@@ -3,12 +3,17 @@
    Subcommands:
      layout   - build a family's multilayer layout, print metrics,
                 optionally validate/report/save/render it
+     sweep    - run one family across a list of layer counts
+     validate - check a family's layout geometry, violations on stdout
      tracks   - collinear track counts vs the paper's formulas
      figure   - ASCII renderings of the paper's figures 2-4
      verify   - re-verify a serialized layout file
      sim      - packet-level simulation with layout link latencies
      wormhole - flit-level wormhole simulation (VCs, adaptive routing)
-     list     - the supported network families *)
+     list     - the supported network families
+
+   layout/sweep/validate accept --json: exactly one JSON document on
+   stdout (the Mvl.Telemetry schema), nothing else. *)
 open Mvl_core
 open Cmdliner
 
@@ -47,6 +52,16 @@ let layers_arg =
     value & opt int 2
     & info [ "l"; "layers" ] ~docv:"L" ~doc:"Number of wiring layers (>= 2).")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit one machine-readable JSON document on stdout instead of \
+           the human-readable rendering.")
+
+let print_json j = print_endline (Mvl.Telemetry.to_string ~pretty:true j)
+
 (* --- layout command ----------------------------------------------------- *)
 
 let layout_cmd =
@@ -82,7 +97,7 @@ let layout_cmd =
       value & flag
       & info [ "time" ] ~doc:"Print per-stage wall-clock timings.")
   in
-  let run spec layers svg validate report save time =
+  let run spec layers svg validate report save time json =
     let r =
       pipeline_or_die
         ?validate:(if validate then Some Mvl.Check.Strict else None)
@@ -90,50 +105,171 @@ let layout_cmd =
     in
     let fam = r.Mvl.Pipeline.family in
     let m = r.Mvl.Pipeline.metrics in
-    Printf.printf "%s  N=%d  L=%d\n" fam.Mvl.Families.name
-      fam.Mvl.Families.n_nodes layers;
-    Format.printf "  %a@." Mvl.Layout.pp_metrics m;
-    (match fam.Mvl.Families.paper_area with
-    | Some f ->
-        let paper = f ~layers in
-        Printf.printf "  paper leading area: %.0f (ratio %.3f)\n" paper
-          (float_of_int m.Mvl.Layout.area /. paper)
-    | None -> ());
-    (match fam.Mvl.Families.bisection with
-    | Some b ->
-        Printf.printf "  bisection lower bound: %.0f\n"
-          (Mvl.Lower_bounds.area ~bisection:b ~layers)
-    | None -> ());
-    (match r.Mvl.Pipeline.violations with
-    | None -> ()
-    | Some [] -> print_endline "  validation: ok (strict model)"
-    | Some violations ->
-        List.iter
-          (fun v -> Format.printf "  VIOLATION %a@." Mvl.Check.pp_violation v)
-          violations;
-        exit 1);
-    (match r.Mvl.Pipeline.report with
-    | None -> ()
-    | Some rep -> Format.printf "%a@." Mvl.Report.pp rep);
-    if time then Format.printf "  %a@." Mvl.Pipeline.pp_timings r;
+    if json then print_json (Mvl.Pipeline.to_json r)
+    else begin
+      Printf.printf "%s  N=%d  L=%d\n" fam.Mvl.Families.name
+        fam.Mvl.Families.n_nodes layers;
+      Format.printf "  %a@." Mvl.Layout.pp_metrics m;
+      (match fam.Mvl.Families.paper_area with
+      | Some f ->
+          let paper = f ~layers in
+          Printf.printf "  paper leading area: %.0f (ratio %.3f)\n" paper
+            (float_of_int m.Mvl.Layout.area /. paper)
+      | None -> ());
+      (match fam.Mvl.Families.bisection with
+      | Some b ->
+          Printf.printf "  bisection lower bound: %.0f\n"
+            (Mvl.Lower_bounds.area ~bisection:b ~layers)
+      | None -> ());
+      (match Mvl.Pipeline.violations r with
+      | None -> ()
+      | Some [] -> print_endline "  validation: ok (strict model)"
+      | Some violations ->
+          List.iter
+            (fun v -> Format.printf "  VIOLATION %a@." Mvl.Check.pp_violation v)
+            violations);
+      (match r.Mvl.Pipeline.report with
+      | None -> ()
+      | Some rep -> Format.printf "%a@." Mvl.Report.pp rep);
+      if time then Format.printf "  %a@." Mvl.Pipeline.pp_timings r
+    end;
     (match save with
     | None -> ()
     | Some file ->
         Mvl.Serialize.write_file file r.Mvl.Pipeline.layout;
-        Printf.printf "  saved %s\n" file);
-    match svg with
+        if not json then Printf.printf "  saved %s\n" file);
+    (match svg with
     | None -> ()
     | Some file ->
         let oc = open_out file in
         output_string oc (Mvl.Render.layout_svg r.Mvl.Pipeline.layout);
         close_out oc;
-        Printf.printf "  wrote %s\n" file
+        if not json then Printf.printf "  wrote %s\n" file);
+    if Mvl.Pipeline.validity r = Mvl.Pipeline.Invalid then exit 1
   in
   Cmd.v
     (Cmd.info "layout" ~doc:"Build and measure a multilayer layout")
     Term.(
       const run $ family_arg $ layers_arg $ svg_arg $ validate_arg $ report_arg
-      $ save_arg $ time_arg)
+      $ save_arg $ time_arg $ json_arg)
+
+(* --- sweep command ------------------------------------------------------ *)
+
+let sweep_cmd =
+  let layers_list_arg =
+    Arg.(
+      value
+      & opt (list int) [ 2; 4; 8 ]
+      & info [ "l"; "layers" ] ~docv:"L1,L2,..."
+          ~doc:"Comma-separated wiring-layer counts to sweep.")
+  in
+  let validate_arg =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:"Validate each layout under the strict grid model.")
+  in
+  let run spec layer_list validate json =
+    let runs =
+      List.map
+        (fun layers ->
+          pipeline_or_die
+            ?validate:(if validate then Some Mvl.Check.Strict else None)
+            ~layers spec)
+        layer_list
+    in
+    if json then
+      print_json
+        (Mvl.Telemetry.Obj
+           [
+             ("schema", Mvl.Telemetry.String "mvl.pipeline.sweep/1");
+             ("spec", Mvl.Telemetry.String (Mvl.Registry.to_string spec));
+             ( "layer_sweep",
+               Mvl.Telemetry.List
+                 (List.map (fun l -> Mvl.Telemetry.Int l) layer_list) );
+             ( "runs",
+               Mvl.Telemetry.List (List.map Mvl.Pipeline.to_json runs) );
+           ])
+    else begin
+      (match runs with
+      | r :: _ ->
+          let fam = r.Mvl.Pipeline.family in
+          Printf.printf "%s  N=%d\n" fam.Mvl.Families.name
+            fam.Mvl.Families.n_nodes
+      | [] -> ());
+      List.iter
+        (fun (r : Mvl.Pipeline.t) ->
+          let m = r.Mvl.Pipeline.metrics in
+          Printf.printf
+            "  L=%-3d area=%-10d volume=%-10d max_wire=%-8d %.4fs%s%s\n"
+            r.Mvl.Pipeline.layers m.Mvl.Layout.area m.Mvl.Layout.volume
+            m.Mvl.Layout.max_wire
+            (Mvl.Pipeline.total_seconds r)
+            (if r.Mvl.Pipeline.from_cache then " (cached)" else "")
+            (match Mvl.Pipeline.validity r with
+            | Mvl.Pipeline.Valid -> "  valid"
+            | Mvl.Pipeline.Invalid -> "  INVALID"
+            | Mvl.Pipeline.Not_validated -> ""))
+        runs
+    end;
+    if List.exists (fun r -> Mvl.Pipeline.validity r = Mvl.Pipeline.Invalid) runs
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Build one network across several layer counts")
+    Term.(const run $ family_arg $ layers_list_arg $ validate_arg $ json_arg)
+
+(* --- validate command --------------------------------------------------- *)
+
+let validate_cmd =
+  let thompson_arg =
+    Arg.(
+      value & flag
+      & info [ "thompson" ]
+          ~doc:"Check under the Thompson model (interior point crossings \
+                allowed) instead of the strict multilayer grid model.")
+  in
+  let max_violations_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "max-violations" ] ~docv:"N"
+          ~doc:"Stop collecting after $(docv) violations (the result is \
+                marked truncated).")
+  in
+  let run spec layers thompson max_violations json =
+    let mode = if thompson then Mvl.Check.Thompson else Mvl.Check.Strict in
+    let r = pipeline_or_die ~layers spec in
+    let res =
+      Mvl.Check.run ~mode ~max_violations r.Mvl.Pipeline.layout
+    in
+    if json then
+      print_json
+        (Mvl.Telemetry.Obj
+           [
+             ("schema", Mvl.Telemetry.String "mvl.validate/1");
+             ("spec", Mvl.Telemetry.String (Mvl.Registry.to_string spec));
+             ("layers", Mvl.Telemetry.Int layers);
+             ("validation", Mvl.Telemetry.of_check res);
+           ])
+    else begin
+      match res.Mvl.Check.violations with
+      | [] ->
+          Printf.printf "validation: ok (%s model)\n"
+            (Mvl.Check.mode_name mode)
+      | violations ->
+          List.iter
+            (fun v -> Format.printf "VIOLATION %a@." Mvl.Check.pp_violation v)
+            violations;
+          if res.Mvl.Check.truncated then
+            Printf.printf "... truncated at %d violations\n" max_violations
+    end;
+    if res.Mvl.Check.violations <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Validate a network's layout geometry")
+    Term.(
+      const run $ family_arg $ layers_arg $ thompson_arg $ max_violations_arg
+      $ json_arg)
 
 (* --- tracks command ------------------------------------------------------ *)
 
@@ -399,5 +535,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "mvl" ~doc)
-          [ layout_cmd; layout3d_cmd; tracks_cmd; figure_cmd; verify_cmd; sim_cmd;
-            wormhole_cmd; list_cmd ]))
+          [ layout_cmd; sweep_cmd; validate_cmd; layout3d_cmd; tracks_cmd;
+            figure_cmd; verify_cmd; sim_cmd; wormhole_cmd; list_cmd ]))

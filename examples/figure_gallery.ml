@@ -1,13 +1,16 @@
 (* Figure gallery: regenerates the paper's construction figures as
-   ASCII (to stdout) and renders small multilayer layouts as SVG files
-   in the current directory.
+   ASCII (to stdout) and renders small multilayer layouts as SVG files.
 
-   Run with:  dune exec examples/figure_gallery.exe *)
+   Run with:  dune exec examples/figure_gallery.exe [OUTDIR]
+   OUTDIR defaults to "gallery"; `-- doc` regenerates the SVGs
+   referenced by the README (doc/hypercube4_l4.svg among them). *)
 open Mvl_core
 
+let outdir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "gallery"
+
 let save name svg =
-  (try Unix.mkdir "gallery" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-  let name = Filename.concat "gallery" name in
+  (try Unix.mkdir outdir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let name = Filename.concat outdir name in
   let oc = open_out name in
   output_string oc svg;
   close_out oc;
@@ -25,6 +28,7 @@ let () =
   (* SVG gallery of realized multilayer layouts *)
   let shots =
     [
+      ("hypercube4_l4.svg", Mvl.Families.hypercube 4, 4);
       ("hypercube5_l2.svg", Mvl.Families.hypercube 5, 2);
       ("hypercube5_l4.svg", Mvl.Families.hypercube 5, 4);
       ("kary3x3_l2.svg", Mvl.Families.kary ~k:3 ~n:2 (), 2);

@@ -21,14 +21,15 @@ let () =
     (Mvl.Graph.m fam.Mvl.Families.graph);
 
   (* 2. the pipeline already ran build -> layout -> validate -> metrics *)
-  (match r.Mvl.Pipeline.violations with
-  | Some [] -> print_endline "layout verified: node-disjoint, on-terminal, in-range"
-  | Some violations ->
+  (match Mvl.Pipeline.validity r with
+  | Mvl.Pipeline.Valid ->
+      print_endline "layout verified: node-disjoint, on-terminal, in-range"
+  | Mvl.Pipeline.Invalid ->
       List.iter
         (fun v -> Format.printf "VIOLATION %a@." Mvl.Check.pp_violation v)
-        violations;
+        (Option.value ~default:[] (Mvl.Pipeline.violations r));
       exit 1
-  | None -> assert false);
+  | Mvl.Pipeline.Not_validated -> assert false);
 
   (* 3. metrics and per-stage wall-clock timings *)
   let m = r.Mvl.Pipeline.metrics in
@@ -67,11 +68,21 @@ let () =
     stats.Mvl.Pipeline.misses stats.Mvl.Pipeline.hits
     again.Mvl.Pipeline.from_cache;
 
-  (* 7. render a small instance for inspection *)
+  (* 7. render a small instance for inspection (under doc/, next to the
+     gallery output — keep generated artifacts out of the repo root) *)
   let svg =
     Mvl.Render.layout_svg (Mvl.Pipeline.layout_exn ~layers:4 "hypercube:4")
   in
-  let oc = open_out "hypercube4_l4.svg" in
+  (try Unix.mkdir "doc" 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = Filename.concat "doc" "hypercube4_l4.svg" in
+  let oc = open_out path in
   output_string oc svg;
   close_out oc;
-  print_endline "wrote hypercube4_l4.svg"
+  Printf.printf "wrote %s\n" path;
+
+  (* 8. every run serializes to one JSON telemetry record *)
+  print_endline "telemetry record of the 4-layer run:";
+  print_endline
+    (Mvl.Telemetry.to_string
+       (Mvl.Pipeline.to_json (Mvl.Pipeline.run_exn ~layers:4 "hypercube:4")))

@@ -85,3 +85,4 @@ module Wormhole = Mvl_sim.Wormhole
 module Families = Families
 module Registry = Registry
 module Pipeline = Pipeline
+module Telemetry = Telemetry

@@ -8,34 +8,76 @@ type t = {
   layers : int;
   layout : Layout.t;
   metrics : Layout.metrics;
-  violations : Check.violation list option;
+  validation : Check.result option;
   report : Report.t option;
   timings : stage_time list;
   from_cache : bool;
 }
 
 type cache_stats = { hits : int; misses : int }
+type validity = Valid | Invalid | Not_validated
 
 (* families are memoized by canonical spec string, layouts by
    (spec string, layers); the counters track the layout cache only,
-   since layout realization is the expensive stage sweeps repeat *)
+   since layout realization is the expensive stage sweeps repeat.
+
+   Both caches are bounded: insertions beyond the capacity evict the
+   oldest entry (FIFO), so an unbounded sweep over specs or layer
+   counts runs in constant memory.  The insertion queues mirror the
+   tables exactly — keys enter both together and leave both together. *)
+let default_cache_capacity = 256
+let capacity = ref default_cache_capacity
 let family_cache : (string, Families.t) Hashtbl.t = Hashtbl.create 64
+let family_order : string Queue.t = Queue.create ()
 let layout_cache : (string * int, Layout.t) Hashtbl.t = Hashtbl.create 64
+let layout_order : (string * int) Queue.t = Queue.create ()
 let hits = ref 0
 let misses = ref 0
 
 let cache_stats () = { hits = !hits; misses = !misses }
+let cache_size () = Hashtbl.length layout_cache
+let cache_capacity () = !capacity
+
+let bounded_add tbl order key v =
+  while Hashtbl.length tbl >= !capacity && not (Queue.is_empty order) do
+    Hashtbl.remove tbl (Queue.pop order)
+  done;
+  if !capacity > 0 then begin
+    Hashtbl.replace tbl key v;
+    Queue.add key order
+  end
+
+let set_cache_capacity cap =
+  capacity := max 0 cap;
+  (* shrink immediately so the bound holds without waiting for the next
+     insertion *)
+  while Hashtbl.length layout_cache > !capacity
+        && not (Queue.is_empty layout_order) do
+    Hashtbl.remove layout_cache (Queue.pop layout_order)
+  done;
+  while Hashtbl.length family_cache > !capacity
+        && not (Queue.is_empty family_order) do
+    Hashtbl.remove family_cache (Queue.pop family_order)
+  done
 
 let cache_reset () =
   Hashtbl.reset family_cache;
   Hashtbl.reset layout_cache;
+  Queue.clear family_order;
+  Queue.clear layout_order;
   hits := 0;
   misses := 0
 
+(* stage timing uses the OS monotonic clock (bechamel's stub around
+   clock_gettime(CLOCK_MONOTONIC)) — wall-clock time can jump backwards
+   under NTP adjustment and produced negative stage timings.  The clamp
+   keeps even a misbehaving clock source from emitting negatives. *)
 let timed stage f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Monotonic_clock.now () in
   let v = f () in
-  (v, { stage; seconds = Unix.gettimeofday () -. t0 })
+  let ns = Int64.sub (Monotonic_clock.now ()) t0 in
+  let ns = if Int64.compare ns 0L < 0 then 0L else ns in
+  (v, { stage; seconds = Int64.to_float ns *. 1e-9 })
 
 let run ?validate ?(report = false) ?(cache = true) ~layers spec =
   let key = Registry.to_string spec in
@@ -48,7 +90,7 @@ let run ?validate ?(report = false) ?(cache = true) ~layers spec =
         match Registry.build spec with
         | Error _ as err -> err
         | Ok fam ->
-            if cache then Hashtbl.replace family_cache key fam;
+            if cache then bounded_add family_cache family_order key fam;
             Ok fam)
   in
   let fam_res, t_build = timed "build" build_family in
@@ -66,7 +108,7 @@ let run ?validate ?(report = false) ?(cache = true) ~layers spec =
             let lay = family.Families.layout ~layers in
             if cache then begin
               incr misses;
-              Hashtbl.replace layout_cache (key, layers) lay
+              bounded_add layout_cache layout_order (key, layers) lay
             end;
             (lay, false)
       in
@@ -74,12 +116,12 @@ let run ?validate ?(report = false) ?(cache = true) ~layers spec =
       | exception (Invalid_argument msg | Failure msg) ->
           Error (Printf.sprintf "%s: layout failed (%s)" key msg)
       | (layout, from_cache), t_layout ->
-          let violations, t_validate =
+          let validation, t_validate =
             match validate with
             | None -> (None, { stage = "validate"; seconds = 0.0 })
             | Some mode ->
                 let v, t =
-                  timed "validate" (fun () -> Check.validate ~mode layout)
+                  timed "validate" (fun () -> Check.run ~mode layout)
                 in
                 (Some v, t)
           in
@@ -99,7 +141,7 @@ let run ?validate ?(report = false) ?(cache = true) ~layers spec =
               layers;
               layout;
               metrics;
-              violations;
+              validation;
               report;
               timings = [ t_build; t_layout; t_validate; t_metrics; t_report ];
               from_cache;
@@ -117,7 +159,20 @@ let run_exn ?validate ?report ?cache ~layers s =
 
 let layout_exn ?cache ~layers s = (run_exn ?cache ~layers s).layout
 
-let is_valid r = match r.violations with Some [] -> true | _ -> false
+let violations r =
+  Option.map (fun (res : Check.result) -> res.Check.violations) r.validation
+
+let validity r =
+  match r.validation with
+  | None -> Not_validated
+  | Some res -> if res.Check.violations = [] then Valid else Invalid
+
+(* "not validated" used to be conflated with "invalid" here; now an
+   unvalidated run validates on demand instead of answering [false] *)
+let is_valid ?(mode = Check.Strict) r =
+  match r.validation with
+  | Some res -> res.Check.violations = []
+  | None -> Check.is_valid ~mode r.layout
 
 let total_seconds r =
   List.fold_left (fun acc t -> acc +. t.seconds) 0.0 r.timings
@@ -130,3 +185,36 @@ let pp_timings ppf r =
     r.timings;
   Format.fprintf ppf "total %.4fs%s" (total_seconds r)
     (if r.from_cache then " (layout cached)" else "")
+
+(* --- telemetry --------------------------------------------------------- *)
+
+let to_json r =
+  let open Telemetry in
+  Obj
+    [
+      ("schema", String "mvl.pipeline.run/1");
+      ("spec", String (Registry.to_string r.spec));
+      ("family", String r.family.Families.name);
+      ("n_nodes", Int r.family.Families.n_nodes);
+      ("n_edges", Int (Mvl_topology.Graph.m r.family.Families.graph));
+      ("layers", Int r.layers);
+      ("from_cache", Bool r.from_cache);
+      ( "seconds",
+        Obj
+          (List.map (fun t -> (t.stage, Float t.seconds)) r.timings
+          @ [ ("total", Float (total_seconds r)) ]) );
+      ( "cache",
+        Obj
+          [
+            ("hits", Int !hits);
+            ("misses", Int !misses);
+            ("size", Int (cache_size ()));
+          ] );
+      ("metrics", of_metrics r.metrics);
+      ( "violations",
+        match r.validation with
+        | None -> not_validated
+        | Some res -> violation_summary res );
+      ( "report",
+        match r.report with None -> Null | Some rep -> of_report rep );
+    ]

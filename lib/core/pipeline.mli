@@ -5,13 +5,18 @@
 
     Stages: [build] (family construction) → [layout] → [validate]
     (optional) → [metrics] → [report] (optional).  Each run records
-    per-stage wall-clock timings.
+    per-stage timings from the OS monotonic clock (never negative, even
+    under wall-clock adjustment).
 
-    Layouts are memoized in a process-wide cache keyed by
+    Layouts are memoized in a process-wide bounded cache keyed by
     [(canonical spec string, layers)], so a sweep over [L] — or a
     metrics pass followed by a simulation on the same spec — constructs
-    each distinct layout exactly once.  Hit/miss counters are exposed
-    for verification. *)
+    each distinct layout exactly once while it stays resident.
+    Hit/miss counters are exposed for verification.
+
+    Every run serializes to one JSON record ({!to_json}) through
+    {!Telemetry} — the machine-readable surface behind
+    [mvl ... --json] and [bench emit]. *)
 
 open Mvl_layout
 
@@ -23,7 +28,7 @@ type t = {
   layers : int;
   layout : Layout.t;
   metrics : Layout.metrics;
-  violations : Check.violation list option;
+  validation : Check.result option;
       (** [None] when validation was not requested *)
   report : Report.t option;
   timings : stage_time list;  (** in stage order *)
@@ -58,13 +63,37 @@ val run_exn :
 val layout_exn : ?cache:bool -> layers:int -> string -> Layout.t
 (** Just the (cached) layout of a spec string. *)
 
-val is_valid : t -> bool
-(** [true] when validation ran and found no violations. *)
+(* --- validity ---------------------------------------------------------- *)
+
+type validity = Valid | Invalid | Not_validated
+
+val validity : t -> validity
+(** Three-state view of the run's validation outcome: [Not_validated]
+    when the run skipped validation — distinct from [Invalid]. *)
+
+val violations : t -> Check.violation list option
+(** The recorded violations; [None] when validation was not requested. *)
+
+val is_valid : ?mode:Check.mode -> t -> bool
+(** [true] iff the layout has no violations.  When the run skipped
+    validation this checks the layout on demand under [mode] (default
+    [Strict]) instead of conflating "not validated" with "invalid";
+    when the run did validate, the recorded result is answered and
+    [mode] is ignored. *)
 
 val total_seconds : t -> float
 
 val pp_timings : Format.formatter -> t -> unit
 (** One line per stage, e.g. ["build 0.001s  layout 0.045s ..."]. *)
+
+val to_json : t -> Telemetry.json
+(** The run as one stable-key-order record:
+    [{schema, spec, family, n_nodes, n_edges, layers, from_cache,
+    seconds {build,layout,validate,metrics,report,total},
+    cache {hits,misses,size}, metrics {...}, violations {checked,...},
+    report}].  ["cache"] reports the process-wide counters at call
+    time; ["violations"] is {!Telemetry.not_validated} when validation
+    was skipped; ["report"] is [null] unless requested. *)
 
 (* --- cache ------------------------------------------------------------- *)
 
@@ -72,5 +101,16 @@ type cache_stats = { hits : int; misses : int }
 (** [misses] counts actual layout constructions through the cache. *)
 
 val cache_stats : unit -> cache_stats
+val cache_size : unit -> int
+(** Layouts currently resident (always [<= cache_capacity ()]). *)
+
+val cache_capacity : unit -> int
+val set_cache_capacity : int -> unit
+(** Bound on resident entries (default 256), enforced by FIFO eviction
+    at insertion; shrinking evicts immediately.  [0] disables caching.
+    Counters are unaffected — a re-run of an evicted spec counts as a
+    fresh miss. *)
+
 val cache_reset : unit -> unit
-(** Drop all cached layouts and families and zero the counters. *)
+(** Drop all cached layouts and families and zero the counters (the
+    capacity setting is kept). *)

@@ -1,0 +1,70 @@
+(** Structured telemetry: a dependency-free JSON tree, an encoder whose
+    output is stable (fixed key order, deterministic number formatting),
+    a strict parser (for round-trip tests and output self-checks), and
+    typed emitters for the library's measurement records.
+
+    Every machine-readable surface of the repository — [mvl ... --json],
+    [bench emit]'s [BENCH_pipeline.json], serialized validation results —
+    goes through this module, so the schema evolves in exactly one
+    place. *)
+
+open Mvl_layout
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list  (** key order is preserved verbatim *)
+
+(* --- encoding ---------------------------------------------------------- *)
+
+val to_string : ?pretty:bool -> json -> string
+(** Compact by default ([{"a":1,"b":[2,3]}]); [~pretty:true] indents
+    with two spaces.  Strings are escaped per RFC 8259 (including
+    control characters as [\u00XX]); non-finite floats encode as
+    [null]; finite floats always carry a fractional part or exponent so
+    they re-parse as [Float]. *)
+
+val pp : Format.formatter -> json -> unit
+(** [to_string ~pretty:true] on a formatter. *)
+
+(* --- parsing ----------------------------------------------------------- *)
+
+val parse : string -> (json, string) result
+(** Strict RFC 8259 parser over the whole input (trailing garbage is an
+    error).  Numbers with a fraction or exponent parse as [Float],
+    others as [Int].  [\uXXXX] escapes (including surrogate pairs)
+    decode to UTF-8.  Errors name the byte offset. *)
+
+(* --- accessors --------------------------------------------------------- *)
+
+val member : string -> json -> json option
+(** Field of an [Obj]; [None] on missing fields and non-objects. *)
+
+val keys : json -> string list
+(** Key list of an [Obj] in order; [[]] on non-objects. *)
+
+(* --- typed emitters ---------------------------------------------------- *)
+
+val of_metrics : Layout.metrics -> json
+(** [{"width","height","area","layers","volume","max_wire",
+    "total_wire","vias"}] — the §2.2 cost measures. *)
+
+val violation_summary : Check.result -> json
+(** [{"checked":true,"mode","count","truncated","rules"}] where
+    ["rules"] maps each violated rule name to its count (keys sorted).
+    This is the summary embedded in pipeline/bench records. *)
+
+val not_validated : json
+(** [{"checked":false}] — the summary when validation was not run. *)
+
+val of_check : Check.result -> json
+(** [violation_summary] plus the full ["violations"] detail list
+    ([{"rule","detail"}] per entry) — used by [mvl validate --json]. *)
+
+val of_report : Report.t -> json
+(** The layout-anatomy report: node area share, wire-length
+    distribution, per-layer run lengths, via count. *)

@@ -5,7 +5,11 @@ type mode = Strict | Thompson
 
 type violation = { rule : string; detail : string }
 
+type result = { mode : mode; violations : violation list; truncated : bool }
+
 let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.rule v.detail
+
+let mode_name = function Strict -> "strict" | Thompson -> "thompson"
 
 (* A recorded horizontal/vertical run on one layer: [fixed] is the
    constant in-plane coordinate, [span] the varying one. *)
@@ -374,7 +378,7 @@ let check_layers c (layout : Layout.t) =
         w.Wire.points)
     layout.wires
 
-let validate ?(mode = Strict) ?(max_violations = 20) layout =
+let run ?(mode = Strict) ?(max_violations = 20) layout =
   let c = { violations = []; count = 0; limit = max_violations } in
   check_layers c layout;
   check_nodes c layout;
@@ -387,6 +391,12 @@ let validate ?(mode = Strict) ?(max_violations = 20) layout =
     idx.v_runs;
   check_crossings c ~mode idx;
   check_vias c idx;
-  List.rev c.violations
+  (* once the collector is full, later checks stop recording (and the
+     crossing sweep stops looking), so a full collector means the list
+     may be incomplete — exactly [limit] entries is NOT "all of them" *)
+  { mode; violations = List.rev c.violations; truncated = overfull c }
+
+let validate ?mode ?max_violations layout =
+  (run ?mode ?max_violations layout).violations
 
 let is_valid ?mode layout = validate ?mode ~max_violations:1 layout = []

@@ -13,8 +13,24 @@ type violation = {
   detail : string;     (** human-readable description *)
 }
 
+type result = {
+  mode : mode;                  (** the model the layout was checked under *)
+  violations : violation list;  (** empty = valid *)
+  truncated : bool;
+      (** the collector hit [max_violations]: the list may be
+          incomplete.  A report with exactly [max_violations] entries is
+          flagged — once the cap is reached later checks stop recording,
+          so "exactly at the cap" cannot be distinguished from "more
+          exist". *)
+}
+
+val run : ?mode:mode -> ?max_violations:int -> Layout.t -> result
+(** Full validation result.  Collection stops after [max_violations]
+    violations (default 20); [result.truncated] says whether that cap
+    was reached. *)
+
 val validate : ?mode:mode -> ?max_violations:int -> Layout.t -> violation list
-(** Empty list = valid.  Stops after [max_violations] (default 20).
+(** [(run ... layout).violations].  Empty list = valid.
     Checks performed:
     - every point lies on layers [1 .. L];
     - node footprints are pairwise disjoint;
@@ -28,3 +44,6 @@ val validate : ?mode:mode -> ?max_violations:int -> Layout.t -> violation list
 val is_valid : ?mode:mode -> Layout.t -> bool
 
 val pp_violation : Format.formatter -> violation -> unit
+
+val mode_name : mode -> string
+(** ["strict"] / ["thompson"] — the spelling used in telemetry records. *)

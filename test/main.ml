@@ -23,6 +23,7 @@ let () =
       ("order_opt", Test_order_opt.suite);
       ("families", Test_families.suite);
       ("registry", Test_registry.suite);
+      ("telemetry", Test_telemetry.suite);
       ("render", Test_render.suite);
       ("serialize", Test_serialize.suite);
       ("sim", Test_sim.suite);

@@ -196,6 +196,25 @@ let test_max_violations_limit () =
   let all = Mvl.Check.validate ~max_violations:1 lay in
   Alcotest.(check int) "limit respected" 1 (List.length all)
 
+let test_truncation_flagged () =
+  (* a result with exactly [max_violations] entries used to look
+     complete; Check.run now says whether the cap was hit *)
+  let lay = overlapping_wires_layout () in
+  let capped = Mvl.Check.run ~max_violations:1 lay in
+  Alcotest.(check int) "capped to one" 1
+    (List.length capped.Mvl.Check.violations);
+  Alcotest.(check bool) "capped result flagged truncated" true
+    capped.Mvl.Check.truncated;
+  let full = Mvl.Check.run lay in
+  Alcotest.(check bool) "default cap not reached here" false
+    full.Mvl.Check.truncated;
+  Alcotest.(check bool) "mode recorded" true
+    (full.Mvl.Check.mode = Mvl.Check.Strict);
+  (* validate stays the plain list view of run *)
+  Alcotest.(check int) "validate = run.violations"
+    (List.length full.Mvl.Check.violations)
+    (List.length (Mvl.Check.validate lay))
+
 let suite =
   [
     Alcotest.test_case "hand-built good layout passes" `Quick
@@ -212,4 +231,5 @@ let suite =
     Alcotest.test_case "via collision" `Quick test_via_collision;
     Alcotest.test_case "via pierces run" `Quick test_via_pierces_run;
     Alcotest.test_case "violation limit" `Quick test_max_violations_limit;
+    Alcotest.test_case "truncation flagged" `Quick test_truncation_flagged;
   ]
