@@ -20,6 +20,10 @@ check:
 	dune exec bin/mvl_cli.exe -- layout hypercube:8 -l 4 --json | grep -q '"schema": "mvl.pipeline.run/1"'
 	dune exec bench/main.exe -- emit > /dev/null
 	grep -q '"schema": "mvl.bench.pipeline/1"' BENCH_pipeline.json
+	dune exec bench/main.exe -- emit --jobs 1 --stable -o BENCH_jobs1.json > /dev/null
+	dune exec bench/main.exe -- emit --jobs 2 --stable -o BENCH_jobs2.json > /dev/null
+	cmp BENCH_jobs1.json BENCH_jobs2.json
+	rm -f BENCH_jobs1.json BENCH_jobs2.json
 
 bench:
 	dune exec bench/main.exe

@@ -7,6 +7,16 @@
    are written one per line, so regenerating the file yields reviewable
    diffs (only the "seconds" and cumulative "cache" numbers move).
 
+   `--jobs N` fans the (spec, L) grid out over N forked workers
+   (Mvl.Parallel); records land in the file in grid order regardless of
+   worker scheduling.  `--stable` strips the volatile "seconds"/"cache"
+   fields so two emits — any job counts — are byte-identical; the CI
+   determinism step diffs a --jobs 2 run against a --jobs 1 run.
+
+   The output file is written to a temporary name in the same directory
+   and renamed into place, so a crash or kill mid-run never leaves a
+   truncated BENCH_pipeline.json — the previous version stays intact.
+
    The file is re-read and parsed before exiting: emitting invalid JSON
    is a hard failure, which is what the CI smoke step relies on. *)
 open Mvl_core
@@ -15,42 +25,59 @@ let layer_sweep = [ 2; 4; 8 ]
 
 let default_path = "BENCH_pipeline.json"
 
-let records () =
-  Mvl.Pipeline.cache_reset ();
+let grid () =
   List.concat_map
     (fun entry ->
       let spec = Mvl.Registry.small_spec entry in
-      List.map
-        (fun layers ->
-          match Mvl.Pipeline.run ~validate:Mvl.Check.Strict ~layers spec with
-          | Ok r -> Mvl.Pipeline.to_json r
-          | Error msg ->
-              Mvl.Telemetry.Obj
-                [
-                  ("schema", Mvl.Telemetry.String "mvl.pipeline.error/1");
-                  ( "spec",
-                    Mvl.Telemetry.String (Mvl.Registry.to_string spec) );
-                  ("layers", Mvl.Telemetry.Int layers);
-                  ("error", Mvl.Telemetry.String msg);
-                ])
-        layer_sweep)
+      List.map (fun layers -> (spec, layers)) layer_sweep)
     (Mvl.Registry.all ())
 
-let write path records =
-  let oc = open_out path in
-  output_string oc "{\n  \"schema\": \"mvl.bench.pipeline/1\",\n";
-  Printf.fprintf oc "  \"layer_sweep\": %s,\n"
-    (Mvl.Telemetry.to_string
-       (Mvl.Telemetry.List (List.map (fun l -> Mvl.Telemetry.Int l) layer_sweep)));
-  output_string oc "  \"records\": [\n";
-  List.iteri
-    (fun i r ->
-      if i > 0 then output_string oc ",\n";
-      output_string oc "    ";
-      output_string oc (Mvl.Telemetry.to_string r))
-    records;
-  output_string oc "\n  ]\n}\n";
-  close_out oc
+let record (spec, layers) =
+  match Mvl.Pipeline.run ~validate:Mvl.Check.Strict ~layers spec with
+  | Ok r -> Mvl.Pipeline.to_json r
+  | Error msg ->
+      Mvl.Telemetry.Obj
+        [
+          ("schema", Mvl.Telemetry.String "mvl.pipeline.error/1");
+          ("spec", Mvl.Telemetry.String (Mvl.Registry.to_string spec));
+          ("layers", Mvl.Telemetry.Int layers);
+          ("error", Mvl.Telemetry.String msg);
+        ]
+
+let records ?jobs ~stable () =
+  Mvl.Pipeline.cache_reset ();
+  let rs, stats = Mvl.Parallel.map ?jobs ~f:record (grid ()) in
+  let rs = if stable then List.map Mvl.Telemetry.strip_volatile rs else rs in
+  (rs, stats)
+
+let write ?stats path records =
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () ->
+      let oc = open_out tmp in
+      output_string oc "{\n  \"schema\": \"mvl.bench.pipeline/1\",\n";
+      Printf.fprintf oc "  \"layer_sweep\": %s,\n"
+        (Mvl.Telemetry.to_string
+           (Mvl.Telemetry.List
+              (List.map (fun l -> Mvl.Telemetry.Int l) layer_sweep)));
+      (match stats with
+      | None -> ()
+      | Some (s : Mvl.Parallel.stats) ->
+          Printf.fprintf oc "  \"cache\": {\"hits\": %d, \"misses\": %d},\n"
+            s.Mvl.Parallel.hits s.Mvl.Parallel.misses);
+      output_string oc "  \"records\": [\n";
+      List.iteri
+        (fun i r ->
+          if i > 0 then output_string oc ",\n";
+          output_string oc "    ";
+          output_string oc (Mvl.Telemetry.to_string r))
+        records;
+      output_string oc "\n  ]\n}\n";
+      close_out oc;
+      (* atomic within the same directory: readers (and interrupted
+         runs) only ever observe a complete file *)
+      Sys.rename tmp path)
 
 let read_back path expected_records =
   let ic = open_in_bin path in
@@ -71,29 +98,51 @@ let read_back path expected_records =
             expected_records;
           exit 1)
 
-let run ?(path = default_path) () =
-  let rs = records () in
-  write path rs;
+let run ?(path = default_path) ?jobs ?(stable = false) () =
+  let rs, stats = records ?jobs ~stable () in
+  (* the aggregated worker counters are themselves volatile relative to
+     worker-failure recovery, so the --stable form omits them *)
+  write ?stats:(if stable then None else Some stats) path rs;
   read_back path (List.length rs);
   let errors =
     List.filter
       (fun r ->
         Mvl.Telemetry.member "error" r <> None
         || Mvl.Telemetry.member "violations" r
-             |> Option.map (Mvl.Telemetry.member "count")
-             |> Option.join
-             |> Option.map (fun c -> c <> Mvl.Telemetry.Int 0)
-             |> Option.value ~default:false)
+           |> Option.map (Mvl.Telemetry.member "count")
+           |> Option.join
+           |> Option.map (fun c -> c <> Mvl.Telemetry.Int 0)
+           |> Option.value ~default:false)
       rs
   in
-  Printf.printf "wrote %s: %d records (%d families x L in {%s}), %d problem(s)\n"
+  Printf.printf
+    "wrote %s: %d records (%d families x L in {%s}), %d worker(s), cache \
+     %d/%d hit/miss, %d problem(s)\n"
     path (List.length rs)
     (List.length (Mvl.Registry.all ()))
     (String.concat "," (List.map string_of_int layer_sweep))
-    (List.length errors);
+    stats.Mvl.Parallel.workers stats.Mvl.Parallel.hits
+    stats.Mvl.Parallel.misses (List.length errors);
   List.iter
     (fun r ->
       match Mvl.Telemetry.member "spec" r with
       | Some (Mvl.Telemetry.String s) -> Printf.printf "  problem: %s\n" s
       | _ -> ())
     errors
+
+let run_cli args =
+  let usage () =
+    prerr_endline "usage: bench emit [--jobs N] [--stable] [-o FILE]";
+    exit 2
+  in
+  let rec go path jobs stable = function
+    | [] -> run ~path ?jobs ~stable ()
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> go path (Some j) stable rest
+        | _ -> usage ())
+    | "--stable" :: rest -> go path jobs true rest
+    | ("-o" | "--out") :: p :: rest -> go p jobs stable rest
+    | _ -> usage ()
+  in
+  go default_path None false args

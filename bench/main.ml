@@ -44,6 +44,9 @@ let run_one = function
 
 let () =
   match Array.to_list Sys.argv with
+  (* emit takes options of its own (--jobs/--stable/-o), so it owns the
+     rest of the command line instead of the id-per-argument dispatch *)
+  | _ :: "emit" :: (_ :: _ as emit_args) -> Emit.run_cli emit_args
   | _ :: (_ :: _ as ids) -> List.iter run_one ids
   | _ ->
       Figures.all ();

@@ -60,7 +60,65 @@ let json_arg =
           "Emit one machine-readable JSON document on stdout instead of \
            the human-readable rendering.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Fan independent runs out over $(docv) forked worker processes \
+           (default: number of cores, capped at 8; 1 forces the \
+           sequential path).  Output order and content are independent \
+           of $(docv).")
+
 let print_json j = print_endline (Mvl.Telemetry.to_string ~pretty:true j)
+
+(* --- merged-record accessors --------------------------------------------
+   Parallel runs come back as Telemetry records (that is the wire
+   format), so the human renderings below read fields back out of the
+   merged records rather than out of in-process Pipeline.t values. *)
+
+let jint key j =
+  match Mvl.Telemetry.member key j with
+  | Some (Mvl.Telemetry.Int i) -> Some i
+  | _ -> None
+
+let jfloat key j =
+  match Mvl.Telemetry.member key j with
+  | Some (Mvl.Telemetry.Float f) -> Some f
+  | _ -> None
+
+let jstring key j =
+  match Mvl.Telemetry.member key j with
+  | Some (Mvl.Telemetry.String s) -> Some s
+  | _ -> None
+
+let jbool key j =
+  match Mvl.Telemetry.member key j with
+  | Some (Mvl.Telemetry.Bool b) -> Some b
+  | _ -> None
+
+let record_error j = jstring "error" j
+
+let violation_count j =
+  Option.bind (Mvl.Telemetry.member "violations" j) (jint "count")
+
+(* exit 2 on the first build error in a merged record set, matching
+   pipeline_or_die on the sequential path *)
+let die_on_record_errors records =
+  match List.find_map record_error records with
+  | Some msg ->
+      Printf.eprintf "mvl: %s\n" msg;
+      exit 2
+  | None -> ()
+
+let aggregated_cache (stats : Mvl.Parallel.stats) =
+  Mvl.Telemetry.Obj
+    [
+      ("workers", Mvl.Telemetry.Int stats.Mvl.Parallel.workers);
+      ("hits", Mvl.Telemetry.Int stats.Mvl.Parallel.hits);
+      ("misses", Mvl.Telemetry.Int stats.Mvl.Parallel.misses);
+    ]
 
 (* --- layout command ----------------------------------------------------- *)
 
@@ -169,15 +227,25 @@ let sweep_cmd =
       & info [ "validate" ]
           ~doc:"Validate each layout under the strict grid model.")
   in
-  let run spec layer_list validate json =
-    let runs =
-      List.map
-        (fun layers ->
-          pipeline_or_die
-            ?validate:(if validate then Some Mvl.Check.Strict else None)
-            ~layers spec)
-        layer_list
+  let run spec layer_list validate jobs json =
+    let f layers =
+      match
+        Mvl.Pipeline.run
+          ?validate:(if validate then Some Mvl.Check.Strict else None)
+          ~layers spec
+      with
+      | Ok r -> Mvl.Pipeline.to_json r
+      | Error msg ->
+          Mvl.Telemetry.Obj
+            [
+              ("schema", Mvl.Telemetry.String "mvl.pipeline.error/1");
+              ("spec", Mvl.Telemetry.String (Mvl.Registry.to_string spec));
+              ("layers", Mvl.Telemetry.Int layers);
+              ("error", Mvl.Telemetry.String msg);
+            ]
     in
+    let records, stats = Mvl.Parallel.map ?jobs ~f layer_list in
+    die_on_record_errors records;
     if json then
       print_json
         (Mvl.Telemetry.Obj
@@ -187,37 +255,46 @@ let sweep_cmd =
              ( "layer_sweep",
                Mvl.Telemetry.List
                  (List.map (fun l -> Mvl.Telemetry.Int l) layer_list) );
-             ( "runs",
-               Mvl.Telemetry.List (List.map Mvl.Pipeline.to_json runs) );
+             ("runs", Mvl.Telemetry.List records);
+             ("cache", aggregated_cache stats);
            ])
     else begin
-      (match runs with
+      (match records with
       | r :: _ ->
-          let fam = r.Mvl.Pipeline.family in
-          Printf.printf "%s  N=%d\n" fam.Mvl.Families.name
-            fam.Mvl.Families.n_nodes
+          Printf.printf "%s  N=%d\n"
+            (Option.value ~default:"?" (jstring "family" r))
+            (Option.value ~default:0 (jint "n_nodes" r))
       | [] -> ());
       List.iter
-        (fun (r : Mvl.Pipeline.t) ->
-          let m = r.Mvl.Pipeline.metrics in
+        (fun r ->
+          let metric k =
+            Option.value ~default:0
+              (Option.bind (Mvl.Telemetry.member "metrics" r) (jint k))
+          in
+          let seconds =
+            Option.value ~default:0.0
+              (Option.bind (Mvl.Telemetry.member "seconds" r) (jfloat "total"))
+          in
           Printf.printf
             "  L=%-3d area=%-10d volume=%-10d max_wire=%-8d %.4fs%s%s\n"
-            r.Mvl.Pipeline.layers m.Mvl.Layout.area m.Mvl.Layout.volume
-            m.Mvl.Layout.max_wire
-            (Mvl.Pipeline.total_seconds r)
-            (if r.Mvl.Pipeline.from_cache then " (cached)" else "")
-            (match Mvl.Pipeline.validity r with
-            | Mvl.Pipeline.Valid -> "  valid"
-            | Mvl.Pipeline.Invalid -> "  INVALID"
-            | Mvl.Pipeline.Not_validated -> ""))
-        runs
+            (Option.value ~default:0 (jint "layers" r))
+            (metric "area") (metric "volume") (metric "max_wire") seconds
+            (if jbool "from_cache" r = Some true then " (cached)" else "")
+            (match violation_count r with
+            | None -> ""
+            | Some 0 -> "  valid"
+            | Some _ -> "  INVALID"))
+        records
     end;
-    if List.exists (fun r -> Mvl.Pipeline.validity r = Mvl.Pipeline.Invalid) runs
+    if List.exists (fun r -> Option.value ~default:0 (violation_count r) > 0)
+         records
     then exit 1
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Build one network across several layer counts")
-    Term.(const run $ family_arg $ layers_list_arg $ validate_arg $ json_arg)
+    Term.(
+      const run $ family_arg $ layers_list_arg $ validate_arg $ jobs_arg
+      $ json_arg)
 
 (* --- validate command --------------------------------------------------- *)
 
@@ -236,40 +313,117 @@ let validate_cmd =
           ~doc:"Stop collecting after $(docv) violations (the result is \
                 marked truncated).")
   in
-  let run spec layers thompson max_violations json =
+  let specs_arg =
+    Arg.(
+      non_empty
+      & pos_all family_conv []
+      & info [] ~docv:"NETWORK" ~doc:family_doc)
+  in
+  let run specs layers thompson max_violations jobs json =
     let mode = if thompson then Mvl.Check.Thompson else Mvl.Check.Strict in
-    let r = pipeline_or_die ~layers spec in
-    let res =
-      Mvl.Check.run ~mode ~max_violations r.Mvl.Pipeline.layout
-    in
-    if json then
-      print_json
-        (Mvl.Telemetry.Obj
-           [
-             ("schema", Mvl.Telemetry.String "mvl.validate/1");
-             ("spec", Mvl.Telemetry.String (Mvl.Registry.to_string spec));
-             ("layers", Mvl.Telemetry.Int layers);
-             ("validation", Mvl.Telemetry.of_check res);
-           ])
-    else begin
-      match res.Mvl.Check.violations with
-      | [] ->
-          Printf.printf "validation: ok (%s model)\n"
-            (Mvl.Check.mode_name mode)
-      | violations ->
+    match specs with
+    | [ spec ] ->
+        (* single spec: the original sequential path, byte-for-byte *)
+        let r = pipeline_or_die ~layers spec in
+        let res =
+          Mvl.Check.run ~mode ~max_violations r.Mvl.Pipeline.layout
+        in
+        if json then
+          print_json
+            (Mvl.Telemetry.Obj
+               [
+                 ("schema", Mvl.Telemetry.String "mvl.validate/1");
+                 ("spec", Mvl.Telemetry.String (Mvl.Registry.to_string spec));
+                 ("layers", Mvl.Telemetry.Int layers);
+                 ("validation", Mvl.Telemetry.of_check res);
+               ])
+        else begin
+          match res.Mvl.Check.violations with
+          | [] ->
+              Printf.printf "validation: ok (%s model)\n"
+                (Mvl.Check.mode_name mode)
+          | violations ->
+              List.iter
+                (fun v ->
+                  Format.printf "VIOLATION %a@." Mvl.Check.pp_violation v)
+                violations;
+              if res.Mvl.Check.truncated then
+                Printf.printf "... truncated at %d violations\n" max_violations
+        end;
+        if res.Mvl.Check.violations <> [] then exit 1
+    | specs ->
+        let f spec =
+          match Mvl.Pipeline.run ~layers spec with
+          | Error msg ->
+              Mvl.Telemetry.Obj
+                [
+                  ("schema", Mvl.Telemetry.String "mvl.pipeline.error/1");
+                  ("spec", Mvl.Telemetry.String (Mvl.Registry.to_string spec));
+                  ("layers", Mvl.Telemetry.Int layers);
+                  ("error", Mvl.Telemetry.String msg);
+                ]
+          | Ok r ->
+              let res =
+                Mvl.Check.run ~mode ~max_violations r.Mvl.Pipeline.layout
+              in
+              Mvl.Telemetry.Obj
+                [
+                  ("schema", Mvl.Telemetry.String "mvl.validate/1");
+                  ("spec", Mvl.Telemetry.String (Mvl.Registry.to_string spec));
+                  ("layers", Mvl.Telemetry.Int layers);
+                  ("validation", Mvl.Telemetry.of_check res);
+                ]
+        in
+        let records, stats = Mvl.Parallel.map ?jobs ~f specs in
+        die_on_record_errors records;
+        let count r =
+          Option.value ~default:0
+            (Option.bind (Mvl.Telemetry.member "validation" r) (jint "count"))
+        in
+        if json then
+          print_json
+            (Mvl.Telemetry.Obj
+               [
+                 ("schema", Mvl.Telemetry.String "mvl.validate.multi/1");
+                 ("layers", Mvl.Telemetry.Int layers);
+                 ("runs", Mvl.Telemetry.List records);
+                 ("cache", aggregated_cache stats);
+               ])
+        else
           List.iter
-            (fun v -> Format.printf "VIOLATION %a@." Mvl.Check.pp_violation v)
-            violations;
-          if res.Mvl.Check.truncated then
-            Printf.printf "... truncated at %d violations\n" max_violations
-    end;
-    if res.Mvl.Check.violations <> [] then exit 1
+            (fun r ->
+              let name = Option.value ~default:"?" (jstring "spec" r) in
+              if count r = 0 then
+                Printf.printf "%s: validation ok (%s model)\n" name
+                  (Mvl.Check.mode_name mode)
+              else begin
+                let v = Mvl.Telemetry.member "validation" r in
+                (match Option.bind v (Mvl.Telemetry.member "violations") with
+                | Some (Mvl.Telemetry.List vs) ->
+                    List.iter
+                      (fun violation ->
+                        Printf.printf "%s: VIOLATION [%s] %s\n" name
+                          (Option.value ~default:"?"
+                             (jstring "rule" violation))
+                          (Option.value ~default:""
+                             (jstring "detail" violation)))
+                      vs
+                | _ -> ());
+                if Option.bind v (jbool "truncated") = Some true then
+                  Printf.printf "%s: ... truncated at %d violations\n" name
+                    max_violations
+              end)
+            records;
+        if List.exists (fun r -> count r > 0) records then exit 1
   in
   Cmd.v
-    (Cmd.info "validate" ~doc:"Validate a network's layout geometry")
+    (Cmd.info "validate"
+       ~doc:
+         "Validate one or more networks' layout geometry (several \
+          networks fan out over --jobs workers)")
     Term.(
-      const run $ family_arg $ layers_arg $ thompson_arg $ max_violations_arg
-      $ json_arg)
+      const run $ specs_arg $ layers_arg $ thompson_arg $ max_violations_arg
+      $ jobs_arg $ json_arg)
 
 (* --- tracks command ------------------------------------------------------ *)
 

@@ -1,0 +1,51 @@
+type ('k, 'v) t = {
+  tbl : ('k, 'v) Hashtbl.t;
+  mutable order : 'k Queue.t;
+  mutable capacity : int;
+}
+
+let create ~capacity =
+  { tbl = Hashtbl.create 64; order = Queue.create (); capacity = max 0 capacity }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.tbl
+let order_length t = Queue.length t.order
+let mem t k = Hashtbl.mem t.tbl k
+let find_opt t k = Hashtbl.find_opt t.tbl k
+let oldest t = Queue.peek_opt t.order
+
+let evict_one t =
+  match Queue.take_opt t.order with
+  | None -> ()
+  | Some k -> Hashtbl.remove t.tbl k
+
+(* drop [k]'s single queue entry; O(length), only paid on re-insert *)
+let remove_from_order t k =
+  let q = Queue.create () in
+  Queue.iter (fun k' -> if k' <> k then Queue.add k' q) t.order;
+  t.order <- q
+
+let add t k v =
+  if t.capacity > 0 then
+    if Hashtbl.mem t.tbl k then begin
+      remove_from_order t k;
+      Hashtbl.replace t.tbl k v;
+      Queue.add k t.order
+    end
+    else begin
+      while Hashtbl.length t.tbl >= t.capacity && not (Queue.is_empty t.order) do
+        evict_one t
+      done;
+      Hashtbl.replace t.tbl k v;
+      Queue.add k t.order
+    end
+
+let set_capacity t cap =
+  t.capacity <- max 0 cap;
+  while Hashtbl.length t.tbl > t.capacity && not (Queue.is_empty t.order) do
+    evict_one t
+  done
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  Queue.clear t.order

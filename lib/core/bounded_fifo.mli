@@ -1,0 +1,45 @@
+(** A capacity-bounded hash table with FIFO eviction — the structure
+    behind {!Pipeline}'s family and layout caches.
+
+    The insertion-order queue mirrors the table {e exactly}: every live
+    key appears in the queue once, so [order_length t = length t] at
+    all times.  Re-inserting a key that is already resident updates its
+    value and refreshes its queue position (it becomes the newest
+    entry) instead of leaving a duplicate behind — the previous
+    implementation's unconditional [Queue.add] let eviction pop a stale
+    duplicate and remove a live, recently-used key while the queue grew
+    without bound relative to the table. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** Structural key equality/hashing.  [capacity <= 0] disables the
+    cache: {!add} is a no-op and lookups always miss. *)
+
+val capacity : ('k, 'v) t -> int
+
+val set_capacity : ('k, 'v) t -> int -> unit
+(** Clamped at 0.  Shrinking below the current {!length} evicts the
+    oldest entries immediately. *)
+
+val length : ('k, 'v) t -> int
+(** Live entries ([<= capacity t]). *)
+
+val order_length : ('k, 'v) t -> int
+(** Length of the insertion-order queue.  Always equals {!length} —
+    exposed so tests can assert the mirror invariant. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or update.  A fresh key evicts the oldest entries until the
+    bound holds, then enters the table and the back of the queue; a
+    resident key is updated in place and moved to the back of the
+    queue (no eviction, no duplicate queue entry). *)
+
+val oldest : ('k, 'v) t -> 'k option
+(** The next eviction victim, if any. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every entry (capacity is kept). *)

@@ -86,3 +86,5 @@ module Families = Families
 module Registry = Registry
 module Pipeline = Pipeline
 module Telemetry = Telemetry
+module Parallel = Parallel
+module Bounded_fifo = Bounded_fifo

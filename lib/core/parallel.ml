@@ -1,0 +1,141 @@
+type stats = { workers : int; hits : int; misses : int }
+
+let available () = not Sys.win32
+
+let cpu_count () =
+  match open_in "/proc/cpuinfo" with
+  | exception Sys_error _ -> 1
+  | ic ->
+      let count = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.length line >= 9 && String.sub line 0 9 = "processor"
+           then incr count
+         done
+       with End_of_file -> ());
+      close_in ic;
+      max 1 !count
+
+let default_jobs () = min 8 (cpu_count ())
+
+let counter_delta (before : Pipeline.cache_stats) =
+  let after = Pipeline.cache_stats () in
+  (after.Pipeline.hits - before.Pipeline.hits,
+   after.Pipeline.misses - before.Pipeline.misses)
+
+let run_sequential f items =
+  let before = Pipeline.cache_stats () in
+  let results = Array.to_list (Array.map f items) in
+  let hits, misses = counter_delta before in
+  (results, { workers = 1; hits; misses })
+
+(* worker [w] of [workers] handles indices w, w+workers, w+2*workers, ...
+   — a static partition, so which worker owns a job never depends on
+   runtime scheduling.  An exception from [f] writes nothing: the
+   parent recomputes the missing index and the exception surfaces
+   there with sequential semantics. *)
+let worker_loop ~f ~items ~w ~workers oc =
+  let before = Pipeline.cache_stats () in
+  let n = Array.length items in
+  let i = ref w in
+  while !i < n do
+    (match f items.(!i) with
+    | json -> Printf.fprintf oc "%d\t%s\n" !i (Telemetry.to_string json)
+    | exception _ -> ());
+    i := !i + workers
+  done;
+  let hits, misses = counter_delta before in
+  Printf.fprintf oc "stats\t{\"hits\":%d,\"misses\":%d}\n" hits misses;
+  flush oc
+
+let rec reap pid =
+  match Unix.waitpid [] pid with
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap pid
+
+let fork_map ~f ~items ~workers =
+  let n = Array.length items in
+  let pipes = Array.init workers (fun _ -> Unix.pipe ()) in
+  (* children exit with Unix._exit, so anything sitting in inherited
+     stdio buffers would otherwise be flushed once per process *)
+  flush stdout;
+  flush stderr;
+  let pids =
+    Array.init workers (fun w ->
+        match Unix.fork () with
+        | 0 ->
+            Array.iteri
+              (fun i (rd, wr) ->
+                Unix.close rd;
+                if i <> w then Unix.close wr)
+              pipes;
+            let oc = Unix.out_channel_of_descr (snd pipes.(w)) in
+            (try worker_loop ~f ~items ~w ~workers oc with _ -> ());
+            (try close_out oc with _ -> ());
+            Unix._exit 0
+        | pid -> pid)
+  in
+  Array.iter (fun (_, wr) -> Unix.close wr) pipes;
+  let results : Telemetry.json option array = Array.make n None in
+  let hits = ref 0 in
+  let misses = ref 0 in
+  let record_stats json =
+    (match Telemetry.member "hits" json with
+    | Some (Telemetry.Int h) -> hits := !hits + h
+    | _ -> ());
+    match Telemetry.member "misses" json with
+    | Some (Telemetry.Int m) -> misses := !misses + m
+    | _ -> ()
+  in
+  let consume_line line =
+    match String.index_opt line '\t' with
+    | None -> ()
+    | Some tab -> (
+        let tag = String.sub line 0 tab in
+        let payload =
+          String.sub line (tab + 1) (String.length line - tab - 1)
+        in
+        match Telemetry.parse payload with
+        | Error _ -> ()
+        | Ok json -> (
+            if tag = "stats" then record_stats json
+            else
+              match int_of_string_opt tag with
+              | Some i when i >= 0 && i < n -> results.(i) <- Some json
+              | _ -> ()))
+  in
+  (* one pipe at a time is deadlock-free: workers only ever block
+     writing their own pipe, and the parent drains every pipe to EOF
+     before waiting on any child *)
+  Array.iter
+    (fun (rd, _) ->
+      let ic = Unix.in_channel_of_descr rd in
+      (try
+         while true do
+           consume_line (input_line ic)
+         done
+       with End_of_file -> ());
+      close_in ic)
+    pipes;
+  Array.iter reap pids;
+  let before = Pipeline.cache_stats () in
+  let merged =
+    Array.to_list
+      (Array.mapi
+         (fun i -> function Some json -> json | None -> f items.(i))
+         results)
+  in
+  let parent_hits, parent_misses = counter_delta before in
+  ( merged,
+    { workers; hits = !hits + parent_hits; misses = !misses + parent_misses } )
+
+let map ?jobs ~f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let requested =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let workers = min requested (max 1 n) in
+  if workers <= 1 || not (available ()) then run_sequential f items
+  else fork_map ~f ~items ~workers

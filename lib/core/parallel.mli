@@ -1,0 +1,51 @@
+(** Fork-based worker pool for embarrassingly parallel sweeps.
+
+    Every sweep surface — [mvl sweep --jobs], [mvl validate --jobs],
+    [bench emit --jobs] — evaluates one independent pipeline run per
+    (spec, layers) point, so the pool is a plain parallel [map]: the
+    job list is split round-robin over [N] forked workers, each worker
+    streams its results back over a pipe as framed compact
+    {!Telemetry} records, and the parent merges them by input index —
+    the output list order is the input order, independent of worker
+    scheduling.
+
+    Framing (one line per message, no raw newlines can occur inside a
+    compact record):
+    {v
+    <index> TAB <compact JSON record> NL      one per completed job
+    stats   TAB {"hits":H,"misses":M}  NL     once per worker, at exit
+    v}
+
+    Failure handling: a job whose record never arrives — [f] raised,
+    or the worker crashed or was killed mid-run — is recomputed in the
+    parent after the merge, so an exception from [f] surfaces exactly
+    as it would sequentially and a lost worker costs only its own
+    unreported jobs.
+
+    When forking is unavailable ([available () = false]) or one worker
+    is requested, {!map} degrades to the plain sequential map in the
+    calling process. *)
+
+type stats = {
+  workers : int;  (** processes actually used (1 = in-process) *)
+  hits : int;     (** layout-cache hits summed over all workers *)
+  misses : int;   (** layout-cache misses summed over all workers *)
+}
+
+val available : unit -> bool
+(** [true] where [Unix.fork] works (i.e. not on native Windows). *)
+
+val cpu_count : unit -> int
+(** Online processors (from [/proc/cpuinfo]; 1 when unreadable). *)
+
+val default_jobs : unit -> int
+(** [min 8 (cpu_count ())] — the default for the [--jobs] flags. *)
+
+val map :
+  ?jobs:int -> f:('a -> Telemetry.json) -> 'a list -> Telemetry.json list * stats
+(** [map ~jobs ~f xs] is [List.map f xs] evaluated on up to [jobs]
+    forked workers (default {!default_jobs}; never more workers than
+    jobs), plus the aggregated per-worker {!Pipeline} layout-cache
+    counter deltas.  Results are in input order.  Each worker inherits
+    the parent's cache state at fork time; cache insertions made by a
+    worker die with it. *)

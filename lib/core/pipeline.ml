@@ -21,50 +21,34 @@ type validity = Valid | Invalid | Not_validated
    (spec string, layers); the counters track the layout cache only,
    since layout realization is the expensive stage sweeps repeat.
 
-   Both caches are bounded: insertions beyond the capacity evict the
-   oldest entry (FIFO), so an unbounded sweep over specs or layer
-   counts runs in constant memory.  The insertion queues mirror the
-   tables exactly — keys enter both together and leave both together. *)
+   Both caches are FIFO-bounded Bounded_fifo tables, so an unbounded
+   sweep over specs or layer counts runs in constant memory and
+   re-inserting a resident key can never desynchronize the eviction
+   queue from the table. *)
 let default_cache_capacity = 256
-let capacity = ref default_cache_capacity
-let family_cache : (string, Families.t) Hashtbl.t = Hashtbl.create 64
-let family_order : string Queue.t = Queue.create ()
-let layout_cache : (string * int, Layout.t) Hashtbl.t = Hashtbl.create 64
-let layout_order : (string * int) Queue.t = Queue.create ()
+
+let family_cache : (string, Families.t) Bounded_fifo.t =
+  Bounded_fifo.create ~capacity:default_cache_capacity
+
+let layout_cache : (string * int, Layout.t) Bounded_fifo.t =
+  Bounded_fifo.create ~capacity:default_cache_capacity
+
 let hits = ref 0
 let misses = ref 0
 
 let cache_stats () = { hits = !hits; misses = !misses }
-let cache_size () = Hashtbl.length layout_cache
-let cache_capacity () = !capacity
-
-let bounded_add tbl order key v =
-  while Hashtbl.length tbl >= !capacity && not (Queue.is_empty order) do
-    Hashtbl.remove tbl (Queue.pop order)
-  done;
-  if !capacity > 0 then begin
-    Hashtbl.replace tbl key v;
-    Queue.add key order
-  end
+let cache_size () = Bounded_fifo.length layout_cache
+let cache_capacity () = Bounded_fifo.capacity layout_cache
 
 let set_cache_capacity cap =
-  capacity := max 0 cap;
-  (* shrink immediately so the bound holds without waiting for the next
-     insertion *)
-  while Hashtbl.length layout_cache > !capacity
-        && not (Queue.is_empty layout_order) do
-    Hashtbl.remove layout_cache (Queue.pop layout_order)
-  done;
-  while Hashtbl.length family_cache > !capacity
-        && not (Queue.is_empty family_order) do
-    Hashtbl.remove family_cache (Queue.pop family_order)
-  done
+  (* shrinking evicts immediately so the bound holds without waiting
+     for the next insertion *)
+  Bounded_fifo.set_capacity layout_cache cap;
+  Bounded_fifo.set_capacity family_cache cap
 
 let cache_reset () =
-  Hashtbl.reset family_cache;
-  Hashtbl.reset layout_cache;
-  Queue.clear family_order;
-  Queue.clear layout_order;
+  Bounded_fifo.clear family_cache;
+  Bounded_fifo.clear layout_cache;
   hits := 0;
   misses := 0
 
@@ -83,14 +67,14 @@ let run ?validate ?(report = false) ?(cache = true) ~layers spec =
   let key = Registry.to_string spec in
   let build_family () =
     match
-      if cache then Hashtbl.find_opt family_cache key else None
+      if cache then Bounded_fifo.find_opt family_cache key else None
     with
     | Some fam -> Ok fam
     | None -> (
         match Registry.build spec with
         | Error _ as err -> err
         | Ok fam ->
-            if cache then bounded_add family_cache family_order key fam;
+            if cache then Bounded_fifo.add family_cache key fam;
             Ok fam)
   in
   let fam_res, t_build = timed "build" build_family in
@@ -99,7 +83,8 @@ let run ?validate ?(report = false) ?(cache = true) ~layers spec =
   | Ok family ->
       let realize () =
         match
-          if cache then Hashtbl.find_opt layout_cache (key, layers) else None
+          if cache then Bounded_fifo.find_opt layout_cache (key, layers)
+          else None
         with
         | Some lay ->
             if cache then incr hits;
@@ -108,7 +93,7 @@ let run ?validate ?(report = false) ?(cache = true) ~layers spec =
             let lay = family.Families.layout ~layers in
             if cache then begin
               incr misses;
-              bounded_add layout_cache layout_order (key, layers) lay
+              Bounded_fifo.add layout_cache (key, layers) lay
             end;
             (lay, false)
       in

@@ -306,6 +306,17 @@ let parse s =
 let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
 let keys = function Obj fields -> List.map fst fields | _ -> []
 
+let rec strip_volatile = function
+  | Obj fields ->
+      Obj
+        (List.filter_map
+           (fun (k, v) ->
+             if k = "seconds" || k = "cache" then None
+             else Some (k, strip_volatile v))
+           fields)
+  | List items -> List (List.map strip_volatile items)
+  | (Null | Bool _ | Int _ | Float _ | String _) as atom -> atom
+
 (* --- typed emitters ---------------------------------------------------- *)
 
 let of_metrics (m : Layout.metrics) =

@@ -47,6 +47,14 @@ val member : string -> json -> json option
 val keys : json -> string list
 (** Key list of an [Obj] in order; [[]] on non-objects. *)
 
+val strip_volatile : json -> json
+(** Recursively drop the fields whose values legitimately differ
+    between two otherwise identical runs: every ["seconds"] object
+    (wall-clock stage timings) and every ["cache"] object (cumulative
+    per-process hit/miss counters).  What remains is a deterministic
+    function of the inputs — the form the [--jobs] determinism tests
+    and [bench emit --stable] compare byte-for-byte. *)
+
 (* --- typed emitters ---------------------------------------------------- *)
 
 val of_metrics : Layout.metrics -> json

@@ -12,6 +12,8 @@ let kary_volume ~n_nodes ~k ~layers =
   fl layers *. kary_area ~n_nodes ~k ~layers
 
 let kary_collinear_tracks ~k ~n =
+  if k < 2 then invalid_arg "Formulas.kary_collinear_tracks: k < 2";
+  if n < 0 then invalid_arg "Formulas.kary_collinear_tracks: n < 0";
   let rec ipow acc n = if n = 0 then acc else ipow (acc * k) (n - 1) in
   2 * ((ipow 1 n - 1) / (k - 1))
 
@@ -36,7 +38,14 @@ let ghc_collinear_tracks radices =
 
 let log2 x = log x /. log 2.0
 
+(* the log-divisor formulas degenerate at N <= 1 (log2 1 = 0, log2 0 =
+   -inf): the quotient silently becomes inf/nan, so reject the input
+   the way layer_sq rejects L < 2 *)
+let require_log_divisor fn n_nodes =
+  if n_nodes <= 1 then invalid_arg (Printf.sprintf "Formulas.%s: n_nodes <= 1" fn)
+
 let butterfly_area ~n_nodes ~layers =
+  require_log_divisor "butterfly_area" n_nodes;
   let lg = log2 (fl n_nodes) in
   4.0 *. fl n_nodes *. fl n_nodes /. (layer_sq layers *. lg *. lg)
 
@@ -44,6 +53,7 @@ let butterfly_volume ~n_nodes ~layers =
   fl layers *. butterfly_area ~n_nodes ~layers
 
 let butterfly_max_wire ~n_nodes ~layers =
+  require_log_divisor "butterfly_max_wire" n_nodes;
   2.0 *. fl n_nodes /. (fl layers *. log2 (fl n_nodes))
 
 let hsn_area ~n_nodes ~layers =
@@ -67,6 +77,7 @@ let hypercube_max_wire ~n_nodes ~layers =
 let hypercube_collinear_tracks n = 2 * (1 lsl n) / 3
 
 let ccc_area ~n_nodes ~layers =
+  require_log_divisor "ccc_area" n_nodes;
   let lg = log2 (fl n_nodes) in
   16.0 *. fl n_nodes *. fl n_nodes /. (9.0 *. layer_sq layers *. lg *. lg)
 

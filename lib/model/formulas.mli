@@ -19,7 +19,9 @@ val kary_volume : n_nodes:int -> k:int -> layers:int -> float
 (** [16 N^2 / (L k^2)] (odd [L]: [16 N^2 L / ((L^2-1) k^2)]). *)
 
 val kary_collinear_tracks : k:int -> n:int -> int
-(** [f_k(n) = 2 (k^n - 1) / (k - 1)]. *)
+(** [f_k(n) = 2 (k^n - 1) / (k - 1)].
+    @raise Invalid_argument on [k < 2] or [n < 0] (the closed form
+    divides by [k - 1]). *)
 
 (* --- §4.1: generalized hypercubes ---------------------------------- *)
 
@@ -39,11 +41,14 @@ val ghc_collinear_tracks : Mvl_topology.Mixed_radix.radices -> int
 (* --- §4.2: butterfly networks --------------------------------------- *)
 
 val butterfly_area : n_nodes:int -> layers:int -> float
-(** [4 N^2 / (L^2 log2^2 N)]. *)
+(** [4 N^2 / (L^2 log2^2 N)].
+    @raise Invalid_argument on [n_nodes <= 1] ([log2 N] would be a
+    zero or undefined divisor), like {!layer_sq} on [layers < 2]. *)
 
 val butterfly_volume : n_nodes:int -> layers:int -> float
 val butterfly_max_wire : n_nodes:int -> layers:int -> float
-(** [2 N / (L log2 N)]. *)
+(** [2 N / (L log2 N)].
+    @raise Invalid_argument on [n_nodes <= 1]. *)
 
 (* --- §4.3: HSNs, HHNs, ISNs ----------------------------------------- *)
 
@@ -80,7 +85,8 @@ val hypercube_collinear_tracks : int -> int
 (** [floor(2 N / 3)] for the [n]-cube ([N = 2^n]). *)
 
 val ccc_area : n_nodes:int -> layers:int -> float
-(** [16 N^2 / (9 L^2 log2^2 N)]. *)
+(** [16 N^2 / (9 L^2 log2^2 N)].
+    @raise Invalid_argument on [n_nodes <= 1]. *)
 
 (* --- §5.3: folded hypercubes and enhanced cubes ---------------------- *)
 

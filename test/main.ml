@@ -24,6 +24,7 @@ let () =
       ("families", Test_families.suite);
       ("registry", Test_registry.suite);
       ("telemetry", Test_telemetry.suite);
+      ("parallel", Test_parallel.suite);
       ("render", Test_render.suite);
       ("serialize", Test_serialize.suite);
       ("sim", Test_sim.suite);

@@ -123,9 +123,44 @@ let test_layout_respects_lower_bound () =
       (Mvl.Families.complete 12, 2);
     ]
 
+let test_degenerate_params_rejected () =
+  (* the log2-divisor formulas used to return inf/nan for N <= 1, and
+     the k-ary track closed form raised a bare Division_by_zero for
+     k = 1; all now reject the parameter by name, like layer_sq *)
+  Alcotest.check_raises "butterfly_area N=1"
+    (Invalid_argument "Formulas.butterfly_area: n_nodes <= 1") (fun () ->
+      ignore (F.butterfly_area ~n_nodes:1 ~layers:4));
+  Alcotest.check_raises "butterfly_area N=0"
+    (Invalid_argument "Formulas.butterfly_area: n_nodes <= 1") (fun () ->
+      ignore (F.butterfly_area ~n_nodes:0 ~layers:4));
+  Alcotest.check_raises "butterfly_volume inherits the area guard"
+    (Invalid_argument "Formulas.butterfly_area: n_nodes <= 1") (fun () ->
+      ignore (F.butterfly_volume ~n_nodes:1 ~layers:4));
+  Alcotest.check_raises "butterfly_max_wire N=1"
+    (Invalid_argument "Formulas.butterfly_max_wire: n_nodes <= 1") (fun () ->
+      ignore (F.butterfly_max_wire ~n_nodes:1 ~layers:4));
+  Alcotest.check_raises "ccc_area N=1"
+    (Invalid_argument "Formulas.ccc_area: n_nodes <= 1") (fun () ->
+      ignore (F.ccc_area ~n_nodes:1 ~layers:4));
+  Alcotest.check_raises "kary tracks k=1"
+    (Invalid_argument "Formulas.kary_collinear_tracks: k < 2") (fun () ->
+      ignore (F.kary_collinear_tracks ~k:1 ~n:3));
+  Alcotest.check_raises "kary tracks negative n"
+    (Invalid_argument "Formulas.kary_collinear_tracks: n < 0") (fun () ->
+      ignore (F.kary_collinear_tracks ~k:3 ~n:(-1)));
+  (* the guards sit exactly at the degenerate boundary *)
+  Alcotest.(check bool) "butterfly_area N=2 is finite" true
+    (Float.is_finite (F.butterfly_area ~n_nodes:2 ~layers:4));
+  Alcotest.(check bool) "ccc_area N=2 is finite" true
+    (Float.is_finite (F.ccc_area ~n_nodes:2 ~layers:4));
+  Alcotest.(check int) "kary tracks k=2, n=0" 0
+    (F.kary_collinear_tracks ~k:2 ~n:0)
+
 let suite =
   [
     Alcotest.test_case "layer_sq" `Quick test_layer_sq;
+    Alcotest.test_case "degenerate parameters rejected" `Quick
+      test_degenerate_params_rejected;
     Alcotest.test_case "track formulas agree across libs" `Quick
       test_track_formulas_match_layout_lib;
     Alcotest.test_case "areas quadratic in N" `Quick test_area_formulas_scale;

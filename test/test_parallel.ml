@@ -1,0 +1,125 @@
+(* The fork-based worker pool: parallel output must be byte-identical
+   to the sequential path (modulo the volatile timing/cache fields),
+   merged in input order, with per-worker cache counters aggregated,
+   exceptions surfacing with sequential semantics, and a crashed worker
+   costing only its own unreported jobs. *)
+open Mvl_core
+
+let stable json = Mvl.Telemetry.to_string (Mvl.Telemetry.strip_volatile json)
+
+let sweep_points =
+  [
+    ("tree:4", 2);
+    ("complete:6", 2);
+    ("hypercube:3", 2);
+    ("kary:3:2", 2);
+    ("mesh:3:3", 2);
+    ("tree:4", 4);
+    ("hypercube:3", 4);
+    ("ccc:3", 4);
+  ]
+
+let record (spec, layers) =
+  match Mvl.Pipeline.run_string ~validate:Mvl.Check.Strict ~layers spec with
+  | Ok r -> Mvl.Pipeline.to_json r
+  | Error msg -> Mvl.Telemetry.Obj [ ("error", Mvl.Telemetry.String msg) ]
+
+let test_parallel_matches_sequential () =
+  Mvl.Pipeline.cache_reset ();
+  let seq, _ = Mvl.Parallel.map ~jobs:1 ~f:record sweep_points in
+  Mvl.Pipeline.cache_reset ();
+  let par, _ = Mvl.Parallel.map ~jobs:4 ~f:record sweep_points in
+  Alcotest.(check int) "same record count" (List.length seq) (List.length par);
+  Alcotest.(check (list string)) "stable records byte-identical"
+    (List.map stable seq) (List.map stable par)
+
+let test_merge_preserves_input_order () =
+  Mvl.Pipeline.cache_reset ();
+  let records, _ = Mvl.Parallel.map ~jobs:3 ~f:record sweep_points in
+  List.iter2
+    (fun (spec, layers) r ->
+      (match Mvl.Telemetry.member "spec" r with
+      | Some (Mvl.Telemetry.String s) ->
+          Alcotest.(check string) "spec in input position" spec s
+      | _ -> Alcotest.fail "record without spec");
+      match Mvl.Telemetry.member "layers" r with
+      | Some (Mvl.Telemetry.Int l) ->
+          Alcotest.(check int) "layers in input position" layers l
+      | _ -> Alcotest.fail "record without layers")
+    sweep_points records
+
+let test_worker_stats_aggregate () =
+  Mvl.Pipeline.cache_reset ();
+  let _, stats = Mvl.Parallel.map ~jobs:4 ~f:record sweep_points in
+  Alcotest.(check int) "workers used" 4 stats.Mvl.Parallel.workers;
+  Alcotest.(check int) "every distinct (spec, L) constructed once"
+    (List.length sweep_points)
+    stats.Mvl.Parallel.misses;
+  Alcotest.(check int) "no hits across distinct points" 0
+    stats.Mvl.Parallel.hits;
+  Mvl.Pipeline.cache_reset ();
+  let _, seq_stats = Mvl.Parallel.map ~jobs:1 ~f:record sweep_points in
+  Alcotest.(check int) "sequential path reports one worker" 1
+    seq_stats.Mvl.Parallel.workers;
+  Alcotest.(check int) "sequential misses agree"
+    stats.Mvl.Parallel.misses seq_stats.Mvl.Parallel.misses
+
+let test_exception_propagates () =
+  Alcotest.check_raises "f's exception surfaces in the parent"
+    (Failure "boom")
+    (fun () ->
+      ignore
+        (Mvl.Parallel.map ~jobs:2
+           ~f:(fun _ -> failwith "boom")
+           [ 1; 2; 3; 4 ]))
+
+let test_killed_worker_recovers () =
+  (* job 3's worker dies without reporting anything; the parent must
+     recompute every job the worker owned and still return a full,
+     input-ordered result list *)
+  let parent = Unix.getpid () in
+  let f i =
+    if i = 3 && Unix.getpid () <> parent then Unix._exit 9
+    else Mvl.Telemetry.Obj [ ("i", Mvl.Telemetry.Int i) ]
+  in
+  let inputs = [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  let records, _ = Mvl.Parallel.map ~jobs:4 ~f inputs in
+  Alcotest.(check int) "all jobs answered" (List.length inputs)
+    (List.length records);
+  List.iter2
+    (fun i r ->
+      match Mvl.Telemetry.member "i" r with
+      | Some (Mvl.Telemetry.Int j) -> Alcotest.(check int) "in order" i j
+      | _ -> Alcotest.fail "malformed record")
+    inputs records
+
+let test_small_inputs () =
+  let f i = Mvl.Telemetry.Obj [ ("i", Mvl.Telemetry.Int i) ] in
+  let empty, _ = Mvl.Parallel.map ~jobs:4 ~f [] in
+  Alcotest.(check int) "empty input" 0 (List.length empty);
+  let one, stats = Mvl.Parallel.map ~jobs:4 ~f [ 42 ] in
+  Alcotest.(check int) "singleton input" 1 (List.length one);
+  Alcotest.(check int) "never more workers than jobs" 1
+    stats.Mvl.Parallel.workers
+
+let test_default_jobs_bounds () =
+  let d = Mvl.Parallel.default_jobs () in
+  Alcotest.(check bool) "at least one" true (d >= 1);
+  Alcotest.(check bool) "capped at eight" true (d <= 8)
+
+let suite =
+  [
+    Alcotest.test_case "parallel matches sequential (stable form)" `Quick
+      test_parallel_matches_sequential;
+    Alcotest.test_case "merge preserves input order" `Quick
+      test_merge_preserves_input_order;
+    Alcotest.test_case "per-worker cache stats aggregate" `Quick
+      test_worker_stats_aggregate;
+    Alcotest.test_case "exceptions surface sequentially" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "killed worker recovers" `Quick
+      test_killed_worker_recovers;
+    Alcotest.test_case "empty and singleton inputs" `Quick test_small_inputs;
+    Alcotest.test_case "default job count bounds" `Quick
+      test_default_jobs_bounds;
+  ]
