@@ -24,6 +24,13 @@ check:
 	dune exec bench/main.exe -- emit --jobs 2 --stable -o BENCH_jobs2.json > /dev/null
 	cmp BENCH_jobs1.json BENCH_jobs2.json
 	rm -f BENCH_jobs1.json BENCH_jobs2.json
+	dune exec bin/mvl_cli.exe -- sim hypercube:6 --load 0.05 --json | grep -q '"schema": "mvl.sim.run/1"'
+	dune exec bench/main.exe -- throughput --quick -o BENCH_sim_quick.json > /dev/null
+	grep -q '"schema": "mvl.bench.sim/1"' BENCH_sim_quick.json
+	dune exec bench/main.exe -- throughput --quick --jobs 1 --stable -o BENCH_sim_jobs1.json > /dev/null
+	dune exec bench/main.exe -- throughput --quick --jobs 2 --stable -o BENCH_sim_jobs2.json > /dev/null
+	cmp BENCH_sim_jobs1.json BENCH_sim_jobs2.json
+	rm -f BENCH_sim_quick.json BENCH_sim_jobs1.json BENCH_sim_jobs2.json
 
 bench:
 	dune exec bench/main.exe

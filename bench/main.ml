@@ -38,6 +38,7 @@ let run_one = function
   | "tables" -> Experiments.all ()
   | "timing" -> Timing.run ()
   | "emit" -> Emit.run ()
+  | "throughput" -> Throughput.run ()
   | other ->
       Printf.eprintf "unknown experiment %S\n" other;
       exit 1
@@ -47,6 +48,7 @@ let () =
   (* emit takes options of its own (--jobs/--stable/-o), so it owns the
      rest of the command line instead of the id-per-argument dispatch *)
   | _ :: "emit" :: (_ :: _ as emit_args) -> Emit.run_cli emit_args
+  | _ :: "throughput" :: (_ :: _ as tp_args) -> Throughput.run_cli tp_args
   | _ :: (_ :: _ as ids) -> List.iter run_one ids
   | _ ->
       Figures.all ();

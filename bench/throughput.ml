@@ -1,0 +1,210 @@
+(* `bench throughput`: the simulator-engine perf trajectory.
+
+   Runs the packet-level engine (Network_sim, unit link latency) over a
+   families x offered-loads grid and writes one record per grid point
+   to BENCH_sim.json.  Each point is timed with the monotonic clock
+   over [repeats] runs and the best (minimum) wall time is kept — the
+   engine is deterministic for a fixed seed, so the simulation
+   statistics are identical across repeats and only the rate moves.
+
+   Record shape: the deterministic measurement (Telemetry.of_sim) next
+   to a volatile "seconds" object holding {wall, cycles_per_sec,
+   packets_per_sec}.  Rates sit under "seconds" so
+   Telemetry.strip_volatile (the --stable form) removes exactly them:
+   two --stable runs — any --jobs counts — are byte-identical, which is
+   what the CI determinism step diffs.
+
+   The grid includes hypercube:10 at load 0.6 — the acceptance point
+   this PR's >= 3x engine speedup is quoted against.
+
+   Same output discipline as `bench emit`: atomic same-directory
+   tmp+rename write, then a read-back parse so emitting invalid JSON is
+   a hard failure. *)
+open Mvl_core
+
+let default_path = "BENCH_sim.json"
+
+type profile = {
+  specs : string list;
+  loads : float list;
+  warmup : int;
+  measure : int;
+  drain : int;
+  repeats : int;
+}
+
+let full_profile =
+  {
+    specs = [ "hypercube:8"; "hypercube:10"; "kary:4:3"; "torus:8:8" ];
+    loads = [ 0.1; 0.3; 0.6 ];
+    warmup = 200;
+    measure = 1000;
+    drain = 2000;
+    repeats = 3;
+  }
+
+(* small enough for CI smoke: a few seconds total *)
+let quick_profile =
+  {
+    specs = [ "hypercube:6"; "kary:4:3" ];
+    loads = [ 0.1; 0.3 ];
+    warmup = 50;
+    measure = 200;
+    drain = 500;
+    repeats = 1;
+  }
+
+let config_of p load =
+  {
+    Mvl.Network_sim.default_config with
+    Mvl.Network_sim.offered_load = load;
+    warmup = p.warmup;
+    measure = p.measure;
+    drain = p.drain;
+  }
+
+let graph_of_spec spec_str =
+  match Mvl.Registry.parse spec_str with
+  | Error msg ->
+      Printf.eprintf "bench throughput: %s\n" msg;
+      exit 2
+  | Ok spec -> (
+      match Mvl.Registry.build spec with
+      | Error msg ->
+          Printf.eprintf "bench throughput: %s\n" msg;
+          exit 2
+      | Ok fam -> fam.Mvl.Families.graph)
+
+let record p (spec_str, load) =
+  let graph = graph_of_spec spec_str in
+  let config = config_of p load in
+  let result = ref None in
+  let best_ns = ref Int64.max_int in
+  for _ = 1 to p.repeats do
+    let t0 = Monotonic_clock.now () in
+    let r = Mvl.Network_sim.run ~config graph in
+    let ns = Int64.sub (Monotonic_clock.now ()) t0 in
+    let ns = if Int64.compare ns 1L < 0 then 1L else ns in
+    if Int64.compare ns !best_ns < 0 then best_ns := ns;
+    result := Some r
+  done;
+  let r = Option.get !result in
+  let wall = Int64.to_float !best_ns *. 1e-9 in
+  Mvl.Telemetry.Obj
+    [
+      ("spec", Mvl.Telemetry.String spec_str);
+      ("offered_load", Mvl.Telemetry.Float load);
+      ("seed", Mvl.Telemetry.Int config.Mvl.Network_sim.seed);
+      ("sim", Mvl.Telemetry.of_sim r);
+      ( "seconds",
+        Mvl.Telemetry.Obj
+          [
+            ("wall", Mvl.Telemetry.Float wall);
+            ( "cycles_per_sec",
+              Mvl.Telemetry.Float
+                (float_of_int r.Mvl.Network_sim.cycles /. wall) );
+            ( "packets_per_sec",
+              Mvl.Telemetry.Float
+                (float_of_int r.Mvl.Network_sim.delivered /. wall) );
+          ] );
+    ]
+
+let grid p = List.concat_map (fun s -> List.map (fun l -> (s, l)) p.loads) p.specs
+
+let write path p records =
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () ->
+      let oc = open_out tmp in
+      output_string oc "{\n  \"schema\": \"mvl.bench.sim/1\",\n";
+      Printf.fprintf oc "  \"warmup\": %d,\n  \"measure\": %d,\n" p.warmup
+        p.measure;
+      Printf.fprintf oc "  \"drain\": %d,\n  \"repeats\": %d,\n" p.drain
+        p.repeats;
+      Printf.fprintf oc "  \"loads\": %s,\n"
+        (Mvl.Telemetry.to_string
+           (Mvl.Telemetry.List
+              (List.map (fun l -> Mvl.Telemetry.Float l) p.loads)));
+      output_string oc "  \"records\": [\n";
+      List.iteri
+        (fun i r ->
+          if i > 0 then output_string oc ",\n";
+          output_string oc "    ";
+          output_string oc (Mvl.Telemetry.to_string r))
+        records;
+      output_string oc "\n  ]\n}\n";
+      close_out oc;
+      (* atomic within the same directory, as in Emit.write *)
+      Sys.rename tmp path)
+
+let read_back path expected_records =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  match Mvl.Telemetry.parse contents with
+  | Error msg ->
+      Printf.eprintf "bench throughput: %s re-reads as invalid JSON: %s\n"
+        path msg;
+      exit 1
+  | Ok doc -> (
+      match Mvl.Telemetry.member "records" doc with
+      | Some (Mvl.Telemetry.List rs) when List.length rs = expected_records ->
+          ()
+      | _ ->
+          Printf.eprintf
+            "bench throughput: %s does not hold the %d expected records\n"
+            path expected_records;
+          exit 1)
+
+let run ?(path = default_path) ?jobs ?(quick = false) ?(stable = false) () =
+  let p = if quick then quick_profile else full_profile in
+  let points = grid p in
+  let rs, stats = Mvl.Parallel.map ?jobs ~f:(record p) points in
+  let rs = if stable then List.map Mvl.Telemetry.strip_volatile rs else rs in
+  write path p rs;
+  read_back path (List.length rs);
+  Printf.printf "wrote %s: %d records (%d specs x %d loads), %d worker(s)\n"
+    path (List.length rs) (List.length p.specs) (List.length p.loads)
+    stats.Mvl.Parallel.workers;
+  if not stable then
+    List.iter
+      (fun r ->
+        let str k o =
+          match Option.bind o (Mvl.Telemetry.member k) with
+          | Some (Mvl.Telemetry.String s) -> s
+          | _ -> "?"
+        in
+        let flt k o =
+          match Option.bind o (Mvl.Telemetry.member k) with
+          | Some (Mvl.Telemetry.Float f) -> f
+          | Some (Mvl.Telemetry.Int i) -> float_of_int i
+          | _ -> 0.0
+        in
+        let seconds = Mvl.Telemetry.member "seconds" r in
+        Printf.printf "  %-14s load=%.2f  %8.0f pkt/s  %9.0f cyc/s  %.3fs\n"
+          (str "spec" (Some r))
+          (flt "offered_load" (Some r))
+          (flt "packets_per_sec" seconds)
+          (flt "cycles_per_sec" seconds) (flt "wall" seconds))
+      rs
+
+let run_cli args =
+  let usage () =
+    prerr_endline
+      "usage: bench throughput [--quick] [--jobs N] [--stable] [-o FILE]";
+    exit 2
+  in
+  let rec go path jobs quick stable = function
+    | [] -> run ~path ?jobs ~quick ~stable ()
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> go path (Some j) quick stable rest
+        | _ -> usage ())
+    | "--quick" :: rest -> go path jobs true stable rest
+    | "--stable" :: rest -> go path jobs quick true rest
+    | ("-o" | "--out") :: p :: rest -> go p jobs quick stable rest
+    | _ -> usage ()
+  in
+  go default_path None false false args

@@ -495,7 +495,7 @@ let sim_cmd =
             "Traffic pattern: uniform, transpose, bit-reversal, \
              bit-complement or hotspot.")
   in
-  let run spec layers load pattern =
+  let run spec layers load pattern json =
     let r = pipeline_or_die ~layers spec in
     let fam = r.Mvl.Pipeline.family in
     let layout = r.Mvl.Pipeline.layout in
@@ -506,24 +506,45 @@ let sim_cmd =
       { Mvl.Network_sim.default_config with
         Mvl.Network_sim.traffic = pattern; offered_load = load }
     in
-    let r =
+    let res =
       Mvl.Network_sim.run ~config:cfg ~link_latency:link
         fam.Mvl.Families.graph
     in
-    Printf.printf "%s  L=%d  load=%.3f  pattern=%s\n" fam.Mvl.Families.name
-      layers load
-      (Format.asprintf "%a" Mvl.Traffic.pp pattern);
-    Format.printf "  zero-load latency: %.1f cycles@."
-      (Mvl.Network_sim.zero_load_latency ~link_latency:link
-         fam.Mvl.Families.graph);
-    Format.printf "  %a@." Mvl.Network_sim.pp_result r
+    let zll =
+      Mvl.Network_sim.zero_load_latency ~link_latency:link
+        fam.Mvl.Families.graph
+    in
+    if json then
+      print_json
+        (Mvl.Telemetry.Obj
+           [
+             ("schema", Mvl.Telemetry.String "mvl.sim.run/1");
+             ("spec", Mvl.Telemetry.String (Mvl.Registry.to_string spec));
+             ("family", Mvl.Telemetry.String fam.Mvl.Families.name);
+             ("layers", Mvl.Telemetry.Int layers);
+             ( "pattern",
+               Mvl.Telemetry.String
+                 (Format.asprintf "%a" Mvl.Traffic.pp pattern) );
+             ("offered_load", Mvl.Telemetry.Float load);
+             ("seed", Mvl.Telemetry.Int cfg.Mvl.Network_sim.seed);
+             ("zero_load_latency", Mvl.Telemetry.Float zll);
+             ("sim", Mvl.Telemetry.of_sim res);
+           ])
+    else begin
+      Printf.printf "%s  L=%d  load=%.3f  pattern=%s\n" fam.Mvl.Families.name
+        layers load
+        (Format.asprintf "%a" Mvl.Traffic.pp pattern);
+      Format.printf "  zero-load latency: %.1f cycles@." zll;
+      Format.printf "  %a@." Mvl.Network_sim.pp_result res
+    end
   in
   Cmd.v
     (Cmd.info "sim"
        ~doc:
          "Simulate traffic over a network with layout-derived link \
           latencies")
-    Term.(const run $ family_arg $ layers_arg $ load_arg $ pattern_arg)
+    Term.(
+      const run $ family_arg $ layers_arg $ load_arg $ pattern_arg $ json_arg)
 
 (* --- layout3d command -------------------------------------------------------- *)
 

@@ -1,0 +1,78 @@
+(* Monomorphic int specialization of {!Ring_buffer}.  The generic
+   version's stores go through the polymorphic write barrier
+   ([caml_modify]); on an [int array] the compiler emits plain word
+   stores, which matters in the simulator loops where ring traffic is
+   tens of millions of pushes per run.  Empty slots are left as 0. *)
+
+type t = {
+  mutable data : int array;
+  mutable head : int; (* physical index of the front element *)
+  mutable len : int;
+}
+
+let round_up_pow2 n =
+  let c = ref 1 in
+  while !c < n do
+    c := !c * 2
+  done;
+  !c
+
+let create ?(capacity = 16) () =
+  { data = Array.make (round_up_pow2 (max 1 capacity)) 0; head = 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+let capacity t = Array.length t.data
+
+let grow t =
+  let cap = Array.length t.data in
+  let data = Array.make (cap * 2) 0 in
+  let mask = cap - 1 in
+  for i = 0 to t.len - 1 do
+    Array.unsafe_set data i (Array.unsafe_get t.data ((t.head + i) land mask))
+  done;
+  t.data <- data;
+  t.head <- 0
+
+let push t x =
+  if t.len = Array.length t.data then grow t;
+  Array.unsafe_set t.data
+    ((t.head + t.len) land (Array.length t.data - 1))
+    x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Int_ring.get: out of bounds";
+  Array.unsafe_get t.data ((t.head + i) land (Array.length t.data - 1))
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Int_ring.set: out of bounds";
+  Array.unsafe_set t.data ((t.head + i) land (Array.length t.data - 1)) x
+
+let unsafe_get t i =
+  Array.unsafe_get t.data ((t.head + i) land (Array.length t.data - 1))
+
+let unsafe_set t i x =
+  Array.unsafe_set t.data ((t.head + i) land (Array.length t.data - 1)) x
+
+let pop t =
+  if t.len = 0 then invalid_arg "Int_ring.pop: empty";
+  let x = Array.unsafe_get t.data t.head in
+  t.head <- (t.head + 1) land (Array.length t.data - 1);
+  t.len <- t.len - 1;
+  x
+
+let drop_front t n =
+  if n < 0 || n > t.len then invalid_arg "Int_ring.drop_front: bad count";
+  t.head <- (t.head + n) land (Array.length t.data - 1);
+  t.len <- t.len - n
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0
+
+let iter f t =
+  let mask = Array.length t.data - 1 in
+  for i = 0 to t.len - 1 do
+    f (Array.unsafe_get t.data ((t.head + i) land mask))
+  done

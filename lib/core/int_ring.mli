@@ -1,0 +1,45 @@
+(** {!Ring_buffer} specialized to [int] elements.
+
+    Same structure and API shape as the generic ring, but the backing
+    [int array] lets the compiler emit direct word stores instead of
+    routing every write through the polymorphic write barrier — the
+    simulator engines push tens of millions of ints per run through
+    these.  There is no [dummy]: vacated slots simply keep their old
+    (unreachable) values. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 16) is rounded up to a power of two. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val capacity : t -> int
+(** Current backing-array size (a power of two, >= {!length}). *)
+
+val push : t -> int -> unit
+(** Append at the back; doubles the backing array when full. *)
+
+val pop : t -> int
+(** Remove and return the front element.  Raises [Invalid_argument]
+    when empty. *)
+
+val get : t -> int -> int
+(** [get t i] is the element at logical position [i] from the front.
+    Raises [Invalid_argument] out of bounds. *)
+
+val set : t -> int -> int -> unit
+
+val unsafe_get : t -> int -> int
+(** {!get} without the bounds check; the caller must guarantee
+    [0 <= i < length t]. *)
+
+val unsafe_set : t -> int -> int -> unit
+
+val drop_front : t -> int -> unit
+(** Remove the [n] front elements in O(1).  Raises [Invalid_argument]
+    when [n] is negative or exceeds {!length}. *)
+
+val clear : t -> unit
+val iter : (int -> unit) -> t -> unit

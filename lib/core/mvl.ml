@@ -75,6 +75,7 @@ module Route = Mvl_routing.Route
 
 (* simulation *)
 module Rng = Mvl_sim.Rng
+module Histogram = Mvl_sim.Histogram
 module Traffic = Mvl_sim.Traffic
 module Routing_table = Mvl_sim.Routing_table
 module Network_sim = Mvl_sim.Network_sim
@@ -88,3 +89,4 @@ module Pipeline = Pipeline
 module Telemetry = Telemetry
 module Parallel = Parallel
 module Bounded_fifo = Bounded_fifo
+module Ring_buffer = Mvl_ring.Ring_buffer

@@ -1,0 +1,92 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable head : int; (* physical index of the front element *)
+  mutable len : int;
+  dummy : 'a;
+}
+
+let round_up_pow2 n =
+  let c = ref 1 in
+  while !c < n do
+    c := !c * 2
+  done;
+  !c
+
+let create ?(capacity = 16) ~dummy () =
+  let cap = round_up_pow2 (max 1 capacity) in
+  { data = Array.make cap dummy; head = 0; len = 0; dummy }
+
+let length t = t.len
+let is_empty t = t.len = 0
+let capacity t = Array.length t.data
+
+let grow t =
+  let cap = Array.length t.data in
+  let data = Array.make (cap * 2) t.dummy in
+  let mask = cap - 1 in
+  for i = 0 to t.len - 1 do
+    Array.unsafe_set data i (Array.unsafe_get t.data ((t.head + i) land mask))
+  done;
+  t.data <- data;
+  t.head <- 0
+
+(* The hot-path bodies below inline the physical-index computation
+   ((head + i) land (capacity - 1), capacity a power of two) and use
+   unsafe array accesses guarded by the [len] checks, keeping each
+   function small enough for the classic cross-module inliner. *)
+
+let push t x =
+  if t.len = Array.length t.data then grow t;
+  Array.unsafe_set t.data
+    ((t.head + t.len) land (Array.length t.data - 1))
+    x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ring_buffer.get: out of bounds";
+  Array.unsafe_get t.data ((t.head + i) land (Array.length t.data - 1))
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Ring_buffer.set: out of bounds";
+  Array.unsafe_set t.data ((t.head + i) land (Array.length t.data - 1)) x
+
+let unsafe_get t i =
+  Array.unsafe_get t.data ((t.head + i) land (Array.length t.data - 1))
+
+let unsafe_set t i x =
+  Array.unsafe_set t.data ((t.head + i) land (Array.length t.data - 1)) x
+
+let pop_opt t =
+  if t.len = 0 then None
+  else begin
+    let x = Array.unsafe_get t.data t.head in
+    Array.unsafe_set t.data t.head t.dummy;
+    t.head <- (t.head + 1) land (Array.length t.data - 1);
+    t.len <- t.len - 1;
+    Some x
+  end
+
+let pop t =
+  match pop_opt t with
+  | Some x -> x
+  | None -> invalid_arg "Ring_buffer.pop: empty"
+
+let drop_front t n =
+  if n < 0 || n > t.len then invalid_arg "Ring_buffer.drop_front: bad count";
+  let mask = Array.length t.data - 1 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set t.data ((t.head + i) land mask) t.dummy
+  done;
+  t.head <- (t.head + n) land mask;
+  t.len <- t.len - n
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) t.dummy;
+  t.head <- 0;
+  t.len <- 0
+
+let iter f t =
+  let mask = Array.length t.data - 1 in
+  for i = 0 to t.len - 1 do
+    f (Array.unsafe_get t.data ((t.head + i) land mask))
+  done

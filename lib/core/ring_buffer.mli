@@ -1,0 +1,57 @@
+(** A growable ring buffer (circular array deque): O(1) push at the
+    back, O(1) pop at the front, O(1) random access by logical index —
+    the structure behind the simulators' router queues and timing-wheel
+    buckets, where per-cycle [Hashtbl] and reversed-list traffic used to
+    dominate the allocation profile.
+
+    The backing array doubles when full (amortized O(1) push) and never
+    shrinks, so a queue that has reached its steady-state high-water
+    mark performs no further allocation.  Popped and dropped slots are
+    overwritten with the [dummy] element so the buffer does not retain
+    references to departed values. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] makes an empty buffer.  [capacity] (default 16)
+    is rounded up to a power of two; [dummy] fills unused slots. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val capacity : 'a t -> int
+(** Current backing-array size (a power of two, >= {!length}). *)
+
+val push : 'a t -> 'a -> unit
+(** Append at the back; doubles the backing array when full. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the front element.  Raises [Invalid_argument]
+    when empty. *)
+
+val pop_opt : 'a t -> 'a option
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the element at logical position [i] from the front
+    ([0] = next to pop).  Raises [Invalid_argument] out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** Overwrite the element at logical position [i]. *)
+
+val unsafe_get : 'a t -> int -> 'a
+(** {!get} without the bounds check.  The caller must guarantee
+    [0 <= i < length t]; out-of-range indexes read stale slots. *)
+
+val unsafe_set : 'a t -> int -> 'a -> unit
+(** {!set} without the bounds check; same contract as {!unsafe_get}. *)
+
+val drop_front : 'a t -> int -> unit
+(** [drop_front t n] removes the [n] front elements in O(n), without
+    touching the rest.  Raises [Invalid_argument] when [n] is negative
+    or exceeds {!length}. *)
+
+val clear : 'a t -> unit
+(** Empty the buffer (capacity kept, all slots reset to [dummy]). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Front-to-back iteration. *)

@@ -373,6 +373,29 @@ let of_check (r : Check.result) =
           ])
   | other -> other
 
+let of_sim (r : Mvl_sim.Network_sim.result) =
+  let open Mvl_sim.Network_sim in
+  Obj
+    [
+      ("injected", Int r.injected);
+      ("delivered", Int r.delivered);
+      ("hop_total", Int r.hop_total);
+      ("avg_latency", Float r.avg_latency);
+      ("p50_latency", Int r.p50_latency);
+      ("p95_latency", Int r.p95_latency);
+      ("p99_latency", Int r.p99_latency);
+      ("max_latency", Int r.max_latency);
+      ("throughput", Float r.throughput);
+      ("avg_hops", Float r.avg_hops);
+      ("cycles", Int r.cycles);
+      ( "latency_histogram",
+        List
+          (Array.to_list
+             (Array.map
+                (fun (lat, count) -> List [ Int lat; Int count ])
+                r.latency_histogram)) );
+    ]
+
 let of_report (r : Report.t) =
   Obj
     [

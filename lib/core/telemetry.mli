@@ -73,6 +73,13 @@ val of_check : Check.result -> json
 (** [violation_summary] plus the full ["violations"] detail list
     ([{"rule","detail"}] per entry) — used by [mvl validate --json]. *)
 
+val of_sim : Mvl_sim.Network_sim.result -> json
+(** The packet-simulation measurement record: counts, latency
+    percentiles, throughput, hops, cycles, and the full
+    [latency_histogram] as [[latency, count]] pairs.  Embedded under
+    ["sim"] by [mvl sim --json] ([mvl.sim.run/1]) and per grid point by
+    [bench throughput] ([mvl.bench.sim/1]). *)
+
 val of_report : Report.t -> json
 (** The layout-anatomy report: node area share, wire-length
     distribution, per-layer run lengths, via count. *)

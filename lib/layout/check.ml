@@ -11,15 +11,6 @@ let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.rule v.detail
 
 let mode_name = function Strict -> "strict" | Thompson -> "thompson"
 
-(* A recorded horizontal/vertical run on one layer: [fixed] is the
-   constant in-plane coordinate, [span] the varying one. *)
-type run = { wire : int; span : Interval.t }
-(* every segment extremity is a polyline vertex where the wire bends or
-   terminates, so for Thompson-mode crossings only strict interior
-   points are free *)
-
-type via = { wire : int; zspan : Interval.t }
-
 type collector = {
   mutable violations : violation list;
   mutable count : int;
@@ -39,192 +30,223 @@ let overfull c = c.count >= c.limit
 
 (* --- indexes ------------------------------------------------------- *)
 
+(* Flat sorted indexes instead of Hashtbls of list refs: one entry per
+   segment, sorted by (k1, k2, lo, hi, wire), so a (k1, k2) group is a
+   contiguous slice found by binary search and entries within a group
+   are already in ascending-lo sweep order.  Building is one counted
+   pass plus a sort — no per-segment consing, no rehashing, and every
+   scan below walks memory linearly. *)
+type entry = { k1 : int; k2 : int; lo : int; hi : int; wire : int }
+(* every segment extremity is a polyline vertex where the wire bends or
+   terminates, so for Thompson-mode crossings only strict interior
+   points are free *)
+
+let entry_cmp a b =
+  if a.k1 <> b.k1 then compare a.k1 b.k1
+  else if a.k2 <> b.k2 then compare a.k2 b.k2
+  else if a.lo <> b.lo then compare a.lo b.lo
+  else if a.hi <> b.hi then compare a.hi b.hi
+  else compare a.wire b.wire
+
 type indexes = {
-  (* (z, y) -> horizontal runs; (z, x) -> vertical runs *)
-  h_runs : (int * int, run list ref) Hashtbl.t;
-  v_runs : (int * int, run list ref) Hashtbl.t;
-  (* (x, y) -> vias *)
-  vias : (int * int, via list ref) Hashtbl.t;
+  h_runs : entry array; (* k1 = z, k2 = y, lo/hi = x span *)
+  v_runs : entry array; (* k1 = z, k2 = x, lo/hi = y span *)
+  vias : entry array; (* k1 = x, k2 = y, lo/hi = z span *)
 }
 
-let add_to tbl key value =
-  match Hashtbl.find_opt tbl key with
-  | Some l -> l := value :: !l
-  | None -> Hashtbl.add tbl key (ref [ value ])
-
 let build_indexes (layout : Layout.t) =
-  let idx =
-    {
-      h_runs = Hashtbl.create 1024;
-      v_runs = Hashtbl.create 1024;
-      vias = Hashtbl.create 1024;
-    }
-  in
+  let nh = ref 0 and nv = ref 0 and nz = ref 0 in
+  Array.iter
+    (fun w ->
+      Array.iter
+        (fun (s : Segment.t) ->
+          match s.orientation with
+          | Segment.Along_x -> incr nh
+          | Segment.Along_y -> incr nv
+          | Segment.Along_z -> incr nz)
+        (Wire.segments w))
+    layout.wires;
+  let dummy = { k1 = 0; k2 = 0; lo = 0; hi = 0; wire = -1 } in
+  let h = Array.make !nh dummy in
+  let v = Array.make !nv dummy in
+  let z = Array.make !nz dummy in
+  let ih = ref 0 and iv = ref 0 and iz = ref 0 in
   Array.iteri
     (fun wire_id w ->
       Array.iter
         (fun (s : Segment.t) ->
-          let run = { wire = wire_id; span = Segment.span s } in
+          let span = Segment.span s in
+          let lo = span.Interval.lo and hi = span.Interval.hi in
           match s.orientation with
-          | Segment.Along_x -> add_to idx.h_runs (s.a.Point.z, s.a.Point.y) run
-          | Segment.Along_y -> add_to idx.v_runs (s.a.Point.z, s.a.Point.x) run
+          | Segment.Along_x ->
+              h.(!ih) <-
+                { k1 = s.a.Point.z; k2 = s.a.Point.y; lo; hi; wire = wire_id };
+              incr ih
+          | Segment.Along_y ->
+              v.(!iv) <-
+                { k1 = s.a.Point.z; k2 = s.a.Point.x; lo; hi; wire = wire_id };
+              incr iv
           | Segment.Along_z ->
-              add_to idx.vias
-                (s.a.Point.x, s.a.Point.y)
-                { wire = wire_id; zspan = Segment.span s })
+              z.(!iz) <-
+                { k1 = s.a.Point.x; k2 = s.a.Point.y; lo; hi; wire = wire_id };
+              incr iz)
         (Wire.segments w))
     layout.wires;
-  idx
+  Array.sort entry_cmp h;
+  Array.sort entry_cmp v;
+  Array.sort entry_cmp z;
+  { h_runs = h; v_runs = v; vias = z }
+
+(* smallest index in [0, len) whose element is not [below] the target *)
+let lower_bound len below =
+  let l = ref 0 and r = ref len in
+  while !l < !r do
+    let m = (!l + !r) / 2 in
+    if below m then l := m + 1 else r := m
+  done;
+  !l
+
+(* the contiguous slice [start, stop) holding group (k1, k2) *)
+let group_range (arr : entry array) k1 k2 =
+  let len = Array.length arr in
+  let start =
+    lower_bound len (fun i ->
+        let e = arr.(i) in
+        e.k1 < k1 || (e.k1 = k1 && e.k2 < k2))
+  in
+  let stop =
+    lower_bound len (fun i ->
+        let e = arr.(i) in
+        e.k1 < k1 || (e.k1 = k1 && e.k2 <= k2))
+  in
+  (start, stop)
+
+(* call [f start stop] for every maximal same-(k1, k2) slice *)
+let iter_groups (arr : entry array) f =
+  let len = Array.length arr in
+  let i = ref 0 in
+  while !i < len do
+    let s = !i in
+    let k1 = arr.(s).k1 and k2 = arr.(s).k2 in
+    let j = ref (s + 1) in
+    while !j < len && arr.(!j).k1 = k1 && arr.(!j).k2 = k2 do
+      incr j
+    done;
+    f s !j;
+    i := !j
+  done
 
 (* --- collinear (same line) overlap checks -------------------------- *)
 
-let check_collinear c ~what runs =
-  let arr = Array.of_list runs in
-  Array.sort (fun r1 r2 -> compare r1.span.Interval.lo r2.span.Interval.lo) arr;
-  (* sweep keeping the farthest-reaching span seen so far, plus the
-     farthest-reaching one owned by a different wire, so containment
-     chains are caught too *)
+let check_collinear c ~what (arr : entry array) start stop =
+  (* the group is already sorted by lo; sweep keeping the
+     farthest-reaching span seen so far, plus the farthest-reaching one
+     owned by a different wire, so containment chains are caught too *)
   let hi1 = ref min_int and wire1 = ref (-1) in
   let hi2 = ref min_int and wire2 = ref (-1) in
-  Array.iter
-    (fun (b : run) ->
-      let clash prev_hi prev_wire =
-        if prev_wire >= 0 && prev_wire <> b.wire && prev_hi >= b.span.Interval.lo
-        then
-          report c "overlap" "%s runs of wires %d and %d share x/y=%d.." what
-            prev_wire b.wire b.span.Interval.lo
-      in
-      clash !hi1 !wire1;
-      if !wire2 <> !wire1 then clash !hi2 !wire2;
-      (* update the two leaders *)
-      if b.span.Interval.hi >= !hi1 then begin
-        if b.wire <> !wire1 then begin
-          hi2 := !hi1;
-          wire2 := !wire1
-        end;
-        hi1 := b.span.Interval.hi;
-        wire1 := b.wire
-      end
-      else if b.wire <> !wire1 && b.span.Interval.hi > !hi2 then begin
-        hi2 := b.span.Interval.hi;
-        wire2 := b.wire
-      end)
-    arr
+  for i = start to stop - 1 do
+    let b = arr.(i) in
+    let clash prev_hi prev_wire =
+      if prev_wire >= 0 && prev_wire <> b.wire && prev_hi >= b.lo then
+        report c "overlap" "%s runs of wires %d and %d share x/y=%d.." what
+          prev_wire b.wire b.lo
+    in
+    clash !hi1 !wire1;
+    if !wire2 <> !wire1 then clash !hi2 !wire2;
+    (* update the two leaders *)
+    if b.hi >= !hi1 then begin
+      if b.wire <> !wire1 then begin
+        hi2 := !hi1;
+        wire2 := !wire1
+      end;
+      hi1 := b.hi;
+      wire1 := b.wire
+    end
+    else if b.wire <> !wire1 && b.hi > !hi2 then begin
+      hi2 := b.hi;
+      wire2 := b.wire
+    end
+  done
 
 (* --- crossing checks (H vs V on one layer) ------------------------- *)
 
-(* For each layer present in both tables, detect H/V meetings.  In the
+(* For each vertical run, binary search the band of horizontal lines
+   with y inside its span (same layer) and test x containment.  In the
    multilayer grid model any shared point is illegal; under Thompson a
    crossing is legal iff it is interior to both runs. *)
 let check_crossings c ~mode (idx : indexes) =
-  (* collect per layer: y -> sorted H runs, and the V runs *)
-  let layers_h = Hashtbl.create 16 and layers_v = Hashtbl.create 16 in
-  Hashtbl.iter
-    (fun (z, y) runs -> add_to layers_h z (y, !runs))
-    idx.h_runs;
-  Hashtbl.iter
-    (fun (z, x) runs -> add_to layers_v z (x, !runs))
-    idx.v_runs;
-  Hashtbl.iter
-    (fun z v_lines ->
-      match Hashtbl.find_opt layers_h z with
-      | None -> ()
-      | Some h_lines ->
-          let h_sorted =
-            List.sort (fun (y1, _) (y2, _) -> compare y1 y2) !h_lines
-          in
-          let h_arr = Array.of_list h_sorted in
-          let ys = Array.map fst h_arr in
-          List.iter
-            (fun (x, v_list) ->
-              List.iter
-                (fun (v : run) ->
-                  if not (overfull c) then begin
-                    (* binary search the band of H lines with
-                       y within the vertical run's span *)
-                    let lo = v.span.Interval.lo and hi = v.span.Interval.hi in
-                    let start =
-                      let l = ref 0 and r = ref (Array.length ys) in
-                      while !l < !r do
-                        let m = (!l + !r) / 2 in
-                        if ys.(m) < lo then l := m + 1 else r := m
-                      done;
-                      !l
-                    in
-                    let i = ref start in
-                    while !i < Array.length ys && ys.(!i) <= hi do
-                      let y, h_list = h_arr.(!i) in
-                      List.iter
-                        (fun (h : run) ->
-                          if h.wire <> v.wire
-                             && Interval.contains h.span x
-                          then begin
-                            let interior_h =
-                              h.span.Interval.lo < x && x < h.span.Interval.hi
-                            in
-                            let interior_v =
-                              v.span.Interval.lo < y && y < v.span.Interval.hi
-                            in
-                            let ok =
-                              match mode with
-                              | Strict -> false
-                              | Thompson -> interior_h && interior_v
-                            in
-                            if not ok then
-                              report c "crossing"
-                                "wires %d and %d meet at (%d,%d,z=%d)" h.wire
-                                v.wire x y z
-                          end)
-                        h_list;
-                      incr i
-                    done
-                  end)
-                v_list)
-            !v_lines)
-    layers_v
+  let h = idx.h_runs in
+  let hlen = Array.length h in
+  Array.iter
+    (fun (v : entry) ->
+      if not (overfull c) then begin
+        let z = v.k1 and x = v.k2 in
+        let start =
+          lower_bound hlen (fun i ->
+              let e = h.(i) in
+              e.k1 < z || (e.k1 = z && e.k2 < v.lo))
+        in
+        let i = ref start in
+        while
+          !i < hlen
+          && h.(!i).k1 = z
+          && h.(!i).k2 <= v.hi
+        do
+          let hr = h.(!i) in
+          if hr.wire <> v.wire && hr.lo <= x && x <= hr.hi then begin
+            let y = hr.k2 in
+            let interior_h = hr.lo < x && x < hr.hi in
+            let interior_v = v.lo < y && y < v.hi in
+            let ok =
+              match mode with
+              | Strict -> false
+              | Thompson -> interior_h && interior_v
+            in
+            if not ok then
+              report c "crossing" "wires %d and %d meet at (%d,%d,z=%d)"
+                hr.wire v.wire x y z
+          end;
+          incr i
+        done
+      end)
+    idx.v_runs
 
 (* --- via checks ----------------------------------------------------- *)
 
 let check_vias c (idx : indexes) =
-  (* via-via at the same (x, y) *)
-  Hashtbl.iter
-    (fun (x, y) vias ->
-      let arr = Array.of_list !vias in
-      Array.sort (fun a b -> compare a.zspan.Interval.lo b.zspan.Interval.lo) arr;
-      for i = 0 to Array.length arr - 2 do
-        let a = arr.(i) and b = arr.(i + 1) in
-        if a.wire <> b.wire && a.zspan.Interval.hi >= b.zspan.Interval.lo then
+  iter_groups idx.vias (fun s e ->
+      let vias = idx.vias in
+      let x = vias.(s).k1 and y = vias.(s).k2 in
+      (* via-via at the same (x, y): the group is sorted by z-lo *)
+      for i = s to e - 2 do
+        let a = vias.(i) and b = vias.(i + 1) in
+        if a.wire <> b.wire && a.hi >= b.lo then
           report c "via-overlap" "vias of wires %d and %d collide at (%d,%d)"
             a.wire b.wire x y
       done;
       (* via against in-plane runs on every layer it traverses: a via is
          a bend, so this is illegal in both modes *)
-      Array.iter
-        (fun via ->
-          for z = via.zspan.Interval.lo to via.zspan.Interval.hi do
-            (match Hashtbl.find_opt idx.h_runs (z, y) with
-            | Some runs ->
-                List.iter
-                  (fun (h : run) ->
-                    if h.wire <> via.wire && Interval.contains h.span x then
-                      report c "via-run"
-                        "via of wire %d pierces run of wire %d at (%d,%d,%d)"
-                        via.wire h.wire x y z)
-                  !runs
-            | None -> ());
-            match Hashtbl.find_opt idx.v_runs (z, x) with
-            | Some runs ->
-                List.iter
-                  (fun (v : run) ->
-                    if v.wire <> via.wire && Interval.contains v.span y then
-                      report c "via-run"
-                        "via of wire %d pierces run of wire %d at (%d,%d,%d)"
-                        via.wire v.wire x y z)
-                  !runs
-            | None -> ()
-          done)
-        arr)
-    idx.vias
+      for i = s to e - 1 do
+        let via = vias.(i) in
+        for z = via.lo to via.hi do
+          let hs, he = group_range idx.h_runs z y in
+          for j = hs to he - 1 do
+            let hr = idx.h_runs.(j) in
+            if hr.wire <> via.wire && hr.lo <= x && x <= hr.hi then
+              report c "via-run"
+                "via of wire %d pierces run of wire %d at (%d,%d,%d)"
+                via.wire hr.wire x y z
+          done;
+          let vs, ve = group_range idx.v_runs z x in
+          for j = vs to ve - 1 do
+            let vr = idx.v_runs.(j) in
+            if vr.wire <> via.wire && vr.lo <= y && y <= vr.hi then
+              report c "via-run"
+                "via of wire %d pierces run of wire %d at (%d,%d,%d)"
+                via.wire vr.wire x y z
+          done
+        done
+      done)
 
 (* --- node footprint checks ------------------------------------------ *)
 
@@ -252,21 +274,55 @@ let check_nodes c (layout : Layout.t) =
       done)
     order
 
-(* nodes indexed by the y rows (for H segments) and x columns (for V);
-   each entry carries the node's active layer so multi-active-layer
-   (3-D grid model) layouts are handled too *)
-let check_wires_vs_nodes c (layout : Layout.t) =
-  let by_y = Hashtbl.create 1024 and by_x = Hashtbl.create 1024 in
+(* nodes indexed by their y rows (for H segments) and x columns (for V)
+   as sorted flat (key, node) arrays; each candidate's rect and active
+   layer are fetched from the layout, so multi-active-layer (3-D grid
+   model) layouts are handled too *)
+type node_key = { key : int; node : int }
+
+let build_node_index count_of fill (layout : Layout.t) =
+  let total = ref 0 in
+  Array.iter (fun r -> total := !total + count_of r) layout.nodes;
+  let arr = Array.make (max 1 !total) { key = 0; node = -1 } in
+  let i = ref 0 in
   Array.iteri
     (fun id r ->
-      let zl = layout.node_layers.(id) in
-      for y = r.Rect.y0 to r.Rect.y1 do
-        add_to by_y y (id, r, zl)
-      done;
-      for x = r.Rect.x0 to r.Rect.x1 do
-        add_to by_x x (id, r, zl)
-      done)
+      fill r (fun key ->
+          arr.(!i) <- { key; node = id };
+          incr i))
     layout.nodes;
+  let arr = if !total = 0 then [||] else arr in
+  Array.sort
+    (fun a b ->
+      if a.key <> b.key then compare a.key b.key else compare a.node b.node)
+    arr;
+  arr
+
+let node_key_range (arr : node_key array) key =
+  let len = Array.length arr in
+  let start = lower_bound len (fun i -> arr.(i).key < key) in
+  let stop = lower_bound len (fun i -> arr.(i).key <= key) in
+  (start, stop)
+
+let check_wires_vs_nodes c (layout : Layout.t) =
+  let by_y =
+    build_node_index
+      (fun r -> r.Rect.y1 - r.Rect.y0 + 1)
+      (fun r emit ->
+        for y = r.Rect.y0 to r.Rect.y1 do
+          emit y
+        done)
+      layout
+  in
+  let by_x =
+    build_node_index
+      (fun r -> r.Rect.x1 - r.Rect.x0 + 1)
+      (fun r emit ->
+        for x = r.Rect.x0 to r.Rect.x1 do
+          emit x
+        done)
+      layout
+  in
   let endpoint_of_wire w p =
     let a, b = Wire.endpoints w in
     Point.equal a p || Point.equal b p
@@ -293,51 +349,49 @@ let check_wires_vs_nodes c (layout : Layout.t) =
           match s.orientation with
           | Segment.Along_x ->
               let y = s.a.Point.y and z = s.a.Point.z in
-              (match Hashtbl.find_opt by_y y with
-              | None -> ()
-              | Some cands ->
-                  List.iter
-                    (fun (id, (r : Rect.t), zl) ->
-                      if zl = z then begin
-                        let lo = max s.a.Point.x r.Rect.x0
-                        and hi = min s.b.Point.x r.Rect.x1 in
-                        if lo <= hi then
-                          check_hit id r
-                            (Point.make ~x:lo ~y ~z)
-                            (Point.make ~x:hi ~y ~z)
-                      end)
-                    !cands)
+              let start, stop = node_key_range by_y y in
+              for i = start to stop - 1 do
+                let id = by_y.(i).node in
+                let r = layout.nodes.(id) in
+                if layout.node_layers.(id) = z then begin
+                  let lo = max s.a.Point.x r.Rect.x0
+                  and hi = min s.b.Point.x r.Rect.x1 in
+                  if lo <= hi then
+                    check_hit id r
+                      (Point.make ~x:lo ~y ~z)
+                      (Point.make ~x:hi ~y ~z)
+                end
+              done
           | Segment.Along_y ->
               let x = s.a.Point.x and z = s.a.Point.z in
-              (match Hashtbl.find_opt by_x x with
-              | None -> ()
-              | Some cands ->
-                  List.iter
-                    (fun (id, (r : Rect.t), zl) ->
-                      if zl = z then begin
-                        let lo = max s.a.Point.y r.Rect.y0
-                        and hi = min s.b.Point.y r.Rect.y1 in
-                        if lo <= hi then
-                          check_hit id r
-                            (Point.make ~x ~y:lo ~z)
-                            (Point.make ~x ~y:hi ~z)
-                      end)
-                    !cands)
+              let start, stop = node_key_range by_x x in
+              for i = start to stop - 1 do
+                let id = by_x.(i).node in
+                let r = layout.nodes.(id) in
+                if layout.node_layers.(id) = z then begin
+                  let lo = max s.a.Point.y r.Rect.y0
+                  and hi = min s.b.Point.y r.Rect.y1 in
+                  if lo <= hi then
+                    check_hit id r
+                      (Point.make ~x ~y:lo ~z)
+                      (Point.make ~x ~y:hi ~z)
+                end
+              done
           | Segment.Along_z ->
               (* a via hits a node when its z range crosses the node's
                  active layer inside the footprint *)
               let x = s.a.Point.x and y = s.a.Point.y in
               let zlo = s.a.Point.z and zhi = s.b.Point.z in
-              (match Hashtbl.find_opt by_y y with
-              | None -> ()
-              | Some cands ->
-                  List.iter
-                    (fun (id, (r : Rect.t), zl) ->
-                      if zlo <= zl && zl <= zhi && Rect.contains r ~x ~y then
-                        check_hit id r
-                          (Point.make ~x ~y ~z:zl)
-                          (Point.make ~x ~y ~z:zl))
-                    !cands))
+              let start, stop = node_key_range by_y y in
+              for i = start to stop - 1 do
+                let id = by_y.(i).node in
+                let r = layout.nodes.(id) in
+                let zl = layout.node_layers.(id) in
+                if zlo <= zl && zl <= zhi && Rect.contains r ~x ~y then
+                  check_hit id r
+                    (Point.make ~x ~y ~z:zl)
+                    (Point.make ~x ~y ~z:zl)
+              done)
         (Wire.segments w))
     layout.wires
 
@@ -385,10 +439,10 @@ let run ?(mode = Strict) ?(max_violations = 20) layout =
   check_terminals c layout;
   check_wires_vs_nodes c layout;
   let idx = build_indexes layout in
-  Hashtbl.iter (fun (_, _) runs -> check_collinear c ~what:"horizontal" !runs)
-    idx.h_runs;
-  Hashtbl.iter (fun (_, _) runs -> check_collinear c ~what:"vertical" !runs)
-    idx.v_runs;
+  iter_groups idx.h_runs (fun s e ->
+      check_collinear c ~what:"horizontal" idx.h_runs s e);
+  iter_groups idx.v_runs (fun s e ->
+      check_collinear c ~what:"vertical" idx.v_runs s e);
   check_crossings c ~mode idx;
   check_vias c idx;
   (* once the collector is full, later checks stop recording (and the

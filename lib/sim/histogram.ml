@@ -1,0 +1,70 @@
+type t = {
+  mutable counts : int array; (* counts.(v) = observations of value v *)
+  mutable max_v : int;        (* largest observed value; -1 when empty *)
+  mutable count : int;
+  mutable total : int;
+}
+
+let create ?(initial = 256) () =
+  { counts = Array.make (max 1 initial) 0; max_v = -1; count = 0; total = 0 }
+
+let add t v =
+  if v < 0 then invalid_arg "Histogram.add: negative value";
+  if v >= Array.length t.counts then begin
+    let cap = ref (Array.length t.counts) in
+    while v >= !cap do
+      cap := !cap * 2
+    done;
+    let a = Array.make !cap 0 in
+    Array.blit t.counts 0 a 0 (Array.length t.counts);
+    t.counts <- a
+  end;
+  t.counts.(v) <- t.counts.(v) + 1;
+  if v > t.max_v then t.max_v <- v;
+  t.count <- t.count + 1;
+  t.total <- t.total + v
+
+let count t = t.count
+let total t = t.total
+let max_value t = if t.max_v < 0 then 0 else t.max_v
+let mean t = if t.count = 0 then 0.0 else float_of_int t.total /. float_of_int t.count
+
+let percentile t p =
+  if t.count = 0 then 0
+  else begin
+    let idx = min (t.count - 1) (t.count * p / 100) in
+    let v = ref 0 and cum = ref 0 in
+    let rec find () =
+      cum := !cum + t.counts.(!v);
+      if !cum > idx then !v
+      else begin
+        incr v;
+        find ()
+      end
+    in
+    find ()
+  end
+
+let to_pairs t =
+  let n = ref 0 in
+  for v = 0 to t.max_v do
+    if t.counts.(v) > 0 then incr n
+  done;
+  let out = Array.make (max 1 !n) (0, 0) in
+  if !n = 0 then [||]
+  else begin
+    let i = ref 0 in
+    for v = 0 to t.max_v do
+      if t.counts.(v) > 0 then begin
+        out.(!i) <- (v, t.counts.(v));
+        incr i
+      end
+    done;
+    out
+  end
+
+let clear t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.max_v <- -1;
+  t.count <- 0;
+  t.total <- 0

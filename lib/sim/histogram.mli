@@ -1,0 +1,44 @@
+(** A dense counting histogram over small non-negative integers — the
+    latency accumulator behind {!Network_sim} and {!Wormhole}.
+
+    Observations index directly into a preallocated count array that
+    doubles on demand, so recording a latency in the simulators' steady
+    state touches one cell and allocates nothing (growth is amortized
+    and stops once the largest latency has been seen).  Percentiles are
+    computed by a cumulative walk and agree exactly with indexing into
+    the sorted observation array, which is what the engines previously
+    built per run. *)
+
+type t
+
+val create : ?initial:int -> unit -> t
+(** [initial] is the starting capacity in distinct values (default
+    256). *)
+
+val add : t -> int -> unit
+(** Record one observation.  Raises [Invalid_argument] on negative
+    values. *)
+
+val count : t -> int
+(** Number of observations. *)
+
+val total : t -> int
+(** Sum of all observed values. *)
+
+val mean : t -> float
+(** [total / count]; 0 when empty. *)
+
+val max_value : t -> int
+(** Largest observed value; 0 when empty. *)
+
+val percentile : t -> int -> int
+(** [percentile t p] is the value at index [min (count-1) (count*p/100)]
+    of the sorted observation multiset — identical to the historical
+    [sorted_array.(count * p / 100)] convention; 0 when empty. *)
+
+val to_pairs : t -> (int * int) array
+(** [(value, count)] pairs in ascending value order, zero counts
+    omitted. *)
+
+val clear : t -> unit
+(** Forget every observation (capacity kept). *)

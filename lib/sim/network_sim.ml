@@ -1,4 +1,5 @@
 open Mvl_topology
+module Int_ring = Mvl_ring.Int_ring
 
 type config = {
   traffic : Traffic.t;
@@ -24,49 +25,158 @@ let default_config =
 type result = {
   injected : int;
   delivered : int;
+  hop_total : int;
   avg_latency : float;
+  p50_latency : int;
+  p95_latency : int;
   p99_latency : int;
   max_latency : int;
   throughput : float;
   avg_hops : float;
+  cycles : int;
+  latency_histogram : (int * int) array;
 }
 
 let pp_result ppf r =
   Format.fprintf ppf
-    "@[delivered %d/%d, latency avg=%.1f p99=%d max=%d, throughput=%.4f, \
-     hops=%.2f@]"
-    r.delivered r.injected r.avg_latency r.p99_latency r.max_latency
-    r.throughput r.avg_hops
-
-type packet = {
-  dest : int;
-  born : int;
-  tracked : bool;
-  mutable hops : int;
-}
+    "@[delivered %d/%d, latency avg=%.1f p50=%d p95=%d p99=%d max=%d, \
+     throughput=%.4f, hops=%.2f@]"
+    r.delivered r.injected r.avg_latency r.p50_latency r.p95_latency
+    r.p99_latency r.max_latency r.throughput r.avg_hops
 
 let link_latency_of_layout ?(units_per_cycle = 64) layout =
   let route = Mvl_routing.Route.of_layout layout in
   fun u v ->
     1 + (Mvl_routing.Route.edge_length route u v / max 1 units_per_cycle)
 
+(* The engine is a cycle-driven loop over preallocated flat structures;
+   per cycle it allocates nothing once the rings and the histogram have
+   reached their high-water marks.  The semantics (and fixed-seed
+   statistics) are bit-identical to the original list/Hashtbl engine —
+   the golden-determinism tests pin that down.
+
+   Layout of the hot state:
+
+   - Packets live in structure-of-arrays form: a packet is an id [pid]
+     indexed into [pk_born] / [pk_hops]; freed ids are recycled through
+     a free list so the arrays stay dense.  Whether a packet is tracked
+     is derived ([born >= warmup]) rather than stored.  Everywhere a
+     packet travels it is the packed word [(pid lsl dshift) lor dest],
+     so router queues and wheel buckets are monomorphic {!Int_ring}s —
+     sequential integer streams with no pointer chasing and no write
+     barrier.
+   - Arrivals sit in a timing wheel of power-of-two size (slot =
+     [cycle land wheel_mask]) instead of a per-cycle [Hashtbl]; each
+     bucket interleaves (node, packed packet) pairs and drains in push
+     order, exactly the FIFO order the old reversed association list
+     produced.
+   - Router queues replace the [q_front]/[q_back] list pair, with a
+     [visible] counter marking how much of the queue corresponds to the
+     old [q_front] (new arrivals land behind it and only become
+     scannable once it empties).
+   - Routing is a transposed table: [next_out.(u).(dest)], so one
+     router's scan stays inside a single row (the per-destination
+     arrays of {!Routing_table} would scatter it across as many arrays
+     as there are destinations in the queue).  Columns fill lazily the
+     first time a destination is drawn.
+   - The per-router grant set is a node-indexed scratch array versioned
+     by a generation counter, replacing the per-router-per-cycle
+     [Hashtbl.create 8].
+   - Delivered latencies accumulate into a dense {!Histogram} instead
+     of an ever-growing list. *)
 let run ?(config = default_config) ?(link_latency = fun _ _ -> 1) graph =
   let n = Graph.n graph in
   if n < 2 then invalid_arg "Network_sim.run: need at least 2 nodes";
   let rng = Rng.create ~seed:config.seed in
   let routing = Routing_table.create ~edge_cost:link_latency graph in
-  (* router queues: one FIFO per node (front = list to pop, back = rev) *)
-  let q_front = Array.make n [] and q_back = Array.make n [] in
-  let enqueue u p = q_back.(u) <- p :: q_back.(u) in
-  (* in-flight packets keyed by arrival cycle *)
-  let arrivals : (int, (int * packet) list) Hashtbl.t = Hashtbl.create 4096 in
-  let schedule cycle node p =
-    Hashtbl.replace arrivals cycle
-      ((node, p) :: Option.value ~default:[] (Hashtbl.find_opt arrivals cycle))
+  (* packed-word geometry: low [dshift] bits carry the destination *)
+  let dshift =
+    let b = ref 1 in
+    while 1 lsl !b < n do
+      incr b
+    done;
+    !b
+  in
+  let dmask = (1 lsl dshift) - 1 in
+  (* transposed routing tables, filled lazily per destination *)
+  let next_out = Array.init n (fun _ -> Array.make n (-1)) in
+  let dest_built = Array.make n false in
+  let ensure_dest dest =
+    if not dest_built.(dest) then begin
+      let tbl = Routing_table.table routing dest in
+      for u = 0 to n - 1 do
+        next_out.(u).(dest) <- tbl.(u)
+      done;
+      dest_built.(dest) <- true
+    end
+  in
+  (* packet store (structure of arrays) + free-list recycling *)
+  let pk_born = ref (Array.make 1024 0) in
+  let pk_hops = ref (Array.make 1024 0) in
+  let n_pids = ref 0 in
+  let free = Int_ring.create () in
+  let acquire ~dest ~born =
+    ensure_dest dest;
+    let pid =
+      if Int_ring.length free > 0 then Int_ring.pop free
+      else begin
+        let cap = Array.length !pk_born in
+        if !n_pids = cap then begin
+          let born' = Array.make (cap * 2) 0 in
+          let hops' = Array.make (cap * 2) 0 in
+          Array.blit !pk_born 0 born' 0 cap;
+          Array.blit !pk_hops 0 hops' 0 cap;
+          pk_born := born';
+          pk_hops := hops'
+        end;
+        let p = !n_pids in
+        incr n_pids;
+        p
+      end
+    in
+    !pk_born.(pid) <- born;
+    !pk_hops.(pid) <- 0;
+    (pid lsl dshift) lor dest
+  in
+  (* timing wheel sized from the slowest link, rounded up to a power of
+     two so the slot computation is a mask; each bucket holds
+     interleaved (node, packed packet) pairs *)
+  let max_lat = ref 1 in
+  Graph.iter_edges graph (fun u v ->
+      max_lat := max !max_lat (max 1 (link_latency u v));
+      max_lat := max !max_lat (max 1 (link_latency v u)));
+  let wheel_size =
+    let c = ref 1 in
+    while !c < !max_lat + 1 do
+      c := !c * 2
+    done;
+    !c
+  in
+  let wheel_mask = wheel_size - 1 in
+  let unit_latency = !max_lat = 1 in
+  let bucket = Array.init wheel_size (fun _ -> Int_ring.create ()) in
+  let in_flight = ref 0 in
+  (* router queues; [visible.(u)] = the old q_front length *)
+  let queue = Array.init n (fun _ -> Int_ring.create ()) in
+  let visible = Array.make n 0 in
+  (* grant scratch: output port [v] is taken in this scan iff
+     [granted_gen.(v) = gen] *)
+  let granted_gen = Array.make n 0 in
+  let gen = ref 0 in
+  (* scan decisions for the <= lookahead packets examined per router *)
+  let keep = ref (Array.make 64 false) in
+  let ensure_keep k =
+    if k > Array.length !keep then begin
+      let cap = ref (Array.length !keep) in
+      while !cap < k do
+        cap := !cap * 2
+      done;
+      keep := Array.make !cap false
+    end
   in
   let horizon = config.warmup + config.measure + config.drain in
   let injected = ref 0 and delivered = ref 0 in
-  let latencies = ref [] in
+  let hist = Histogram.create () in
   let hop_total = ref 0 in
   let pending_tracked = ref 0 in
   let cycle = ref 0 in
@@ -74,22 +184,29 @@ let run ?(config = default_config) ?(link_latency = fun _ _ -> 1) graph =
   while !continue do
     let now = !cycle in
     (* arrivals land in router queues (or terminate) *)
-    (match Hashtbl.find_opt arrivals now with
-    | None -> ()
-    | Some landed ->
-        Hashtbl.remove arrivals now;
-        List.iter
-          (fun (node, p) ->
-            if node = p.dest then begin
-              if p.tracked then begin
-                delivered := !delivered + 1;
-                pending_tracked := !pending_tracked - 1;
-                latencies := (now - p.born) :: !latencies;
-                hop_total := !hop_total + p.hops
-              end
-            end
-            else enqueue node p)
-          (List.rev landed));
+    let b = bucket.(now land wheel_mask) in
+    let landed = Int_ring.length b / 2 in
+    if landed > 0 then begin
+      in_flight := !in_flight - landed;
+      let born_a = !pk_born and hops_a = !pk_hops in
+      for i = 0 to landed - 1 do
+        let node = Int_ring.unsafe_get b (2 * i) in
+        let v = Int_ring.unsafe_get b ((2 * i) + 1) in
+        if node = v land dmask then begin
+          let pid = v lsr dshift in
+          let born = Array.unsafe_get born_a pid in
+          if born >= config.warmup then begin
+            delivered := !delivered + 1;
+            pending_tracked := !pending_tracked - 1;
+            Histogram.add hist (now - born);
+            hop_total := !hop_total + Array.unsafe_get hops_a pid
+          end;
+          Int_ring.push free pid
+        end
+        else Int_ring.push queue.(node) v
+      done;
+      Int_ring.drop_front b (2 * landed)
+    end;
     (* injection *)
     if now < config.warmup + config.measure then
       for src = 0 to n - 1 do
@@ -97,37 +214,65 @@ let run ?(config = default_config) ?(link_latency = fun _ _ -> 1) graph =
           let dest =
             Traffic.destination config.traffic rng ~n_nodes:n ~src
           in
-          let tracked = now >= config.warmup in
-          if tracked then begin
+          if now >= config.warmup then begin
             injected := !injected + 1;
             pending_tracked := !pending_tracked + 1
           end;
-          enqueue src { dest; born = now; tracked; hops = 0 }
+          Int_ring.push queue.(src) (acquire ~dest ~born:now)
         end
       done;
-    (* switching: scan each router's queue up to the lookahead depth,
-       granting at most one packet per output port *)
+    (* switching: scan each router's visible window up to the lookahead
+       depth, granting at most one packet per output port *)
+    let hops_a = !pk_hops in
     for u = 0 to n - 1 do
-      if q_front.(u) = [] && q_back.(u) <> [] then begin
-        q_front.(u) <- List.rev q_back.(u);
-        q_back.(u) <- []
-      end;
-      if q_front.(u) <> [] then begin
-        let granted = Hashtbl.create 8 in
-        let rec scan depth kept = function
-          | [] -> List.rev kept
-          | p :: rest when depth < config.lookahead ->
-              let out = Routing_table.next_hop routing ~at:u ~dest:p.dest in
-              if Hashtbl.mem granted out then scan (depth + 1) (p :: kept) rest
-              else begin
-                Hashtbl.add granted out ();
-                p.hops <- p.hops + 1;
-                schedule (now + max 1 (link_latency u out)) out p;
-                scan (depth + 1) kept rest
-              end
-          | rest -> List.rev kept @ rest
-        in
-        q_front.(u) <- scan 0 [] q_front.(u)
+      let q = queue.(u) in
+      if visible.(u) = 0 && Int_ring.length q > 0 then
+        visible.(u) <- Int_ring.length q;
+      let vis = visible.(u) in
+      if vis > 0 then begin
+        incr gen;
+        let g = !gen in
+        let k = if config.lookahead < vis then config.lookahead else vis in
+        ensure_keep k;
+        let keep = !keep in
+        let row = Array.unsafe_get next_out u in
+        let granted = ref 0 in
+        (* pass 1: decide (and schedule) in queue order *)
+        for i = 0 to k - 1 do
+          let v = Int_ring.unsafe_get q i in
+          let out = Array.unsafe_get row (v land dmask) in
+          if out < 0 then invalid_arg "Network_sim.run: unreachable node";
+          if Array.unsafe_get granted_gen out = g then
+            Array.unsafe_set keep i true
+          else begin
+            Array.unsafe_set granted_gen out g;
+            Array.unsafe_set keep i false;
+            let pid = v lsr dshift in
+            Array.unsafe_set hops_a pid (Array.unsafe_get hops_a pid + 1);
+            let lat =
+              if unit_latency then 1 else max 1 (link_latency u out)
+            in
+            let b = Array.unsafe_get bucket ((now + lat) land wheel_mask) in
+            Int_ring.push b out;
+            Int_ring.push b v;
+            incr in_flight;
+            granted := !granted + 1
+          end
+        done;
+        if !granted > 0 then begin
+          (* pass 2: right-align the kept packets inside the scanned
+             prefix, then drop the vacated front slots *)
+          let w = ref (k - 1) in
+          for i = k - 1 downto 0 do
+            if Array.unsafe_get keep i then begin
+              if !w <> i then
+                Int_ring.unsafe_set q !w (Int_ring.unsafe_get q i);
+              decr w
+            end
+          done;
+          Int_ring.drop_front q !granted;
+          visible.(u) <- vis - !granted
+        end
       end
     done;
     incr cycle;
@@ -135,28 +280,25 @@ let run ?(config = default_config) ?(link_latency = fun _ _ -> 1) graph =
     else if
       !cycle >= config.warmup + config.measure
       && !pending_tracked = 0
-      && Hashtbl.length arrivals = 0
+      && !in_flight = 0
     then continue := false
   done;
-  let lat = Array.of_list !latencies in
-  Array.sort compare lat;
-  let count = Array.length lat in
-  let avg =
-    if count = 0 then 0.0
-    else
-      float_of_int (Array.fold_left ( + ) 0 lat) /. float_of_int count
-  in
   {
     injected = !injected;
     delivered = !delivered;
-    avg_latency = avg;
-    p99_latency = (if count = 0 then 0 else lat.(min (count - 1) (count * 99 / 100)));
-    max_latency = (if count = 0 then 0 else lat.(count - 1));
+    hop_total = !hop_total;
+    avg_latency = Histogram.mean hist;
+    p50_latency = Histogram.percentile hist 50;
+    p95_latency = Histogram.percentile hist 95;
+    p99_latency = Histogram.percentile hist 99;
+    max_latency = Histogram.max_value hist;
     throughput =
       float_of_int !delivered /. float_of_int (n * max 1 config.measure);
     avg_hops =
       (if !delivered = 0 then 0.0
        else float_of_int !hop_total /. float_of_int !delivered);
+    cycles = !cycle;
+    latency_histogram = Histogram.to_pairs hist;
   }
 
 let saturation_throughput ?(config = default_config) ?link_latency graph =

@@ -30,11 +30,19 @@ val default_config : config
 type result = {
   injected : int;         (** tracked packets injected *)
   delivered : int;        (** tracked packets delivered *)
+  hop_total : int;        (** hops summed over delivered tracked packets *)
   avg_latency : float;    (** cycles, over delivered tracked packets *)
+  p50_latency : int;
+  p95_latency : int;
   p99_latency : int;
   max_latency : int;
   throughput : float;     (** delivered / (nodes * measure) *)
   avg_hops : float;
+  cycles : int;           (** simulated cycles until the run stopped *)
+  latency_histogram : (int * int) array;
+      (** [(latency, delivered count)] in ascending latency order — the
+          full delivered-latency distribution the percentiles are read
+          from *)
 }
 
 val pp_result : Format.formatter -> result -> unit

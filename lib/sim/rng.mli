@@ -5,7 +5,14 @@ type t
 
 val create : seed:int -> t
 val int : t -> bound:int -> int
-(** Uniform in [0, bound); [bound >= 1]. *)
+(** Exactly uniform in [0, bound); [bound >= 1].  Uses rejection
+    sampling over the generator's 63-bit draw: raw values above the
+    largest multiple of [bound] are discarded and redrawn, so every
+    result is hit by exactly [floor(2^63 / bound)] raw values — no
+    modulo bias.  For power-of-two bounds no draw is ever rejected and
+    the stream is identical to plain masking; for other bounds the
+    rejection probability is below [bound / 2^63] per draw, so the
+    expected cost stays one draw. *)
 
 val float : t -> float
 (** Uniform in [0, 1). *)

@@ -18,6 +18,12 @@ val next_hop : t -> at:int -> dest:int -> int
 (** Raises [Invalid_argument] if [dest] is unreachable or
     [at = dest]. *)
 
+val table : t -> int -> int array
+(** [table t dest] is the per-node next-hop array towards [dest]
+    ([-1] for [dest] itself and unreachable nodes), built on first use
+    and cached.  Hot loops index it directly instead of paying
+    {!next_hop}'s per-call table lookup. *)
+
 val path : t -> src:int -> dest:int -> int list
 (** The full node sequence, [src] and [dest] included. *)
 

@@ -1,4 +1,5 @@
 open Mvl_topology
+module Int_ring = Mvl_ring.Int_ring
 
 type fabric = Hypercube of int | Torus of { k : int; n : int }
 
@@ -35,14 +36,20 @@ type result = {
   injected : int;
   delivered : int;
   avg_latency : float;
+  p50_latency : int;
+  p95_latency : int;
   p99_latency : int;
+  max_latency : int;
   throughput : float;
+  latency_histogram : (int * int) array;
 }
 
 let pp_result ppf r =
   Format.fprintf ppf
-    "@[delivered %d/%d, latency avg=%.1f p99=%d, throughput=%.4f pkt/node/cyc@]"
-    r.delivered r.injected r.avg_latency r.p99_latency r.throughput
+    "@[delivered %d/%d, latency avg=%.1f p50=%d p95=%d p99=%d, \
+     throughput=%.4f pkt/node/cyc@]"
+    r.delivered r.injected r.avg_latency r.p50_latency r.p95_latency
+    r.p99_latency r.throughput
 
 let graph_of_fabric = function
   | Hypercube n -> Mvl_topology.Hypercube.create n
@@ -50,20 +57,25 @@ let graph_of_fabric = function
 
 (* ------------------------------------------------------------------ *)
 
-type packet = {
-  id : int;
-  dest : int;
-  born : int;
-  tracked : bool;
-  mutable vc_class : int;  (* torus dateline class *)
-  mutable cur_dim : int;   (* dimension currently being corrected *)
-}
+(* Like {!Network_sim}, the flit-level engine keeps its hot state in
+   flat preallocated structures so the steady state allocates nothing:
 
-type flit = { pkt : packet; head : bool; tail : bool }
-
-type in_vc = { buf : flit Queue.t; mutable route : (int * int) option }
-(* route = (output neighbour index, output VC) once the head flit has
-   been routed at this router; cleared when the tail leaves *)
+   - packets are ids into structure-of-arrays fields ([pq_dest] /
+     [pq_born] / dateline state); a flit is the packed word
+     [(id lsl 2) lor (head lsl 1) lor tail], so every VC buffer is a
+     monomorphic {!Int_ring} instead of a [flit Queue.t];
+   - link arrivals and credit returns travel through power-of-two
+     timing wheels (slot = [cycle land mask]) instead of per-cycle
+     [Hashtbl]s of prepend-built lists.  Arrival buckets interleave
+     (input address, flit) pairs and drain in push order — the FIFO
+     order the old [List.rev] restored; credit increments commute, so
+     their drain order is free;
+   - the adaptive candidate scan fills scratch arrays and runs a stable
+     insertion sort, reproducing [List.sort]'s (stable) most-credits
+     order over the prepend-built candidate list exactly;
+   - the per-router [out_used] set is a scratch array versioned by a
+     generation counter, and upstream input indexes ([neighbor_idx])
+     are precomputed instead of searched per credit event. *)
 
 let run ?(config = default_config) ?(link_latency = fun _ _ -> 1) fabric =
   if config.packet_len < 1 then invalid_arg "Wormhole: packet_len < 1";
@@ -78,6 +90,7 @@ let run ?(config = default_config) ?(link_latency = fun _ _ -> 1) fabric =
   | _ -> ());
   let graph = graph_of_fabric fabric in
   let n = Graph.n graph in
+  let vcs = config.vcs in
   let rng = Rng.create ~seed:config.seed in
   let neighbors = Array.init n (fun u -> Graph.neighbors graph u) in
   let neighbor_idx u v =
@@ -85,211 +98,270 @@ let run ?(config = default_config) ?(link_latency = fun _ _ -> 1) fabric =
     let rec find i = if arr.(i) = v then i else find (i + 1) in
     find 0
   in
-  (* e-cube route: returns (next node, required vc or -1 for any, and a
-     thunk committing the packet's dateline-class update — run only once
-     the output VC is actually allocated, since allocation may be
-     retried across cycles) *)
-  let route_hop (p : packet) u =
+  (* back_idx.(u).(d): index of u among the neighbours of
+     neighbors.(u).(d) — the upstream input a credit returns to *)
+  let back_idx =
+    Array.init n (fun u ->
+        Array.map (fun v -> neighbor_idx v u) neighbors.(u))
+  in
+  let max_deg =
+    Array.fold_left (fun m a -> max m (Array.length a)) 1 neighbors
+  in
+  let max_inputs = max_deg + 1 in
+  (* packet store (structure of arrays); ids are never recycled, the
+     arrays just double.  Tracked = [born >= warmup]. *)
+  let pq_dest = ref (Array.make 1024 0) in
+  let pq_born = ref (Array.make 1024 0) in
+  let pq_class = ref (Array.make 1024 0) in
+  let pq_dim = ref (Array.make 1024 0) in
+  let next_packet_id = ref 0 in
+  let new_packet ~dest ~born =
+    let cap = Array.length !pq_dest in
+    if !next_packet_id = cap then begin
+      let g a =
+        let a' = Array.make (cap * 2) 0 in
+        Array.blit !a 0 a' 0 cap;
+        a := a'
+      in
+      g pq_dest;
+      g pq_born;
+      g pq_class;
+      g pq_dim
+    end;
+    let id = !next_packet_id in
+    incr next_packet_id;
+    !pq_dest.(id) <- dest;
+    !pq_born.(id) <- born;
+    !pq_class.(id) <- 0;
+    !pq_dim.(id) <- -1;
+    id
+  in
+  (* e-cube route for the packet at the head of an input VC; results
+     land in scratch refs (next node, required vc or -1 for any) plus a
+     pending dateline-class update applied only once the output VC is
+     actually allocated, since allocation may be retried across
+     cycles *)
+  let rh_next = ref 0 and rh_want = ref (-1) in
+  (* 0 = no state update (hypercube), 1 = torus escape, 2 = adaptive *)
+  let rh_commit = ref 0 in
+  let rh_dim = ref 0 and rh_class = ref 0 in
+  let route_hop id u =
     match fabric with
     | Hypercube _ ->
-        let diff = u lxor p.dest in
+        let diff = u lxor !pq_dest.(id) in
         let b =
-          let rec lowest i = if diff land (1 lsl i) <> 0 then i else lowest (i + 1) in
+          let rec lowest i =
+            if diff land (1 lsl i) <> 0 then i else lowest (i + 1)
+          in
           lowest 0
         in
-        (u lxor (1 lsl b), -1, fun () -> ())
+        rh_next := u lxor (1 lsl b);
+        rh_want := -1;
+        rh_commit := 0
     | Torus { k; n = dims } ->
-        let rec digits_of x j = if j = 0 then [] else (x mod k) :: digits_of (x / k) (j - 1) in
-        let du = Array.of_list (digits_of u dims) in
-        let dd = Array.of_list (digits_of p.dest dims) in
-        let rec first_dim j =
-          if j >= dims then invalid_arg "Wormhole: routing at destination"
-          else if du.(j) <> dd.(j) then j
-          else first_dim (j + 1)
-        in
-        let j = first_dim 0 in
-        let klass = if j <> p.cur_dim then 0 else p.vc_class in
-        let fwd = (dd.(j) - du.(j) + k) mod k in
-        let go_plus = fwd <= k - fwd in
-        let next_digit = if go_plus then (du.(j) + 1) mod k else (du.(j) + k - 1) mod k in
-        let crosses =
-          (go_plus && du.(j) = k - 1) || ((not go_plus) && du.(j) = 0)
-        in
-        let rec pow acc i = if i = 0 then acc else pow (acc * k) (i - 1) in
-        let weight = pow 1 j in
-        let next = u + ((next_digit - du.(j)) * weight) in
-        ( next,
-          klass,
-          fun () ->
-            p.cur_dim <- j;
-            p.vc_class <- (if crosses then 1 else klass) )
-  in
-  (* minimal productive hops, for adaptive routing *)
-  let productive_hops (p : packet) u =
-    match fabric with
-    | Hypercube dims ->
-        let diff = u lxor p.dest in
-        List.filter_map
-          (fun b ->
-            if diff land (1 lsl b) <> 0 then Some (u lxor (1 lsl b)) else None)
-          (List.init dims (fun i -> i))
-    | Torus { k; n = dims } ->
-        let hops = ref [] in
-        let rec pow acc i = if i = 0 then acc else pow (acc * k) (i - 1) in
-        for j = 0 to dims - 1 do
-          let dj = u / pow 1 j mod k and tj = p.dest / pow 1 j mod k in
-          if dj <> tj then begin
-            let fwd = (tj - dj + k) mod k in
-            let go_plus = fwd <= k - fwd in
-            let next_digit = if go_plus then (dj + 1) mod k else (dj + k - 1) mod k in
-            hops := (u + ((next_digit - dj) * pow 1 j)) :: !hops
-          end
+        let dest = !pq_dest.(id) in
+        let j = ref 0 and w = ref 1 in
+        while
+          !j < dims && u / !w mod k = dest / !w mod k
+        do
+          incr j;
+          w := !w * k
         done;
-        !hops
+        if !j >= dims then invalid_arg "Wormhole: routing at destination";
+        let du_j = u / !w mod k and dd_j = dest / !w mod k in
+        let klass = if !j <> !pq_dim.(id) then 0 else !pq_class.(id) in
+        let fwd = (dd_j - du_j + k) mod k in
+        let go_plus = fwd <= k - fwd in
+        let next_digit =
+          if go_plus then (du_j + 1) mod k else (du_j + k - 1) mod k
+        in
+        let crosses =
+          (go_plus && du_j = k - 1) || ((not go_plus) && du_j = 0)
+        in
+        rh_next := u + ((next_digit - du_j) * !w);
+        rh_want := klass;
+        rh_commit := 1;
+        rh_dim := !j;
+        rh_class := if crosses then 1 else klass
   in
   (* per node: inputs = in-neighbours (by index) plus one injection
-     pseudo-input at index deg(u) *)
-  let in_vcs =
+     pseudo-input at index deg(u); a VC's buffered flits live in an
+     int ring and its allocated route is [d * vcs + out_vc], -1 when
+     unrouted *)
+  let bufs =
     Array.init n (fun u ->
         Array.init
           (Array.length neighbors.(u) + 1)
-          (fun _ ->
-            Array.init config.vcs (fun _ ->
-                { buf = Queue.create (); route = None })))
+          (fun _ -> Array.init vcs (fun _ -> Int_ring.create ())))
+  in
+  let route_of =
+    Array.init n (fun u ->
+        Array.init
+          (Array.length neighbors.(u) + 1)
+          (fun _ -> Array.make vcs (-1)))
   in
   let owner =
     Array.init n (fun u ->
         Array.init (Array.length neighbors.(u)) (fun _ ->
-            Array.make config.vcs (-1)))
+            Array.make vcs (-1)))
   in
   let credits =
     Array.init n (fun u ->
         Array.init (Array.length neighbors.(u)) (fun _ ->
-            Array.make config.vcs config.buffer_depth))
+            Array.make vcs config.buffer_depth))
   in
-  let arrivals : (int, (int * int * int * flit) list) Hashtbl.t =
-    Hashtbl.create 4096
+  (* timing wheels sized from the slowest link *)
+  let max_lat = ref 1 in
+  Graph.iter_edges graph (fun u v ->
+      max_lat := max !max_lat (max 1 (link_latency u v));
+      max_lat := max !max_lat (max 1 (link_latency v u)));
+  let wheel_size =
+    let c = ref 1 in
+    while !c < !max_lat + 1 do
+      c := !c * 2
+    done;
+    !c
   in
-  let credit_returns : (int, (int * int * int) list) Hashtbl.t =
-    Hashtbl.create 4096
+  let wheel_mask = wheel_size - 1 in
+  (* arrival buckets interleave (address, flit) pairs where address =
+     (v * max_inputs + in_idx) * vcs + vc; credit buckets hold
+     (u * max_deg + d) * vcs + vc *)
+  let arrivals = Array.init wheel_size (fun _ -> Int_ring.create ()) in
+  let credit_returns =
+    Array.init wheel_size (fun _ -> Int_ring.create ())
   in
-  let push tbl cycle x =
-    Hashtbl.replace tbl cycle
-      (x :: Option.value ~default:[] (Hashtbl.find_opt tbl cycle))
-  in
+  (* out_used scratch, versioned per router scan *)
+  let used_stamp = Array.make max_deg 0 in
+  let stamp = ref 0 in
+  (* adaptive candidate scratch *)
+  let cand_cred = Array.make (max_deg * vcs) 0 in
+  let cand_d = Array.make (max_deg * vcs) 0 in
+  let cand_vc = Array.make (max_deg * vcs) 0 in
   let horizon = config.warmup + config.measure + config.drain in
   let injected = ref 0 and delivered = ref 0 and pending = ref 0 in
-  let latencies = ref [] in
-  let next_packet_id = ref 0 in
+  let hist = Histogram.create () in
   let rr = Array.make n 0 in
   for now = 0 to horizon - 1 do
     (* arrivals *)
-    (match Hashtbl.find_opt arrivals now with
-    | None -> ()
-    | Some l ->
-        Hashtbl.remove arrivals now;
-        List.iter
-          (fun (v, in_idx, vc, f) -> Queue.add f in_vcs.(v).(in_idx).(vc).buf)
-          (List.rev l));
-    (match Hashtbl.find_opt credit_returns now with
-    | None -> ()
-    | Some l ->
-        Hashtbl.remove credit_returns now;
-        List.iter
-          (fun (u, d, vc) -> credits.(u).(d).(vc) <- credits.(u).(d).(vc) + 1)
-          l);
+    let ab = arrivals.(now land wheel_mask) in
+    let n_arr = Int_ring.length ab / 2 in
+    if n_arr > 0 then begin
+      for i = 0 to n_arr - 1 do
+        let addr = Int_ring.unsafe_get ab (2 * i) in
+        let fw = Int_ring.unsafe_get ab ((2 * i) + 1) in
+        let vc = addr mod vcs in
+        let rest = addr / vcs in
+        Int_ring.push bufs.(rest / max_inputs).(rest mod max_inputs).(vc) fw
+      done;
+      Int_ring.drop_front ab (2 * n_arr)
+    end;
+    let cb = credit_returns.(now land wheel_mask) in
+    let n_cred = Int_ring.length cb in
+    if n_cred > 0 then begin
+      for i = 0 to n_cred - 1 do
+        let addr = Int_ring.unsafe_get cb i in
+        let vc = addr mod vcs in
+        let rest = addr / vcs in
+        let c = credits.(rest / max_deg).(rest mod max_deg) in
+        c.(vc) <- c.(vc) + 1
+      done;
+      Int_ring.drop_front cb n_cred
+    end;
     (* injection: whole packet enqueued flit by flit into the pseudo-input *)
     if now < config.warmup + config.measure then
       for src = 0 to n - 1 do
         if Rng.bool rng ~p:config.offered_load then begin
           let dest = Traffic.destination config.traffic rng ~n_nodes:n ~src in
-          let tracked = now >= config.warmup in
-          if tracked then begin
+          if now >= config.warmup then begin
             incr injected;
             incr pending
           end;
-          let p =
-            {
-              id = !next_packet_id;
-              dest;
-              born = now;
-              tracked;
-              vc_class = 0;
-              cur_dim = -1;
-            }
-          in
-          incr next_packet_id;
-          let inj = in_vcs.(src).(Array.length neighbors.(src)).(0).buf in
+          let id = new_packet ~dest ~born:now in
+          let inj = bufs.(src).(Array.length neighbors.(src)).(0) in
           for f = 0 to config.packet_len - 1 do
-            Queue.add
-              { pkt = p; head = (f = 0); tail = (f = config.packet_len - 1) }
-              inj
+            Int_ring.push inj
+              ((id lsl 2)
+              lor (if f = 0 then 2 else 0)
+              lor (if f = config.packet_len - 1 then 1 else 0))
           done
         end
       done;
     (* switching *)
     for u = 0 to n - 1 do
-      let deg = Array.length neighbors.(u) in
+      let nbrs = neighbors.(u) in
+      let deg = Array.length nbrs in
       let n_inputs = deg + 1 in
-      let out_used = Array.make deg false in
+      incr stamp;
+      let st = !stamp in
       let start = rr.(u) in
-      rr.(u) <- (rr.(u) + 1) mod n_inputs;
+      rr.(u) <- (start + 1) mod n_inputs;
       for step = 0 to n_inputs - 1 do
         let in_idx = (start + step) mod n_inputs in
+        let routes_i = route_of.(u).(in_idx) in
+        let bufs_i = bufs.(u).(in_idx) in
         (* one flit per input per cycle: scan this input's VCs *)
         let granted = ref false in
-        for vc = 0 to config.vcs - 1 do
-          let ivc = in_vcs.(u).(in_idx).(vc) in
-          if (not !granted) && not (Queue.is_empty ivc.buf) then begin
-            let f = Queue.peek ivc.buf in
-            if f.pkt.dest = u then begin
+        for vc = 0 to vcs - 1 do
+          let buf = bufs_i.(vc) in
+          if (not !granted) && Int_ring.length buf > 0 then begin
+            let fw = Int_ring.unsafe_get buf 0 in
+            let fid = fw lsr 2 in
+            if !pq_dest.(fid) = u then begin
               (* ejection *)
-              ignore (Queue.pop ivc.buf);
+              Int_ring.drop_front buf 1;
               granted := true;
               if in_idx < deg then begin
-                let upstream = neighbors.(u).(in_idx) in
-                let d_up = neighbor_idx upstream u in
-                push credit_returns
-                  (now + max 1 (link_latency upstream u))
-                  (upstream, d_up, vc)
+                let upstream = nbrs.(in_idx) in
+                let d_up = back_idx.(u).(in_idx) in
+                Int_ring.push
+                  credit_returns.((now + max 1 (link_latency upstream u))
+                                  land wheel_mask)
+                  ((((upstream * max_deg) + d_up) * vcs) + vc)
               end;
-              if f.tail then begin
-                ivc.route <- None;
-                if f.pkt.tracked then begin
+              if fw land 1 <> 0 then begin
+                routes_i.(vc) <- -1;
+                if !pq_born.(fid) >= config.warmup then begin
                   incr delivered;
                   decr pending;
-                  latencies := (now - f.pkt.born) :: !latencies
+                  Histogram.add hist (now - !pq_born.(fid))
                 end
               end
             end
             else begin
               (* route the head if not yet routed *)
-              (if ivc.route = None && f.head then begin
+              (if routes_i.(vc) < 0 && fw land 2 <> 0 then begin
                  let try_alloc d vc' commit =
                    if owner.(u).(d).(vc') < 0 then begin
-                     owner.(u).(d).(vc') <- f.pkt.id;
-                     ivc.route <- Some (d, vc');
-                     commit ();
+                     owner.(u).(d).(vc') <- fid;
+                     routes_i.(vc) <- (d * vcs) + vc';
+                     (match commit with
+                     | 0 -> ()
+                     | 1 ->
+                         !pq_dim.(fid) <- !rh_dim;
+                         !pq_class.(fid) <- !rh_class
+                     | _ ->
+                         !pq_dim.(fid) <- -1;
+                         !pq_class.(fid) <- 0);
                      true
                    end
                    else false
                  in
                  let escape () =
-                   let next, want_vc, commit = route_hop f.pkt u in
-                   let d = neighbor_idx u next in
+                   route_hop fid u;
+                   let d = neighbor_idx u !rh_next in
                    (* under adaptive routing the hypercube escape lane is
                       pinned to VC 0 *)
                    let want_vc =
-                     if config.routing = Adaptive && want_vc < 0 then 0
-                     else want_vc
+                     if config.routing = Adaptive && !rh_want < 0 then 0
+                     else !rh_want
                    in
-                   if want_vc >= 0 then ignore (try_alloc d want_vc commit)
+                   if want_vc >= 0 then
+                     ignore (try_alloc d want_vc !rh_commit)
                    else begin
                      let ok = ref false in
-                     for off = 0 to config.vcs - 1 do
+                     for off = 0 to vcs - 1 do
                        if not !ok then
-                         ok :=
-                           try_alloc d ((f.pkt.id + off) mod config.vcs) commit
+                         ok := try_alloc d ((fid + off) mod vcs) !rh_commit
                      done
                    end
                  in
@@ -299,75 +371,119 @@ let run ?(config = default_config) ?(link_latency = fun _ _ -> 1) fabric =
                      (* adaptive candidates: any minimal hop on an
                         adaptive VC, most credits first; an adaptive hop
                         resets the escape (dateline) state so a later
-                        escape re-enters its ring fresh *)
+                        escape re-enters its ring fresh.  The scratch is
+                        filled in the reverse of the old prepend order
+                        and insertion-sorted stably by credits, which
+                        reproduces the original list-and-stable-sort
+                        candidate order exactly. *)
                      let adaptive_lo =
                        match fabric with Hypercube _ -> 1 | Torus _ -> 2
                      in
-                     let cands = ref [] in
-                     List.iter
-                       (fun next ->
-                         let d = neighbor_idx u next in
-                         for vc' = adaptive_lo to config.vcs - 1 do
-                           if owner.(u).(d).(vc') < 0 then
-                             cands := (credits.(u).(d).(vc'), d, vc') :: !cands
-                         done)
-                       (productive_hops f.pkt u);
-                     let sorted =
-                       List.sort (fun (a, _, _) (b, _, _) -> compare b a) !cands
+                     let m = ref 0 in
+                     let add next =
+                       let d = neighbor_idx u next in
+                       let ow = owner.(u).(d) and cr = credits.(u).(d) in
+                       for vc' = vcs - 1 downto adaptive_lo do
+                         if ow.(vc') < 0 then begin
+                           cand_cred.(!m) <- cr.(vc');
+                           cand_d.(!m) <- d;
+                           cand_vc.(!m) <- vc';
+                           incr m
+                         end
+                       done
                      in
-                     let commit_adaptive () =
-                       f.pkt.cur_dim <- -1;
-                       f.pkt.vc_class <- 0
-                     in
-                     let rec try_list = function
-                       | [] -> escape ()
-                       | (_, d, vc') :: rest ->
-                           if not (try_alloc d vc' commit_adaptive) then
-                             try_list rest
-                     in
-                     try_list sorted
+                     (match fabric with
+                     | Hypercube dims ->
+                         let diff = u lxor !pq_dest.(fid) in
+                         for b = dims - 1 downto 0 do
+                           if diff land (1 lsl b) <> 0 then
+                             add (u lxor (1 lsl b))
+                         done
+                     | Torus { k; n = dims } ->
+                         let dest = !pq_dest.(fid) in
+                         let w = ref 1 in
+                         for _j = 0 to dims - 1 do
+                           let dj = u / !w mod k and tj = dest / !w mod k in
+                           if dj <> tj then begin
+                             let fwd = (tj - dj + k) mod k in
+                             let go_plus = fwd <= k - fwd in
+                             let next_digit =
+                               if go_plus then (dj + 1) mod k
+                               else (dj + k - 1) mod k
+                             in
+                             add (u + ((next_digit - dj) * !w))
+                           end;
+                           w := !w * k
+                         done);
+                     (* stable insertion sort, credits descending *)
+                     for i = 1 to !m - 1 do
+                       let c = cand_cred.(i)
+                       and d = cand_d.(i)
+                       and v' = cand_vc.(i) in
+                       let j = ref (i - 1) in
+                       while !j >= 0 && cand_cred.(!j) < c do
+                         cand_cred.(!j + 1) <- cand_cred.(!j);
+                         cand_d.(!j + 1) <- cand_d.(!j);
+                         cand_vc.(!j + 1) <- cand_vc.(!j);
+                         decr j
+                       done;
+                       cand_cred.(!j + 1) <- c;
+                       cand_d.(!j + 1) <- d;
+                       cand_vc.(!j + 1) <- v'
+                     done;
+                     let done_ = ref false in
+                     let i = ref 0 in
+                     while (not !done_) && !i < !m do
+                       done_ := try_alloc cand_d.(!i) cand_vc.(!i) 2;
+                       incr i
+                     done;
+                     if not !done_ then escape ()
                end);
-              match ivc.route with
-              | Some (d, out_vc)
-                when (not out_used.(d)) && credits.(u).(d).(out_vc) > 0 ->
-                  ignore (Queue.pop ivc.buf);
+              let r = routes_i.(vc) in
+              if r >= 0 then begin
+                let d = r / vcs and out_vc = r mod vcs in
+                if used_stamp.(d) <> st && credits.(u).(d).(out_vc) > 0
+                then begin
+                  Int_ring.drop_front buf 1;
                   granted := true;
-                  out_used.(d) <- true;
+                  used_stamp.(d) <- st;
                   credits.(u).(d).(out_vc) <- credits.(u).(d).(out_vc) - 1;
-                  let v = neighbors.(u).(d) in
+                  let v = nbrs.(d) in
                   let lat = max 1 (link_latency u v) in
-                  let v_in = neighbor_idx v u in
-                  push arrivals (now + lat) (v, v_in, out_vc, f);
+                  let v_in = back_idx.(u).(d) in
+                  let ab = arrivals.((now + lat) land wheel_mask) in
+                  Int_ring.push ab ((((v * max_inputs) + v_in) * vcs) + out_vc);
+                  Int_ring.push ab fw;
                   (* return a credit upstream for the slot we vacated *)
                   if in_idx < deg then begin
-                    let upstream = neighbors.(u).(in_idx) in
-                    let d_up = neighbor_idx upstream u in
-                    push credit_returns
-                      (now + max 1 (link_latency upstream u))
-                      (upstream, d_up, vc)
+                    let upstream = nbrs.(in_idx) in
+                    let d_up = back_idx.(u).(in_idx) in
+                    Int_ring.push
+                      credit_returns.((now + max 1 (link_latency upstream u))
+                                      land wheel_mask)
+                      ((((upstream * max_deg) + d_up) * vcs) + vc)
                   end;
-                  if f.tail then begin
+                  if fw land 1 <> 0 then begin
                     owner.(u).(d).(out_vc) <- -1;
-                    ivc.route <- None
+                    routes_i.(vc) <- -1
                   end
-              | _ -> ()
+                end
+              end
             end
           end
         done
       done
     done
   done;
-  let lat = Array.of_list !latencies in
-  Array.sort compare lat;
-  let count = Array.length lat in
   {
     injected = !injected;
     delivered = !delivered;
-    avg_latency =
-      (if count = 0 then 0.0
-       else float_of_int (Array.fold_left ( + ) 0 lat) /. float_of_int count);
-    p99_latency =
-      (if count = 0 then 0 else lat.(min (count - 1) (count * 99 / 100)));
+    avg_latency = Histogram.mean hist;
+    p50_latency = Histogram.percentile hist 50;
+    p95_latency = Histogram.percentile hist 95;
+    p99_latency = Histogram.percentile hist 99;
+    max_latency = Histogram.max_value hist;
     throughput =
       float_of_int !delivered /. float_of_int (n * max 1 config.measure);
+    latency_histogram = Histogram.to_pairs hist;
   }

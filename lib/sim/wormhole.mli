@@ -45,8 +45,13 @@ type result = {
   injected : int;
   delivered : int;
   avg_latency : float;   (** head injection to tail ejection, cycles *)
+  p50_latency : int;
+  p95_latency : int;
   p99_latency : int;
+  max_latency : int;
   throughput : float;    (** delivered packets / (nodes * measure) *)
+  latency_histogram : (int * int) array;
+      (** [(latency, count)] in ascending latency order *)
 }
 
 val pp_result : Format.formatter -> result -> unit

@@ -27,6 +27,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("render", Test_render.suite);
       ("serialize", Test_serialize.suite);
+      ("ring_buffer", Test_ring_buffer.suite);
       ("sim", Test_sim.suite);
       ("resilience", Test_resilience.suite);
       ("wormhole", Test_wormhole.suite);

@@ -1,0 +1,190 @@
+(* Ring_buffer / Int_ring: the queues under the simulator engines.
+   Both are exercised against a plain list model through wraparound,
+   growth and interleaved push/pop traffic — FIFO order is what the
+   engines' determinism rests on. *)
+
+module Rb = Mvl_ring.Ring_buffer
+module Ir = Mvl_ring.Int_ring
+
+let test_basic_fifo () =
+  let q = Rb.create ~dummy:(-1) () in
+  Alcotest.(check bool) "fresh empty" true (Rb.is_empty q);
+  for i = 0 to 9 do
+    Rb.push q i
+  done;
+  Alcotest.(check int) "length" 10 (Rb.length q);
+  for i = 0 to 9 do
+    Alcotest.(check int) "fifo" i (Rb.pop q)
+  done;
+  Alcotest.(check bool) "drained" true (Rb.is_empty q);
+  Alcotest.(check bool) "pop empty raises" true
+    (match Rb.pop q with _ -> false | exception Invalid_argument _ -> true);
+  Alcotest.(check (option int)) "pop_opt empty" None (Rb.pop_opt q)
+
+let test_wraparound () =
+  (* stay below capacity while cycling many times: the head wraps the
+     physical array repeatedly and order must survive every wrap *)
+  let q = Rb.create ~capacity:8 ~dummy:0 () in
+  let next_in = ref 0 and next_out = ref 0 in
+  for _ = 1 to 200 do
+    for _ = 1 to 5 do
+      Rb.push q !next_in;
+      incr next_in
+    done;
+    for _ = 1 to 5 do
+      Alcotest.(check int) "wrap order" !next_out (Rb.pop q);
+      incr next_out
+    done
+  done;
+  Alcotest.(check int) "capacity never grew" 8 (Rb.capacity q)
+
+let test_growth () =
+  let q = Rb.create ~capacity:4 ~dummy:(-1) () in
+  (* desynchronize head from 0 so growth has to unwrap a split queue *)
+  Rb.push q (-100);
+  Rb.push q (-100);
+  ignore (Rb.pop q);
+  ignore (Rb.pop q);
+  for i = 0 to 99 do
+    Rb.push q i
+  done;
+  Alcotest.(check int) "length" 100 (Rb.length q);
+  Alcotest.(check bool) "grew" true (Rb.capacity q >= 100);
+  for i = 0 to 99 do
+    Alcotest.(check int) "order across growth" i (Rb.get q i)
+  done;
+  for i = 0 to 99 do
+    Alcotest.(check int) "pop across growth" i (Rb.pop q)
+  done
+
+let test_interleaved_against_model () =
+  (* random interleaving of push/pop checked against a list model *)
+  let q = Rb.create ~capacity:2 ~dummy:0 () in
+  let model = Queue.create () in
+  let rng = Mvl_core.Mvl.Rng.create ~seed:42 in
+  for step = 1 to 2000 do
+    if Mvl_core.Mvl.Rng.bool rng ~p:0.55 then begin
+      Rb.push q step;
+      Queue.push step model
+    end
+    else if not (Queue.is_empty model) then
+      Alcotest.(check int) "model agrees" (Queue.pop model) (Rb.pop q);
+    Alcotest.(check int) "lengths agree" (Queue.length model) (Rb.length q)
+  done;
+  while not (Queue.is_empty model) do
+    Alcotest.(check int) "drain agrees" (Queue.pop model) (Rb.pop q)
+  done;
+  Alcotest.(check bool) "both empty" true (Rb.is_empty q)
+
+let test_drop_front_and_set () =
+  let q = Rb.create ~capacity:4 ~dummy:0 () in
+  for i = 0 to 9 do
+    Rb.push q i
+  done;
+  Rb.drop_front q 4;
+  Alcotest.(check int) "length after drop" 6 (Rb.length q);
+  Alcotest.(check int) "front after drop" 4 (Rb.get q 0);
+  Rb.set q 0 99;
+  Alcotest.(check int) "set visible" 99 (Rb.pop q);
+  Alcotest.(check int) "rest intact" 5 (Rb.pop q);
+  Alcotest.(check bool) "drop too many raises" true
+    (match Rb.drop_front q 100 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_bounds_and_clear () =
+  let q = Rb.create ~dummy:(-7) () in
+  Rb.push q 1;
+  Alcotest.(check bool) "get oob raises" true
+    (match Rb.get q 1 with _ -> false | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "get negative raises" true
+    (match Rb.get q (-1) with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Rb.clear q;
+  Alcotest.(check int) "cleared" 0 (Rb.length q);
+  Rb.push q 5;
+  Alcotest.(check int) "usable after clear" 5 (Rb.pop q)
+
+let test_iter () =
+  let q = Rb.create ~capacity:4 ~dummy:0 () in
+  for i = 0 to 5 do
+    Rb.push q i
+  done;
+  Rb.drop_front q 2;
+  Rb.push q 6;
+  Rb.push q 7;
+  let seen = ref [] in
+  Rb.iter (fun x -> seen := x :: !seen) q;
+  Alcotest.(check (list int)) "iter order" [ 2; 3; 4; 5; 6; 7 ]
+    (List.rev !seen)
+
+(* --- the int specialization ---------------------------------------- *)
+
+let test_int_ring_fifo_wrap_growth () =
+  let q = Ir.create ~capacity:4 () in
+  (* cycle through many wraps below capacity *)
+  let next_in = ref 0 and next_out = ref 0 in
+  for _ = 1 to 100 do
+    for _ = 1 to 3 do
+      Ir.push q !next_in;
+      incr next_in
+    done;
+    for _ = 1 to 3 do
+      Alcotest.(check int) "wrap order" !next_out (Ir.pop q);
+      incr next_out
+    done
+  done;
+  Alcotest.(check int) "no growth yet" 4 (Ir.capacity q);
+  (* then grow from a wrapped position *)
+  for i = 0 to 99 do
+    Ir.push q i
+  done;
+  Alcotest.(check bool) "grew" true (Ir.capacity q >= 100);
+  for i = 0 to 99 do
+    Alcotest.(check int) "order across growth" i (Ir.get q i)
+  done;
+  Ir.drop_front q 10;
+  Alcotest.(check int) "O(1) drop" 90 (Ir.length q);
+  Alcotest.(check int) "front after drop" 10 (Ir.pop q);
+  Ir.set q 0 123;
+  Alcotest.(check int) "set/get" 123 (Ir.get q 0);
+  Alcotest.(check int) "unsafe get" 123 (Ir.unsafe_get q 0);
+  Ir.clear q;
+  Alcotest.(check bool) "cleared" true (Ir.is_empty q);
+  Alcotest.(check bool) "pop empty raises" true
+    (match Ir.pop q with _ -> false | exception Invalid_argument _ -> true)
+
+let test_int_ring_interleaved () =
+  let q = Ir.create () in
+  let model = Queue.create () in
+  let rng = Mvl_core.Mvl.Rng.create ~seed:9 in
+  for step = 1 to 2000 do
+    if Mvl_core.Mvl.Rng.bool rng ~p:0.6 then begin
+      Ir.push q step;
+      Queue.push step model
+    end
+    else if not (Queue.is_empty model) then
+      Alcotest.(check int) "model agrees" (Queue.pop model) (Ir.pop q)
+  done;
+  let seen = ref [] in
+  Ir.iter (fun x -> seen := x :: !seen) q;
+  Alcotest.(check (list int))
+    "iter equals model drain"
+    (List.of_seq (Queue.to_seq model))
+    (List.rev !seen)
+
+let suite =
+  [
+    Alcotest.test_case "basic fifo" `Quick test_basic_fifo;
+    Alcotest.test_case "wraparound" `Quick test_wraparound;
+    Alcotest.test_case "growth" `Quick test_growth;
+    Alcotest.test_case "interleaved push/pop" `Quick
+      test_interleaved_against_model;
+    Alcotest.test_case "drop_front and set" `Quick test_drop_front_and_set;
+    Alcotest.test_case "bounds and clear" `Quick test_bounds_and_clear;
+    Alcotest.test_case "iter" `Quick test_iter;
+    Alcotest.test_case "int ring fifo/wrap/growth" `Quick
+      test_int_ring_fifo_wrap_growth;
+    Alcotest.test_case "int ring interleaved" `Quick test_int_ring_interleaved;
+  ]

@@ -81,6 +81,134 @@ let test_routing_deterministic () =
   let p2 = Mvl.Routing_table.path t ~src:0 ~dest:10 in
   Alcotest.(check (list int)) "stable" p1 p2
 
+(* Reference Int64 splitmix64, transcribed from the published
+   algorithm.  Rng implements the same generator on 32-bit halves in
+   native ints; this pins the two streams (raw draws, floats, bounded
+   ints across the rejection-sampling paths) against each other. *)
+module Rng_reference = struct
+  type t = { mutable state : int64 }
+
+  let create ~seed = { state = Int64.of_int ((seed * 2) + 1) }
+
+  let next t =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let float t =
+    let bits = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+    float_of_int bits /. 9007199254740992.0
+
+  let int t ~bound =
+    let b = Int64.of_int bound in
+    let excess = Int64.rem (Int64.add (Int64.rem Int64.max_int b) 1L) b in
+    let threshold = Int64.sub Int64.max_int excess in
+    let rec draw () =
+      let v = Int64.shift_right_logical (Int64.shift_left (next t) 1) 1 in
+      if Int64.compare v threshold <= 0 then Int64.to_int (Int64.rem v b)
+      else draw ()
+    in
+    draw ()
+end
+
+let test_rng_matches_reference () =
+  List.iter
+    (fun seed ->
+      let r = Mvl.Rng.create ~seed and ref_r = Rng_reference.create ~seed in
+      (* floats pin the raw 64-bit draws (top 53 bits of each) *)
+      for i = 1 to 500 do
+        Alcotest.(check (float 0.0))
+          (Printf.sprintf "float draw %d (seed %d)" i seed)
+          (Rng_reference.float ref_r) (Mvl.Rng.float r)
+      done;
+      (* bounded ints cover the power-of-two, small-bound and wide-bound
+         residue paths, including bounds that force rejections *)
+      List.iter
+        (fun bound ->
+          let r = Mvl.Rng.create ~seed
+          and ref_r = Rng_reference.create ~seed in
+          for i = 1 to 300 do
+            Alcotest.(check int)
+              (Printf.sprintf "int bound=%d draw %d (seed %d)" bound i seed)
+              (Rng_reference.int ref_r ~bound)
+              (Mvl.Rng.int r ~bound)
+          done)
+        [ 1; 2; 7; 64; 1000; 0x40000000 - 1; 0x40000000; (1 lsl 53) + 7 ])
+    [ 0; 1; 7; 123456789 ]
+
+(* fixed-seed golden statistics, captured from the original list/Hashtbl
+   engine before the zero-allocation rewrite: any drift in the packet
+   engine's event ordering shows up here as a changed count or histogram
+   hash *)
+let hash_hist pairs =
+  Array.fold_left
+    (fun h (lat, cnt) -> (((h * 1000003) + (lat * 8191) + cnt) land max_int))
+    0 pairs
+
+let check_golden name (r : Mvl.Network_sim.result) ~injected ~delivered
+    ~hop_total ~cycles ~p50 ~p95 ~p99 ~max ~hist_hash =
+  Alcotest.(check int) (name ^ " injected") injected r.Mvl.Network_sim.injected;
+  Alcotest.(check int)
+    (name ^ " delivered") delivered r.Mvl.Network_sim.delivered;
+  Alcotest.(check int)
+    (name ^ " hop_total") hop_total r.Mvl.Network_sim.hop_total;
+  Alcotest.(check int) (name ^ " cycles") cycles r.Mvl.Network_sim.cycles;
+  Alcotest.(check int) (name ^ " p50") p50 r.Mvl.Network_sim.p50_latency;
+  Alcotest.(check int) (name ^ " p95") p95 r.Mvl.Network_sim.p95_latency;
+  Alcotest.(check int) (name ^ " p99") p99 r.Mvl.Network_sim.p99_latency;
+  Alcotest.(check int) (name ^ " max") max r.Mvl.Network_sim.max_latency;
+  Alcotest.(check int)
+    (name ^ " histogram hash") hist_hash
+    (hash_hist r.Mvl.Network_sim.latency_histogram)
+
+let test_golden_hypercube_uniform () =
+  let cfg =
+    { Mvl.Network_sim.default_config with
+      Mvl.Network_sim.offered_load = 0.25; warmup = 100; measure = 400;
+      drain = 2000; seed = 3 }
+  in
+  check_golden "hypercube/uniform"
+    (Mvl.Network_sim.run ~config:cfg (Mvl.Hypercube.create 6))
+    ~injected:6545 ~delivered:6545 ~hop_total:20014 ~cycles:530 ~p50:4
+    ~p95:37 ~p99:46 ~max:56 ~hist_hash:963587506372009307
+
+let test_golden_kary_transpose_latencies () =
+  (* non-unit link latencies + transpose traffic + shallow lookahead:
+     exercises the timing wheel beyond slot 1 and the requeue path *)
+  let cfg =
+    { Mvl.Network_sim.traffic = Mvl.Traffic.Transpose; offered_load = 0.15;
+      warmup = 100; measure = 400; drain = 2000; seed = 11; lookahead = 4 }
+  in
+  check_golden "kary/transpose"
+    (Mvl.Network_sim.run ~config:cfg
+       ~link_latency:(fun u v -> 1 + ((u + v) mod 3))
+       (Mvl.Kary_ncube.create ~k:4 ~n:3))
+    ~injected:3882 ~delivered:3882 ~hop_total:12246 ~cycles:507 ~p50:4 ~p95:7
+    ~p99:8 ~max:10 ~hist_hash:1997538072982475168
+
+let test_golden_hypercube_saturated () =
+  (* past saturation with a short drain: undelivered packets, full
+     queues, the lookahead window constantly active *)
+  let cfg =
+    { Mvl.Network_sim.default_config with
+      Mvl.Network_sim.offered_load = 0.7; warmup = 50; measure = 200;
+      drain = 300; seed = 7 }
+  in
+  check_golden "hypercube/saturated"
+    (Mvl.Network_sim.run ~config:cfg (Mvl.Hypercube.create 6))
+    ~injected:8965 ~delivered:7975 ~hop_total:23174 ~cycles:550 ~p50:13
+    ~p95:298 ~p99:401 ~max:482 ~hist_hash:2948049736240518677
+
 let test_sim_delivers_everything_at_low_load () =
   let g = Mvl.Hypercube.create 6 in
   let cfg =
@@ -152,6 +280,14 @@ let suite =
   [
     Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
     Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng matches int64 reference" `Quick
+      test_rng_matches_reference;
+    Alcotest.test_case "golden: hypercube uniform" `Quick
+      test_golden_hypercube_uniform;
+    Alcotest.test_case "golden: kary transpose latencies" `Quick
+      test_golden_kary_transpose_latencies;
+    Alcotest.test_case "golden: hypercube saturated" `Quick
+      test_golden_hypercube_saturated;
     Alcotest.test_case "traffic patterns" `Quick test_traffic_patterns;
     Alcotest.test_case "bit reversal involution" `Quick
       test_bit_reversal_involution;

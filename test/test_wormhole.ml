@@ -108,6 +108,52 @@ let test_adaptive_vc_requirements () =
     Alcotest.fail "1-VC adaptive hypercube accepted"
   with Invalid_argument _ -> ()
 
+(* fixed-seed golden statistics, captured from the original list-based
+   router before the zero-allocation rewrite: the histogram hash pins
+   every delivered packet's latency, so any change to VC arbitration
+   order or candidate sorting shows up here *)
+let hash_hist pairs =
+  Array.fold_left
+    (fun h (lat, cnt) -> (((h * 1000003) + (lat * 8191) + cnt) land max_int))
+    0 pairs
+
+let check_golden name (r : Mvl.Wormhole.result) ~injected ~delivered ~p50
+    ~p95 ~p99 ~max ~hist_hash =
+  Alcotest.(check int) (name ^ " injected") injected r.Mvl.Wormhole.injected;
+  Alcotest.(check int) (name ^ " delivered") delivered r.Mvl.Wormhole.delivered;
+  Alcotest.(check int) (name ^ " p50") p50 r.Mvl.Wormhole.p50_latency;
+  Alcotest.(check int) (name ^ " p95") p95 r.Mvl.Wormhole.p95_latency;
+  Alcotest.(check int) (name ^ " p99") p99 r.Mvl.Wormhole.p99_latency;
+  Alcotest.(check int) (name ^ " max") max r.Mvl.Wormhole.max_latency;
+  Alcotest.(check int)
+    (name ^ " histogram hash") hist_hash
+    (hash_hist r.Mvl.Wormhole.latency_histogram)
+
+let test_golden_hypercube_ecube () =
+  let cfg =
+    { Mvl.Wormhole.default_config with
+      Mvl.Wormhole.offered_load = 0.03; warmup = 100; measure = 400;
+      drain = 2000; seed = 2 }
+  in
+  check_golden "wh hypercube/e-cube"
+    (Mvl.Wormhole.run ~config:cfg (Mvl.Wormhole.Hypercube 5))
+    ~injected:386 ~delivered:386 ~p50:6 ~p95:10 ~p99:11 ~max:14
+    ~hist_hash:3420119115101005763
+
+let test_golden_torus_adaptive () =
+  (* adaptive + datelines + 3 VCs: the candidate-scan ordering and the
+     credit-sorted stable arbitration are all on this path *)
+  let cfg =
+    { Mvl.Wormhole.default_config with
+      Mvl.Wormhole.routing = Mvl.Wormhole.Adaptive; vcs = 3;
+      traffic = Mvl.Traffic.Transpose; offered_load = 0.05; warmup = 100;
+      measure = 400; drain = 2000; seed = 5 }
+  in
+  check_golden "wh torus/adaptive"
+    (Mvl.Wormhole.run ~config:cfg (Mvl.Wormhole.Torus { k = 4; n = 2 }))
+    ~injected:345 ~delivered:345 ~p50:5 ~p95:11 ~p99:16 ~max:19
+    ~hist_hash:2103898282786443092
+
 let test_graph_of_fabric () =
   Alcotest.(check bool) "hypercube fabric" true
     (Mvl.Graph.equal
@@ -135,5 +181,9 @@ let suite =
       test_adaptive_no_deadlock_under_stress;
     Alcotest.test_case "adaptive vc requirements" `Quick
       test_adaptive_vc_requirements;
+    Alcotest.test_case "golden: hypercube e-cube" `Quick
+      test_golden_hypercube_ecube;
+    Alcotest.test_case "golden: torus adaptive" `Quick
+      test_golden_torus_adaptive;
     Alcotest.test_case "fabric graphs" `Quick test_graph_of_fabric;
   ]
