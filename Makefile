@@ -1,4 +1,4 @@
-.PHONY: all build test check bench repro clean doc
+.PHONY: all build test check lint bench repro clean doc
 
 all: build
 
@@ -8,10 +8,19 @@ build:
 test:
 	dune runtest
 
+# Bare polymorphic compare/hash silently degrade to structural
+# traversal (and allocate through the comparator); library code must
+# use the monomorphic Int/String versions or an explicit comparator.
+lint:
+	@! grep -rEn '(^|[^.A-Za-z0-9_])(compare|Hashtbl\.hash)([^A-Za-z0-9_]|$$)' \
+		lib --include='*.ml' \
+		|| { echo "lint: bare polymorphic compare/hash in lib/"; exit 1; }
+	@echo "lint: ok"
+
 # what CI runs: full build, test suite, and a CLI smoke pass
 # (list + one validated layout + a malformed spec that must fail +
 # the --json/bench-emit telemetry surfaces, which self-validate)
-check:
+check: lint
 	dune build @all
 	dune runtest
 	dune exec bin/mvl_cli.exe -- list > /dev/null
@@ -31,6 +40,11 @@ check:
 	dune exec bench/main.exe -- throughput --quick --jobs 2 --stable -o BENCH_sim_jobs2.json > /dev/null
 	cmp BENCH_sim_jobs1.json BENCH_sim_jobs2.json
 	rm -f BENCH_sim_quick.json BENCH_sim_jobs1.json BENCH_sim_jobs2.json
+	dune exec bench/main.exe -- scale --quick -o BENCH_layout_quick.json > /dev/null
+	grep -q '"schema": "mvl.bench.layout/1"' BENCH_layout_quick.json
+	rm -f BENCH_layout_quick.json
+	dune exec bin/mvl_cli.exe -- layout hypercube:6 -l 4 --mem-stats | grep -q 'peak_rss_kib='
+	dune exec bin/mvl_cli.exe -- layout hypercube:6 -l 4 --mem-stats --json | grep -q '"peak_rss_kib"'
 
 bench:
 	dune exec bench/main.exe

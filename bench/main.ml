@@ -39,6 +39,7 @@ let run_one = function
   | "timing" -> Timing.run ()
   | "emit" -> Emit.run ()
   | "throughput" -> Throughput.run ()
+  | "scale" -> Scale.run ()
   | other ->
       Printf.eprintf "unknown experiment %S\n" other;
       exit 1
@@ -49,6 +50,7 @@ let () =
      rest of the command line instead of the id-per-argument dispatch *)
   | _ :: "emit" :: (_ :: _ as emit_args) -> Emit.run_cli emit_args
   | _ :: "throughput" :: (_ :: _ as tp_args) -> Throughput.run_cli tp_args
+  | _ :: "scale" :: (_ :: _ as scale_args) -> Scale.run_cli scale_args
   | _ :: (_ :: _ as ids) -> List.iter run_one ids
   | _ ->
       Figures.all ();

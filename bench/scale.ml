@@ -1,0 +1,215 @@
+(* `bench scale`: the layout scale benchmark and the 10^5-node gate.
+
+   Constructs and fully verifies (strict model) a grid of large
+   instances, recording per-record wall times, verify throughput in
+   segments per second, layout metrics against the paper's closed-form
+   leading terms, and the process peak RSS (VmHWM) after each record.
+   Results land in BENCH_layout.json (schema mvl.bench.layout/1) via
+   the same tmp-write + rename + parse-back discipline as `bench emit`,
+   so a crash never leaves a truncated file and emitting invalid JSON
+   is a hard failure.
+
+   The full grid ends with hypercube:17 — 131072 nodes — which doubles
+   as the scale gate: that record must verify with zero violations and
+   the peak RSS afterwards must stay under 4 GiB, otherwise the run
+   exits non-zero.  `--quick` swaps in a small grid for CI smoke.
+
+   VmHWM is a process-lifetime high-water mark, so the grid runs
+   smallest-first and each record reports the running peak; only the
+   final (largest) record's value is gated. *)
+open Mvl_core
+
+let default_path = "BENCH_layout.json"
+
+let gate_spec = "hypercube:17"
+
+let gate_limit_kib = 4 * 1024 * 1024 (* 4 GiB *)
+
+let quick_grid = [ ("hypercube:10", 4); ("kary:4:5", 4); ("hypercube:12", 4) ]
+
+let full_grid =
+  [
+    ("hypercube:12", 4);
+    ("kary:4:6", 4);
+    ("hypercube:14", 4);
+    ("kary:4:8", 4);
+    (gate_spec, 4);
+  ]
+
+let vmhwm_kib () =
+  (* "VmHWM:    1234 kB" from /proc/self/status; 0 when unreadable *)
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file ->
+            close_in ic;
+            acc
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              let rest = String.sub line 6 (String.length line - 6) in
+              let digits =
+                String.to_seq rest
+                |> Seq.filter (fun c -> c >= '0' && c <= '9')
+                |> String.of_seq
+              in
+              go (Option.value ~default:acc (int_of_string_opt digits))
+            else go acc
+      in
+      go 0
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let record (spec_str, layers) =
+  let spec = Mvl.Registry.spec_exn spec_str in
+  let fam, build_s = time (fun () -> Mvl.Registry.build_exn spec) in
+  let layout, layout_s = time (fun () -> fam.Mvl.Families.layout ~layers) in
+  let result, verify_s =
+    time (fun () -> Mvl.Check.run ~mode:Mvl.Check.Strict layout)
+  in
+  let violations = List.length result.Mvl.Check.violations in
+  let m = Mvl.Layout.metrics layout in
+  let g = Mvl.Layout.geom layout in
+  let n_segments = Mvl.Geom.n_segments g in
+  let seg_per_s =
+    if verify_s > 0.0 then float_of_int n_segments /. verify_s else 0.0
+  in
+  let peak = vmhwm_kib () in
+  let open Mvl.Telemetry in
+  let fields =
+    [
+      ("spec", String spec_str);
+      ("layers", Int layers);
+      ("n_nodes", Int fam.Mvl.Families.n_nodes);
+      ("n_edges", Int (Mvl.Graph.m fam.Mvl.Families.graph));
+      ("n_segments", Int n_segments);
+      ("build_seconds", Float build_s);
+      ("layout_seconds", Float layout_s);
+      ("verify_seconds", Float verify_s);
+      ("verify_segments_per_second", Float seg_per_s);
+      ("violations", Int violations);
+      ("area", Int m.Mvl.Layout.area);
+      ("max_wire", Int m.Mvl.Layout.max_wire);
+      ("total_wire", Int m.Mvl.Layout.total_wire);
+      ("vias", Int m.Mvl.Layout.vias);
+      ("peak_rss_kib", Int peak);
+    ]
+  in
+  let fields =
+    match fam.Mvl.Families.paper_area with
+    | Some f ->
+        let predicted = f ~layers in
+        fields
+        @ [
+            ("paper_area", Float predicted);
+            ( "paper_area_ratio",
+              Float (float_of_int m.Mvl.Layout.area /. predicted) );
+          ]
+    | None -> fields
+  in
+  Printf.printf
+    "  %-14s L=%d  N=%-6d  build %.2fs  layout %.2fs  verify %.2fs  (%.2e \
+     seg/s)  violations=%d  peak=%d KiB\n\
+     %!"
+    spec_str layers fam.Mvl.Families.n_nodes build_s layout_s verify_s
+    seg_per_s violations peak;
+  (Obj fields, (spec_str, violations, peak))
+
+let write path ~quick records =
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () ->
+      let oc = open_out tmp in
+      output_string oc "{\n  \"schema\": \"mvl.bench.layout/1\",\n";
+      Printf.fprintf oc "  \"quick\": %b,\n" quick;
+      output_string oc "  \"records\": [\n";
+      List.iteri
+        (fun i r ->
+          if i > 0 then output_string oc ",\n";
+          output_string oc "    ";
+          output_string oc (Mvl.Telemetry.to_string r))
+        records;
+      output_string oc "\n  ]\n}\n";
+      close_out oc;
+      Sys.rename tmp path)
+
+let read_back path expected_records =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  match Mvl.Telemetry.parse contents with
+  | Error msg ->
+      Printf.eprintf "bench scale: %s re-reads as invalid JSON: %s\n" path msg;
+      exit 1
+  | Ok doc -> (
+      match Mvl.Telemetry.member "records" doc with
+      | Some (Mvl.Telemetry.List rs) when List.length rs = expected_records ->
+          ()
+      | _ ->
+          Printf.eprintf
+            "bench scale: %s does not hold the %d expected records\n" path
+            expected_records;
+          exit 1)
+
+let run ?(path = default_path) ?(quick = false) () =
+  let grid = if quick then quick_grid else full_grid in
+  Printf.printf "bench scale (%s grid, %d records):\n%!"
+    (if quick then "quick" else "full")
+    (List.length grid);
+  let out =
+    List.map
+      (fun entry ->
+        (* drop the previous instance before building the next so VmHWM
+           reflects one instance at a time, not two neighbours at once *)
+        Gc.compact ();
+        record entry)
+      grid
+  in
+  let records = List.map fst out in
+  write path ~quick records;
+  read_back path (List.length records);
+  Printf.printf "wrote %s: %d records\n%!" path (List.length records);
+  let failures =
+    List.filter (fun (_, (_, violations, _)) -> violations <> 0) out
+  in
+  List.iter
+    (fun (_, (spec, violations, _)) ->
+      Printf.eprintf "bench scale: %s FAILED verification (%d violations)\n"
+        spec violations)
+    failures;
+  let gate_failed =
+    if quick then false
+    else
+      match List.find_opt (fun (_, (s, _, _)) -> s = gate_spec) out with
+      | None ->
+          Printf.eprintf "bench scale: gate instance %s missing from grid\n"
+            gate_spec;
+          true
+      | Some (_, (_, violations, peak)) ->
+          let mem_ok = peak > 0 && peak < gate_limit_kib in
+          Printf.printf
+            "gate %s: violations=%d  peak=%d KiB (limit %d KiB)  %s\n%!"
+            gate_spec violations peak gate_limit_kib
+            (if violations = 0 && mem_ok then "PASS" else "FAIL");
+          not (violations = 0 && mem_ok)
+  in
+  if failures <> [] || gate_failed then exit 1
+
+let run_cli args =
+  let usage () =
+    prerr_endline "usage: bench scale [--quick] [-o FILE]";
+    exit 2
+  in
+  let rec go path quick = function
+    | [] -> run ~path ~quick ()
+    | "--quick" :: rest -> go path true rest
+    | ("-o" | "--out") :: p :: rest -> go p quick rest
+    | _ -> usage ()
+  in
+  go default_path false args

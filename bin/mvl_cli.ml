@@ -120,6 +120,48 @@ let aggregated_cache (stats : Mvl.Parallel.stats) =
       ("misses", Mvl.Telemetry.Int stats.Mvl.Parallel.misses);
     ]
 
+(* Gc + peak-RSS snapshot for --mem-stats.  VmHWM comes from
+   /proc/self/status and reads 0 where /proc is unavailable. *)
+let vmhwm_kib () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file ->
+            close_in ic;
+            acc
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              let rest = String.sub line 6 (String.length line - 6) in
+              let digits =
+                String.to_seq rest
+                |> Seq.filter (fun c -> c >= '0' && c <= '9')
+                |> String.of_seq
+              in
+              go (Option.value ~default:acc (int_of_string_opt digits))
+            else go acc
+      in
+      go 0
+
+(* finish a major cycle first: OCaml 5's quick_stat reports live/heap
+   words as 0 until one completes, which is exactly the short-lived-CLI
+   case; the heap is small next to the off-heap geometry columns, so
+   the collection is cheap even at 10^5 nodes *)
+let mem_snapshot () =
+  Gc.full_major ();
+  Gc.quick_stat ()
+
+let mem_json () =
+  let s = mem_snapshot () in
+  Mvl.Telemetry.Obj
+    [
+      ("live_words", Mvl.Telemetry.Int s.Gc.live_words);
+      ("heap_words", Mvl.Telemetry.Int s.Gc.heap_words);
+      ("top_heap_words", Mvl.Telemetry.Int s.Gc.top_heap_words);
+      ("peak_rss_kib", Mvl.Telemetry.Int (vmhwm_kib ()));
+    ]
+
 (* --- layout command ----------------------------------------------------- *)
 
 let layout_cmd =
@@ -155,7 +197,15 @@ let layout_cmd =
       value & flag
       & info [ "time" ] ~doc:"Print per-stage wall-clock timings.")
   in
-  let run spec layers svg validate report save time json =
+  let mem_stats_arg =
+    Arg.(
+      value & flag
+      & info [ "mem-stats" ]
+          ~doc:
+            "Report heap occupancy (Gc.quick_stat) and process peak RSS \
+             after the pipeline finishes.")
+  in
+  let run spec layers svg validate report save time mem_stats json =
     let r =
       pipeline_or_die
         ?validate:(if validate then Some Mvl.Check.Strict else None)
@@ -163,7 +213,18 @@ let layout_cmd =
     in
     let fam = r.Mvl.Pipeline.family in
     let m = r.Mvl.Pipeline.metrics in
-    if json then print_json (Mvl.Pipeline.to_json r)
+    if json then begin
+      let j = Mvl.Pipeline.to_json r in
+      let j =
+        if not mem_stats then j
+        else
+          match j with
+          | Mvl.Telemetry.Obj fields ->
+              Mvl.Telemetry.Obj (fields @ [ ("mem", mem_json ()) ])
+          | other -> other
+      in
+      print_json j
+    end
     else begin
       Printf.printf "%s  N=%d  L=%d\n" fam.Mvl.Families.name
         fam.Mvl.Families.n_nodes layers;
@@ -189,7 +250,14 @@ let layout_cmd =
       (match r.Mvl.Pipeline.report with
       | None -> ()
       | Some rep -> Format.printf "%a@." Mvl.Report.pp rep);
-      if time then Format.printf "  %a@." Mvl.Pipeline.pp_timings r
+      if time then Format.printf "  %a@." Mvl.Pipeline.pp_timings r;
+      if mem_stats then begin
+        let s = mem_snapshot () in
+        Printf.printf
+          "  mem: live_words=%d heap_words=%d top_heap_words=%d \
+           peak_rss_kib=%d\n"
+          s.Gc.live_words s.Gc.heap_words s.Gc.top_heap_words (vmhwm_kib ())
+      end
     end;
     (match save with
     | None -> ()
@@ -209,7 +277,7 @@ let layout_cmd =
     (Cmd.info "layout" ~doc:"Build and measure a multilayer layout")
     Term.(
       const run $ family_arg $ layers_arg $ svg_arg $ validate_arg $ report_arg
-      $ save_arg $ time_arg $ json_arg)
+      $ save_arg $ time_arg $ mem_stats_arg $ json_arg)
 
 (* --- sweep command ------------------------------------------------------ *)
 

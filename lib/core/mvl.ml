@@ -55,6 +55,7 @@ module Cluster_expand = Mvl_layout.Cluster_expand
 module Multilayer3d = Mvl_layout.Multilayer3d
 module Baselines = Mvl_layout.Baselines
 module Wire = Mvl_layout.Wire
+module Geom = Mvl_layout.Geom
 module Layout = Mvl_layout.Layout
 module Check = Mvl_layout.Check
 module Render = Mvl_layout.Render

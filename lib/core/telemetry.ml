@@ -340,7 +340,7 @@ let rule_counts violations =
         (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v.Check.rule)))
     violations;
   Hashtbl.fold (fun rule count acc -> (rule, Int count) :: acc) tbl []
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let violation_summary (r : Check.result) =
   Obj

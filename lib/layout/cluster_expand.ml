@@ -201,7 +201,16 @@ let realize spec ~layers =
       by_pos.(p1) <- (intra.Collinear.position.(p2), ie, p1) :: by_pos.(p1);
       by_pos.(p2) <- (intra.Collinear.position.(p1), ie, p2) :: by_pos.(p2))
     intra_edges;
-  let by_pos = Array.map (fun l -> List.sort compare l) by_pos in
+  let by_pos =
+    Array.map
+      (List.sort (fun (a1, a2, a3) (b1, b2, b3) ->
+           let c = Int.compare a1 b1 in
+           if c <> 0 then c
+           else
+             let c = Int.compare a2 b2 in
+             if c <> 0 then c else Int.compare a3 b3))
+      by_pos
+  in
   for q = 0 to qn - 1 do
     Array.iteri
       (fun p sorted ->
@@ -227,13 +236,12 @@ let realize spec ~layers =
   for q = 0 to qn - 1 do
     (* jogs: column links first, sorted by other endpoint row (their jog
        order fixes track-span disjointness); then row links *)
-    let col_sorted =
-      List.sort
-        (fun l1 l2 ->
-          let other l = if l.qa = q then l.lb else l.la in
-          compare (other l1, l1.qe) (other l2, l2.qe))
-        ext_col.(q)
+    let link_cmp l1 l2 =
+      let other l = if l.qa = q then l.lb else l.la in
+      let c = Int.compare (other l1) (other l2) in
+      if c <> 0 then c else Int.compare l1.qe l2.qe
     in
+    let col_sorted = List.sort link_cmp ext_col.(q) in
     let jog_y0 = by q + node_h + intra_slots + 1 in
     List.iteri
       (fun j l -> Hashtbl.add jog_of_link (l.qe, l.qa = q) (jog_y0 + j))
@@ -245,13 +253,7 @@ let realize spec ~layers =
           (jog_y0 + List.length col_sorted + j))
       row_list;
     (* drops: row links sorted by other endpoint column *)
-    let row_sorted =
-      List.sort
-        (fun l1 l2 ->
-          let other l = if l.qa = q then l.lb else l.la in
-          compare (other l1, l1.qe) (other l2, l2.qe))
-        row_list
-    in
+    let row_sorted = List.sort link_cmp row_list in
     let drop_x0 = bx q + block_w - 1 - drop_strip in
     List.iteri
       (fun j l -> Hashtbl.add drop_of_link (l.qe, l.qa = q) (drop_x0 + j))
@@ -265,14 +267,18 @@ let realize spec ~layers =
       (ext_row.(q) @ ext_col.(q))
   done;
   (* --- footprints ----------------------------------------------------- *)
-  let nodes =
-    Array.init n_expanded (fun u ->
-        let q = u / csize and p = u mod csize in
-        let x0 = bx q + band_x0.(p) and y0 = by q in
-        Rect.make ~x0 ~y0 ~x1:(x0 + band_w.(p) - 1) ~y1:(y0 + node_h - 1))
-  in
-  (* --- wires ----------------------------------------------------------- *)
   let graph_edges = Graph.edges pn.Pn_cluster.graph in
+  let b =
+    Geom.Builder.create ~n_nodes:n_expanded
+      ~n_wires:(Array.length graph_edges)
+  in
+  for u = 0 to n_expanded - 1 do
+    let q = u / csize and p = u mod csize in
+    let x0 = bx q + band_x0.(p) and y0 = by q in
+    Geom.Builder.set_node b u ~x0 ~y0 ~x1:(x0 + band_w.(p) - 1)
+      ~y1:(y0 + node_h - 1)
+  done;
+  (* --- wires ----------------------------------------------------------- *)
   let edge_id = Hashtbl.create (Array.length graph_edges) in
   Array.iteri (fun i (u, v) -> Hashtbl.add edge_id (u, v) i) graph_edges;
   let find_edge u v =
@@ -281,8 +287,12 @@ let realize spec ~layers =
     | Some i -> i
     | None -> invalid_arg "Cluster_expand: expanded edge not found"
   in
-  let wires = Array.make (Array.length graph_edges) None in
-  let pt x y z = Point.make ~x ~y ~z in
+  let pt x y z = (x, y, z) in
+  let route_wire id points =
+    let u, v = graph_edges.(id) in
+    Geom.Builder.start_wire b ~id ~u ~v;
+    List.iter (fun (x, y, z) -> Geom.Builder.point b ~x ~y ~z) points
+  in
   let zy_for grp = if (2 * grp) + 2 <= layers then (2 * grp) + 2 else 2 * grp in
   (* intra edges: precompute track per intra edge id *)
   let intra_track = Array.make (Array.length intra_edges) (-1) in
@@ -310,21 +320,18 @@ let realize spec ~layers =
           | [ a; b ] -> (min a b, max a b)
           | _ -> invalid_arg "Cluster_expand: intra terminals"
         in
-        let id = find_edge (xnode q p1) (xnode q p2) in
-        wires.(id) <-
-          Some
-            (Wire.make ~edge:graph_edges.(id)
-               [
-                 pt t1 ytop 1;
-                 pt t1 ytop zy;
-                 pt t1 ytrack zy;
-                 pt t1 ytrack zx;
-                 pt t2 ytrack zx;
-                 pt t2 ytrack zy;
-                 pt t2 ytop zy;
-                 pt t2 ytop 1;
-               ])
-      )
+        route_wire
+          (find_edge (xnode q p1) (xnode q p2))
+          [
+            pt t1 ytop 1;
+            pt t1 ytop zy;
+            pt t1 ytrack zy;
+            pt t1 ytrack zx;
+            pt t2 ytrack zx;
+            pt t2 ytrack zy;
+            pt t2 ytop zy;
+            pt t2 ytop 1;
+          ])
       intra_edges
   done;
   (* row links *)
@@ -343,28 +350,26 @@ let realize spec ~layers =
           let da = Hashtbl.find drop_of_link (l.qe, true)
           and db = Hashtbl.find drop_of_link (l.qe, false) in
           let ytop_a = by l.qa + node_h - 1 and ytop_b = by l.qb + node_h - 1 in
-          let id = find_edge (xnode l.qa l.pa) (xnode l.qb l.pb) in
-          wires.(id) <-
-            Some
-              (Wire.make ~edge:graph_edges.(id)
-                 [
-                   pt ta ytop_a 1;
-                   pt ta ytop_a zy;
-                   pt ta ja zy;
-                   pt ta ja zx;
-                   pt da ja zx;
-                   pt da ja zy;
-                   pt da ytrack zy;
-                   pt da ytrack zx;
-                   pt db ytrack zx;
-                   pt db ytrack zy;
-                   pt db jb zy;
-                   pt db jb zx;
-                   pt tb jb zx;
-                   pt tb jb zy;
-                   pt tb ytop_b zy;
-                   pt tb ytop_b 1;
-                 ]))
+          route_wire
+            (find_edge (xnode l.qa l.pa) (xnode l.qb l.pb))
+            [
+              pt ta ytop_a 1;
+              pt ta ytop_a zy;
+              pt ta ja zy;
+              pt ta ja zx;
+              pt da ja zx;
+              pt da ja zy;
+              pt da ytrack zy;
+              pt da ytrack zx;
+              pt db ytrack zx;
+              pt db ytrack zy;
+              pt db jb zy;
+              pt db jb zx;
+              pt tb jb zx;
+              pt tb jb zy;
+              pt tb ytop_b zy;
+              pt tb ytop_b 1;
+            ])
         links)
     row_links;
   (* column links *)
@@ -381,36 +386,25 @@ let realize spec ~layers =
           let ja = Hashtbl.find jog_of_link (l.qe, true)
           and jb = Hashtbl.find jog_of_link (l.qe, false) in
           let ytop_a = by l.qa + node_h - 1 and ytop_b = by l.qb + node_h - 1 in
-          let id = find_edge (xnode l.qa l.pa) (xnode l.qb l.pb) in
-          wires.(id) <-
-            Some
-              (Wire.make ~edge:graph_edges.(id)
-                 [
-                   pt ta ytop_a 1;
-                   pt ta ytop_a zv;
-                   pt ta ja zv;
-                   pt ta ja zx;
-                   pt xtrack ja zx;
-                   pt xtrack ja zv;
-                   pt xtrack jb zv;
-                   pt xtrack jb zx;
-                   pt tb jb zx;
-                   pt tb jb zv;
-                   pt tb ytop_b zv;
-                   pt tb ytop_b 1;
-                 ]))
+          route_wire
+            (find_edge (xnode l.qa l.pa) (xnode l.qb l.pb))
+            [
+              pt ta ytop_a 1;
+              pt ta ytop_a zv;
+              pt ta ja zv;
+              pt ta ja zx;
+              pt xtrack ja zx;
+              pt xtrack ja zv;
+              pt xtrack jb zv;
+              pt xtrack jb zx;
+              pt tb jb zx;
+              pt tb jb zv;
+              pt tb ytop_b zv;
+              pt tb ytop_b 1;
+            ])
         links)
     col_links;
-  let wires =
-    Array.mapi
-      (fun i w ->
-        match w with
-        | Some w -> w
-        | None ->
-            invalid_arg
-              (Printf.sprintf "Cluster_expand: edge %d unrouted" i))
-      wires
-  in
-  Layout.make ~graph:pn.Pn_cluster.graph ~layers ~nodes ~wires ()
+  (* Geom.Builder.build raises on any edge left unrouted *)
+  Layout.of_geom ~graph:pn.Pn_cluster.graph ~layers (Geom.Builder.build b)
 
 let metrics spec ~layers = Layout.metrics (realize spec ~layers)

@@ -75,7 +75,10 @@ let validate t =
     Array.map (fun e -> if e.u < e.v then (e.u, e.v) else (e.v, e.u)) t.edges
   in
   let sorted = Array.copy normalized in
-  Array.sort compare sorted;
+  Array.sort
+    (fun (a1, a2) (b1, b2) ->
+      match Int.compare a1 b1 with 0 -> Int.compare a2 b2 | c -> c)
+    sorted;
   let* () =
     if sorted <> Graph.edges t.graph then Error "edge set differs from graph"
     else Ok ()
@@ -95,7 +98,7 @@ let validate t =
     (fun track spans ->
       if !conflict = None then begin
         let sorted_spans =
-          List.sort (fun a b -> compare a.Interval.lo b.Interval.lo) spans
+          List.sort (fun a b -> Int.compare a.Interval.lo b.Interval.lo) spans
         in
         let rec scan = function
           | a :: (b :: _ as rest) ->

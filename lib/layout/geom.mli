@@ -1,0 +1,88 @@
+(** Columnar (struct-of-arrays) geometry store.
+
+    All layout geometry lives in flat Bigarray int columns: node
+    footprint corners in four parallel columns, wire polyline vertices
+    in three point columns indexed CSR-style by a per-wire offset
+    column.  The columns are off-heap, so the GC never scans a layout's
+    geometry, and every consumer (metrics, checking, serialization,
+    rendering) walks memory linearly instead of chasing per-point
+    records.  [Wire.t]/[Rect.t] views are materialized on demand for
+    the small-layout API. *)
+
+open Mvl_geometry
+
+type col = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = private {
+  n_nodes : int;
+  n_wires : int;
+  n_points : int;
+  nx0 : col;      (** node footprint corners, [n_nodes] each *)
+  ny0 : col;
+  nx1 : col;
+  ny1 : col;
+  wire_off : col; (** CSR offsets into the point columns, [n_wires + 1] *)
+  edge_u : col;   (** canonical edge endpoints, [n_wires] each *)
+  edge_v : col;
+  px : col;       (** polyline vertices, [n_points] each *)
+  py : col;
+  pz : col;
+}
+
+val n_segments : t -> int
+(** Total polyline segments over all wires ([n_points - n_wires]). *)
+
+val node_rect : t -> int -> Rect.t
+
+val wire_view : t -> int -> Wire.t
+(** Materializes wire [i] as a [Wire.t] (pre-validated geometry, no
+    re-checking). *)
+
+val nodes_view : t -> Rect.t array
+val wires_view : t -> Wire.t array
+
+val of_wires : nodes:Rect.t array -> wires:Wire.t array -> t
+(** Columnarizes already-validated record geometry (the compatibility
+    path behind [Layout.make]). *)
+
+val equal : t -> t -> bool
+(** Element-wise column equality: same nodes, same edges, same polyline
+    vertices in the same order. *)
+
+val translate : t -> dx:int -> dy:int -> t
+
+val bounding_box : t -> Rect.t
+(** Hull of all node corners and wire vertices; the zero rect when the
+    store is empty. *)
+
+val wire_length_xy : t -> int -> int
+(** In-plane length of wire [i]. *)
+
+val wire_length : t -> int -> int
+(** Full grid length of wire [i], vias included. *)
+
+(** Incremental construction: emit nodes and wires (wires in any id
+    order, each wire's points in path order); [build] validates and
+    reorders everything into id-ordered CSR columns.
+
+    Point emission replicates [Wire.make] semantics exactly:
+    consecutive duplicate points are dropped silently, consecutive
+    distinct points must differ in exactly one coordinate, and a wire
+    must keep at least two points. *)
+module Builder : sig
+  type b
+
+  val create : n_nodes:int -> n_wires:int -> b
+
+  val set_node : b -> int -> x0:int -> y0:int -> x1:int -> y1:int -> unit
+
+  val start_wire : b -> id:int -> u:int -> v:int -> unit
+  (** Opens wire [id]; subsequent [point] calls append to it until the
+      next [start_wire].  Raises if [id] was already emitted. *)
+
+  val point : b -> x:int -> y:int -> z:int -> unit
+
+  val build : b -> t
+  (** Raises [Invalid_argument] if any wire id was never emitted, kept
+      fewer than two points, or any node footprint is inverted. *)
+end

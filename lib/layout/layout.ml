@@ -4,9 +4,10 @@ open Mvl_topology
 type t = {
   graph : Graph.t;
   layers : int;
-  nodes : Rect.t array;
   node_layers : int array;
-  wires : Wire.t array;
+  geom : Geom.t;
+  wires_v : Wire.t array Lazy.t;
+  nodes_v : Rect.t array Lazy.t;
 }
 
 type metrics = {
@@ -20,78 +21,104 @@ type metrics = {
   vias : int;
 }
 
+let graph t = t.graph
+let layers (t : t) = t.layers
+let node_layers t = t.node_layers
+let geom t = t.geom
+let wires t = Lazy.force t.wires_v
+let nodes t = Lazy.force t.nodes_v
+let node_rect t i = Geom.node_rect t.geom i
+
+let check_node_layers ~layers ~n node_layers =
+  match node_layers with
+  | None -> Array.make n 1
+  | Some nl ->
+      if Array.length nl <> n then
+        invalid_arg "Layout.make: one active layer per node required";
+      Array.iter
+        (fun z ->
+          if z < 1 || z > layers then
+            invalid_arg "Layout.make: node layer out of range")
+        nl;
+      nl
+
 let make ~graph ~layers ?node_layers ~nodes ~wires () =
   if layers < 1 then invalid_arg "Layout.make: layers < 1";
   if Array.length nodes <> Graph.n graph then
     invalid_arg "Layout.make: one footprint per node required";
   if Array.length wires <> Graph.m graph then
     invalid_arg "Layout.make: one wire per edge required";
-  let node_layers =
-    match node_layers with
-    | None -> Array.make (Graph.n graph) 1
-    | Some nl ->
-        if Array.length nl <> Graph.n graph then
-          invalid_arg "Layout.make: one active layer per node required";
-        Array.iter
-          (fun z ->
-            if z < 1 || z > layers then
-              invalid_arg "Layout.make: node layer out of range")
-          nl;
-        nl
-  in
-  { graph; layers; nodes; node_layers; wires }
+  let node_layers = check_node_layers ~layers ~n:(Graph.n graph) node_layers in
+  {
+    graph;
+    layers;
+    node_layers;
+    geom = Geom.of_wires ~nodes ~wires;
+    wires_v = Lazy.from_val wires;
+    nodes_v = Lazy.from_val nodes;
+  }
 
-let active_layers t =
-  List.length (List.sort_uniq compare (Array.to_list t.node_layers))
+let of_geom ~graph ~layers ?node_layers geom =
+  if layers < 1 then invalid_arg "Layout.make: layers < 1";
+  if geom.Geom.n_nodes <> Graph.n graph then
+    invalid_arg "Layout.make: one footprint per node required";
+  if geom.Geom.n_wires <> Graph.m graph then
+    invalid_arg "Layout.make: one wire per edge required";
+  let node_layers = check_node_layers ~layers ~n:(Graph.n graph) node_layers in
+  {
+    graph;
+    layers;
+    node_layers;
+    geom;
+    wires_v = lazy (Geom.wires_view geom);
+    nodes_v = lazy (Geom.nodes_view geom);
+  }
 
-let bounding_box t =
-  let bbox = ref None in
-  let add_rect r =
-    bbox := Some (match !bbox with None -> r | Some b -> Rect.hull b r)
-  in
-  Array.iter add_rect t.nodes;
+let active_layers (t : t) =
+  (* node layers are validated into [1, layers], so one pass over a
+     presence table replaces sorting a boxed copy of the column *)
+  let seen = Array.make (t.layers + 1) false in
+  let count = ref 0 in
   Array.iter
-    (fun w ->
-      Array.iter
-        (fun (p : Point.t) ->
-          add_rect (Rect.make ~x0:p.x ~y0:p.y ~x1:p.x ~y1:p.y))
-        w.Wire.points)
-    t.wires;
-  match !bbox with
-  | Some b -> b
-  | None -> Rect.make ~x0:0 ~y0:0 ~x1:0 ~y1:0
+    (fun z ->
+      if not seen.(z) then begin
+        seen.(z) <- true;
+        incr count
+      end)
+    t.node_layers;
+  !count
+
+let bounding_box t = Geom.bounding_box t.geom
 
 let translate t ~dx ~dy =
-  let move_rect (r : Rect.t) =
-    Rect.make ~x0:(r.Rect.x0 + dx) ~y0:(r.Rect.y0 + dy) ~x1:(r.Rect.x1 + dx)
-      ~y1:(r.Rect.y1 + dy)
-  in
-  let move_wire (w : Wire.t) =
-    Wire.make ~edge:w.Wire.edge
-      (Array.to_list
-         (Array.map
-            (fun (p : Point.t) ->
-              Point.make ~x:(p.x + dx) ~y:(p.y + dy) ~z:p.z)
-            w.Wire.points))
-  in
+  let geom = Geom.translate t.geom ~dx ~dy in
   {
     t with
-    nodes = Array.map move_rect t.nodes;
-    wires = Array.map move_wire t.wires;
+    geom;
+    wires_v = lazy (Geom.wires_view geom);
+    nodes_v = lazy (Geom.nodes_view geom);
   }
 
 let metrics t =
   let bbox = bounding_box t in
   let width = Rect.width bbox and height = Rect.height bbox in
   let area = width * height in
+  let g = t.geom in
   let max_wire = ref 0 and total_wire = ref 0 and vias = ref 0 in
-  Array.iter
-    (fun w ->
-      let xy = Wire.length_xy w in
-      if xy > !max_wire then max_wire := xy;
-      total_wire := !total_wire + xy;
-      vias := !vias + (Wire.length w - xy))
-    t.wires;
+  for i = 0 to g.Geom.n_wires - 1 do
+    let lo = g.Geom.wire_off.{i} and hi = g.Geom.wire_off.{i + 1} in
+    let xy = ref 0 and zlen = ref 0 in
+    for k = lo to hi - 2 do
+      xy :=
+        !xy
+        + abs (g.Geom.px.{k + 1} - g.Geom.px.{k})
+        + abs (g.Geom.py.{k + 1} - g.Geom.py.{k});
+      zlen := !zlen + abs (g.Geom.pz.{k + 1} - g.Geom.pz.{k})
+    done;
+    if !xy > !max_wire then max_wire := !xy;
+    total_wire := !total_wire + !xy;
+    vias := !vias + !zlen
+  done;
   {
     width;
     height;

@@ -1,19 +1,15 @@
 (** Realized multilayer layouts: node footprints on layer 1 plus one
-    routed wire per network edge, with the cost metrics of §2.2. *)
+    routed wire per network edge, with the cost metrics of §2.2.
+
+    Geometry is held columnarly (see {!Geom}); [wires]/[nodes]
+    materialize record views lazily for the small-layout API, while
+    bulk consumers (checking, metrics, serialization, rendering) read
+    the columns directly. *)
 
 open Mvl_geometry
 open Mvl_topology
 
-type t = {
-  graph : Graph.t;
-  layers : int;            (** [L]: number of wiring layers *)
-  nodes : Rect.t array;    (** footprint of each node *)
-  node_layers : int array; (** active layer of each node; all 1 in the
-                               multilayer 2-D grid model, multiple
-                               values under the 3-D grid model *)
-  wires : Wire.t array;    (** one per graph edge, same order as
-                               [Graph.edges graph] *)
-}
+type t
 
 type metrics = {
   width : int;
@@ -34,8 +30,35 @@ val make :
   wires:Wire.t array ->
   unit ->
   t
-(** [node_layers] defaults to all nodes on layer 1 (the 2-D grid
-    model). *)
+(** Columnarizes record geometry.  [node_layers] defaults to all nodes
+    on layer 1 (the 2-D grid model).  Wires must be listed in the same
+    order as [Graph.edges graph]. *)
+
+val of_geom :
+  graph:Graph.t -> layers:int -> ?node_layers:int array -> Geom.t -> t
+(** Wraps columnar geometry directly — the zero-copy path used by the
+    constructions ([Multilayer], [Cluster_expand]). *)
+
+val graph : t -> Graph.t
+val layers : t -> int
+
+val node_layers : t -> int array
+(** Active layer of each node; all 1 in the multilayer 2-D grid model,
+    multiple values under the 3-D grid model.  The returned array is
+    the layout's own — treat it as read-only. *)
+
+val geom : t -> Geom.t
+
+val wires : t -> Wire.t array
+(** One wire per graph edge, same order as [Graph.edges graph].
+    Materialized lazily from the columns on first use and cached. *)
+
+val nodes : t -> Rect.t array
+(** Footprint of each node, materialized lazily like [wires]. *)
+
+val node_rect : t -> int -> Rect.t
+(** Footprint of one node straight from the columns (no array
+    materialization). *)
 
 val active_layers : t -> int
 (** Number of distinct active layers ([L_A] of §2.2). *)

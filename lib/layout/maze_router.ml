@@ -157,7 +157,7 @@ let route graph placement =
     let ru = placement.nodes.(u) and rv = placement.nodes.(v) in
     abs (ru.Rect.x0 - rv.Rect.x0) + abs (ru.Rect.y0 - rv.Rect.y0)
   in
-  Array.sort (fun a b -> compare (dist edges.(a)) (dist edges.(b))) order;
+  Array.sort (fun a b -> Int.compare (dist edges.(a)) (dist edges.(b))) order;
   let wires = Array.make (Array.length edges) None in
   let ok = ref true in
   Array.iter

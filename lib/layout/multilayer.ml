@@ -1,5 +1,4 @@
 open Mvl_topology
-open Mvl_geometry
 
 type groups = { horizontal : int; vertical : int }
 
@@ -160,17 +159,21 @@ let realize_general ?(node_side = 0) ?(z_offset = 0) ?(col_gap_extra = 0)
         edges)
     o.col_edges;
   let row_used = Array.make n 0 and col_used = Array.make n 0 in
+  let pair_cmp (a1, a2) (b1, b2) =
+    let c = Int.compare a1 b1 in
+    if c <> 0 then c else Int.compare a2 b2
+  in
   for u = 0 to n - 1 do
     let _, c = o.place.(u) and r, _ = o.place.(u) in
     List.iteri
       (fun i (_, edge_id) ->
         Hashtbl.add terms.row_term edge_id (col_x0.(c) + 1 + i))
-      (List.sort compare row_inc.(u));
+      (List.sort pair_cmp row_inc.(u));
     row_used.(u) <- List.length row_inc.(u);
     List.iteri
       (fun i (_, edge_id) ->
         Hashtbl.add terms.col_term edge_id (row_y0.(r) + 1 + i))
-      (List.sort compare col_inc.(u));
+      (List.sort pair_cmp col_inc.(u));
     col_used.(u) <- List.length col_inc.(u)
   done;
   (* extra terminals, appended after the regular ones *)
@@ -183,20 +186,21 @@ let realize_general ?(node_side = 0) ?(z_offset = 0) ?(col_gap_extra = 0)
       col_used.(l.dst) <- col_used.(l.dst) + 1)
     extras;
   (* --- node footprints --------------------------------------------------- *)
-  let nodes =
-    Array.init n (fun u ->
-        let r, c = o.place.(u) in
-        Rect.make ~x0:(col_x0.(c)) ~y0:(row_y0.(r))
-          ~x1:(col_x0.(c) + col_w.(c) - 1)
-          ~y1:(row_y0.(r) + row_h.(r) - 1))
-  in
+  let b = Geom.Builder.create ~n_nodes:n ~n_wires:(Array.length full_edges) in
+  for u = 0 to n - 1 do
+    let r, c = o.place.(u) in
+    Geom.Builder.set_node b u ~x0:(col_x0.(c)) ~y0:(row_y0.(r))
+      ~x1:(col_x0.(c) + col_w.(c) - 1)
+      ~y1:(row_y0.(r) + row_h.(r) - 1)
+  done;
   (* --- routing ------------------------------------------------------------ *)
   let full_edge_id = Hashtbl.create (Array.length full_edges) in
   Array.iteri (fun i e -> Hashtbl.add full_edge_id e i) full_edges;
-  let wires = Array.make (Array.length full_edges) None in
-  let pt x y z = Point.make ~x ~y ~z:(z + z_offset) in
+  let pt x y z = (x, y, z + z_offset) in
   let route_wire i points =
-    wires.(i) <- Some (Wire.make ~edge:full_edges.(i) points)
+    let u, v = full_edges.(i) in
+    Geom.Builder.start_wire b ~id:i ~u ~v;
+    List.iter (fun (x, y, z) -> Geom.Builder.point b ~x ~y ~z) points
   in
   let ortho_edges = Graph.edges o.graph in
   let id_of_ortho edge_id =
@@ -283,22 +287,14 @@ let realize_general ?(node_side = 0) ?(z_offset = 0) ?(col_gap_extra = 0)
           pt xright l.term_y 1;
         ])
     extras;
-  let wires =
-    Array.mapi
-      (fun i w ->
-        match w with
-        | Some w -> w
-        | None ->
-            invalid_arg (Printf.sprintf "Multilayer.realize: edge %d unrouted" i))
-      wires
-  in
+  (* Geom.Builder.build raises on any edge left unrouted *)
+  let geom = Geom.Builder.build b in
   let declared_layers = Option.value total_layers ~default:(layers + z_offset) in
   let node_layers =
     if z_offset = 0 then None else Some (Array.make n (1 + z_offset))
   in
   let layout =
-    Layout.make ~graph:full_graph ~layers:declared_layers ?node_layers ~nodes
-      ~wires ()
+    Layout.of_geom ~graph:full_graph ~layers:declared_layers ?node_layers geom
   in
   let frame = { col_x0; col_w; row_y0; row_h; col_slots; row_slots } in
   (layout, frame)

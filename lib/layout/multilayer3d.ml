@@ -37,7 +37,7 @@ let realize ?node_side ~(base : Orthogonal.t) ~slab_graph ~layers_per_slab () =
         (fun u r ->
           nodes.((s * n_base) + u) <- r;
           node_layers.((s * n_base) + u) <- 1 + (s * layers_per_slab))
-        lay.Layout.nodes)
+        (Layout.nodes lay))
     slab_layouts;
   (* assemble wires, keyed by the product graph's edge list *)
   let product_edges = Graph.edges product in
@@ -59,7 +59,7 @@ let realize ?node_side ~(base : Orthogonal.t) ~slab_graph ~layers_per_slab () =
           let id = find_edge ((s * n_base) + u) ((s * n_base) + v) in
           let global_edge = product_edges.(id) in
           wires.(id) <- Some { w with Wire.edge = global_edge })
-        lay.Layout.wires)
+        (Layout.wires lay))
     slab_layouts;
   (* inter-slab wires: C-edge j of base node u runs through a reserved
      terminal row and a reserved via column of u's column gap *)

@@ -89,39 +89,43 @@ let layout_svg ?(scale = 4) (t : Layout.t) =
         viewBox=\"0 0 %d %d\">\n<rect width=\"100%%\" height=\"100%%\" \
         fill=\"white\"/>\n"
        w h w h);
-  Array.iteri
-    (fun id r ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" \
-            fill=\"#dddddd\" stroke=\"#555555\" stroke-width=\"1\"><title>node \
-            %d</title></rect>\n"
-           (sx r.Rect.x0) (sy r.Rect.y1)
-           (Rect.width r * scale)
-           (Rect.height r * scale)
-           id))
-    t.nodes;
-  Array.iter
-    (fun wire ->
-      Array.iter
-        (fun (s : Segment.t) ->
-          match s.orientation with
-          | Segment.Along_z ->
-              Buffer.add_string buf
-                (Printf.sprintf
-                   "<circle cx=\"%d\" cy=\"%d\" r=\"%d\" fill=\"#222222\"/>\n"
-                   (sx s.a.Point.x) (sy s.a.Point.y) (max 1 (scale / 3)))
-          | _ ->
-              Buffer.add_string buf
-                (Printf.sprintf
-                   "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" \
-                    stroke=\"%s\" stroke-width=\"%d\"/>\n"
-                   (sx s.a.Point.x) (sy s.a.Point.y) (sx s.b.Point.x)
-                   (sy s.b.Point.y)
-                   (layer_color s.a.Point.z)
-                   (max 1 (scale / 4))))
-        (Wire.segments wire))
-    t.wires;
+  let g = Layout.geom t in
+  for id = 0 to g.Geom.n_nodes - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" \
+          fill=\"#dddddd\" stroke=\"#555555\" stroke-width=\"1\"><title>node \
+          %d</title></rect>\n"
+         (sx g.Geom.nx0.{id})
+         (sy g.Geom.ny1.{id})
+         ((g.Geom.nx1.{id} - g.Geom.nx0.{id} + 1) * scale)
+         ((g.Geom.ny1.{id} - g.Geom.ny0.{id} + 1) * scale)
+         id)
+  done;
+  for i = 0 to g.Geom.n_wires - 1 do
+    for k = g.Geom.wire_off.{i} to g.Geom.wire_off.{i + 1} - 2 do
+      let xa = g.Geom.px.{k} and ya = g.Geom.py.{k} and za = g.Geom.pz.{k} in
+      let xb = g.Geom.px.{k + 1} and yb = g.Geom.py.{k + 1} in
+      if xa = xb && ya = yb then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<circle cx=\"%d\" cy=\"%d\" r=\"%d\" fill=\"#222222\"/>\n"
+             (sx xa) (sy ya) (max 1 (scale / 3)))
+      else begin
+        (* draw from the lesser endpoint along the running axis, matching
+           the normalization Segment.make used to apply *)
+        let xa, ya, xb, yb =
+          if xb < xa || yb < ya then (xb, yb, xa, ya) else (xa, ya, xb, yb)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" \
+              stroke=\"%s\" stroke-width=\"%d\"/>\n"
+             (sx xa) (sy ya) (sx xb) (sy yb) (layer_color za)
+             (max 1 (scale / 4)))
+      end
+    done
+  done;
   Buffer.add_string buf "</svg>\n";
   Buffer.contents buf
 

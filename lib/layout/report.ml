@@ -1,5 +1,3 @@
-open Mvl_geometry
-
 type t = {
   metrics : Layout.metrics;
   node_area : int;
@@ -16,33 +14,40 @@ type t = {
 
 let analyze (layout : Layout.t) =
   let metrics = Layout.metrics layout in
-  let node_area =
-    Array.fold_left (fun acc r -> acc + Rect.area r) 0 layout.Layout.nodes
-  in
+  let g = Layout.geom layout in
+  let node_area = ref 0 in
+  for i = 0 to g.Geom.n_nodes - 1 do
+    node_area :=
+      !node_area
+      + ((g.Geom.nx1.{i} - g.Geom.nx0.{i} + 1)
+        * (g.Geom.ny1.{i} - g.Geom.ny0.{i} + 1))
+  done;
+  let node_area = !node_area in
   let lengths =
-    Array.map (fun w -> Wire.length_xy w) layout.Layout.wires
+    Array.init g.Geom.n_wires (fun i -> Geom.wire_length_xy g i)
   in
-  Array.sort compare lengths;
+  Array.sort Int.compare lengths;
   let count = Array.length lengths in
   let pick fraction =
     if count = 0 then 0
     else lengths.(min (count - 1) (int_of_float (float_of_int count *. fraction)))
   in
+  (* a Hashtbl keyed by z keeps user-loaded layouts with out-of-range
+     layers from crashing the report *)
   let per_layer = Hashtbl.create 16 in
   let vias = ref 0 in
-  Array.iter
-    (fun w ->
-      Array.iter
-        (fun (s : Segment.t) ->
-          match s.orientation with
-          | Segment.Along_z -> incr vias
-          | _ ->
-              let z = s.a.Point.z in
-              Hashtbl.replace per_layer z
-                (Segment.length s
-                + Option.value ~default:0 (Hashtbl.find_opt per_layer z)))
-        (Wire.segments w))
-    layout.Layout.wires;
+  for i = 0 to g.Geom.n_wires - 1 do
+    for k = g.Geom.wire_off.{i} to g.Geom.wire_off.{i + 1} - 2 do
+      let dx = abs (g.Geom.px.{k + 1} - g.Geom.px.{k}) in
+      let dy = abs (g.Geom.py.{k + 1} - g.Geom.py.{k}) in
+      if dx = 0 && dy = 0 then incr vias
+      else begin
+        let z = g.Geom.pz.{k} in
+        Hashtbl.replace per_layer z
+          (dx + dy + Option.value ~default:0 (Hashtbl.find_opt per_layer z))
+      end
+    done
+  done;
   {
     metrics;
     node_area;
@@ -56,7 +61,9 @@ let analyze (layout : Layout.t) =
     wire_max = (if count = 0 then 0 else lengths.(count - 1));
     segments_per_layer =
       Hashtbl.fold (fun z len acc -> (z, len) :: acc) per_layer []
-      |> List.sort compare;
+      |> List.sort (fun (za, la) (zb, lb) ->
+             let c = Int.compare za zb in
+             if c <> 0 then c else Int.compare la lb);
     via_count = !vias;
     active_layers = Layout.active_layers layout;
   }

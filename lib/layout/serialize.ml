@@ -2,30 +2,29 @@ open Mvl_topology
 open Mvl_geometry
 
 let to_string (t : Layout.t) =
+  let g = Layout.geom t in
+  let node_layers = Layout.node_layers t in
   let buf = Buffer.create 65536 in
   Buffer.add_string buf "mvl-layout 1\n";
-  Buffer.add_string buf (Printf.sprintf "layers %d\n" t.Layout.layers);
-  Buffer.add_string buf (Printf.sprintf "nodes %d\n" (Graph.n t.Layout.graph));
-  Array.iteri
-    (fun id (r : Rect.t) ->
+  Buffer.add_string buf (Printf.sprintf "layers %d\n" (Layout.layers t));
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" g.Geom.n_nodes);
+  for id = 0 to g.Geom.n_nodes - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "node %d %d %d %d %d %d\n" id g.Geom.nx0.{id}
+         g.Geom.ny0.{id} g.Geom.nx1.{id} g.Geom.ny1.{id} node_layers.(id))
+  done;
+  Buffer.add_string buf (Printf.sprintf "edges %d\n" g.Geom.n_wires);
+  for i = 0 to g.Geom.n_wires - 1 do
+    let lo = g.Geom.wire_off.{i} and hi = g.Geom.wire_off.{i + 1} in
+    Buffer.add_string buf
+      (Printf.sprintf "wire %d %d %d" g.Geom.edge_u.{i} g.Geom.edge_v.{i}
+         (hi - lo));
+    for k = lo to hi - 1 do
       Buffer.add_string buf
-        (Printf.sprintf "node %d %d %d %d %d %d\n" id r.Rect.x0 r.Rect.y0
-           r.Rect.x1 r.Rect.y1 t.Layout.node_layers.(id)))
-    t.Layout.nodes;
-  Buffer.add_string buf
-    (Printf.sprintf "edges %d\n" (Array.length t.Layout.wires));
-  Array.iter
-    (fun (w : Wire.t) ->
-      let u, v = w.Wire.edge in
-      Buffer.add_string buf
-        (Printf.sprintf "wire %d %d %d" u v (Array.length w.Wire.points));
-      Array.iter
-        (fun (p : Point.t) ->
-          Buffer.add_string buf
-            (Printf.sprintf " %d %d %d" p.Point.x p.Point.y p.Point.z))
-        w.Wire.points;
-      Buffer.add_char buf '\n')
-    t.Layout.wires;
+        (Printf.sprintf " %d %d %d" g.Geom.px.{k} g.Geom.py.{k} g.Geom.pz.{k})
+    done;
+    Buffer.add_char buf '\n'
+  done;
   Buffer.add_string buf "end\n";
   Buffer.contents buf
 
@@ -155,12 +154,7 @@ let read_file path =
   of_string content
 
 let roundtrip_equal (a : Layout.t) (b : Layout.t) =
-  Graph.equal a.Layout.graph b.Layout.graph
-  && a.Layout.layers = b.Layout.layers
-  && a.Layout.nodes = b.Layout.nodes
-  && a.Layout.node_layers = b.Layout.node_layers
-  && Array.length a.Layout.wires = Array.length b.Layout.wires
-  && Array.for_all2
-       (fun (wa : Wire.t) (wb : Wire.t) ->
-         wa.Wire.edge = wb.Wire.edge && wa.Wire.points = wb.Wire.points)
-       a.Layout.wires b.Layout.wires
+  Graph.equal (Layout.graph a) (Layout.graph b)
+  && Layout.layers a = Layout.layers b
+  && Layout.node_layers a = Layout.node_layers b
+  && Geom.equal (Layout.geom a) (Layout.geom b)

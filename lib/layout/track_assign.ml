@@ -52,8 +52,8 @@ let greedy spans =
   let order = Array.init count (fun i -> i) in
   Array.sort
     (fun a b ->
-      match compare spans.(a).Interval.lo spans.(b).Interval.lo with
-      | 0 -> compare spans.(a).Interval.hi spans.(b).Interval.hi
+      match Int.compare spans.(a).Interval.lo spans.(b).Interval.lo with
+      | 0 -> Int.compare spans.(a).Interval.hi spans.(b).Interval.hi
       | c -> c)
     order;
   let assignment = Array.make count 0 in
@@ -91,7 +91,7 @@ let max_density spans =
   in
   Array.sort
     (fun (x1, d1) (x2, d2) ->
-      match compare x1 x2 with 0 -> compare d1 d2 | c -> c)
+      match Int.compare x1 x2 with 0 -> Int.compare d1 d2 | c -> c)
     events;
   let best = ref 0 and current = ref 0 in
   Array.iter

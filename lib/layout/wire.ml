@@ -17,6 +17,8 @@ let make ~edge points =
   done;
   { edge; points }
 
+let unsafe_of_points ~edge points = { edge; points }
+
 let segments w =
   Array.init
     (Array.length w.points - 1)

@@ -13,6 +13,12 @@ val make : edge:int * int -> Point.t list -> t
     distinct points differ in more than one coordinate, or fewer than
     two distinct points remain. *)
 
+val unsafe_of_points : edge:int * int -> Point.t array -> t
+(** Wraps an already-validated vertex array without copying or
+    re-checking — the fast path for materializing wire views out of
+    columnar geometry ([Geom]).  The caller guarantees [Wire.make]
+    would accept the same polyline unchanged. *)
+
 val segments : t -> Segment.t array
 (** One segment per consecutive vertex pair. *)
 

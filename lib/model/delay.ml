@@ -38,14 +38,14 @@ let delay_of_wire p w =
 let slowest_wire p (layout : Layout.t) =
   Array.fold_left
     (fun acc w -> max acc (delay_of_wire p w))
-    0.0 layout.Layout.wires
+    0.0 (Layout.wires layout)
 
 let worst_route_latency ?(samples = 8) p (layout : Layout.t) =
-  let graph = layout.Layout.graph in
+  let graph = Layout.graph layout in
   let delays = Hashtbl.create (Graph.m graph) in
   Array.iter
     (fun w -> Hashtbl.replace delays w.Wire.edge (delay_of_wire p w))
-    layout.Layout.wires;
+    (Layout.wires layout);
   let edge_delay u v =
     let key = if u < v then (u, v) else (v, u) in
     Hashtbl.find delays key
@@ -56,7 +56,7 @@ let worst_route_latency ?(samples = 8) p (layout : Layout.t) =
     let best = Array.make n infinity in
     best.(src) <- 0.0;
     let order = Array.init n (fun i -> i) in
-    Array.sort (fun a b -> compare dist.(a) dist.(b)) order;
+    Array.sort (fun a b -> Int.compare dist.(a) dist.(b)) order;
     Array.iter
       (fun v ->
         if dist.(v) > 0 && dist.(v) < max_int then

@@ -8,15 +8,16 @@ type t = {
 }
 
 let of_layout (layout : Layout.t) =
-  let lengths = Hashtbl.create (Graph.m layout.Layout.graph) in
+  let graph = Layout.graph layout in
+  let lengths = Hashtbl.create (Graph.m graph) in
   let max_wire = ref 0 in
   Array.iter
     (fun w ->
       let len = Wire.length_xy w in
       if len > !max_wire then max_wire := len;
       Hashtbl.replace lengths w.Wire.edge len)
-    layout.Layout.wires;
-  { graph = layout.Layout.graph; lengths; max_wire = !max_wire }
+    (Layout.wires layout);
+  { graph; lengths; max_wire = !max_wire }
 
 let edge_length t u v =
   let key = if u < v then (u, v) else (v, u) in
@@ -30,7 +31,7 @@ let best_path_wire t ~src =
   (* relax nodes in increasing BFS distance: every hop-shortest path
      enters a node from a predecessor one BFS level below *)
   let order = Array.init n (fun i -> i) in
-  Array.sort (fun a b -> compare dist.(a) dist.(b)) order;
+  Array.sort (fun a b -> Int.compare dist.(a) dist.(b)) order;
   Array.iter
     (fun v ->
       if dist.(v) > 0 && dist.(v) < max_int then

@@ -21,7 +21,10 @@ let of_edges_array ~n edges =
     if u < v then (u, v) else (v, u)
   in
   let normalized = Array.map norm edges in
-  Array.sort compare normalized;
+  Array.sort
+    (fun (u1, v1) (u2, v2) ->
+      match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c)
+    normalized;
   (* dedupe *)
   let uniq = ref [] in
   let last = ref (-1, -1) in
@@ -55,7 +58,7 @@ let of_edges_array ~n edges =
   for u = 0 to n - 1 do
     let lo = row.(u) and hi = row.(u + 1) in
     let slice = Array.sub adj lo (hi - lo) in
-    Array.sort compare slice;
+    Array.sort Int.compare slice;
     Array.blit slice 0 adj lo (hi - lo)
   done;
   { n; row; adj; edge_list }

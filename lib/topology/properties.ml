@@ -5,7 +5,7 @@ let degree_histogram g =
     Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
   done;
   Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let level_profile g s =
   let dist = Graph.bfs_dist g s in
@@ -14,7 +14,8 @@ let level_profile g s =
     (fun d ->
       Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
     dist;
-  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [] |> List.sort compare
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let is_vertex_transitive_sample g ~samples =
   let n = Graph.n g in
@@ -67,7 +68,7 @@ let bfs_order g s =
   let order = Array.init (Graph.n g) (fun i -> i) in
   Array.sort
     (fun a b ->
-      match compare dist.(a) dist.(b) with 0 -> compare a b | c -> c)
+      match Int.compare dist.(a) dist.(b) with 0 -> Int.compare a b | c -> c)
     order;
   order
 

@@ -7,6 +7,7 @@ let () =
       ("permutation", Test_permutation.suite);
       ("scc_shuffle", Test_scc_shuffle.suite);
       ("geometry", Test_geometry.suite);
+      ("geom", Test_geom.suite);
       ("collinear", Test_collinear.suite);
       ("layout", Test_layout.suite);
       ("check", Test_check.suite);
@@ -27,6 +28,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("render", Test_render.suite);
       ("serialize", Test_serialize.suite);
+      ("golden", Test_golden.suite);
       ("ring_buffer", Test_ring_buffer.suite);
       ("sim", Test_sim.suite);
       ("resilience", Test_resilience.suite);

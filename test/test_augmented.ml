@@ -14,7 +14,7 @@ let test_folded_hypercube_layouts () =
       strict_valid (Printf.sprintf "folded(%d) L=%d" n layers) lay;
       Alcotest.(check int) "all edges routed"
         (Mvl.Graph.m fam.Mvl.Families.graph)
-        (Array.length lay.Mvl.Layout.wires))
+        (Array.length (Mvl.Layout.wires lay)))
     [ (3, 2); (4, 2); (5, 4); (6, 6); (5, 3) ]
 
 let test_enhanced_cube_layouts () =

@@ -1,0 +1,152 @@
+(* The columnar geometry store: Builder semantics (dedupe, one-axis
+   validation, id-order independence, error cases), view
+   materialization, and equivalence with the record-based of_wires
+   path. *)
+open Mvl_core
+
+let pt x y z = Mvl.Point.make ~x ~y ~z
+
+let raises_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+
+(* two nodes joined by one bent wire, built through the Builder *)
+let small_geom ?(swap_emit_order = false) () =
+  let b = Mvl.Geom.Builder.create ~n_nodes:2 ~n_wires:2 in
+  Mvl.Geom.Builder.set_node b 0 ~x0:0 ~y0:0 ~x1:1 ~y1:1;
+  Mvl.Geom.Builder.set_node b 1 ~x0:5 ~y0:0 ~x1:6 ~y1:1;
+  let emit_0 () =
+    Mvl.Geom.Builder.start_wire b ~id:0 ~u:0 ~v:1;
+    Mvl.Geom.Builder.point b ~x:1 ~y:0 ~z:1;
+    Mvl.Geom.Builder.point b ~x:3 ~y:0 ~z:1;
+    Mvl.Geom.Builder.point b ~x:5 ~y:0 ~z:1
+  and emit_1 () =
+    Mvl.Geom.Builder.start_wire b ~id:1 ~u:0 ~v:1;
+    Mvl.Geom.Builder.point b ~x:1 ~y:1 ~z:1;
+    Mvl.Geom.Builder.point b ~x:3 ~y:1 ~z:1;
+    Mvl.Geom.Builder.point b ~x:3 ~y:1 ~z:2;
+    Mvl.Geom.Builder.point b ~x:5 ~y:1 ~z:2
+  in
+  if swap_emit_order then (emit_1 (); emit_0 ()) else (emit_0 (); emit_1 ());
+  Mvl.Geom.Builder.build b
+
+let test_builder_columns () =
+  let g = small_geom () in
+  Alcotest.(check int) "n_nodes" 2 g.Mvl.Geom.n_nodes;
+  Alcotest.(check int) "n_wires" 2 g.Mvl.Geom.n_wires;
+  Alcotest.(check int) "n_points" 7 g.Mvl.Geom.n_points;
+  Alcotest.(check int) "n_segments" 5 (Mvl.Geom.n_segments g);
+  Alcotest.(check int) "wire 0 offset" 0 g.Mvl.Geom.wire_off.{0};
+  Alcotest.(check int) "wire 1 offset" 3 g.Mvl.Geom.wire_off.{1};
+  Alcotest.(check int) "end offset" 7 g.Mvl.Geom.wire_off.{2};
+  Alcotest.(check int) "wire 0 length" 4 (Mvl.Geom.wire_length_xy g 0);
+  Alcotest.(check int) "wire 1 grid length" 5 (Mvl.Geom.wire_length g 1)
+
+let test_out_of_order_ids () =
+  (* emitting wire 1 before wire 0 must yield identical columns *)
+  Alcotest.(check bool) "id order independent" true
+    (Mvl.Geom.equal (small_geom ()) (small_geom ~swap_emit_order:true ()))
+
+let test_builder_dedupes () =
+  let b = Mvl.Geom.Builder.create ~n_nodes:0 ~n_wires:1 in
+  Mvl.Geom.Builder.start_wire b ~id:0 ~u:0 ~v:1;
+  Mvl.Geom.Builder.point b ~x:0 ~y:0 ~z:1;
+  Mvl.Geom.Builder.point b ~x:0 ~y:0 ~z:1;
+  Mvl.Geom.Builder.point b ~x:4 ~y:0 ~z:1;
+  Mvl.Geom.Builder.point b ~x:4 ~y:0 ~z:1;
+  let g = Mvl.Geom.Builder.build b in
+  Alcotest.(check int) "duplicates dropped" 2 g.Mvl.Geom.n_points
+
+let test_builder_rejects_diagonal () =
+  raises_invalid "diagonal step" (fun () ->
+      let b = Mvl.Geom.Builder.create ~n_nodes:0 ~n_wires:1 in
+      Mvl.Geom.Builder.start_wire b ~id:0 ~u:0 ~v:1;
+      Mvl.Geom.Builder.point b ~x:0 ~y:0 ~z:1;
+      Mvl.Geom.Builder.point b ~x:1 ~y:1 ~z:1)
+
+let test_builder_rejects_double_emit () =
+  raises_invalid "double emit" (fun () ->
+      let b = Mvl.Geom.Builder.create ~n_nodes:0 ~n_wires:2 in
+      Mvl.Geom.Builder.start_wire b ~id:0 ~u:0 ~v:1;
+      Mvl.Geom.Builder.point b ~x:0 ~y:0 ~z:1;
+      Mvl.Geom.Builder.point b ~x:1 ~y:0 ~z:1;
+      Mvl.Geom.Builder.start_wire b ~id:0 ~u:0 ~v:1)
+
+let test_builder_rejects_unrouted () =
+  raises_invalid "unrouted wire" (fun () ->
+      let b = Mvl.Geom.Builder.create ~n_nodes:0 ~n_wires:2 in
+      Mvl.Geom.Builder.start_wire b ~id:1 ~u:0 ~v:1;
+      Mvl.Geom.Builder.point b ~x:0 ~y:0 ~z:1;
+      Mvl.Geom.Builder.point b ~x:1 ~y:0 ~z:1;
+      Mvl.Geom.Builder.build b)
+
+let test_builder_rejects_short_wire () =
+  raises_invalid "one-point wire" (fun () ->
+      let b = Mvl.Geom.Builder.create ~n_nodes:0 ~n_wires:1 in
+      Mvl.Geom.Builder.start_wire b ~id:0 ~u:0 ~v:1;
+      Mvl.Geom.Builder.point b ~x:0 ~y:0 ~z:1;
+      Mvl.Geom.Builder.point b ~x:0 ~y:0 ~z:1;
+      (* duplicate collapses to a single point *)
+      Mvl.Geom.Builder.build b)
+
+let test_builder_rejects_unset_node () =
+  raises_invalid "unset node" (fun () ->
+      let b = Mvl.Geom.Builder.create ~n_nodes:1 ~n_wires:0 in
+      Mvl.Geom.Builder.build b)
+
+let test_views () =
+  let g = small_geom () in
+  let nodes = Mvl.Geom.nodes_view g in
+  Alcotest.(check bool) "node 1 rect" true
+    (nodes.(1) = Mvl.Rect.make ~x0:5 ~y0:0 ~x1:6 ~y1:1);
+  let w = Mvl.Geom.wire_view g 0 in
+  let a, z = Mvl.Wire.endpoints w in
+  Alcotest.(check bool) "wire 0 endpoints" true
+    (Mvl.Point.equal a (pt 1 0 1) && Mvl.Point.equal z (pt 5 0 1));
+  Alcotest.(check int) "wire 1 segments" 3
+    (Array.length (Mvl.Wire.segments (Mvl.Geom.wire_view g 1)))
+
+let test_of_wires_matches_builder () =
+  let nodes =
+    [|
+      Mvl.Rect.make ~x0:0 ~y0:0 ~x1:1 ~y1:1;
+      Mvl.Rect.make ~x0:5 ~y0:0 ~x1:6 ~y1:1;
+    |]
+  in
+  let wires =
+    [|
+      Mvl.Wire.make ~edge:(0, 1) [ pt 1 0 1; pt 3 0 1; pt 5 0 1 ];
+      Mvl.Wire.make ~edge:(0, 1)
+        [ pt 1 1 1; pt 3 1 1; pt 3 1 2; pt 5 1 2 ];
+    |]
+  in
+  Alcotest.(check bool) "of_wires = Builder" true
+    (Mvl.Geom.equal (Mvl.Geom.of_wires ~nodes ~wires) (small_geom ()))
+
+let test_translate () =
+  let g = Mvl.Geom.translate (small_geom ()) ~dx:10 ~dy:(-3) in
+  Alcotest.(check bool) "bbox shifted" true
+    (Mvl.Geom.bounding_box g = Mvl.Rect.make ~x0:10 ~y0:(-3) ~x1:16 ~y1:(-2));
+  Alcotest.(check int) "point x shifted" 11 g.Mvl.Geom.px.{0};
+  Alcotest.(check int) "z untouched" 1 g.Mvl.Geom.pz.{0};
+  Alcotest.(check int) "node y shifted" (-3) g.Mvl.Geom.ny0.{1}
+
+let suite =
+  [
+    Alcotest.test_case "builder columns" `Quick test_builder_columns;
+    Alcotest.test_case "out-of-order ids" `Quick test_out_of_order_ids;
+    Alcotest.test_case "dedupe" `Quick test_builder_dedupes;
+    Alcotest.test_case "reject diagonal" `Quick test_builder_rejects_diagonal;
+    Alcotest.test_case "reject double emit" `Quick
+      test_builder_rejects_double_emit;
+    Alcotest.test_case "reject unrouted" `Quick test_builder_rejects_unrouted;
+    Alcotest.test_case "reject short wire" `Quick
+      test_builder_rejects_short_wire;
+    Alcotest.test_case "reject unset node" `Quick
+      test_builder_rejects_unset_node;
+    Alcotest.test_case "views" `Quick test_views;
+    Alcotest.test_case "of_wires equivalence" `Quick
+      test_of_wires_matches_builder;
+    Alcotest.test_case "translate" `Quick test_translate;
+  ]

@@ -1,0 +1,49 @@
+(* Golden pins for large constructions.  The metric values below were
+   produced by the record-based (pre-columnar) geometry pipeline; the
+   columnar substrate must reproduce them exactly, so any drift in
+   construction order, normalization, or measurement is caught here on
+   real 10^3-10^4-node instances rather than toys. *)
+open Mvl_core
+
+let metrics spec layers =
+  Mvl.Layout.metrics (Mvl.Pipeline.layout_exn ~cache:false ~layers spec)
+
+let check_pins name (m : Mvl.Layout.metrics) ~area ~max_wire ~total_wire
+    ~vias =
+  Alcotest.(check int) (name ^ " area") area m.Mvl.Layout.area;
+  Alcotest.(check int) (name ^ " max_wire") max_wire m.Mvl.Layout.max_wire;
+  Alcotest.(check int)
+    (name ^ " total_wire")
+    total_wire m.Mvl.Layout.total_wire;
+  Alcotest.(check int) (name ^ " vias") vias m.Mvl.Layout.vias
+
+let test_hypercube_12 () =
+  check_pins "hypercube:12 L4"
+    (metrics "hypercube:12" 4)
+    ~area:3682561 ~max_wire:1475 ~total_wire:8214528 ~vias:112128
+
+let test_kary_4_6 () =
+  check_pins "kary:4:6 L4" (metrics "kary:4:6" 4) ~area:3682561 ~max_wire:1475
+    ~total_wire:8214528 ~vias:112128
+
+let test_serialize_roundtrip_large () =
+  (* byte-for-byte serialization stability on a 16384-node layout: the
+     text form re-parses to an equal layout and re-serializes to the
+     identical string *)
+  let lay = Mvl.Pipeline.layout_exn ~cache:false ~layers:4 "hypercube:14" in
+  let s = Mvl.Serialize.to_string lay in
+  match Mvl.Serialize.of_string s with
+  | Error msg -> Alcotest.fail ("reparse failed: " ^ msg)
+  | Ok parsed ->
+      Alcotest.(check bool) "roundtrip equal" true
+        (Mvl.Serialize.roundtrip_equal lay parsed);
+      Alcotest.(check bool) "re-serialization byte-identical" true
+        (String.equal s (Mvl.Serialize.to_string parsed))
+
+let suite =
+  [
+    Alcotest.test_case "hypercube:12 pins" `Slow test_hypercube_12;
+    Alcotest.test_case "kary:4:6 pins" `Slow test_kary_4_6;
+    Alcotest.test_case "serialize roundtrip 16k nodes" `Slow
+      test_serialize_roundtrip_large;
+  ]

@@ -134,7 +134,7 @@ let test_wire_count_and_edges () =
   let lay = fam.Mvl.Families.layout ~layers:4 in
   Alcotest.(check int) "one wire per edge"
     (Mvl.Graph.m fam.Mvl.Families.graph)
-    (Array.length lay.Mvl.Layout.wires)
+    (Array.length (Mvl.Layout.wires lay))
 
 let suite =
   [

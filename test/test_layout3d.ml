@@ -23,7 +23,7 @@ let test_strict_valid_sweep () =
 let test_active_layers () =
   let t = Mvl.Multilayer3d.hypercube ~n:6 ~active:4 ~layers_per_slab:3 in
   Alcotest.(check int) "L_A" 4 (Mvl.Layout.active_layers t.Mvl.Multilayer3d.layout);
-  Alcotest.(check int) "total layers" 12 t.Mvl.Multilayer3d.layout.Mvl.Layout.layers
+  Alcotest.(check int) "total layers" 12 (Mvl.Layout.layers t.Mvl.Multilayer3d.layout)
 
 let test_footprint_shrinks () =
   (* stacking on 4 active layers must beat the 2-D layout at the same
@@ -46,7 +46,7 @@ let test_wire_accounting () =
   let base_edges = base_dims * (1 lsl (base_dims - 1)) in
   let slab_edges = 2 * (1 lsl 1) in
   let expected = (4 * base_edges) + (slab_edges * (1 lsl base_dims)) in
-  Alcotest.(check int) "edge count" expected (Array.length lay.Mvl.Layout.wires)
+  Alcotest.(check int) "edge count" expected (Array.length (Mvl.Layout.wires lay))
 
 let test_generic_base () =
   (* a torus base with a ring of slabs: k-ary (n+1)-cube overall *)

@@ -7,9 +7,9 @@ let base_layout () =
   fam.Mvl.Families.layout ~layers:4
 
 let with_wires (lay : Mvl.Layout.t) wires =
-  Mvl.Layout.make ~graph:lay.Mvl.Layout.graph ~layers:lay.Mvl.Layout.layers
-    ~node_layers:lay.Mvl.Layout.node_layers ~nodes:lay.Mvl.Layout.nodes ~wires
-    ()
+  Mvl.Layout.make ~graph:(Mvl.Layout.graph lay) ~layers:(Mvl.Layout.layers lay)
+    ~node_layers:(Mvl.Layout.node_layers lay) ~nodes:(Mvl.Layout.nodes lay)
+    ~wires ()
 
 let shift_wire (w : Mvl.Wire.t) ~dx ~dy =
   Mvl.Wire.make ~edge:w.Mvl.Wire.edge
@@ -25,8 +25,8 @@ let test_detached_wire () =
      shifts can legitimately land on a free neighbouring terminal slot,
      which the checker rightly accepts) *)
   let lay = base_layout () in
-  for victim = 0 to min 9 (Array.length lay.Mvl.Layout.wires - 1) do
-    let wires = Array.copy lay.Mvl.Layout.wires in
+  for victim = 0 to min 9 (Array.length (Mvl.Layout.wires lay) - 1) do
+    let wires = Array.copy (Mvl.Layout.wires lay) in
     wires.(victim) <- shift_wire wires.(victim) ~dx:10_000 ~dy:0;
     let mutated = with_wires lay wires in
     Alcotest.(check bool)
@@ -38,7 +38,7 @@ let test_detached_wire () =
 let test_cloned_route () =
   (* give one edge another edge's route: overlap + wrong terminals *)
   let lay = base_layout () in
-  let wires = Array.copy lay.Mvl.Layout.wires in
+  let wires = Array.copy (Mvl.Layout.wires lay) in
   let donor = wires.(0) in
   wires.(1) <- { donor with Mvl.Wire.edge = wires.(1).Mvl.Wire.edge };
   let mutated = with_wires lay wires in
@@ -47,13 +47,13 @@ let test_cloned_route () =
 let test_swapped_footprints () =
   (* swapping two node footprints leaves every wire mis-terminated *)
   let lay = base_layout () in
-  let nodes = Array.copy lay.Mvl.Layout.nodes in
+  let nodes = Array.copy (Mvl.Layout.nodes lay) in
   let tmp = nodes.(0) in
   nodes.(0) <- nodes.(3);
   nodes.(3) <- tmp;
   let mutated =
-    Mvl.Layout.make ~graph:lay.Mvl.Layout.graph ~layers:lay.Mvl.Layout.layers
-      ~nodes ~wires:lay.Mvl.Layout.wires ()
+    Mvl.Layout.make ~graph:(Mvl.Layout.graph lay)
+      ~layers:(Mvl.Layout.layers lay) ~nodes ~wires:(Mvl.Layout.wires lay) ()
   in
   Alcotest.(check bool) "swapped footprints caught" false
     (Mvl.Check.is_valid mutated)
@@ -70,7 +70,7 @@ let test_flattened_layers () =
                 (fun (p : Mvl.Point.t) ->
                   Mvl.Point.make ~x:p.Mvl.Point.x ~y:p.Mvl.Point.y ~z:1)
                 w.Mvl.Wire.points)))
-      lay.Mvl.Layout.wires
+      (Mvl.Layout.wires lay)
   in
   let mutated = with_wires lay wires in
   Alcotest.(check bool) "flattening caught" false (Mvl.Check.is_valid mutated)
@@ -80,7 +80,7 @@ let prop_random_shifts_caught =
     QCheck.(pair (int_range 0 31) (int_range 0 3))
     (fun (victim, direction) ->
       let lay = base_layout () in
-      let victim = victim mod Array.length lay.Mvl.Layout.wires in
+      let victim = victim mod Array.length (Mvl.Layout.wires lay) in
       let dx, dy =
         match direction with
         | 0 -> (10_000, 0)
@@ -88,13 +88,13 @@ let prop_random_shifts_caught =
         | 2 -> (0, 10_000)
         | _ -> (0, -10_000)
       in
-      let wires = Array.copy lay.Mvl.Layout.wires in
+      let wires = Array.copy (Mvl.Layout.wires lay) in
       wires.(victim) <- shift_wire wires.(victim) ~dx ~dy;
       not (Mvl.Check.is_valid (with_wires lay wires)))
 
 let test_valid_survives_identity () =
   let lay = base_layout () in
-  let wires = Array.copy lay.Mvl.Layout.wires in
+  let wires = Array.copy (Mvl.Layout.wires lay) in
   Alcotest.(check bool) "identity mutation stays valid" true
     (Mvl.Check.is_valid (with_wires lay wires))
 

@@ -207,7 +207,7 @@ let test_pipeline_stages () =
   (match r.Mvl.Pipeline.report with
   | Some rep ->
       Alcotest.(check int) "report wire count"
-        (Array.length r.Mvl.Pipeline.layout.Mvl.Layout.wires)
+        (Array.length (Mvl.Layout.wires r.Mvl.Pipeline.layout))
         rep.Mvl.Report.wire_count
   | None -> Alcotest.fail "report requested but absent");
   Alcotest.(check int) "five stage timings" 5

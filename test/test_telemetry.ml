@@ -157,10 +157,11 @@ let test_cached_run_serializes_from_cache () =
 let broken_copy (r : Mvl.Pipeline.t) =
   (* clone one wire's route onto another edge: overlapping + detached *)
   let lay = r.Mvl.Pipeline.layout in
-  let wires = Array.copy lay.Mvl.Layout.wires in
+  let wires = Array.copy (Mvl.Layout.wires lay) in
   wires.(1) <- { wires.(0) with Mvl.Wire.edge = wires.(1).Mvl.Wire.edge };
-  Mvl.Layout.make ~graph:lay.Mvl.Layout.graph ~layers:lay.Mvl.Layout.layers
-    ~node_layers:lay.Mvl.Layout.node_layers ~nodes:lay.Mvl.Layout.nodes ~wires
+  Mvl.Layout.make ~graph:(Mvl.Layout.graph lay) ~layers:(Mvl.Layout.layers lay)
+    ~node_layers:(Mvl.Layout.node_layers lay) ~nodes:(Mvl.Layout.nodes lay)
+    ~wires
     ()
 
 let test_validity_three_states () =
