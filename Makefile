@@ -11,10 +11,18 @@ test:
 # Bare polymorphic compare/hash silently degrade to structural
 # traversal (and allocate through the comparator); library code must
 # use the monomorphic Int/String versions or an explicit comparator.
+# A Mutex.lock not immediately followed by Fun.protect leaks the lock
+# if the critical section raises — library code must go through a
+# with_lock-style helper built on that idiom.
 lint:
 	@! grep -rEn '(^|[^.A-Za-z0-9_])(compare|Hashtbl\.hash)([^A-Za-z0-9_]|$$)' \
 		lib --include='*.ml' \
 		|| { echo "lint: bare polymorphic compare/hash in lib/"; exit 1; }
+	@bad=0; for f in $$(grep -rl 'Mutex\.lock' lib --include='*.ml'); do \
+		awk 'flag && !/Fun\.protect/ { print FILENAME ":" FNR-1 \
+			": Mutex.lock without Fun.protect on the next line"; bad=1 } \
+			{ flag = /Mutex\.lock/ } END { exit bad }' "$$f" || bad=1; \
+	done; [ $$bad -eq 0 ] || { echo "lint: unprotected Mutex.lock in lib/"; exit 1; }
 	@echo "lint: ok"
 
 # what CI runs: full build, test suite, and a CLI smoke pass
@@ -30,17 +38,21 @@ check: lint
 	dune exec bench/main.exe -- emit > /dev/null
 	grep -q '"schema": "mvl.bench.pipeline/1"' BENCH_pipeline.json
 	dune exec bench/main.exe -- emit --jobs 1 --stable -o BENCH_jobs1.json > /dev/null
-	dune exec bench/main.exe -- emit --jobs 2 --stable -o BENCH_jobs2.json > /dev/null
+	dune exec bench/main.exe -- emit --jobs 4 --stable -o BENCH_jobs2.json > /dev/null
 	cmp BENCH_jobs1.json BENCH_jobs2.json
-	rm -f BENCH_jobs1.json BENCH_jobs2.json
+	MVL_FORCE_FORK=1 dune exec bench/main.exe -- emit --jobs 4 --stable -o BENCH_fork.json > /dev/null
+	cmp BENCH_jobs1.json BENCH_fork.json
+	rm -f BENCH_jobs1.json BENCH_jobs2.json BENCH_fork.json
 	dune exec bin/mvl_cli.exe -- sim hypercube:6 --load 0.05 --json | grep -q '"schema": "mvl.sim.run/1"'
 	dune exec bench/main.exe -- throughput --quick -o BENCH_sim_quick.json > /dev/null
 	grep -q '"schema": "mvl.bench.sim/1"' BENCH_sim_quick.json
 	dune exec bench/main.exe -- throughput --quick --jobs 1 --stable -o BENCH_sim_jobs1.json > /dev/null
-	dune exec bench/main.exe -- throughput --quick --jobs 2 --stable -o BENCH_sim_jobs2.json > /dev/null
+	dune exec bench/main.exe -- throughput --quick --jobs 4 --stable -o BENCH_sim_jobs2.json > /dev/null
 	cmp BENCH_sim_jobs1.json BENCH_sim_jobs2.json
-	rm -f BENCH_sim_quick.json BENCH_sim_jobs1.json BENCH_sim_jobs2.json
-	dune exec bench/main.exe -- scale --quick -o BENCH_layout_quick.json > /dev/null
+	MVL_FORCE_FORK=1 dune exec bench/main.exe -- throughput --quick --jobs 4 --stable -o BENCH_sim_fork.json > /dev/null
+	cmp BENCH_sim_jobs1.json BENCH_sim_fork.json
+	rm -f BENCH_sim_quick.json BENCH_sim_jobs1.json BENCH_sim_jobs2.json BENCH_sim_fork.json
+	dune exec bench/main.exe -- scale --quick --jobs 2 -o BENCH_layout_quick.json > /dev/null
 	grep -q '"schema": "mvl.bench.layout/1"' BENCH_layout_quick.json
 	rm -f BENCH_layout_quick.json
 	dune exec bin/mvl_cli.exe -- layout hypercube:6 -l 4 --mem-stats | grep -q 'peak_rss_kib='

@@ -7,11 +7,15 @@
    are written one per line, so regenerating the file yields reviewable
    diffs (only the "seconds" and cumulative "cache" numbers move).
 
-   `--jobs N` fans the (spec, L) grid out over N forked workers
-   (Mvl.Parallel); records land in the file in grid order regardless of
-   worker scheduling.  `--stable` strips the volatile "seconds"/"cache"
-   fields so two emits — any job counts — are byte-identical; the CI
-   determinism step diffs a --jobs 2 run against a --jobs 1 run.
+   `--jobs N` fans the (spec, L) grid out over N workers of the active
+   Mvl.Parallel backend (work-stealing domains by default, forked
+   processes under MVL_FORCE_FORK=1); records land in the file in grid
+   order regardless of worker scheduling.  `--stable` strips the
+   volatile "seconds"/"cache" fields so two emits — any job counts,
+   either backend — are byte-identical; the CI determinism step diffs
+   multi-job runs against a --jobs 1 run.  Non-stable emits additionally
+   time the grid at 1/2/4/8 workers and record the scaling curve under
+   "jobs_scaling".
 
    The output file is written to a temporary name in the same directory
    and renamed into place, so a crash or kill mid-run never leaves a
@@ -50,7 +54,48 @@ let records ?jobs ~stable () =
   let rs = if stable then List.map Mvl.Telemetry.strip_volatile rs else rs in
   (rs, stats)
 
-let write ?stats path records =
+(* wall-time the whole grid at 1/2/4/8 workers on the active backend —
+   the runtime's scaling signature, recorded alongside the per-record
+   timings.  Each measurement starts from a cold layout cache so every
+   point does the same work; speedup is against the 1-worker run of the
+   same process, efficiency is speedup/workers.  On a machine with
+   fewer cores than workers the extra points measure oversubscription,
+   not speedup — readers should mind [cpu_count]. *)
+let scaling_points = [ 1; 2; 4; 8 ]
+
+let measure_scaling () =
+  let g = grid () in
+  let time_run jobs =
+    Mvl.Pipeline.cache_reset ();
+    let t0 = Unix.gettimeofday () in
+    let _rs, _stats = Mvl.Parallel.map ~jobs ~f:record g in
+    Unix.gettimeofday () -. t0
+  in
+  match scaling_points with
+  | [] -> Mvl.Telemetry.Null
+  | base_jobs :: _ ->
+      let base = time_run base_jobs in
+      let point jobs =
+        let t = if jobs = base_jobs then base else time_run jobs in
+        let speedup = if t > 0.0 then base /. t else 0.0 in
+        Mvl.Telemetry.Obj
+          [
+            ("jobs", Mvl.Telemetry.Int jobs);
+            ("seconds", Mvl.Telemetry.Float t);
+            ("speedup", Mvl.Telemetry.Float speedup);
+            ("efficiency", Mvl.Telemetry.Float (speedup /. float_of_int jobs));
+          ]
+      in
+      Mvl.Telemetry.Obj
+        [
+          ( "backend",
+            Mvl.Telemetry.String
+              (Mvl.Parallel.backend_name (Mvl.Parallel.default_backend ())) );
+          ("cpu_count", Mvl.Telemetry.Int (Mvl.Parallel.cpu_count ()));
+          ("points", Mvl.Telemetry.List (List.map point scaling_points));
+        ]
+
+let write ?stats ?scaling path records =
   let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
   Fun.protect
     ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
@@ -66,6 +111,11 @@ let write ?stats path records =
       | Some (s : Mvl.Parallel.stats) ->
           Printf.fprintf oc "  \"cache\": {\"hits\": %d, \"misses\": %d},\n"
             s.Mvl.Parallel.hits s.Mvl.Parallel.misses);
+      (match scaling with
+      | None -> ()
+      | Some json ->
+          Printf.fprintf oc "  \"jobs_scaling\": %s,\n"
+            (Mvl.Telemetry.to_string json));
       output_string oc "  \"records\": [\n";
       List.iteri
         (fun i r ->
@@ -100,9 +150,11 @@ let read_back path expected_records =
 
 let run ?(path = default_path) ?jobs ?(stable = false) () =
   let rs, stats = records ?jobs ~stable () in
-  (* the aggregated worker counters are themselves volatile relative to
-     worker-failure recovery, so the --stable form omits them *)
-  write ?stats:(if stable then None else Some stats) path rs;
+  (* the aggregated worker counters and the scaling timings are
+     volatile (scheduling, machine load), so the --stable form omits
+     both — that's what keeps two stable emits byte-identical *)
+  let scaling = if stable then None else Some (measure_scaling ()) in
+  write ?stats:(if stable then None else Some stats) ?scaling path rs;
   read_back path (List.length rs);
   let errors =
     List.filter

@@ -64,12 +64,12 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let record (spec_str, layers) =
+let record ~jobs (spec_str, layers) =
   let spec = Mvl.Registry.spec_exn spec_str in
   let fam, build_s = time (fun () -> Mvl.Registry.build_exn spec) in
   let layout, layout_s = time (fun () -> fam.Mvl.Families.layout ~layers) in
   let result, verify_s =
-    time (fun () -> Mvl.Check.run ~mode:Mvl.Check.Strict layout)
+    time (fun () -> Mvl.Check.run ~mode:Mvl.Check.Strict ~jobs layout)
   in
   let violations = List.length result.Mvl.Check.violations in
   let m = Mvl.Layout.metrics layout in
@@ -157,18 +157,18 @@ let read_back path expected_records =
             expected_records;
           exit 1)
 
-let run ?(path = default_path) ?(quick = false) () =
+let run ?(path = default_path) ?(quick = false) ?(jobs = 1) () =
   let grid = if quick then quick_grid else full_grid in
-  Printf.printf "bench scale (%s grid, %d records):\n%!"
+  Printf.printf "bench scale (%s grid, %d records, verify jobs=%d):\n%!"
     (if quick then "quick" else "full")
-    (List.length grid);
+    (List.length grid) jobs;
   let out =
     List.map
       (fun entry ->
         (* drop the previous instance before building the next so VmHWM
            reflects one instance at a time, not two neighbours at once *)
         Gc.compact ();
-        record entry)
+        record ~jobs entry)
       grid
   in
   let records = List.map fst out in
@@ -203,13 +203,17 @@ let run ?(path = default_path) ?(quick = false) () =
 
 let run_cli args =
   let usage () =
-    prerr_endline "usage: bench scale [--quick] [-o FILE]";
+    prerr_endline "usage: bench scale [--quick] [--jobs N] [-o FILE]";
     exit 2
   in
-  let rec go path quick = function
-    | [] -> run ~path ~quick ()
-    | "--quick" :: rest -> go path true rest
-    | ("-o" | "--out") :: p :: rest -> go p quick rest
+  let rec go path quick jobs = function
+    | [] -> run ~path ~quick ~jobs ()
+    | "--quick" :: rest -> go path true jobs rest
+    | ("-j" | "--jobs") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> go path quick j rest
+        | _ -> usage ())
+    | ("-o" | "--out") :: p :: rest -> go p quick jobs rest
     | _ -> usage ()
   in
-  go default_path false args
+  go default_path false 1 args

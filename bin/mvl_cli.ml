@@ -66,10 +66,12 @@ let jobs_arg =
     & opt (some int) None
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Fan independent runs out over $(docv) forked worker processes \
-           (default: number of cores, capped at 8; 1 forces the \
-           sequential path).  Output order and content are independent \
-           of $(docv).")
+          "Fan independent runs out over $(docv) workers — a \
+           work-stealing pool of OCaml domains sharing one layout \
+           cache, or forked processes when MVL_FORCE_FORK=1 is set \
+           (default: every processor visible to this process; 1 forces \
+           the sequential path).  Output order and content are \
+           independent of $(docv) and of the backend.")
 
 let print_json j = print_endline (Mvl.Telemetry.to_string ~pretty:true j)
 

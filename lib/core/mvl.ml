@@ -89,5 +89,6 @@ module Registry = Registry
 module Pipeline = Pipeline
 module Telemetry = Telemetry
 module Parallel = Parallel
+module Domain_pool = Mvl_pool.Domain_pool
 module Bounded_fifo = Bounded_fifo
 module Ring_buffer = Mvl_ring.Ring_buffer

@@ -1,8 +1,28 @@
 type stats = { workers : int; hits : int; misses : int }
+type backend = Domains | Fork | Sequential
 
-let available () = not Sys.win32
+let backend_name = function
+  | Domains -> "domains"
+  | Fork -> "fork"
+  | Sequential -> "sequential"
 
-let cpu_count () =
+(* the runtime refuses Unix.fork forever once a domain has been
+   spawned, so fork availability is dynamic: true until the domain
+   backend first runs *)
+let available () = (not Sys.win32) && not (Mvl_pool.Domain_pool.spawned_domains ())
+
+let force_fork () =
+  match Sys.getenv_opt "MVL_FORCE_FORK" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let default_backend () =
+  if force_fork () && available () then Fork else Domains
+
+(* /proc/cpuinfo counts every online processor, which over-reports in
+   cpuset-limited containers; kept only as a fallback for runtimes
+   where the affinity probe answers nothing useful *)
+let proc_cpu_count () =
   match open_in "/proc/cpuinfo" with
   | exception Sys_error _ -> 1
   | ic ->
@@ -17,7 +37,16 @@ let cpu_count () =
       close_in ic;
       max 1 !count
 
-let default_jobs () = min 8 (cpu_count ())
+let cpu_count () =
+  (* the affinity mask (what recommended_domain_count reads) is the
+     truth inside containers; when it reports a single processor it
+     cannot be distinguished from a failed probe, so the /proc parse
+     gets the last word there *)
+  match Domain.recommended_domain_count () with
+  | n when n > 1 -> n
+  | _ -> proc_cpu_count ()
+
+let default_jobs () = cpu_count ()
 
 let counter_delta (before : Pipeline.cache_stats) =
   let after = Pipeline.cache_stats () in
@@ -29,6 +58,19 @@ let run_sequential f items =
   let results = Array.to_list (Array.map f items) in
   let hits, misses = counter_delta before in
   (results, { workers = 1; hits; misses })
+
+(* --- domain backend ---------------------------------------------------- *)
+
+(* results come back by reference from the work-stealing pool; the
+   Pipeline cache is shared (it locks internally), so the counter delta
+   around the whole map is the aggregate over every domain *)
+let domain_map ~f ~items ~workers =
+  let before = Pipeline.cache_stats () in
+  let results, _pool = Mvl_pool.Domain_pool.map ~domains:workers ~f items in
+  let hits, misses = counter_delta before in
+  (Array.to_list results, { workers; hits; misses })
+
+(* --- fork backend ------------------------------------------------------ *)
 
 (* worker [w] of [workers] handles indices w, w+workers, w+2*workers, ...
    — a static partition, so which worker owns a job never depends on
@@ -130,12 +172,23 @@ let fork_map ~f ~items ~workers =
   ( merged,
     { workers; hits = !hits + parent_hits; misses = !misses + parent_misses } )
 
-let map ?jobs ~f xs =
+(* --- facade ------------------------------------------------------------ *)
+
+let map ?backend ?jobs ~f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
   let requested =
     match jobs with Some j -> max 1 j | None -> default_jobs ()
   in
   let workers = min requested (max 1 n) in
-  if workers <= 1 || not (available ()) then run_sequential f items
-  else fork_map ~f ~items ~workers
+  let backend =
+    match backend with Some b -> b | None -> default_backend ()
+  in
+  if workers <= 1 then run_sequential f items
+  else
+    match backend with
+    | Sequential -> run_sequential f items
+    | Domains -> domain_map ~f ~items ~workers
+    | Fork ->
+        if available () then fork_map ~f ~items ~workers
+        else run_sequential f items

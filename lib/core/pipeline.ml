@@ -24,8 +24,23 @@ type validity = Valid | Invalid | Not_validated
    Both caches are FIFO-bounded Bounded_fifo tables, so an unbounded
    sweep over specs or layer counts runs in constant memory and
    re-inserting a resident key can never desynchronize the eviction
-   queue from the table. *)
+   queue from the table.
+
+   The caches are shared across domains (the Domain_pool backend of
+   Parallel.map runs pipeline jobs concurrently in one process), so
+   every table access goes through [cache_lock] and the counters are
+   atomics.  Realization itself happens outside the lock: two domains
+   missing on the same key at the same instant may both build it — a
+   benign duplication the sweep grids (all-distinct keys) never hit —
+   but a resident layout is handed to every domain by reference, so
+   only the first requester ever pays for a big instance. *)
 let default_cache_capacity = 256
+
+let cache_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock cache_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_lock) f
 
 let family_cache : (string, Families.t) Bounded_fifo.t =
   Bounded_fifo.create ~capacity:default_cache_capacity
@@ -33,24 +48,26 @@ let family_cache : (string, Families.t) Bounded_fifo.t =
 let layout_cache : (string * int, Layout.t) Bounded_fifo.t =
   Bounded_fifo.create ~capacity:default_cache_capacity
 
-let hits = ref 0
-let misses = ref 0
+let hits = Atomic.make 0
+let misses = Atomic.make 0
 
-let cache_stats () = { hits = !hits; misses = !misses }
-let cache_size () = Bounded_fifo.length layout_cache
-let cache_capacity () = Bounded_fifo.capacity layout_cache
+let cache_stats () = { hits = Atomic.get hits; misses = Atomic.get misses }
+let cache_size () = locked (fun () -> Bounded_fifo.length layout_cache)
+let cache_capacity () = locked (fun () -> Bounded_fifo.capacity layout_cache)
 
 let set_cache_capacity cap =
   (* shrinking evicts immediately so the bound holds without waiting
      for the next insertion *)
-  Bounded_fifo.set_capacity layout_cache cap;
-  Bounded_fifo.set_capacity family_cache cap
+  locked (fun () ->
+      Bounded_fifo.set_capacity layout_cache cap;
+      Bounded_fifo.set_capacity family_cache cap)
 
 let cache_reset () =
-  Bounded_fifo.clear family_cache;
-  Bounded_fifo.clear layout_cache;
-  hits := 0;
-  misses := 0
+  locked (fun () ->
+      Bounded_fifo.clear family_cache;
+      Bounded_fifo.clear layout_cache);
+  Atomic.set hits 0;
+  Atomic.set misses 0
 
 (* stage timing uses the OS monotonic clock (bechamel's stub around
    clock_gettime(CLOCK_MONOTONIC)) — wall-clock time can jump backwards
@@ -67,14 +84,16 @@ let run ?validate ?(report = false) ?(cache = true) ~layers spec =
   let key = Registry.to_string spec in
   let build_family () =
     match
-      if cache then Bounded_fifo.find_opt family_cache key else None
+      if cache then locked (fun () -> Bounded_fifo.find_opt family_cache key)
+      else None
     with
     | Some fam -> Ok fam
     | None -> (
         match Registry.build spec with
         | Error _ as err -> err
         | Ok fam ->
-            if cache then Bounded_fifo.add family_cache key fam;
+            if cache then
+              locked (fun () -> Bounded_fifo.add family_cache key fam);
             Ok fam)
   in
   let fam_res, t_build = timed "build" build_family in
@@ -83,17 +102,21 @@ let run ?validate ?(report = false) ?(cache = true) ~layers spec =
   | Ok family ->
       let realize () =
         match
-          if cache then Bounded_fifo.find_opt layout_cache (key, layers)
+          if cache then
+            locked (fun () -> Bounded_fifo.find_opt layout_cache (key, layers))
           else None
         with
         | Some lay ->
-            if cache then incr hits;
+            if cache then Atomic.incr hits;
             (lay, true)
         | None ->
+            (* build outside the lock: a layout can take seconds and
+               other domains' lookups must not stall behind it *)
             let lay = family.Families.layout ~layers in
             if cache then begin
-              incr misses;
-              Bounded_fifo.add layout_cache (key, layers) lay
+              Atomic.incr misses;
+              locked (fun () ->
+                  Bounded_fifo.add layout_cache (key, layers) lay)
             end;
             (lay, false)
       in
@@ -191,8 +214,8 @@ let to_json r =
       ( "cache",
         Obj
           [
-            ("hits", Int !hits);
-            ("misses", Int !misses);
+            ("hits", Int (Atomic.get hits));
+            ("misses", Int (Atomic.get misses));
             ("size", Int (cache_size ()));
           ] );
       ("metrics", of_metrics r.metrics);

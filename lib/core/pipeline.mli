@@ -14,6 +14,12 @@
     each distinct layout exactly once while it stays resident.
     Hit/miss counters are exposed for verification.
 
+    The cache is domain-safe: table accesses are serialized behind one
+    mutex (held only for the lookup or insertion itself, never while a
+    layout is being built) and the counters are atomics, so
+    {!Parallel.map}'s domain backend shares one cache across all its
+    workers and a resident layout is handed out by reference.
+
     Every run serializes to one JSON record ({!to_json}) through
     {!Telemetry} — the machine-readable surface behind
     [mvl ... --json] and [bench emit]. *)

@@ -293,19 +293,23 @@ let build_indexes (g : Geom.t) =
     v_z = zindex_of sv;
   }
 
-(* call [f start stop] for every maximal same-(k1, k2) slice *)
-let iter_groups (r : runs) f =
-  let i = ref 0 in
-  while !i < r.n do
+(* call [f start stop] for every maximal same-(k1, k2) slice inside
+   [from, upto) — [from]/[upto] must sit on group boundaries, which
+   every zindex bucket boundary does *)
+let iter_groups_in (r : runs) ~from ~upto f =
+  let i = ref from in
+  while !i < upto do
     let s = !i in
     let k1 = r.k1.(s) and k2 = r.k2.(s) in
     let j = ref (s + 1) in
-    while !j < r.n && r.k1.(!j) = k1 && r.k2.(!j) = k2 do
+    while !j < upto && r.k1.(!j) = k1 && r.k2.(!j) = k2 do
       incr j
     done;
     f s !j;
     i := !j
   done
+
+let iter_groups (r : runs) f = iter_groups_in r ~from:0 ~upto:r.n f
 
 (* --- collinear (same line) overlap checks -------------------------- *)
 
@@ -345,9 +349,9 @@ let check_collinear c ~what (r : runs) start stop =
    with y inside its span (same layer) and test x containment.  In the
    multilayer grid model any shared point is illegal; under Thompson a
    crossing is legal iff it is interior to both runs. *)
-let check_crossings c ~mode (idx : indexes) =
+let check_crossings_in c ~mode (idx : indexes) ~from ~upto =
   let h = idx.h_runs and v = idx.v_runs in
-  for vi = 0 to v.n - 1 do
+  for vi = from to upto - 1 do
     if not (overfull c) then begin
       let z = v.k1.(vi) and x = v.k2.(vi) in
       let v_lo = v.lo.(vi) and v_hi = v.hi.(vi) and v_wire = v.wire.(vi) in
@@ -373,6 +377,9 @@ let check_crossings c ~mode (idx : indexes) =
       done
     end
   done
+
+let check_crossings c ~mode (idx : indexes) =
+  check_crossings_in c ~mode idx ~from:0 ~upto:idx.v_runs.n
 
 (* --- via checks ----------------------------------------------------- *)
 
@@ -660,7 +667,53 @@ let check_layers c (layout : Layout.t) =
     done
   done
 
-let run ?(mode = Strict) ?(max_violations = 20) layout =
+(* --- sharded sweeps -------------------------------------------------- *)
+
+(* One shard = one zindex bucket (all runs on one layer) of one sweep
+   kind.  A bucket boundary is always a group boundary, so the
+   collinear sweep sees whole groups, and the crossing sweep only reads
+   the (shared, immutable) indexes — shards never touch common mutable
+   state.  Each shard collects into its own local collector with the
+   full violation budget; merging the shard lists in task order then
+   reproduces exactly the sequential report order, so truncating the
+   merged list to the budget yields a byte-identical result at any
+   [jobs]. *)
+type shard = Sweep_h of int * int | Sweep_v of int * int | Sweep_x of int * int
+
+let shards_of (idx : indexes) =
+  let buckets kind (zi : zindex) =
+    let nb = Array.length zi.bstart - 1 in
+    List.init nb (fun b -> kind zi.bstart.(b) zi.bstart.(b + 1))
+  in
+  (* task order mirrors the sequential check order: collinear-H,
+     collinear-V, crossings — each ascending in z *)
+  Array.of_list
+    (buckets (fun s e -> Sweep_h (s, e)) idx.h_z
+    @ buckets (fun s e -> Sweep_v (s, e)) idx.v_z
+    @ buckets (fun s e -> Sweep_x (s, e)) idx.v_z)
+
+let run_shard ~mode ~max_violations (idx : indexes) shard =
+  let lc = { violations = []; count = 0; limit = max_violations } in
+  (match shard with
+  | Sweep_h (s, e) ->
+      iter_groups_in idx.h_runs ~from:s ~upto:e (fun gs ge ->
+          check_collinear lc ~what:"horizontal" idx.h_runs gs ge)
+  | Sweep_v (s, e) ->
+      iter_groups_in idx.v_runs ~from:s ~upto:e (fun gs ge ->
+          check_collinear lc ~what:"vertical" idx.v_runs gs ge)
+  | Sweep_x (s, e) -> check_crossings_in lc ~mode idx ~from:s ~upto:e);
+  List.rev lc.violations
+
+let merge_into c found =
+  List.iter
+    (fun v ->
+      if c.count < c.limit then begin
+        c.violations <- v :: c.violations;
+        c.count <- c.count + 1
+      end)
+    found
+
+let run ?(mode = Strict) ?(max_violations = 20) ?(jobs = 1) layout =
   let debug = Sys.getenv_opt "MVL_CHECK_TIMINGS" <> None in
   let t0 = ref (Sys.time ()) in
   let tick label =
@@ -681,13 +734,24 @@ let run ?(mode = Strict) ?(max_violations = 20) layout =
   tick "wires_vs_nodes";
   let idx = build_indexes (Layout.geom layout) in
   tick "build_indexes";
-  iter_groups idx.h_runs (fun s e ->
-      check_collinear c ~what:"horizontal" idx.h_runs s e);
-  iter_groups idx.v_runs (fun s e ->
-      check_collinear c ~what:"vertical" idx.v_runs s e);
-  tick "collinear";
-  check_crossings c ~mode idx;
-  tick "crossings";
+  if jobs <= 1 then begin
+    iter_groups idx.h_runs (fun s e ->
+        check_collinear c ~what:"horizontal" idx.h_runs s e);
+    iter_groups idx.v_runs (fun s e ->
+        check_collinear c ~what:"vertical" idx.v_runs s e);
+    tick "collinear";
+    check_crossings c ~mode idx;
+    tick "crossings"
+  end
+  else begin
+    let results, _ =
+      Mvl_pool.Domain_pool.map ~domains:jobs
+        ~f:(run_shard ~mode ~max_violations idx)
+        (shards_of idx)
+    in
+    Array.iter (merge_into c) results;
+    tick "sharded sweeps"
+  end;
   check_vias c idx;
   tick "vias";
   (* once the collector is full, later checks stop recording (and the

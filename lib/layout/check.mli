@@ -24,10 +24,18 @@ type result = {
           exist". *)
 }
 
-val run : ?mode:mode -> ?max_violations:int -> Layout.t -> result
+val run : ?mode:mode -> ?max_violations:int -> ?jobs:int -> Layout.t -> result
 (** Full validation result.  Collection stops after [max_violations]
     violations (default 20); [result.truncated] says whether that cap
-    was reached. *)
+    was reached.
+
+    [jobs] (default 1) shards the heavy sweeps — collinear overlaps and
+    H/V crossings — over a work-stealing domain pool, one task per
+    (sweep kind, layer) zindex bucket.  Shards read the shared
+    immutable segment indexes and collect violations locally; the
+    merge replays task order, so the result (violations, their order,
+    and [truncated]) is identical at any [jobs].  The remaining checks
+    (nodes, terminals, vias, ...) are cheap and stay sequential. *)
 
 val validate : ?mode:mode -> ?max_violations:int -> Layout.t -> violation list
 (** [(run ... layout).violations].  Empty list = valid.

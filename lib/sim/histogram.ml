@@ -30,6 +30,9 @@ let max_value t = if t.max_v < 0 then 0 else t.max_v
 let mean t = if t.count = 0 then 0.0 else float_of_int t.total /. float_of_int t.count
 
 let percentile t p =
+  (* a p outside [0, 100] used to be silently clamped (returning the
+     minimum for negative p, the maximum above 100) — now rejected *)
+  if p < 0 || p > 100 then invalid_arg "Histogram.percentile: p not in [0,100]";
   if t.count = 0 then 0
   else begin
     let idx = min (t.count - 1) (t.count * p / 100) in

@@ -34,7 +34,9 @@ val max_value : t -> int
 val percentile : t -> int -> int
 (** [percentile t p] is the value at index [min (count-1) (count*p/100)]
     of the sorted observation multiset — identical to the historical
-    [sorted_array.(count * p / 100)] convention; 0 when empty. *)
+    [sorted_array.(count * p / 100)] convention; 0 when empty.  Raises
+    [Invalid_argument] unless [0 <= p <= 100] (out-of-range [p] was
+    previously clamped silently). *)
 
 val to_pairs : t -> (int * int) array
 (** [(value, count)] pairs in ascending value order, zero counts

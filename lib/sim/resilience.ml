@@ -46,10 +46,16 @@ let run graph ~p_fail ~trials ~seed ~mode =
   for _ = 1 to trials do
     match mode with
     | `Edges ->
-        (* sample failed edges into a hash set *)
+        (* sample failed edges into a hash set, normalized to u < v:
+           the lookup below normalizes its query the same way, so an
+           unnormalized insertion would never be found again and the
+           edge would be silently immortal (Graph.of_edges happens to
+           emit normalized pairs today — this must not depend on it) *)
         let failed = Hashtbl.create 64 in
         Graph.iter_edges graph (fun u v ->
-            if Rng.bool rng ~p:p_fail then Hashtbl.add failed (u, v) ());
+            assert (u <> v);
+            if Rng.bool rng ~p:p_fail then
+              Hashtbl.replace failed (if u < v then (u, v) else (v, u)) ());
         let edge_alive u v =
           let key = if u < v then (u, v) else (v, u) in
           not (Hashtbl.mem failed key)
@@ -69,6 +75,11 @@ let run graph ~p_fail ~trials ~seed ~mode =
             ~node_alive:(fun u -> alive.(u))
         in
         if ok then incr connected;
+        (* all nodes dead: the empty graph counts as connected (survey
+           finds 0 components) and contributes a full component share —
+           "every surviving node can reach every other" is vacuously
+           true, and it keeps both curves at their p_fail→1 limits
+           instead of poisoning the averages with a 0/0 *)
         component_share :=
           !component_share
           +. (if survivors = 0 then 1.0

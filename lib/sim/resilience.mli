@@ -19,4 +19,7 @@ val edge_faults : Graph.t -> p_fail:float -> trials:int -> seed:int -> stats
 
 val node_faults : Graph.t -> p_fail:float -> trials:int -> seed:int -> stats
 (** Each node fails independently (its edges disappear); connectivity is
-    judged among the surviving nodes. *)
+    judged among the surviving nodes.  A trial that kills {e every}
+    node counts as connected with a full component share — connectivity
+    among zero survivors is vacuously true, so at [p_fail = 1.0] both
+    statistics are exactly [1.0] rather than a 0/0 artifact. *)

@@ -18,27 +18,44 @@ let log2_exact n =
     invalid_arg "Traffic: permutation patterns need a power-of-two size";
   go 0 n
 
-let destination pattern rng ~n_nodes ~src =
-  let fixup d = if d = src then (src + 1) mod n_nodes else d in
+(* the raw deterministic map, before the self-destination fixup: each
+   permutation pattern is a bijection on [0, n_nodes), which the
+   property tests check directly *)
+let permute pattern ~n_nodes ~src =
+  if src < 0 || src >= n_nodes then
+    invalid_arg "Traffic.permute: src out of range";
   match pattern with
-  | Uniform ->
-      let d = Rng.int rng ~bound:(n_nodes - 1) in
-      if d >= src then d + 1 else d
-  | Hotspot h -> fixup (h mod n_nodes)
+  | Uniform -> invalid_arg "Traffic.permute: Uniform has no deterministic map"
+  | Hotspot h ->
+      (* [h mod n_nodes] used to be applied here, which silently
+         rewrote an out-of-range hotspot — and produced a negative
+         destination for a negative [h] *)
+      if h < 0 || h >= n_nodes then
+        invalid_arg "Traffic: hotspot node out of range";
+      h
   | Transpose ->
       let bits = log2_exact n_nodes in
       let half = bits / 2 in
       let low = src land ((1 lsl half) - 1) in
       let high = src lsr half in
       (* rotate by half: the classic matrix-transpose pattern *)
-      fixup ((low lsl (bits - half)) lor high)
+      (low lsl (bits - half)) lor high
   | Bit_reversal ->
       let bits = log2_exact n_nodes in
       let r = ref 0 in
       for b = 0 to bits - 1 do
         if src land (1 lsl b) <> 0 then r := !r lor (1 lsl (bits - 1 - b))
       done;
-      fixup !r
+      !r
   | Bit_complement ->
       let bits = log2_exact n_nodes in
-      fixup (src lxor ((1 lsl bits) - 1))
+      src lxor ((1 lsl bits) - 1)
+
+let destination pattern rng ~n_nodes ~src =
+  match pattern with
+  | Uniform ->
+      let d = Rng.int rng ~bound:(n_nodes - 1) in
+      if d >= src then d + 1 else d
+  | Hotspot _ | Transpose | Bit_reversal | Bit_complement ->
+      let d = permute pattern ~n_nodes ~src in
+      if d = src then (src + 1) mod n_nodes else d

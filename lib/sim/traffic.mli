@@ -12,7 +12,22 @@ type t =
 
 val pp : Format.formatter -> t -> unit
 
+val permute : t -> n_nodes:int -> src:int -> int
+(** The raw deterministic map of a fixed pattern, before the
+    self-destination fixup — a bijection on [[0, n_nodes)] for the
+    permutation patterns, the constant [h] for [Hotspot h].
+
+    Raises [Invalid_argument] for [Uniform] (not a deterministic map),
+    for [src] outside [[0, n_nodes)], for a hotspot node outside
+    [[0, n_nodes)], and (permutation patterns only) when [n_nodes] is
+    not a power of two. *)
+
 val destination : t -> Rng.t -> n_nodes:int -> src:int -> int
 (** Picks a destination for [src].  For the permutation patterns
     [n_nodes] must be a power of two; a self-destination (possible for
-    the fixed patterns) is mapped to [src + 1 mod n]. *)
+    the fixed patterns) is mapped to [src + 1 mod n].
+
+    Raises [Invalid_argument] for [Hotspot h] with [h] outside
+    [[0, n_nodes)] — an out-of-range hotspot used to be silently
+    wrapped by [mod], which even produced negative destinations for
+    negative [h]. *)

@@ -1,6 +1,10 @@
 let () =
   Alcotest.run "mvl"
     [
+      (* parallel runs first: its fork-backend cases need Unix.fork,
+         which the runtime disables for good once any later suite (or
+         this one) spawns a domain *)
+      ("parallel", Test_parallel.suite);
       ("mixed_radix", Test_mixed_radix.suite);
       ("graph", Test_graph.suite);
       ("generators", Test_generators.suite);
@@ -25,7 +29,6 @@ let () =
       ("families", Test_families.suite);
       ("registry", Test_registry.suite);
       ("telemetry", Test_telemetry.suite);
-      ("parallel", Test_parallel.suite);
       ("render", Test_render.suite);
       ("serialize", Test_serialize.suite);
       ("golden", Test_golden.suite);

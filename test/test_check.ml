@@ -215,6 +215,34 @@ let test_truncation_flagged () =
     (List.length full.Mvl.Check.violations)
     (List.length (Mvl.Check.validate lay))
 
+let test_sharded_matches_sequential () =
+  (* the domain-sharded sweeps must reproduce the sequential result
+     exactly — violations, order, truncation flag — on both a clean
+     and a broken layout, at several job counts *)
+  let layouts =
+    [
+      ("valid", Mvl.Pipeline.layout_exn ~cache:false ~layers:4 "hypercube:6");
+      ("broken", overlapping_wires_layout ());
+    ]
+  in
+  List.iter
+    (fun (name, lay) ->
+      let seq = Mvl.Check.run ~jobs:1 lay in
+      List.iter
+        (fun jobs ->
+          let par = Mvl.Check.run ~jobs lay in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s identical at jobs=%d" name jobs)
+            true (par = seq))
+        [ 2; 4; 7 ];
+      (* the cap behaves identically too *)
+      let seq1 = Mvl.Check.run ~jobs:1 ~max_violations:1 lay in
+      let par1 = Mvl.Check.run ~jobs:4 ~max_violations:1 lay in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s capped result identical" name)
+        true (par1 = seq1))
+    layouts
+
 let suite =
   [
     Alcotest.test_case "hand-built good layout passes" `Quick
@@ -232,4 +260,6 @@ let suite =
     Alcotest.test_case "via pierces run" `Quick test_via_pierces_run;
     Alcotest.test_case "violation limit" `Quick test_max_violations_limit;
     Alcotest.test_case "truncation flagged" `Quick test_truncation_flagged;
+    Alcotest.test_case "sharded check matches sequential" `Quick
+      test_sharded_matches_sequential;
   ]

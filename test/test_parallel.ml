@@ -1,8 +1,9 @@
-(* The fork-based worker pool: parallel output must be byte-identical
+(* The parallel runtime: every backend's output must be byte-identical
    to the sequential path (modulo the volatile timing/cache fields),
-   merged in input order, with per-worker cache counters aggregated,
-   exceptions surfacing with sequential semantics, and a crashed worker
-   costing only its own unreported jobs. *)
+   merged in input order, with cache counters aggregated, exceptions
+   surfacing with sequential semantics, work actually stolen under a
+   skewed load (domains), and a crashed worker costing only its own
+   unreported jobs (fork). *)
 open Mvl_core
 
 let stable json = Mvl.Telemetry.to_string (Mvl.Telemetry.strip_volatile json)
@@ -32,6 +33,27 @@ let test_parallel_matches_sequential () =
   Alcotest.(check int) "same record count" (List.length seq) (List.length par);
   Alcotest.(check (list string)) "stable records byte-identical"
     (List.map stable seq) (List.map stable par)
+
+let test_backends_agree () =
+  (* the determinism gate across the whole backend matrix: domains,
+     fork and sequential must produce byte-identical stable records.
+     The fork leg runs FIRST — once the domain backend has spawned a
+     domain, the runtime refuses Unix.fork for the process's lifetime *)
+  let on backend =
+    Mvl.Pipeline.cache_reset ();
+    let rs, _ = Mvl.Parallel.map ~backend ~jobs:3 ~f:record sweep_points in
+    List.map stable rs
+  in
+  let fork =
+    if Mvl.Parallel.available () then Some (on Mvl.Parallel.Fork) else None
+  in
+  let seq = on Mvl.Parallel.Sequential in
+  (match fork with
+  | Some fork ->
+      Alcotest.(check (list string)) "fork = sequential" seq fork
+  | None -> ());
+  Alcotest.(check (list string)) "domains = sequential" seq
+    (on Mvl.Parallel.Domains)
 
 let test_merge_preserves_input_order () =
   Mvl.Pipeline.cache_reset ();
@@ -65,7 +87,8 @@ let test_worker_stats_aggregate () =
     stats.Mvl.Parallel.misses seq_stats.Mvl.Parallel.misses
 
 let test_exception_propagates () =
-  Alcotest.check_raises "f's exception surfaces in the parent"
+  (* default (domains) backend *)
+  Alcotest.check_raises "f's exception surfaces in the caller"
     (Failure "boom")
     (fun () ->
       ignore
@@ -73,17 +96,64 @@ let test_exception_propagates () =
            ~f:(fun _ -> failwith "boom")
            [ 1; 2; 3; 4 ]))
 
+let test_exception_lowest_index () =
+  (* several jobs fail; the one the sequential run would have hit
+     first is the one that surfaces, regardless of scheduling *)
+  Alcotest.check_raises "lowest failing index wins" (Failure "boom-2")
+    (fun () ->
+      ignore
+        (Mvl.Domain_pool.map ~domains:3
+           ~f:(fun i ->
+             if i = 2 || i = 5 then failwith (Printf.sprintf "boom-%d" i)
+             else i)
+           (Array.init 8 Fun.id)))
+
+let test_work_stealing () =
+  (* two domains; the deques are dealt round-robin, so domain 0 owns
+     0,2,4,6 and domain 1 owns 1,3,5,7.  The first item domain 1 can
+     run (1) sleeps, so domain 0 drains its own deque in microseconds
+     and must steal domain 1's remaining items from the back — a
+     static partition would leave them waiting behind the sleep. *)
+  let executed_by = Array.make 8 (-1) in
+  let f i =
+    if i = 1 then Unix.sleepf 0.25;
+    executed_by.(i) <- (Domain.self () :> int);
+    i * 10
+  in
+  let out, stats = Mvl.Domain_pool.map ~domains:2 ~f (Array.init 8 Fun.id) in
+  Alcotest.(check (array int)) "results in input order"
+    (Array.init 8 (fun i -> i * 10))
+    out;
+  Alcotest.(check int) "two domains ran" 2 stats.Mvl.Domain_pool.domains;
+  Alcotest.(check bool) "work was stolen" true
+    (stats.Mvl.Domain_pool.steals > 0);
+  let d0 = executed_by.(0) in
+  Alcotest.(check bool) "an item owned by the sleeping domain migrated" true
+    (executed_by.(3) = d0 || executed_by.(5) = d0 || executed_by.(7) = d0)
+
+let test_split_seed () =
+  let a = Mvl.Domain_pool.split_seed ~seed:42 ~index:0 in
+  let b = Mvl.Domain_pool.split_seed ~seed:42 ~index:1 in
+  Alcotest.(check bool) "distinct per-task streams" true (a <> b);
+  Alcotest.(check int) "deterministic" a
+    (Mvl.Domain_pool.split_seed ~seed:42 ~index:0);
+  Alcotest.(check bool) "non-negative" true (a >= 0 && b >= 0);
+  Alcotest.(check bool) "seed-sensitive" true
+    (a <> Mvl.Domain_pool.split_seed ~seed:43 ~index:0)
+
 let test_killed_worker_recovers () =
-  (* job 3's worker dies without reporting anything; the parent must
-     recompute every job the worker owned and still return a full,
-     input-ordered result list *)
+  (* fork backend only: job 3's worker dies without reporting anything;
+     the parent must recompute every job the worker owned and still
+     return a full, input-ordered result list *)
   let parent = Unix.getpid () in
   let f i =
     if i = 3 && Unix.getpid () <> parent then Unix._exit 9
     else Mvl.Telemetry.Obj [ ("i", Mvl.Telemetry.Int i) ]
   in
   let inputs = [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
-  let records, _ = Mvl.Parallel.map ~jobs:4 ~f inputs in
+  let records, _ =
+    Mvl.Parallel.map ~backend:Mvl.Parallel.Fork ~jobs:4 ~f inputs
+  in
   Alcotest.(check int) "all jobs answered" (List.length inputs)
     (List.length records);
   List.iter2
@@ -105,10 +175,18 @@ let test_small_inputs () =
 let test_default_jobs_bounds () =
   let d = Mvl.Parallel.default_jobs () in
   Alcotest.(check bool) "at least one" true (d >= 1);
-  Alcotest.(check bool) "capped at eight" true (d <= 8)
+  Alcotest.(check int) "uncapped: tracks the visible processor count"
+    (Mvl.Parallel.cpu_count ()) d
 
+(* order matters: the fork-backend cases must run before anything that
+   spawns a domain — the runtime permanently disables Unix.fork after
+   the first Domain.spawn, and this suite is registered first in
+   main.ml for the same reason *)
 let suite =
   [
+    Alcotest.test_case "killed fork worker recovers" `Quick
+      test_killed_worker_recovers;
+    Alcotest.test_case "all backends byte-identical" `Quick test_backends_agree;
     Alcotest.test_case "parallel matches sequential (stable form)" `Quick
       test_parallel_matches_sequential;
     Alcotest.test_case "merge preserves input order" `Quick
@@ -117,8 +195,10 @@ let suite =
       test_worker_stats_aggregate;
     Alcotest.test_case "exceptions surface sequentially" `Quick
       test_exception_propagates;
-    Alcotest.test_case "killed worker recovers" `Quick
-      test_killed_worker_recovers;
+    Alcotest.test_case "lowest failing index wins" `Quick
+      test_exception_lowest_index;
+    Alcotest.test_case "skewed load is stolen" `Quick test_work_stealing;
+    Alcotest.test_case "split_seed streams" `Quick test_split_seed;
     Alcotest.test_case "empty and singleton inputs" `Quick test_small_inputs;
     Alcotest.test_case "default job count bounds" `Quick
       test_default_jobs_bounds;

@@ -14,6 +14,27 @@ let test_total_faults_disconnect () =
   Alcotest.(check bool) "never connected" true
     (s.Mvl.Resilience.connected_fraction = 0.0)
 
+let test_all_edges_dead_means_singletons () =
+  (* regression pin for the failed-edge key normalization: with every
+     edge failed the survivors are all singletons, so the largest
+     component is exactly 1/n.  An unnormalized insertion key would
+     leave edges immortal and this share at 1.0 *)
+  let g = Mvl.Hypercube.create 4 in
+  let s = Mvl.Resilience.edge_faults g ~p_fail:1.0 ~trials:3 ~seed:1 in
+  Alcotest.(check (float 1e-9)) "singleton components"
+    (1.0 /. 16.0)
+    s.Mvl.Resilience.avg_largest_component
+
+let test_all_nodes_dead () =
+  (* documented convention: zero survivors count as connected with a
+     full component share — vacuous connectivity, not a 0/0 *)
+  let g = Mvl.Hypercube.create 4 in
+  let s = Mvl.Resilience.node_faults g ~p_fail:1.0 ~trials:3 ~seed:1 in
+  Alcotest.(check (float 0.0)) "vacuously connected" 1.0
+    s.Mvl.Resilience.connected_fraction;
+  Alcotest.(check (float 0.0)) "full component share" 1.0
+    s.Mvl.Resilience.avg_largest_component
+
 let test_monotone_in_fault_rate () =
   let g = Mvl.Hypercube.create 6 in
   let frac p =
@@ -54,6 +75,9 @@ let suite =
   [
     Alcotest.test_case "no faults" `Quick test_no_faults_connected;
     Alcotest.test_case "total faults" `Quick test_total_faults_disconnect;
+    Alcotest.test_case "all edges dead" `Quick
+      test_all_edges_dead_means_singletons;
+    Alcotest.test_case "all nodes dead" `Quick test_all_nodes_dead;
     Alcotest.test_case "monotone in fault rate" `Quick test_monotone_in_fault_rate;
     Alcotest.test_case "extra links help" `Quick test_extra_links_help;
     Alcotest.test_case "node faults" `Quick test_node_faults;

@@ -53,6 +53,76 @@ let test_bit_reversal_involution () =
     end
   done
 
+let test_hotspot_validation () =
+  let rng = Mvl.Rng.create ~seed:1 in
+  (* a negative hotspot used to come back negative through [mod], and
+     an oversized one was silently wrapped — both are now rejected *)
+  Alcotest.check_raises "negative hotspot rejected"
+    (Invalid_argument "Traffic: hotspot node out of range") (fun () ->
+      ignore
+        (Mvl.Traffic.destination (Mvl.Traffic.Hotspot (-3)) rng ~n_nodes:8
+           ~src:0));
+  Alcotest.check_raises "oversized hotspot rejected"
+    (Invalid_argument "Traffic: hotspot node out of range") (fun () ->
+      ignore
+        (Mvl.Traffic.destination (Mvl.Traffic.Hotspot 8) rng ~n_nodes:8
+           ~src:0));
+  (* in-range hotspots still work, including the self-fixup *)
+  Alcotest.(check int) "valid hotspot" 7
+    (Mvl.Traffic.destination (Mvl.Traffic.Hotspot 7) rng ~n_nodes:8 ~src:0);
+  Alcotest.(check int) "hotspot self-fixup" 4
+    (Mvl.Traffic.destination (Mvl.Traffic.Hotspot 3) rng ~n_nodes:8 ~src:3)
+
+let test_permutation_bijectivity () =
+  (* every deterministic pattern's raw map must be a bijection on
+     [0, 2^bits) — checked exhaustively across label widths *)
+  List.iter
+    (fun (name, pattern) ->
+      for bits = 1 to 12 do
+        let n = 1 lsl bits in
+        let seen = Array.make n false in
+        for src = 0 to n - 1 do
+          let d = Mvl.Traffic.permute pattern ~n_nodes:n ~src in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s in range (bits=%d src=%d)" name bits src)
+            true
+            (d >= 0 && d < n);
+          if seen.(d) then
+            Alcotest.failf "%s not injective at bits=%d: %d hit twice" name
+              bits d;
+          seen.(d) <- true
+        done
+      done)
+    [
+      ("transpose", Mvl.Traffic.Transpose);
+      ("bit-reversal", Mvl.Traffic.Bit_reversal);
+      ("bit-complement", Mvl.Traffic.Bit_complement);
+    ];
+  Alcotest.check_raises "uniform has no deterministic map"
+    (Invalid_argument "Traffic.permute: Uniform has no deterministic map")
+    (fun () -> ignore (Mvl.Traffic.permute Mvl.Traffic.Uniform ~n_nodes:8 ~src:0));
+  Alcotest.check_raises "src out of range"
+    (Invalid_argument "Traffic.permute: src out of range") (fun () ->
+      ignore (Mvl.Traffic.permute Mvl.Traffic.Transpose ~n_nodes:8 ~src:8))
+
+let test_percentile_validation () =
+  let h = Mvl.Histogram.create () in
+  List.iter (Mvl.Histogram.add h) [ 5; 1; 9; 3; 7 ];
+  (* both edges of the valid range answer the extremes *)
+  Alcotest.(check int) "p=0 is the minimum" 1 (Mvl.Histogram.percentile h 0);
+  Alcotest.(check int) "p=100 is the maximum" 9
+    (Mvl.Histogram.percentile h 100);
+  (* out-of-range p used to clamp silently; now it raises *)
+  Alcotest.check_raises "p < 0 rejected"
+    (Invalid_argument "Histogram.percentile: p not in [0,100]") (fun () ->
+      ignore (Mvl.Histogram.percentile h (-1)));
+  Alcotest.check_raises "p > 100 rejected"
+    (Invalid_argument "Histogram.percentile: p not in [0,100]") (fun () ->
+      ignore (Mvl.Histogram.percentile h 101));
+  (* the empty histogram stays 0 at valid p *)
+  let empty = Mvl.Histogram.create () in
+  Alcotest.(check int) "empty histogram" 0 (Mvl.Histogram.percentile empty 50)
+
 let test_routing_table_minimal () =
   let g = Mvl.Hypercube.create 5 in
   let t = Mvl.Routing_table.create g in
@@ -291,6 +361,11 @@ let suite =
     Alcotest.test_case "traffic patterns" `Quick test_traffic_patterns;
     Alcotest.test_case "bit reversal involution" `Quick
       test_bit_reversal_involution;
+    Alcotest.test_case "hotspot validation" `Quick test_hotspot_validation;
+    Alcotest.test_case "permutation bijectivity" `Quick
+      test_permutation_bijectivity;
+    Alcotest.test_case "percentile validation" `Quick
+      test_percentile_validation;
     Alcotest.test_case "routing is minimal" `Quick test_routing_table_minimal;
     Alcotest.test_case "routing deterministic" `Quick test_routing_deterministic;
     Alcotest.test_case "low load delivers all" `Quick
