@@ -11,6 +11,9 @@ test:
 # Bare polymorphic compare/hash silently degrade to structural
 # traversal (and allocate through the comparator); library code must
 # use the monomorphic Int/String versions or an explicit comparator.
+# The same goes for ordering two tuple literals — `(a, b) < (c, d)`
+# lexicographic tie-breaks go through the polymorphic comparator too
+# (Routing_table.build shipped one); spell the tie-break out in ints.
 # A Mutex.lock not immediately followed by Fun.protect leaks the lock
 # if the critical section raises — library code must go through a
 # with_lock-style helper built on that idiom.
@@ -18,6 +21,9 @@ lint:
 	@! grep -rEn '(^|[^.A-Za-z0-9_])(compare|Hashtbl\.hash)([^A-Za-z0-9_]|$$)' \
 		lib --include='*.ml' \
 		|| { echo "lint: bare polymorphic compare/hash in lib/"; exit 1; }
+	@! grep -rEn '\([^()]*,[^()]*\) *(<=|>=|<|>) *\(' \
+		lib --include='*.ml' \
+		|| { echo "lint: polymorphic tuple comparison in lib/"; exit 1; }
 	@bad=0; for f in $$(grep -rl 'Mutex\.lock' lib --include='*.ml'); do \
 		awk 'flag && !/Fun\.protect/ { print FILENAME ":" FNR-1 \
 			": Mutex.lock without Fun.protect on the next line"; bad=1 } \
@@ -44,6 +50,12 @@ check: lint
 	cmp BENCH_jobs1.json BENCH_fork.json
 	rm -f BENCH_jobs1.json BENCH_jobs2.json BENCH_fork.json
 	dune exec bin/mvl_cli.exe -- sim hypercube:6 --load 0.05 --json | grep -q '"schema": "mvl.sim.run/1"'
+	dune exec bin/mvl_cli.exe -- sim hypercube:6 --load 0.25 --jobs 1 --stable --json > SIM_jobs1.json
+	dune exec bin/mvl_cli.exe -- sim hypercube:6 --load 0.25 --jobs 4 --stable --json > SIM_jobs2.json
+	cmp SIM_jobs1.json SIM_jobs2.json
+	MVL_FORCE_FORK=1 dune exec bin/mvl_cli.exe -- sim hypercube:6 --load 0.25 --jobs 4 --stable --json > SIM_fork.json
+	cmp SIM_jobs1.json SIM_fork.json
+	rm -f SIM_jobs1.json SIM_jobs2.json SIM_fork.json
 	dune exec bench/main.exe -- throughput --quick -o BENCH_sim_quick.json > /dev/null
 	grep -q '"schema": "mvl.bench.sim/1"' BENCH_sim_quick.json
 	dune exec bench/main.exe -- throughput --quick --jobs 1 --stable -o BENCH_sim_jobs1.json > /dev/null

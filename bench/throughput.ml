@@ -7,15 +7,31 @@
    engine is deterministic for a fixed seed, so the simulation
    statistics are identical across repeats and only the rate moves.
 
+   [--jobs N] shards the engine itself across N domains
+   (Network_sim.run ?jobs); the grid then runs one point at a time so
+   per-point wall timings measure the sharded engine alone rather than
+   co-scheduled grid neighbors.  Under MVL_FORCE_FORK=1 the engine
+   refuses domains, so --jobs falls back to the pre-domain meaning —
+   fork-pool fan-out of the grid — and the statistics are unchanged
+   either way.
+
    Record shape: the deterministic measurement (Telemetry.of_sim) next
    to a volatile "seconds" object holding {wall, cycles_per_sec,
    packets_per_sec}.  Rates sit under "seconds" so
    Telemetry.strip_volatile (the --stable form) removes exactly them:
    two --stable runs — any --jobs counts — are byte-identical, which is
-   what the CI determinism step diffs.
+   what the CI determinism step diffs.  Records whose run hit the
+   horizon with packets still in flight carry a nonzero
+   sim.undrained, and the human table flags them: such a point is
+   past saturation and its latency percentiles cover only the packets
+   that made it out.
 
-   The grid includes hypercube:10 at load 0.6 — the acceptance point
-   this PR's >= 3x engine speedup is quoted against.
+   Non-stable runs additionally time one representative grid point at
+   1/2/4/8 engine shards and write the curve under "sim_jobs_scaling"
+   (same shape as bench emit's "jobs_scaling"), after checking that
+   every multi-shard run reproduced the jobs=1 statistics exactly —
+   a mismatch is a hard exit(1), making the scaling record
+   self-validating.
 
    Same output discipline as `bench emit`: atomic same-directory
    tmp+rename write, then a read-back parse so emitting invalid JSON is
@@ -75,21 +91,26 @@ let graph_of_spec spec_str =
           exit 2
       | Ok fam -> fam.Mvl.Families.graph)
 
-let record p (spec_str, load) =
+(* best-of-[repeats] run of one grid point at [jobs] engine shards;
+   returns the (deterministic) result and the best wall seconds *)
+let time_point p ?jobs (spec_str, load) =
   let graph = graph_of_spec spec_str in
   let config = config_of p load in
   let result = ref None in
   let best_ns = ref Int64.max_int in
   for _ = 1 to p.repeats do
     let t0 = Monotonic_clock.now () in
-    let r = Mvl.Network_sim.run ~config graph in
+    let r = Mvl.Network_sim.run ~config ?jobs graph in
     let ns = Int64.sub (Monotonic_clock.now ()) t0 in
     let ns = if Int64.compare ns 1L < 0 then 1L else ns in
     if Int64.compare ns !best_ns < 0 then best_ns := ns;
     result := Some r
   done;
-  let r = Option.get !result in
-  let wall = Int64.to_float !best_ns *. 1e-9 in
+  (Option.get !result, Int64.to_float !best_ns *. 1e-9)
+
+let record p ?jobs ((spec_str, load) as point) =
+  let config = config_of p load in
+  let r, wall = time_point p ?jobs point in
   Mvl.Telemetry.Obj
     [
       ("spec", Mvl.Telemetry.String spec_str);
@@ -111,7 +132,57 @@ let record p (spec_str, load) =
 
 let grid p = List.concat_map (fun s -> List.map (fun l -> (s, l)) p.loads) p.specs
 
-let write path p records =
+(* engine-shard scaling curve over one representative grid point —
+   the heaviest spec at the highest load, where sharding has the most
+   cycles to amortize its two barriers per cycle.  Points past
+   [cpu_count] measure oversubscription, not speedup; readers should
+   mind [cpu_count].  Every multi-shard result must equal the jobs=1
+   result exactly (the engine's byte-identity contract) — a mismatch
+   here means the parity tests have a hole, and poisoning BENCH_sim
+   with it would be worse than failing, so it is exit(1). *)
+let scaling_points = [ 1; 2; 4; 8 ]
+
+let measure_scaling p =
+  let load = List.fold_left max 0.0 p.loads in
+  let spec_str =
+    List.fold_left
+      (fun best s ->
+        if Mvl.Graph.n (graph_of_spec s) > Mvl.Graph.n (graph_of_spec best)
+        then s
+        else best)
+      (List.hd p.specs) (List.tl p.specs)
+  in
+  let point = (spec_str, load) in
+  let base_r, base_t = time_point p ~jobs:1 point in
+  let point_json jobs =
+    let r, t = if jobs = 1 then (base_r, base_t) else time_point p ~jobs point in
+    if r <> base_r then (
+      Printf.eprintf
+        "bench throughput: sharded run (--jobs %d) diverged from serial on \
+         %s load=%.2f — engine byte-identity violated\n"
+        jobs spec_str load;
+      exit 1);
+    let speedup = if t > 0.0 then base_t /. t else 0.0 in
+    Mvl.Telemetry.Obj
+      [
+        ("jobs", Mvl.Telemetry.Int jobs);
+        ("seconds", Mvl.Telemetry.Float t);
+        ("speedup", Mvl.Telemetry.Float speedup);
+        ("efficiency", Mvl.Telemetry.Float (speedup /. float_of_int jobs));
+      ]
+  in
+  Mvl.Telemetry.Obj
+    [
+      ( "backend",
+        Mvl.Telemetry.String
+          (if Mvl.Sim_shard.env_force_fork () then "serial" else "domains") );
+      ("cpu_count", Mvl.Telemetry.Int (Mvl.Parallel.cpu_count ()));
+      ("spec", Mvl.Telemetry.String spec_str);
+      ("offered_load", Mvl.Telemetry.Float load);
+      ("points", Mvl.Telemetry.List (List.map point_json scaling_points));
+    ]
+
+let write path p ?scaling records =
   let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
   Fun.protect
     ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
@@ -126,6 +197,11 @@ let write path p records =
         (Mvl.Telemetry.to_string
            (Mvl.Telemetry.List
               (List.map (fun l -> Mvl.Telemetry.Float l) p.loads)));
+      Option.iter
+        (fun s ->
+          Printf.fprintf oc "  \"sim_jobs_scaling\": %s,\n"
+            (Mvl.Telemetry.to_string s))
+        scaling;
       output_string oc "  \"records\": [\n";
       List.iteri
         (fun i r ->
@@ -161,14 +237,32 @@ let read_back path expected_records =
 let run ?(path = default_path) ?jobs ?(quick = false) ?(stable = false) () =
   let p = if quick then quick_profile else full_profile in
   let points = grid p in
-  let rs, stats = Mvl.Parallel.map ?jobs ~f:(record p) points in
+  (* --jobs shards the engine (domains), and the grid then runs one
+     point at a time so wall timings stay honest; under
+     MVL_FORCE_FORK=1 the engine refuses domains, so the same flag
+     degrades to the legacy meaning — fork fan-out of the grid. *)
+  let engine_jobs, grid_jobs =
+    match jobs with
+    | Some j when j > 1 && not (Mvl.Sim_shard.env_force_fork ()) ->
+        (Some j, Some 1)
+    | _ -> (None, jobs)
+  in
+  let rs, stats =
+    Mvl.Parallel.map ?jobs:grid_jobs ~f:(record p ?jobs:engine_jobs) points
+  in
   let rs = if stable then List.map Mvl.Telemetry.strip_volatile rs else rs in
-  write path p rs;
+  let scaling = if stable then None else Some (measure_scaling p) in
+  write path p ?scaling rs;
   read_back path (List.length rs);
   Printf.printf "wrote %s: %d records (%d specs x %d loads), %d worker(s)\n"
     path (List.length rs) (List.length p.specs) (List.length p.loads)
-    stats.Mvl.Parallel.workers;
-  if not stable then
+    (match engine_jobs with Some j -> j | None -> stats.Mvl.Parallel.workers);
+  if not stable then (
+    let int_of k o =
+      match Option.bind o (Mvl.Telemetry.member k) with
+      | Some (Mvl.Telemetry.Int i) -> i
+      | _ -> 0
+    in
     List.iter
       (fun r ->
         let str k o =
@@ -183,12 +277,43 @@ let run ?(path = default_path) ?jobs ?(quick = false) ?(stable = false) () =
           | _ -> 0.0
         in
         let seconds = Mvl.Telemetry.member "seconds" r in
-        Printf.printf "  %-14s load=%.2f  %8.0f pkt/s  %9.0f cyc/s  %.3fs\n"
+        let undrained = int_of "undrained" (Mvl.Telemetry.member "sim" r) in
+        Printf.printf "  %-14s load=%.2f  %8.0f pkt/s  %9.0f cyc/s  %.3fs%s\n"
           (str "spec" (Some r))
           (flt "offered_load" (Some r))
           (flt "packets_per_sec" seconds)
-          (flt "cycles_per_sec" seconds) (flt "wall" seconds))
-      rs
+          (flt "cycles_per_sec" seconds) (flt "wall" seconds)
+          (if undrained > 0 then
+             Printf.sprintf "  [UNDRAINED %d]" undrained
+           else "");
+        if undrained > 0 then
+          Printf.printf
+            "    ^ horizon expired with %d tracked packets in flight: this \
+             point is past saturation and its percentiles cover only the \
+             delivered packets\n"
+            undrained)
+      rs;
+    match Option.bind scaling (Mvl.Telemetry.member "points") with
+    | Some (Mvl.Telemetry.List pts) ->
+        let flt k o =
+          match Option.bind o (Mvl.Telemetry.member k) with
+          | Some (Mvl.Telemetry.Float f) -> f
+          | Some (Mvl.Telemetry.Int i) -> float_of_int i
+          | _ -> 0.0
+        in
+        Printf.printf "  engine scaling (%s load=%.2f):"
+          (match Option.bind scaling (Mvl.Telemetry.member "spec") with
+          | Some (Mvl.Telemetry.String s) -> s
+          | _ -> "?")
+          (flt "offered_load" scaling);
+        List.iter
+          (fun pt ->
+            Printf.printf "  %dj %.2fx"
+              (int_of "jobs" (Some pt))
+              (flt "speedup" (Some pt)))
+          pts;
+        print_newline ()
+    | _ -> ())
 
 let run_cli args =
   let usage () =

@@ -565,7 +565,28 @@ let sim_cmd =
             "Traffic pattern: uniform, transpose, bit-reversal, \
              bit-complement or hotspot.")
   in
-  let run spec layers load pattern json =
+  let sim_jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Shard the simulated routers over $(docv) domains advancing \
+             in barrier-phased lockstep.  Statistics are byte-identical \
+             to the serial engine for every $(docv) (absent, 1, or \
+             under MVL_FORCE_FORK=1 the serial engine runs and no \
+             domain is spawned).")
+  in
+  let stable_arg =
+    Arg.(
+      value & flag
+      & info [ "stable" ]
+          ~doc:
+            "Strip volatile fields (timings, cache state) from the JSON \
+             so runs can be compared byte for byte; implies nothing \
+             without $(b,--json).")
+  in
+  let run spec layers load pattern jobs stable json =
     let r = pipeline_or_die ~layers spec in
     let fam = r.Mvl.Pipeline.family in
     let layout = r.Mvl.Pipeline.layout in
@@ -577,29 +598,32 @@ let sim_cmd =
         Mvl.Network_sim.traffic = pattern; offered_load = load }
     in
     let res =
-      Mvl.Network_sim.run ~config:cfg ~link_latency:link
+      Mvl.Network_sim.run ~config:cfg ~link_latency:link ?jobs
         fam.Mvl.Families.graph
     in
     let zll =
       Mvl.Network_sim.zero_load_latency ~link_latency:link
         fam.Mvl.Families.graph
     in
-    if json then
-      print_json
-        (Mvl.Telemetry.Obj
-           [
-             ("schema", Mvl.Telemetry.String "mvl.sim.run/1");
-             ("spec", Mvl.Telemetry.String (Mvl.Registry.to_string spec));
-             ("family", Mvl.Telemetry.String fam.Mvl.Families.name);
-             ("layers", Mvl.Telemetry.Int layers);
-             ( "pattern",
-               Mvl.Telemetry.String
-                 (Format.asprintf "%a" Mvl.Traffic.pp pattern) );
-             ("offered_load", Mvl.Telemetry.Float load);
-             ("seed", Mvl.Telemetry.Int cfg.Mvl.Network_sim.seed);
-             ("zero_load_latency", Mvl.Telemetry.Float zll);
-             ("sim", Mvl.Telemetry.of_sim res);
-           ])
+    if json then begin
+      let doc =
+        Mvl.Telemetry.Obj
+          [
+            ("schema", Mvl.Telemetry.String "mvl.sim.run/1");
+            ("spec", Mvl.Telemetry.String (Mvl.Registry.to_string spec));
+            ("family", Mvl.Telemetry.String fam.Mvl.Families.name);
+            ("layers", Mvl.Telemetry.Int layers);
+            ( "pattern",
+              Mvl.Telemetry.String
+                (Format.asprintf "%a" Mvl.Traffic.pp pattern) );
+            ("offered_load", Mvl.Telemetry.Float load);
+            ("seed", Mvl.Telemetry.Int cfg.Mvl.Network_sim.seed);
+            ("zero_load_latency", Mvl.Telemetry.Float zll);
+            ("sim", Mvl.Telemetry.of_sim res);
+          ]
+      in
+      print_json (if stable then Mvl.Telemetry.strip_volatile doc else doc)
+    end
     else begin
       Printf.printf "%s  L=%d  load=%.3f  pattern=%s\n" fam.Mvl.Families.name
         layers load
@@ -614,7 +638,8 @@ let sim_cmd =
          "Simulate traffic over a network with layout-derived link \
           latencies")
     Term.(
-      const run $ family_arg $ layers_arg $ load_arg $ pattern_arg $ json_arg)
+      const run $ family_arg $ layers_arg $ load_arg $ pattern_arg
+      $ sim_jobs_arg $ stable_arg $ json_arg)
 
 (* --- layout3d command -------------------------------------------------------- *)
 
@@ -706,7 +731,17 @@ let wormhole_cmd =
       value & opt int 3
       & info [ "vcs" ] ~docv:"V" ~doc:"Virtual channels per link.")
   in
-  let run fabric load adaptive vcs =
+  let wh_jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Shard the routers over $(docv) domains in barrier-phased \
+             lockstep; statistics are byte-identical to the serial \
+             engine for every $(docv).")
+  in
+  let run fabric load adaptive vcs jobs =
     let cfg =
       { Mvl.Wormhole.default_config with
         Mvl.Wormhole.offered_load = load;
@@ -715,13 +750,14 @@ let wormhole_cmd =
            else Mvl.Wormhole.Deterministic);
         vcs }
     in
-    let r = Mvl.Wormhole.run ~config:cfg fabric in
+    let r = Mvl.Wormhole.run ~config:cfg ?jobs fabric in
     Format.printf "%a@." Mvl.Wormhole.pp_result r
   in
   Cmd.v
     (Cmd.info "wormhole"
        ~doc:"Flit-level wormhole simulation (VCs, credits, e-cube/adaptive)")
-    Term.(const run $ fabric_arg $ load_arg $ adaptive_arg $ vcs_arg)
+    Term.(
+      const run $ fabric_arg $ load_arg $ adaptive_arg $ vcs_arg $ wh_jobs_arg)
 
 (* --- verify command -------------------------------------------------------- *)
 

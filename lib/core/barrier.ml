@@ -1,0 +1,61 @@
+(* Sense-reversing cyclic barrier with a break (abort) path.
+
+   [parties] workers call [wait] once per phase; the last arrival flips
+   the phase counter and wakes the rest.  A worker that fails mid-phase
+   calls [break] so its peers raise [Broken] out of their next (or
+   current) [wait] instead of blocking forever on an arrival that will
+   never come. *)
+
+type t = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  parties : int;
+  mutable arrived : int;
+  mutable phase : int;   (* generation counter; wraps harmlessly *)
+  mutable broken : bool;
+}
+
+exception Broken
+
+let create ~parties =
+  if parties < 1 then invalid_arg "Barrier.create: parties < 1";
+  {
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    parties;
+    arrived = 0;
+    phase = 0;
+    broken = false;
+  }
+
+let parties t = t.parties
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let wait t =
+  with_lock t (fun () ->
+      if t.broken then raise Broken;
+      let my_phase = t.phase in
+      t.arrived <- t.arrived + 1;
+      if t.arrived = t.parties then begin
+        t.arrived <- 0;
+        t.phase <- t.phase + 1;
+        Condition.broadcast t.cond
+      end
+      else begin
+        while t.phase = my_phase && not t.broken do
+          Condition.wait t.cond t.lock
+        done;
+        if t.broken then raise Broken
+      end)
+
+let break t =
+  with_lock t (fun () ->
+      if not t.broken then begin
+        t.broken <- true;
+        Condition.broadcast t.cond
+      end)
+
+let is_broken t = with_lock t (fun () -> t.broken)

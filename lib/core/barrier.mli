@@ -1,0 +1,40 @@
+(** Sense-reversing cyclic barrier for gang-scheduled domains.
+
+    [parties] workers advance in lockstep: each calls {!wait} at the end
+    of a phase and resumes only once all parties have arrived.  The
+    barrier is cyclic — the same value synchronizes every subsequent
+    phase, with an internal generation counter preventing a fast worker
+    from lapping a slow one.
+
+    Failure handling: a worker that cannot reach its next {!wait}
+    (because its phase body raised) must call {!break} before
+    propagating the exception.  Every peer blocked in — or subsequently
+    entering — {!wait} then raises {!Broken} instead of deadlocking on
+    an arrival that will never come.  Breaking is sticky: a broken
+    barrier stays broken.
+
+    The mutex acquire/release pair inside {!wait} is also the
+    happens-before edge gang protocols rely on: writes a worker makes
+    before [wait] are visible to every party after the matching [wait]
+    returns. *)
+
+type t
+
+exception Broken
+(** Raised from {!wait} by every party of a barrier that was {!break}ed. *)
+
+val create : parties:int -> t
+(** [create ~parties] makes a barrier for [parties >= 1] workers.
+    Raises [Invalid_argument] on [parties < 1]. *)
+
+val parties : t -> int
+
+val wait : t -> unit
+(** Block until all [parties] workers have called [wait] for the current
+    phase, then advance together.  Raises {!Broken} (possibly without
+    blocking) if the barrier is or becomes broken. *)
+
+val break : t -> unit
+(** Mark the barrier broken and wake all waiters.  Idempotent. *)
+
+val is_broken : t -> bool

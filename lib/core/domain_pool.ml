@@ -126,6 +126,54 @@ let map ?domains ~f items =
     (out, { domains = workers; steals = Atomic.get steals })
   end
 
+(* Gang execution: [workers] long-lived tasks that must all run
+   concurrently because they synchronize with each other (typically
+   through a Barrier).  This is deliberately NOT expressible with [map]:
+   a work-stealing pool may place two tasks on one domain, and two
+   lockstep tasks sharing a domain deadlock on their first barrier. *)
+let gang ~workers ?abort f =
+  if workers < 1 then invalid_arg "Domain_pool.gang: workers < 1";
+  if workers = 1 then f 0
+  else begin
+    let failures = Array.make workers None in
+    let aborted = Atomic.make false in
+    let run w =
+      match f w with
+      | () -> ()
+      | exception e ->
+          failures.(w) <- Some (e, Printexc.get_raw_backtrace ());
+          (* wake gang-mates blocked on a rendezvous this worker will
+             never reach; first failure wins, the rest are echoes *)
+          if not (Atomic.exchange aborted true) then
+            Option.iter (fun k -> k ()) abort
+    in
+    Atomic.set ever_spawned true;
+    let spawned =
+      Array.init (workers - 1) (fun k -> Domain.spawn (fun () -> run (k + 1)))
+    in
+    run 0;
+    Array.iter Domain.join spawned;
+    (* re-raise the root cause: the lowest-index failure that is not an
+       abort echo (Barrier.Broken from a peer that was woken by [abort]),
+       falling back to any failure at all *)
+    let first_not_broken = ref None and first_any = ref None in
+    Array.iter
+      (function
+        | Some ((e, _) as fail) ->
+            if !first_any = None then first_any := Some fail;
+            let echo =
+              match e with Barrier.Broken -> true | _ -> false
+            in
+            if (not echo) && !first_not_broken = None then
+              first_not_broken := Some fail
+        | None -> ())
+      failures;
+    match (!first_not_broken, !first_any) with
+    | Some (e, bt), _ | None, Some (e, bt) ->
+        Printexc.raise_with_backtrace e bt
+    | None, None -> ()
+  end
+
 (* splitmix64 finalizer over (seed, index): the same mixing Rng uses
    internally, so per-task streams are unrelated for adjacent indices *)
 let split_seed ~seed ~index =

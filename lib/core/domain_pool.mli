@@ -44,6 +44,22 @@ val map : ?domains:int -> f:('a -> 'b) -> 'a array -> 'b array * stats
     items degrade to a plain sequential map in the calling domain.
     [f] must be safe to call from multiple domains at once. *)
 
+val gang : workers:int -> ?abort:(unit -> unit) -> (int -> unit) -> unit
+(** [gang ~workers f] runs [f 0 .. f (workers - 1)] with every worker on
+    its own domain, concurrently ([workers - 1] spawned domains plus the
+    calling domain as worker 0), and joins them all.  Use this — never
+    {!map} — for tasks that synchronize with each other (e.g. through
+    {!Barrier.wait}): a stealing pool may schedule two lockstep tasks on
+    one domain, which deadlocks at their first rendezvous.
+
+    [workers = 1] calls [f 0] inline without spawning anything.
+
+    If a worker raises, [abort] (typically [fun () -> Barrier.break b])
+    is invoked exactly once so gang-mates blocked on a rendezvous wake
+    up and fail too; after all workers are joined the exception from the
+    lowest-index worker whose failure is not a {!Barrier.Broken} echo is
+    re-raised with its backtrace. *)
+
 val spawned_domains : unit -> bool
 (** [true] once any {!map} call has spawned a domain in this process.
     The OCaml 5 runtime permanently refuses [Unix.fork] after that

@@ -80,6 +80,7 @@ module Histogram = Mvl_sim.Histogram
 module Traffic = Mvl_sim.Traffic
 module Routing_table = Mvl_sim.Routing_table
 module Network_sim = Mvl_sim.Network_sim
+module Sim_shard = Mvl_sim.Sim_shard
 module Resilience = Mvl_sim.Resilience
 module Wormhole = Mvl_sim.Wormhole
 
@@ -90,5 +91,6 @@ module Pipeline = Pipeline
 module Telemetry = Telemetry
 module Parallel = Parallel
 module Domain_pool = Mvl_pool.Domain_pool
+module Barrier = Mvl_pool.Barrier
 module Bounded_fifo = Bounded_fifo
 module Ring_buffer = Mvl_ring.Ring_buffer

@@ -388,6 +388,7 @@ let of_sim (r : Mvl_sim.Network_sim.result) =
       ("throughput", Float r.throughput);
       ("avg_hops", Float r.avg_hops);
       ("cycles", Int r.cycles);
+      ("undrained", Int r.undrained);
       ( "latency_histogram",
         List
           (Array.to_list

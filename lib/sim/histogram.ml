@@ -66,6 +66,26 @@ let to_pairs t =
     out
   end
 
+let merge_into ~into src =
+  if src.max_v >= 0 then begin
+    if src.max_v >= Array.length into.counts then begin
+      let cap = ref (Array.length into.counts) in
+      while src.max_v >= !cap do
+        cap := !cap * 2
+      done;
+      let a = Array.make !cap 0 in
+      Array.blit into.counts 0 a 0 (Array.length into.counts);
+      into.counts <- a
+    end;
+    for v = 0 to src.max_v do
+      let c = src.counts.(v) in
+      if c > 0 then into.counts.(v) <- into.counts.(v) + c
+    done;
+    if src.max_v > into.max_v then into.max_v <- src.max_v;
+    into.count <- into.count + src.count;
+    into.total <- into.total + src.total
+  end
+
 let clear t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
   t.max_v <- -1;

@@ -42,5 +42,12 @@ val to_pairs : t -> (int * int) array
 (** [(value, count)] pairs in ascending value order, zero counts
     omitted. *)
 
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] adds every observation of [src] to [into]
+    ([src] is unchanged).  Counting histograms make the merge exact:
+    merging per-shard histograms in any order yields the same counts,
+    totals and percentiles as recording all observations into one
+    histogram — the property the domain-sharded simulators rely on. *)
+
 val clear : t -> unit
 (** Forget every observation (capacity kept). *)

@@ -1,5 +1,7 @@
 open Mvl_topology
 module Int_ring = Mvl_ring.Int_ring
+module Barrier = Mvl_pool.Barrier
+module Domain_pool = Mvl_pool.Domain_pool
 
 type config = {
   traffic : Traffic.t;
@@ -34,15 +36,17 @@ type result = {
   throughput : float;
   avg_hops : float;
   cycles : int;
+  undrained : int;
   latency_histogram : (int * int) array;
 }
 
 let pp_result ppf r =
   Format.fprintf ppf
     "@[delivered %d/%d, latency avg=%.1f p50=%d p95=%d p99=%d max=%d, \
-     throughput=%.4f, hops=%.2f@]"
+     throughput=%.4f, hops=%.2f%t@]"
     r.delivered r.injected r.avg_latency r.p50_latency r.p95_latency
-    r.p99_latency r.max_latency r.throughput r.avg_hops
+    r.p99_latency r.max_latency r.throughput r.avg_hops (fun ppf ->
+      if r.undrained > 0 then Format.fprintf ppf ", UNDRAINED=%d" r.undrained)
 
 let link_latency_of_layout ?(units_per_cycle = 64) layout =
   let route = Mvl_routing.Route.of_layout layout in
@@ -84,9 +88,8 @@ let link_latency_of_layout ?(units_per_cycle = 64) layout =
      [Hashtbl.create 8].
    - Delivered latencies accumulate into a dense {!Histogram} instead
      of an ever-growing list. *)
-let run ?(config = default_config) ?(link_latency = fun _ _ -> 1) graph =
+let run_serial config link_latency graph =
   let n = Graph.n graph in
-  if n < 2 then invalid_arg "Network_sim.run: need at least 2 nodes";
   let rng = Rng.create ~seed:config.seed in
   let routing = Routing_table.create ~edge_cost:link_latency graph in
   (* packed-word geometry: low [dshift] bits carry the destination *)
@@ -298,8 +301,347 @@ let run ?(config = default_config) ?(link_latency = fun _ _ -> 1) graph =
       (if !delivered = 0 then 0.0
        else float_of_int !hop_total /. float_of_int !delivered);
     cycles = !cycle;
+    undrained = !pending_tracked;
     latency_histogram = Histogram.to_pairs hist;
   }
+
+(* Domain-sharded engine: routers are partitioned into [shards]
+   contiguous ranges, one domain each, advancing in barrier-phased
+   lockstep (two barriers per cycle).  Stats are byte-identical to
+   {!run_serial} for any shard count; DESIGN.md §11 gives the full
+   argument.  The load-bearing pieces:
+
+   - {e Replicated injection stream.}  Each shard holds its own [Rng]
+     seeded with [config.seed] and replays the serial engine's entire
+     per-cycle injection loop over all [n] sources — [Rng.bool] and the
+     destination draw consume the same number of splitmix64 steps
+     everywhere — but materializes packets only for sources it owns.
+     Splitting one stream across shards is impossible (bounded draws use
+     rejection sampling, so the positions a source consumes depend on
+     every earlier draw), and per-shard [split_seed] streams would
+     change the stats; replaying the one serial stream is what keeps
+     them bit-identical.
+   - {e Mailbox-routed grants.}  Phase 1: each shard drains its own
+     wheel bucket, injects, and switches its own routers in ascending
+     order; every grant (own-shard destinations included) is buffered as
+     a 5-int message [lat, out, dest, born, hops] into the
+     per-(src-shard, dst-shard) mailbox.  Phase 2 (after a barrier):
+     each shard drains its inbound mailboxes in ascending source-shard
+     order, transferring messages into its wheel.  Shard ranges ascend
+     with the shard index, so (ascending shard, push order) concatenates
+     to exactly the serial engine's ascending-router push order — wheel
+     buckets fill in the serial order, so arrival processing, queue
+     contents and every subsequent decision match cycle for cycle.
+   - {e Local packet stores.}  Packet ids are shard-local (the packed
+     word's pid field never crosses a shard boundary): the sender
+     retires its pid when the grant becomes a message, the receiver
+     acquires a fresh one on transfer.  Serial pid numbering differs,
+     but pids are pure store indices — no decision ever reads one.
+   - {e Stop votes.}  Each shard publishes its pending/in-flight counts
+     (per-shard [pending] may go negative: injector and deliverer
+     shards book the same packet asymmetrically — only the sum is
+     meaningful) between the barriers; after the second barrier every
+     shard sums the same arrays and reaches the same stop decision, so
+     all shards run the same number of cycles as the serial engine. *)
+let run_sharded ~shards config link_latency graph =
+  let n = Graph.n graph in
+  let dshift =
+    let b = ref 1 in
+    while 1 lsl !b < n do
+      incr b
+    done;
+    !b
+  in
+  let dmask = (1 lsl dshift) - 1 in
+  (* shared read-only routing matrix: the full destination set is known
+     up front from the traffic pattern, so shards pre-build disjoint
+     column slices before cycle 0 (first barrier publishes them) and the
+     run itself never touches the Routing_table cache *)
+  let routing = Routing_table.create ~edge_cost:link_latency graph in
+  let dests = Traffic.destinations config.traffic ~n_nodes:n in
+  let n_dests = Array.length dests in
+  let next_out = Array.init n (fun _ -> Array.make n (-1)) in
+  let max_lat = ref 1 in
+  Graph.iter_edges graph (fun u v ->
+      max_lat := max !max_lat (max 1 (link_latency u v));
+      max_lat := max !max_lat (max 1 (link_latency v u)));
+  let wheel_size =
+    let c = ref 1 in
+    while !c < !max_lat + 1 do
+      c := !c * 2
+    done;
+    !c
+  in
+  let wheel_mask = wheel_size - 1 in
+  let unit_latency = !max_lat = 1 in
+  let horizon = config.warmup + config.measure + config.drain in
+  let owner = Sim_shard.owner_table ~n ~shards in
+  (* mail.(s).(t): written by shard s in phase 1, drained by shard t in
+     phase 2; the barriers order every access *)
+  let mail =
+    Array.init shards (fun _ -> Array.init shards (fun _ -> Int_ring.create ()))
+  in
+  let barrier = Barrier.create ~parties:shards in
+  (* stop votes: slot w written by shard w between the barriers, read
+     by every shard after the second one *)
+  let vote_pending = Array.make shards 0 in
+  let vote_in_flight = Array.make shards 0 in
+  (* per-shard results, merged after the join *)
+  let sh_injected = Array.make shards 0 in
+  let sh_delivered = Array.make shards 0 in
+  let sh_hop_total = Array.make shards 0 in
+  let sh_undrained = Array.make shards 0 in
+  let sh_cycles = Array.make shards 0 in
+  let sh_hist = Array.init shards (fun _ -> Histogram.create ()) in
+  let shard w =
+    let lo, hi = Sim_shard.bounds ~n ~shards w in
+    let rng = Rng.create ~seed:config.seed in
+    let mail_out = mail.(w) in
+    (* local packet store — pids never leave this shard *)
+    let pk_born = ref (Array.make 1024 0) in
+    let pk_hops = ref (Array.make 1024 0) in
+    let n_pids = ref 0 in
+    let free = Int_ring.create () in
+    let acquire ~dest ~born ~hops =
+      let pid =
+        if Int_ring.length free > 0 then Int_ring.pop free
+        else begin
+          let cap = Array.length !pk_born in
+          if !n_pids = cap then begin
+            let born' = Array.make (cap * 2) 0 in
+            let hops' = Array.make (cap * 2) 0 in
+            Array.blit !pk_born 0 born' 0 cap;
+            Array.blit !pk_hops 0 hops' 0 cap;
+            pk_born := born';
+            pk_hops := hops'
+          end;
+          let p = !n_pids in
+          incr n_pids;
+          p
+        end
+      in
+      !pk_born.(pid) <- born;
+      !pk_hops.(pid) <- hops;
+      (pid lsl dshift) lor dest
+    in
+    let bucket = Array.init wheel_size (fun _ -> Int_ring.create ()) in
+    let in_flight = ref 0 in
+    (* only own rows are ever touched; foreign slots share one dummy *)
+    let dummy = Int_ring.create () in
+    let queue =
+      Array.init n (fun u ->
+          if u >= lo && u < hi then Int_ring.create () else dummy)
+    in
+    let visible = Array.make n 0 in
+    let granted_gen = Array.make n 0 in
+    let gen = ref 0 in
+    let keep = ref (Array.make 64 false) in
+    let ensure_keep k =
+      if k > Array.length !keep then begin
+        let cap = ref (Array.length !keep) in
+        while !cap < k do
+          cap := !cap * 2
+        done;
+        keep := Array.make !cap false
+      end
+    in
+    let injected = ref 0 and delivered = ref 0 in
+    let hist = sh_hist.(w) in
+    let hop_total = ref 0 in
+    let pending_tracked = ref 0 in
+    let cycle = ref 0 in
+    let continue = ref true in
+    (* pre-build this shard's slice of the shared routing matrix:
+       disjoint (u, dest) cells per shard, published by the barrier *)
+    let dlo = w * n_dests / shards and dhi = (w + 1) * n_dests / shards in
+    for i = dlo to dhi - 1 do
+      let dest = dests.(i) in
+      let tbl = Routing_table.build routing dest in
+      for u = 0 to n - 1 do
+        next_out.(u).(dest) <- tbl.(u)
+      done
+    done;
+    Barrier.wait barrier;
+    while !continue do
+      let now = !cycle in
+      (* phase 1: arrivals at own routers *)
+      let b = bucket.(now land wheel_mask) in
+      let landed = Int_ring.length b / 2 in
+      if landed > 0 then begin
+        in_flight := !in_flight - landed;
+        let born_a = !pk_born and hops_a = !pk_hops in
+        for i = 0 to landed - 1 do
+          let node = Int_ring.unsafe_get b (2 * i) in
+          let v = Int_ring.unsafe_get b ((2 * i) + 1) in
+          if node = v land dmask then begin
+            let pid = v lsr dshift in
+            let born = Array.unsafe_get born_a pid in
+            if born >= config.warmup then begin
+              delivered := !delivered + 1;
+              pending_tracked := !pending_tracked - 1;
+              Histogram.add hist (now - born);
+              hop_total := !hop_total + Array.unsafe_get hops_a pid
+            end;
+            Int_ring.push free pid
+          end
+          else Int_ring.push queue.(node) v
+        done;
+        Int_ring.drop_front b (2 * landed)
+      end;
+      (* replicated injection: every shard replays the full serial draw
+         sequence, materializing only its own sources *)
+      if now < config.warmup + config.measure then
+        for src = 0 to n - 1 do
+          if Rng.bool rng ~p:config.offered_load then begin
+            let dest =
+              Traffic.destination config.traffic rng ~n_nodes:n ~src
+            in
+            if src >= lo && src < hi then begin
+              if now >= config.warmup then begin
+                injected := !injected + 1;
+                pending_tracked := !pending_tracked + 1
+              end;
+              Int_ring.push queue.(src) (acquire ~dest ~born:now ~hops:0)
+            end
+          end
+        done;
+      (* switching own routers; grants become mailbox messages *)
+      let hops_a = !pk_hops in
+      for u = lo to hi - 1 do
+        let q = queue.(u) in
+        if visible.(u) = 0 && Int_ring.length q > 0 then
+          visible.(u) <- Int_ring.length q;
+        let vis = visible.(u) in
+        if vis > 0 then begin
+          incr gen;
+          let g = !gen in
+          let k = if config.lookahead < vis then config.lookahead else vis in
+          ensure_keep k;
+          let keep = !keep in
+          let row = Array.unsafe_get next_out u in
+          let granted = ref 0 in
+          for i = 0 to k - 1 do
+            let v = Int_ring.unsafe_get q i in
+            let out = Array.unsafe_get row (v land dmask) in
+            if out < 0 then invalid_arg "Network_sim.run: unreachable node";
+            if Array.unsafe_get granted_gen out = g then
+              Array.unsafe_set keep i true
+            else begin
+              Array.unsafe_set granted_gen out g;
+              Array.unsafe_set keep i false;
+              let pid = v lsr dshift in
+              let hops = Array.unsafe_get hops_a pid + 1 in
+              let lat =
+                if unit_latency then 1 else max 1 (link_latency u out)
+              in
+              (* the grant leaves this shard as a message; the local pid
+                 retires (data travels in the message, and the receiver
+                 acquires a pid of its own) *)
+              let m = Array.unsafe_get mail_out (Array.unsafe_get owner out) in
+              Int_ring.push m lat;
+              Int_ring.push m out;
+              Int_ring.push m (v land dmask);
+              Int_ring.push m (Array.unsafe_get !pk_born pid);
+              Int_ring.push m hops;
+              Int_ring.push free pid;
+              granted := !granted + 1
+            end
+          done;
+          if !granted > 0 then begin
+            let w' = ref (k - 1) in
+            for i = k - 1 downto 0 do
+              if Array.unsafe_get keep i then begin
+                if !w' <> i then
+                  Int_ring.unsafe_set q !w' (Int_ring.unsafe_get q i);
+                decr w'
+              end
+            done;
+            Int_ring.drop_front q !granted;
+            visible.(u) <- vis - !granted
+          end
+        end
+      done;
+      Barrier.wait barrier;
+      (* phase 2: drain inbound mailboxes in ascending source-shard
+         order — concatenation equals the serial ascending-router push
+         order, so wheel buckets fill exactly as in the serial engine *)
+      for s = 0 to shards - 1 do
+        let m = mail.(s).(w) in
+        let msgs = Int_ring.length m / 5 in
+        for i = 0 to msgs - 1 do
+          let base = 5 * i in
+          let lat = Int_ring.unsafe_get m base in
+          let out = Int_ring.unsafe_get m (base + 1) in
+          let dest = Int_ring.unsafe_get m (base + 2) in
+          let born = Int_ring.unsafe_get m (base + 3) in
+          let hops = Int_ring.unsafe_get m (base + 4) in
+          let b = Array.unsafe_get bucket ((now + lat) land wheel_mask) in
+          Int_ring.push b out;
+          Int_ring.push b (acquire ~dest ~born ~hops);
+          incr in_flight
+        done;
+        Int_ring.clear m
+      done;
+      vote_pending.(w) <- !pending_tracked;
+      vote_in_flight.(w) <- !in_flight;
+      Barrier.wait barrier;
+      incr cycle;
+      if !cycle >= horizon then continue := false
+      else if !cycle >= config.warmup + config.measure then begin
+        let p = ref 0 and f = ref 0 in
+        for s = 0 to shards - 1 do
+          p := !p + vote_pending.(s);
+          f := !f + vote_in_flight.(s)
+        done;
+        if !p = 0 && !f = 0 then continue := false
+      end
+    done;
+    sh_injected.(w) <- !injected;
+    sh_delivered.(w) <- !delivered;
+    sh_hop_total.(w) <- !hop_total;
+    sh_undrained.(w) <- !pending_tracked;
+    sh_cycles.(w) <- !cycle
+  in
+  Domain_pool.gang ~workers:shards
+    ~abort:(fun () -> Barrier.break barrier)
+    shard;
+  let injected = ref 0
+  and delivered = ref 0
+  and hop_total = ref 0
+  and undrained = ref 0 in
+  let hist = Histogram.create () in
+  for s = 0 to shards - 1 do
+    injected := !injected + sh_injected.(s);
+    delivered := !delivered + sh_delivered.(s);
+    hop_total := !hop_total + sh_hop_total.(s);
+    undrained := !undrained + sh_undrained.(s);
+    Histogram.merge_into ~into:hist sh_hist.(s)
+  done;
+  {
+    injected = !injected;
+    delivered = !delivered;
+    hop_total = !hop_total;
+    avg_latency = Histogram.mean hist;
+    p50_latency = Histogram.percentile hist 50;
+    p95_latency = Histogram.percentile hist 95;
+    p99_latency = Histogram.percentile hist 99;
+    max_latency = Histogram.max_value hist;
+    throughput =
+      float_of_int !delivered /. float_of_int (n * max 1 config.measure);
+    avg_hops =
+      (if !delivered = 0 then 0.0
+       else float_of_int !hop_total /. float_of_int !delivered);
+    cycles = sh_cycles.(0);
+    undrained = !undrained;
+    latency_histogram = Histogram.to_pairs hist;
+  }
+
+let run ?(config = default_config) ?(link_latency = fun _ _ -> 1) ?jobs graph =
+  let n = Graph.n graph in
+  if n < 2 then invalid_arg "Network_sim.run: need at least 2 nodes";
+  let shards = Sim_shard.shards ~jobs ~n in
+  if shards <= 1 then run_serial config link_latency graph
+  else run_sharded ~shards config link_latency graph
 
 let saturation_throughput ?(config = default_config) ?link_latency graph =
   let cfg = { config with offered_load = 0.95 } in

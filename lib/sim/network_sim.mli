@@ -39,6 +39,11 @@ type result = {
   throughput : float;     (** delivered / (nodes * measure) *)
   avg_hops : float;
   cycles : int;           (** simulated cycles until the run stopped *)
+  undrained : int;
+      (** tracked packets still in the network when the run stopped —
+          nonzero only when the [warmup+measure+drain] horizon expired
+          before the network drained (always [injected - delivered]);
+          these packets used to vanish from the stats silently *)
   latency_histogram : (int * int) array;
       (** [(latency, delivered count)] in ascending latency order — the
           full delivered-latency distribution the percentiles are read
@@ -50,10 +55,21 @@ val pp_result : Format.formatter -> result -> unit
 val run :
   ?config:config ->
   ?link_latency:(int -> int -> int) ->
+  ?jobs:int ->
   Graph.t ->
   result
 (** [run graph] simulates the network.  [link_latency u v] is in cycles
-    (default 1 everywhere); it must be symmetric and >= 1. *)
+    (default 1 everywhere); it must be symmetric and >= 1 — and, when
+    [jobs > 1], callable from multiple domains at once (pure functions
+    and {!link_latency_of_layout} closures qualify).
+
+    [jobs] shards the routers across that many domains (capped at the
+    node count) advancing in barrier-phased lockstep; the result is
+    byte-identical to the serial engine for every [jobs] value — same
+    counts, percentiles and histogram, enforced by the parity tests.
+    Omitted, [<= 1], or under [MVL_FORCE_FORK=1] (domains would
+    permanently disable the fork backend) the serial engine runs and no
+    domain is spawned. *)
 
 val link_latency_of_layout :
   ?units_per_cycle:int -> Mvl_layout.Layout.t -> int -> int -> int

@@ -3,28 +3,42 @@ open Mvl_topology
 type t = {
   graph : Graph.t;
   edge_cost : int -> int -> int;
-  (* dest -> per-node next hop towards dest *)
+  (* dest -> per-node next hop towards dest; shared across domains, so
+     every access goes through [lock] *)
   cache : (int, int array) Hashtbl.t;
+  lock : Mutex.t;
 }
 
 let create ?(edge_cost = fun _ _ -> 0) graph =
-  { graph; edge_cost; cache = Hashtbl.create 64 }
+  { graph; edge_cost; cache = Hashtbl.create 64; lock = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 (* build the next-hop array for one destination: BFS from [dest]; each
    node forwards to the predecessor that minimizes (cost, id) among
-   neighbours one level closer to dest *)
+   neighbours one level closer to dest.  The (cost, id) minimum is
+   tracked as two explicit ints — no tuple allocation or polymorphic
+   comparison in the per-neighbor loop.  Pure given an immutable graph
+   and a thread-safe [edge_cost], so it is safe to call from any
+   domain. *)
 let build t dest =
   let n = Graph.n t.graph in
   let dist = Graph.bfs_dist t.graph dest in
   let hop = Array.make n (-1) in
   for u = 0 to n - 1 do
     if u <> dest && dist.(u) < max_int then begin
-      let best = ref (-1) and best_key = ref (max_int, max_int) in
+      let best = ref (-1) and best_cost = ref max_int in
       Graph.iter_neighbors t.graph u (fun v ->
           if dist.(v) = dist.(u) - 1 then begin
-            let key = (t.edge_cost u v, v) in
-            if key < !best_key then begin
-              best_key := key;
+            let c = t.edge_cost u v in
+            (* lexicographic (cost, id) with the unset state folded in:
+               best < 0 makes even a max_int-cost first candidate win,
+               matching the old (max_int, max_int) sentinel pair *)
+            if c < !best_cost || (c = !best_cost && (!best < 0 || v < !best))
+            then begin
+              best_cost := c;
               best := v
             end
           end);
@@ -33,13 +47,20 @@ let build t dest =
   done;
   hop
 
+(* double-checked insert: build outside the lock (builds for the same
+   dest are deterministic and identical, so a racing duplicate build is
+   benign — the first insert wins and everyone returns that array) *)
 let table t dest =
-  match Hashtbl.find_opt t.cache dest with
+  match with_lock t (fun () -> Hashtbl.find_opt t.cache dest) with
   | Some h -> h
   | None ->
       let h = build t dest in
-      Hashtbl.add t.cache dest h;
-      h
+      with_lock t (fun () ->
+          match Hashtbl.find_opt t.cache dest with
+          | Some winner -> winner
+          | None ->
+              Hashtbl.add t.cache dest h;
+              h)
 
 let next_hop t ~at ~dest =
   if at = dest then invalid_arg "Routing_table.next_hop: already there";

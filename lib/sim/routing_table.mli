@@ -4,7 +4,12 @@
     BFS-shortest path with a deterministic tie-break (prefer the
     lowest-latency outgoing link, then the lowest neighbour id), so the
     routing is oblivious and reproducible.  Tables are built per
-    destination on demand and cached. *)
+    destination on demand and cached.
+
+    Domain safety: the cache is mutex-guarded, so {!table} (and
+    everything built on it) may be called concurrently from multiple
+    domains; for a given destination every caller sees the same array.
+    Tables are immutable after construction — share them freely. *)
 
 open Mvl_topology
 
@@ -23,6 +28,13 @@ val table : t -> int -> int array
     ([-1] for [dest] itself and unreachable nodes), built on first use
     and cached.  Hot loops index it directly instead of paying
     {!next_hop}'s per-call table lookup. *)
+
+val build : t -> int -> int array
+(** [build t dest] computes a fresh next-hop array towards [dest]
+    without consulting or populating the cache.  Use it to pre-build
+    table sets in parallel (it is pure given an immutable graph and a
+    thread-safe [edge_cost]) when the shared cache would serialize or
+    retain more than needed. *)
 
 val path : t -> src:int -> dest:int -> int list
 (** The full node sequence, [src] and [dest] included. *)

@@ -51,11 +51,37 @@ let permute pattern ~n_nodes ~src =
       let bits = log2_exact n_nodes in
       src lxor ((1 lsl bits) - 1)
 
+(* the fixed patterns after the self-destination fixup: exactly what
+   [destination] returns for them, with no rng involved *)
+let fixed_destination pattern ~n_nodes ~src =
+  let d = permute pattern ~n_nodes ~src in
+  if d = src then (src + 1) mod n_nodes else d
+
 let destination pattern rng ~n_nodes ~src =
   match pattern with
   | Uniform ->
       let d = Rng.int rng ~bound:(n_nodes - 1) in
       if d >= src then d + 1 else d
   | Hotspot _ | Transpose | Bit_reversal | Bit_complement ->
-      let d = permute pattern ~n_nodes ~src in
-      if d = src then (src + 1) mod n_nodes else d
+      fixed_destination pattern ~n_nodes ~src
+
+let destinations pattern ~n_nodes =
+  if n_nodes < 2 then invalid_arg "Traffic.destinations: n_nodes < 2";
+  match pattern with
+  | Uniform -> Array.init n_nodes (fun d -> d)
+  | Hotspot _ | Transpose | Bit_reversal | Bit_complement ->
+      let seen = Array.make n_nodes false in
+      for src = 0 to n_nodes - 1 do
+        seen.(fixed_destination pattern ~n_nodes ~src) <- true
+      done;
+      let count = ref 0 in
+      Array.iter (fun b -> if b then incr count) seen;
+      let out = Array.make !count 0 in
+      let i = ref 0 in
+      for d = 0 to n_nodes - 1 do
+        if seen.(d) then begin
+          out.(!i) <- d;
+          incr i
+        end
+      done;
+      out

@@ -31,3 +31,12 @@ val destination : t -> Rng.t -> n_nodes:int -> src:int -> int
     [[0, n_nodes)] — an out-of-range hotspot used to be silently
     wrapped by [mod], which even produced negative destinations for
     negative [h]. *)
+
+val destinations : t -> n_nodes:int -> int array
+(** Every destination {!destination} can ever return for this pattern
+    and size, sorted ascending and duplicate-free: all of
+    [[0, n_nodes)] for [Uniform]; the fixup-adjusted permutation image
+    for the fixed patterns ([{h; (h+1) mod n}] for [Hotspot h]).  The
+    sharded simulators pre-build exactly this set of routing tables
+    before spawning domains.  Raises like {!destination} does, plus
+    [Invalid_argument] when [n_nodes < 2]. *)

@@ -50,6 +50,10 @@ type result = {
   p99_latency : int;
   max_latency : int;
   throughput : float;    (** delivered packets / (nodes * measure) *)
+  undrained : int;
+      (** tracked packets still in the network at the horizon (always
+          [injected - delivered]); these used to vanish from the stats
+          silently *)
   latency_histogram : (int * int) array;
       (** [(latency, count)] in ascending latency order *)
 }
@@ -57,8 +61,19 @@ type result = {
 val pp_result : Format.formatter -> result -> unit
 
 val run :
-  ?config:config -> ?link_latency:(int -> int -> int) -> fabric -> result
+  ?config:config ->
+  ?link_latency:(int -> int -> int) ->
+  ?jobs:int ->
+  fabric ->
+  result
 (** Simulates the fabric; raises [Invalid_argument] for a torus with
-    fewer than 2 VCs. *)
+    fewer than 2 VCs.
+
+    [jobs] shards the routers across that many domains (capped at the
+    node count) in barrier-phased lockstep, byte-identical to the
+    serial engine for every value — see {!Network_sim.run}; omitted,
+    [<= 1], or under [MVL_FORCE_FORK=1] the serial engine runs and no
+    domain is spawned.  A [link_latency] used with [jobs > 1] must be
+    callable from multiple domains at once. *)
 
 val graph_of_fabric : fabric -> Mvl_topology.Graph.t

@@ -178,6 +178,69 @@ let test_default_jobs_bounds () =
   Alcotest.(check int) "uncapped: tracks the visible processor count"
     (Mvl.Parallel.cpu_count ()) d
 
+let test_barrier_basics () =
+  Alcotest.check_raises "parties < 1 rejected"
+    (Invalid_argument "Barrier.create: parties < 1") (fun () ->
+      ignore (Mvl.Barrier.create ~parties:0));
+  let solo = Mvl.Barrier.create ~parties:1 in
+  Alcotest.(check int) "parties" 1 (Mvl.Barrier.parties solo);
+  (* a single-party barrier never blocks, and stays cyclic *)
+  for _ = 1 to 3 do Mvl.Barrier.wait solo done;
+  Alcotest.(check bool) "not broken" false (Mvl.Barrier.is_broken solo);
+  Mvl.Barrier.break solo;
+  Mvl.Barrier.break solo;
+  Alcotest.(check bool) "break is sticky" true (Mvl.Barrier.is_broken solo);
+  Alcotest.check_raises "wait on broken barrier"
+    Mvl.Barrier.Broken (fun () -> Mvl.Barrier.wait solo)
+
+(* gang + barrier keep workers in lockstep: between the two rendezvous
+   of a phase no worker can be behind (it arrived) or ahead (it has
+   not passed the second wait), so the counter snapshot is exact —
+   and race-free, because nobody writes between them *)
+let test_gang_lockstep () =
+  let workers = 4 and phases = 200 in
+  let b = Mvl.Barrier.create ~parties:workers in
+  let counts = Array.make workers 0 in
+  Mvl.Domain_pool.gang ~workers (fun w ->
+      for p = 1 to phases do
+        counts.(w) <- counts.(w) + 1;
+        Mvl.Barrier.wait b;
+        Array.iteri
+          (fun peer c ->
+            if c <> p then
+              Alcotest.failf "worker %d saw peer %d at phase %d, not %d" w
+                peer c p)
+          counts;
+        Mvl.Barrier.wait b
+      done);
+  Array.iter (fun c -> Alcotest.(check int) "phases run" phases c) counts
+
+(* one worker of a gang dies before its rendezvous: abort must break
+   the barrier so the peers wake with Broken instead of deadlocking,
+   and the original exception — not the Broken echoes — must be what
+   the caller sees *)
+let test_gang_failure_breaks_barrier () =
+  let workers = 3 in
+  let b = Mvl.Barrier.create ~parties:workers in
+  let broken_seen = Atomic.make 0 in
+  (try
+     Mvl.Domain_pool.gang ~workers
+       ~abort:(fun () -> Mvl.Barrier.break b)
+       (fun w ->
+         if w = 1 then failwith "worker 1 exploded"
+         else
+           try
+             Mvl.Barrier.wait b;
+             Alcotest.fail "rendezvous should have broken"
+           with Mvl.Barrier.Broken as e ->
+             Atomic.incr broken_seen;
+             raise e);
+     Alcotest.fail "gang swallowed the failure"
+   with Failure m ->
+     Alcotest.(check string) "original exception wins" "worker 1 exploded" m);
+  Alcotest.(check int) "both peers woke with Broken" 2
+    (Atomic.get broken_seen)
+
 (* order matters: the fork-backend cases must run before anything that
    spawns a domain — the runtime permanently disables Unix.fork after
    the first Domain.spawn, and this suite is registered first in
@@ -202,4 +265,9 @@ let suite =
     Alcotest.test_case "empty and singleton inputs" `Quick test_small_inputs;
     Alcotest.test_case "default job count bounds" `Quick
       test_default_jobs_bounds;
+    (* gang/barrier cases spawn domains — keep them after the fork ones *)
+    Alcotest.test_case "barrier basics" `Quick test_barrier_basics;
+    Alcotest.test_case "gang lockstep phases" `Quick test_gang_lockstep;
+    Alcotest.test_case "gang failure breaks barrier" `Quick
+      test_gang_failure_breaks_barrier;
   ]

@@ -121,6 +121,10 @@ let check_golden name (r : Mvl.Wormhole.result) ~injected ~delivered ~p50
     ~p95 ~p99 ~max ~hist_hash =
   Alcotest.(check int) (name ^ " injected") injected r.Mvl.Wormhole.injected;
   Alcotest.(check int) (name ^ " delivered") delivered r.Mvl.Wormhole.delivered;
+  Alcotest.(check int)
+    (name ^ " undrained")
+    (injected - delivered)
+    r.Mvl.Wormhole.undrained;
   Alcotest.(check int) (name ^ " p50") p50 r.Mvl.Wormhole.p50_latency;
   Alcotest.(check int) (name ^ " p95") p95 r.Mvl.Wormhole.p95_latency;
   Alcotest.(check int) (name ^ " p99") p99 r.Mvl.Wormhole.p99_latency;
@@ -154,6 +158,55 @@ let test_golden_torus_adaptive () =
     ~injected:345 ~delivered:345 ~p50:5 ~p95:11 ~p99:16 ~max:19
     ~hist_hash:2103898282786443092
 
+(* past saturation with a drain too short to empty the fabric: the
+   horizon expires with worms still in flight, which must be reported
+   as undrained rather than silently vanishing (they used to) *)
+let undrained_cfg =
+  { Mvl.Wormhole.default_config with
+    Mvl.Wormhole.offered_load = 0.2; warmup = 50; measure = 200; drain = 20;
+    seed = 13 }
+
+let test_golden_torus_undrained () =
+  let r = Mvl.Wormhole.run ~config:undrained_cfg (Mvl.Wormhole.Torus { k = 4; n = 2 }) in
+  Alcotest.(check bool) "horizon leaves worms in flight" true
+    (r.Mvl.Wormhole.undrained > 0);
+  check_golden "wh torus/undrained" r ~injected:662 ~delivered:524
+    ~p50:29 ~p95:67 ~p99:85 ~max:106
+    ~hist_hash:1399783060572037098
+
+(* the sharded wormhole engine's contract mirrors {!Network_sim}'s:
+   full-record equality with the serial engine at every jobs value,
+   over deterministic e-cube, adaptive + datelines, and an overloaded
+   run with undrained worms *)
+let test_sharded_matches_serial () =
+  let configs =
+    [
+      ( "wh hypercube/e-cube",
+        { Mvl.Wormhole.default_config with
+          Mvl.Wormhole.offered_load = 0.03; warmup = 100; measure = 400;
+          drain = 2000; seed = 2 },
+        Mvl.Wormhole.Hypercube 5 );
+      ( "wh torus/adaptive",
+        { Mvl.Wormhole.default_config with
+          Mvl.Wormhole.routing = Mvl.Wormhole.Adaptive; vcs = 3;
+          traffic = Mvl.Traffic.Transpose; offered_load = 0.05; warmup = 100;
+          measure = 400; drain = 2000; seed = 5 },
+        Mvl.Wormhole.Torus { k = 4; n = 2 } );
+      ("wh torus/undrained", undrained_cfg, Mvl.Wormhole.Torus { k = 4; n = 2 });
+    ]
+  in
+  List.iter
+    (fun (name, config, fabric) ->
+      let serial = Mvl.Wormhole.run ~config fabric in
+      List.iter
+        (fun jobs ->
+          let sharded = Mvl.Wormhole.run ~config ~jobs fabric in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s sharded=serial at jobs=%d" name jobs)
+            true (sharded = serial))
+        [ 2; 4 ])
+    configs
+
 let test_graph_of_fabric () =
   Alcotest.(check bool) "hypercube fabric" true
     (Mvl.Graph.equal
@@ -185,5 +238,9 @@ let suite =
       test_golden_hypercube_ecube;
     Alcotest.test_case "golden: torus adaptive" `Quick
       test_golden_torus_adaptive;
+    Alcotest.test_case "golden: torus undrained" `Quick
+      test_golden_torus_undrained;
+    Alcotest.test_case "sharded engine matches serial" `Quick
+      test_sharded_matches_serial;
     Alcotest.test_case "fabric graphs" `Quick test_graph_of_fabric;
   ]
