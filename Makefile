@@ -24,6 +24,12 @@ lint:
 	@! grep -rEn '\([^()]*,[^()]*\) *(<=|>=|<|>) *\(' \
 		lib --include='*.ml' \
 		|| { echo "lint: polymorphic tuple comparison in lib/"; exit 1; }
+	@! grep -rEn "Hashtbl\.(add|replace|mem|find|find_opt|find_all|remove) +[A-Za-z_][A-Za-z0-9_']* +\([^()]*," \
+		lib --include='*.ml' \
+		|| { echo "lint: tuple-keyed Hashtbl call in lib/ (pack the key into an int)"; exit 1; }
+	@! grep -rEn "\([^(),]*\*[^(),]*,[^()]*\) *Hashtbl\.t" \
+		lib --include='*.ml' --include='*.mli' \
+		|| { echo "lint: tuple-keyed Hashtbl type in lib/ (pack the key into an int)"; exit 1; }
 	@bad=0; for f in $$(grep -rl 'Mutex\.lock' lib --include='*.ml'); do \
 		awk 'flag && !/Fun\.protect/ { print FILENAME ":" FNR-1 \
 			": Mutex.lock without Fun.protect on the next line"; bad=1 } \
@@ -66,9 +72,17 @@ check: lint
 	rm -f BENCH_sim_quick.json BENCH_sim_jobs1.json BENCH_sim_jobs2.json BENCH_sim_fork.json
 	dune exec bench/main.exe -- scale --quick --jobs 2 -o BENCH_layout_quick.json > /dev/null
 	grep -q '"schema": "mvl.bench.layout/1"' BENCH_layout_quick.json
+	grep -q '"layout_phases"' BENCH_layout_quick.json
+	grep -q '"emit_seconds"' BENCH_layout_quick.json
 	rm -f BENCH_layout_quick.json
+	dune exec bench/main.exe -- scale --quick --stable --jobs 1 -o BENCH_layout_jobs1.json > /dev/null
+	dune exec bench/main.exe -- scale --quick --stable --jobs 4 -o BENCH_layout_jobs2.json > /dev/null
+	cmp BENCH_layout_jobs1.json BENCH_layout_jobs2.json
+	rm -f BENCH_layout_jobs1.json BENCH_layout_jobs2.json
 	dune exec bin/mvl_cli.exe -- layout hypercube:6 -l 4 --mem-stats | grep -q 'peak_rss_kib='
+	dune exec bin/mvl_cli.exe -- layout hypercube:6 -l 4 --mem-stats | grep -q 'phases: place'
 	dune exec bin/mvl_cli.exe -- layout hypercube:6 -l 4 --mem-stats --json | grep -q '"peak_rss_kib"'
+	dune exec bin/mvl_cli.exe -- layout hypercube:6 -l 4 --mem-stats --json | grep -q '"layout_phases"'
 
 bench:
 	dune exec bench/main.exe

@@ -1,7 +1,8 @@
-(* `bench scale`: the layout scale benchmark and the 10^5-node gate.
+(* `bench scale`: the layout scale benchmark and the 10^5-node gates.
 
    Constructs and fully verifies (strict model) a grid of large
-   instances, recording per-record wall times, verify throughput in
+   instances, recording per-record wall times, a per-phase breakdown of
+   layout construction ({!Layout_profile}), verify throughput in
    segments per second, layout metrics against the paper's closed-form
    leading terms, and the process peak RSS (VmHWM) after each record.
    Results land in BENCH_layout.json (schema mvl.bench.layout/1) via
@@ -9,10 +10,19 @@
    so a crash never leaves a truncated file and emitting invalid JSON
    is a hard failure.
 
-   The full grid ends with hypercube:17 — 131072 nodes — which doubles
-   as the scale gate: that record must verify with zero violations and
-   the peak RSS afterwards must stay under 4 GiB, otherwise the run
-   exits non-zero.  `--quick` swaps in a small grid for CI smoke.
+   The full grid ends with hypercube:18 — 262144 nodes — which doubles
+   as the memory gate: that record must verify with zero violations and
+   the peak RSS afterwards must stay under 4 GiB.  hypercube:17 earlier
+   in the grid is the timing gate: its build + layout wall time must
+   stay under 3.7 s.  Either gate failing exits non-zero.  `--quick`
+   swaps in a small grid for CI smoke and skips both gates.
+
+   Layout construction shards wire emission over `--jobs` domains
+   (Families.layout_jobs); the geometry is byte-identical at every job
+   count, which `--stable` makes checkable end to end: it strips the
+   volatile fields (every `*_seconds` / `*_per_second` key, the
+   peak RSS, the phase breakdown) from the written records, so two runs
+   at different job counts must produce byte-identical files.
 
    VmHWM is a process-lifetime high-water mark, so the grid runs
    smallest-first and each record reports the running peak; only the
@@ -21,9 +31,13 @@ open Mvl_core
 
 let default_path = "BENCH_layout.json"
 
-let gate_spec = "hypercube:17"
+let gate_spec = "hypercube:18"
 
 let gate_limit_kib = 4 * 1024 * 1024 (* 4 GiB *)
+
+let time_gate_spec = "hypercube:17"
+
+let time_gate_limit_s = 3.7 (* build + layout *)
 
 let quick_grid = [ ("hypercube:10", 4); ("kary:4:5", 4); ("hypercube:12", 4) ]
 
@@ -33,6 +47,7 @@ let full_grid =
     ("kary:4:6", 4);
     ("hypercube:14", 4);
     ("kary:4:8", 4);
+    (time_gate_spec, 4);
     (gate_spec, 4);
   ]
 
@@ -64,10 +79,51 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+let phase_keys =
+  [
+    "place_seconds";
+    "pack_seconds";
+    "terminals_seconds";
+    "emit_seconds";
+    "build_seconds";
+  ]
+
+let phases_json (p : Mvl.Layout_profile.phases) =
+  let open Mvl.Telemetry in
+  Obj
+    [
+      ("place_seconds", Float p.Mvl.Layout_profile.place_seconds);
+      ("pack_seconds", Float p.Mvl.Layout_profile.pack_seconds);
+      ("terminals_seconds", Float p.Mvl.Layout_profile.terminals_seconds);
+      ("emit_seconds", Float p.Mvl.Layout_profile.emit_seconds);
+      ("build_seconds", Float p.Mvl.Layout_profile.build_seconds);
+    ]
+
+(* a field the byte-identity diff must not see: wall times, throughput,
+   the RSS high-water mark and the phase breakdown all vary run to run
+   and job count to job count *)
+let volatile_key k =
+  let suffix s =
+    let ls = String.length s and lk = String.length k in
+    lk >= ls && String.sub k (lk - ls) ls = s
+  in
+  suffix "_seconds" || suffix "_per_second" || k = "peak_rss_kib"
+  || k = "layout_phases"
+
+let stable_record = function
+  | Mvl.Telemetry.Obj fields ->
+      Mvl.Telemetry.Obj
+        (List.filter (fun (k, _) -> not (volatile_key k)) fields)
+  | j -> j
+
 let record ~jobs (spec_str, layers) =
   let spec = Mvl.Registry.spec_exn spec_str in
   let fam, build_s = time (fun () -> Mvl.Registry.build_exn spec) in
-  let layout, layout_s = time (fun () -> fam.Mvl.Families.layout ~layers) in
+  Mvl.Layout_profile.reset ();
+  let layout, layout_s =
+    time (fun () -> fam.Mvl.Families.layout_jobs ~jobs ~layers)
+  in
+  let phases = Mvl.Layout_profile.snapshot () in
   let result, verify_s =
     time (fun () -> Mvl.Check.run ~mode:Mvl.Check.Strict ~jobs layout)
   in
@@ -89,6 +145,7 @@ let record ~jobs (spec_str, layers) =
       ("n_segments", Int n_segments);
       ("build_seconds", Float build_s);
       ("layout_seconds", Float layout_s);
+      ("layout_phases", phases_json phases);
       ("verify_seconds", Float verify_s);
       ("verify_segments_per_second", Float seg_per_s);
       ("violations", Int violations);
@@ -112,12 +169,16 @@ let record ~jobs (spec_str, layers) =
     | None -> fields
   in
   Printf.printf
-    "  %-14s L=%d  N=%-6d  build %.2fs  layout %.2fs  verify %.2fs  (%.2e \
-     seg/s)  violations=%d  peak=%d KiB\n\
+    "  %-14s L=%d  N=%-6d  build %.2fs  layout %.2fs (place %.2f pack %.2f \
+     term %.2f emit %.2f)  verify %.2fs  (%.2e seg/s)  violations=%d  peak=%d \
+     KiB\n\
      %!"
-    spec_str layers fam.Mvl.Families.n_nodes build_s layout_s verify_s
-    seg_per_s violations peak;
-  (Obj fields, (spec_str, violations, peak))
+    spec_str layers fam.Mvl.Families.n_nodes build_s layout_s
+    phases.Mvl.Layout_profile.place_seconds
+    phases.Mvl.Layout_profile.pack_seconds
+    phases.Mvl.Layout_profile.terminals_seconds
+    phases.Mvl.Layout_profile.emit_seconds verify_s seg_per_s violations peak;
+  (Obj fields, (spec_str, violations, peak, build_s +. layout_s))
 
 let write path ~quick records =
   let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
@@ -138,7 +199,7 @@ let write path ~quick records =
       close_out oc;
       Sys.rename tmp path)
 
-let read_back path expected_records =
+let read_back path ~stable expected_records =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let contents = really_input_string ic len in
@@ -150,18 +211,42 @@ let read_back path expected_records =
   | Ok doc -> (
       match Mvl.Telemetry.member "records" doc with
       | Some (Mvl.Telemetry.List rs) when List.length rs = expected_records ->
-          ()
+          (* every record carries the full phase breakdown — unless
+             --stable stripped it, in which case none may remain *)
+          List.iter
+            (fun r ->
+              match Mvl.Telemetry.member "layout_phases" r with
+              | Some (Mvl.Telemetry.Obj fs) when not stable ->
+                  List.iter
+                    (fun k ->
+                      match List.assoc_opt k fs with
+                      | Some (Mvl.Telemetry.Float _) -> ()
+                      | _ ->
+                          Printf.eprintf
+                            "bench scale: %s: record missing phase field %s\n"
+                            path k;
+                          exit 1)
+                    phase_keys
+              | None when stable -> ()
+              | _ ->
+                  Printf.eprintf
+                    "bench scale: %s: bad layout_phases (stable=%b)\n" path
+                    stable;
+                  exit 1)
+            rs
       | _ ->
           Printf.eprintf
             "bench scale: %s does not hold the %d expected records\n" path
             expected_records;
           exit 1)
 
-let run ?(path = default_path) ?(quick = false) ?(jobs = 1) () =
+let run ?(path = default_path) ?(quick = false) ?(jobs = 1) ?(stable = false)
+    () =
   let grid = if quick then quick_grid else full_grid in
-  Printf.printf "bench scale (%s grid, %d records, verify jobs=%d):\n%!"
+  Printf.printf "bench scale (%s grid, %d records, jobs=%d%s):\n%!"
     (if quick then "quick" else "full")
-    (List.length grid) jobs;
+    (List.length grid) jobs
+    (if stable then ", stable output" else "");
   let out =
     List.map
       (fun entry ->
@@ -172,26 +257,28 @@ let run ?(path = default_path) ?(quick = false) ?(jobs = 1) () =
       grid
   in
   let records = List.map fst out in
+  let records = if stable then List.map stable_record records else records in
   write path ~quick records;
-  read_back path (List.length records);
+  read_back path ~stable (List.length records);
   Printf.printf "wrote %s: %d records\n%!" path (List.length records);
   let failures =
-    List.filter (fun (_, (_, violations, _)) -> violations <> 0) out
+    List.filter (fun (_, (_, violations, _, _)) -> violations <> 0) out
   in
   List.iter
-    (fun (_, (spec, violations, _)) ->
+    (fun (_, (spec, violations, _, _)) ->
       Printf.eprintf "bench scale: %s FAILED verification (%d violations)\n"
         spec violations)
     failures;
-  let gate_failed =
+  let find spec = List.find_opt (fun (_, (s, _, _, _)) -> s = spec) out in
+  let mem_gate_failed =
     if quick then false
     else
-      match List.find_opt (fun (_, (s, _, _)) -> s = gate_spec) out with
+      match find gate_spec with
       | None ->
           Printf.eprintf "bench scale: gate instance %s missing from grid\n"
             gate_spec;
           true
-      | Some (_, (_, violations, peak)) ->
+      | Some (_, (_, violations, peak, _)) ->
           let mem_ok = peak > 0 && peak < gate_limit_kib in
           Printf.printf
             "gate %s: violations=%d  peak=%d KiB (limit %d KiB)  %s\n%!"
@@ -199,21 +286,39 @@ let run ?(path = default_path) ?(quick = false) ?(jobs = 1) () =
             (if violations = 0 && mem_ok then "PASS" else "FAIL");
           not (violations = 0 && mem_ok)
   in
-  if failures <> [] || gate_failed then exit 1
+  let time_gate_failed =
+    if quick then false
+    else
+      match find time_gate_spec with
+      | None ->
+          Printf.eprintf
+            "bench scale: timing gate instance %s missing from grid\n"
+            time_gate_spec;
+          true
+      | Some (_, (_, _, _, construct_s)) ->
+          let ok = construct_s <= time_gate_limit_s in
+          Printf.printf "gate %s: build+layout %.2fs (limit %.2fs)  %s\n%!"
+            time_gate_spec construct_s time_gate_limit_s
+            (if ok then "PASS" else "FAIL");
+          not ok
+  in
+  if failures <> [] || mem_gate_failed || time_gate_failed then exit 1
 
 let run_cli args =
   let usage () =
-    prerr_endline "usage: bench scale [--quick] [--jobs N] [-o FILE]";
+    prerr_endline
+      "usage: bench scale [--quick] [--stable] [--jobs N] [-o FILE]";
     exit 2
   in
-  let rec go path quick jobs = function
-    | [] -> run ~path ~quick ~jobs ()
-    | "--quick" :: rest -> go path true jobs rest
+  let rec go path quick jobs stable = function
+    | [] -> run ~path ~quick ~jobs ~stable ()
+    | "--quick" :: rest -> go path true jobs stable rest
+    | "--stable" :: rest -> go path quick jobs true rest
     | ("-j" | "--jobs") :: n :: rest -> (
         match int_of_string_opt n with
-        | Some j when j >= 1 -> go path quick j rest
+        | Some j when j >= 1 -> go path quick j stable rest
         | _ -> usage ())
-    | ("-o" | "--out") :: p :: rest -> go p quick jobs rest
+    | ("-o" | "--out") :: p :: rest -> go p quick jobs stable rest
     | _ -> usage ()
   in
-  go default_path false 1 args
+  go default_path false 1 false args

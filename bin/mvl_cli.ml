@@ -253,6 +253,10 @@ let layout_cmd =
       | None -> ()
       | Some rep -> Format.printf "%a@." Mvl.Report.pp rep);
       if time then Format.printf "  %a@." Mvl.Pipeline.pp_timings r;
+      (if time || mem_stats then
+         match r.Mvl.Pipeline.layout_phases with
+         | Some p -> Format.printf "  phases: %a@." Mvl.Pipeline.pp_phases p
+         | None -> ());
       if mem_stats then begin
         let s = mem_snapshot () in
         Printf.printf

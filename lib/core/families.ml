@@ -7,6 +7,7 @@ type t = {
   n_nodes : int;
   graph : Graph.t;
   layout : layers:int -> Layout.t;
+  layout_jobs : jobs:int -> layers:int -> Layout.t;
   paper_area : (layers:int -> float) option;
   paper_volume : (layers:int -> float) option;
   paper_max_wire : (layers:int -> float) option;
@@ -14,6 +15,10 @@ type t = {
 }
 
 let trivial_collinear = Collinear.natural (Graph.of_edges ~n:1 [])
+
+(* families whose realization has no sharded emission path ignore
+   [jobs]; their [layout_jobs] stays deterministic trivially *)
+let no_jobs layout ~jobs:_ ~layers = layout ~layers
 
 (* --- product families ------------------------------------------------ *)
 
@@ -39,6 +44,7 @@ let hypercube ?fold n =
     n_nodes;
     graph;
     layout = (fun ~layers -> Multilayer.realize ortho ~layers);
+    layout_jobs = (fun ~jobs ~layers -> Multilayer.realize ~jobs ortho ~layers);
     paper_area = Some (fun ~layers -> Formulas.hypercube_area ~n_nodes ~layers);
     paper_volume =
       Some (fun ~layers -> Formulas.hypercube_volume ~n_nodes ~layers);
@@ -64,6 +70,7 @@ let kary ?(fold = false) ~k ~n () =
     n_nodes;
     graph;
     layout = (fun ~layers -> Multilayer.realize ortho ~layers);
+    layout_jobs = (fun ~jobs ~layers -> Multilayer.realize ~jobs ortho ~layers);
     paper_area = Some (fun ~layers -> Formulas.kary_area ~n_nodes ~k ~layers);
     paper_volume = Some (fun ~layers -> Formulas.kary_volume ~n_nodes ~k ~layers);
     paper_max_wire = None;
@@ -83,6 +90,7 @@ let generic_product ~row ~col =
     n_nodes = Graph.n graph;
     graph;
     layout = (fun ~layers -> Multilayer.realize ortho ~layers);
+    layout_jobs = (fun ~jobs ~layers -> Multilayer.realize ~jobs ortho ~layers);
     paper_area = None;
     paper_volume = None;
     paper_max_wire = None;
@@ -129,6 +137,7 @@ let torus ?(fold = false) ~dims () =
     n_nodes;
     graph;
     layout = (fun ~layers -> Multilayer.realize ortho ~layers);
+    layout_jobs = (fun ~jobs ~layers -> Multilayer.realize ~jobs ortho ~layers);
     paper_area = None;
     paper_volume = None;
     paper_max_wire = None;
@@ -153,6 +162,7 @@ let generalized_hypercube ?(fold = false) ~r ~n () =
     n_nodes;
     graph;
     layout = (fun ~layers -> Multilayer.realize ortho ~layers);
+    layout_jobs = (fun ~jobs ~layers -> Multilayer.realize ~jobs ortho ~layers);
     paper_area = Some (fun ~layers -> Formulas.ghc_area ~n_nodes ~r ~layers);
     paper_volume = Some (fun ~layers -> Formulas.ghc_volume ~n_nodes ~r ~layers);
     paper_max_wire =
@@ -162,13 +172,13 @@ let generalized_hypercube ?(fold = false) ~r ~n () =
 
 (* --- single-row collinear realizations ------------------------------- *)
 
-let one_row_layout (c : Collinear.t) ~layers =
+let one_row_layout ?jobs (c : Collinear.t) ~layers =
   let n = Graph.n c.Collinear.graph in
   let ortho =
     Orthogonal.create c.Collinear.graph ~rows:1 ~cols:n ~place:(fun u ->
         (0, c.Collinear.position.(u)))
   in
-  Multilayer.realize ortho ~layers
+  Multilayer.realize ?jobs ortho ~layers
 
 let complete nn =
   let c = Collinear_complete.create nn in
@@ -177,6 +187,7 @@ let complete nn =
     n_nodes = nn;
     graph = c.Collinear.graph;
     layout = (fun ~layers -> one_row_layout c ~layers);
+    layout_jobs = (fun ~jobs ~layers -> one_row_layout ~jobs c ~layers);
     paper_area = None;
     paper_volume = None;
     paper_max_wire = None;
@@ -193,6 +204,7 @@ let cayley_family ?(optimize = false) name graph =
     n_nodes = Graph.n graph;
     graph;
     layout = (fun ~layers -> one_row_layout c ~layers);
+    layout_jobs = (fun ~jobs ~layers -> one_row_layout ~jobs c ~layers);
     paper_area = None;
     paper_volume = None;
     paper_max_wire = None;
@@ -257,6 +269,7 @@ let mesh ~dims =
     n_nodes = Graph.n graph;
     graph;
     layout = (fun ~layers -> Multilayer.realize ortho ~layers);
+    layout_jobs = (fun ~jobs ~layers -> Multilayer.realize ~jobs ortho ~layers);
     paper_area = None;
     paper_volume = None;
     paper_max_wire = None;
@@ -271,6 +284,7 @@ let binary_tree levels =
     n_nodes = Graph.n graph;
     graph;
     layout = (fun ~layers -> one_row_layout c ~layers);
+    layout_jobs = (fun ~jobs ~layers -> one_row_layout ~jobs c ~layers);
     paper_area = None;
     paper_volume = None;
     paper_max_wire = None;
@@ -300,6 +314,7 @@ let cluster_family ~name ~pn ~row ~col ~intra ~paper_area ~paper_max_wire
     n_nodes = Graph.n graph;
     graph;
     layout = (fun ~layers -> Cluster_expand.realize spec ~layers);
+    layout_jobs = no_jobs (fun ~layers -> Cluster_expand.realize spec ~layers);
     paper_area;
     paper_volume = None;
     paper_max_wire;
@@ -502,6 +517,7 @@ let scc d =
     n_nodes = Graph.n graph;
     graph;
     layout = (fun ~layers -> Cluster_expand.realize spec ~layers);
+    layout_jobs = no_jobs (fun ~layers -> Cluster_expand.realize spec ~layers);
     paper_area = None;
     paper_volume = None;
     paper_max_wire = None;
@@ -522,6 +538,9 @@ let folded_hypercube n =
     graph = full;
     layout =
       (fun ~layers -> Multilayer.realize_augmented ortho ~full_graph:full ~layers);
+    layout_jobs =
+      (fun ~jobs ~layers ->
+        Multilayer.realize_augmented ~jobs ortho ~full_graph:full ~layers);
     paper_area =
       Some (fun ~layers -> Formulas.folded_hypercube_area ~n_nodes ~layers);
     paper_volume = None;
@@ -541,6 +560,9 @@ let enhanced_cube ~n ~seed =
     graph = full;
     layout =
       (fun ~layers -> Multilayer.realize_augmented ortho ~full_graph:full ~layers);
+    layout_jobs =
+      (fun ~jobs ~layers ->
+        Multilayer.realize_augmented ~jobs ortho ~full_graph:full ~layers);
     paper_area =
       Some (fun ~layers -> Formulas.enhanced_cube_area ~n_nodes ~layers);
     paper_volume = None;

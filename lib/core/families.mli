@@ -11,6 +11,13 @@ type t = {
   graph : Graph.t;
   layout : layers:int -> Layout.t;
       (** the paper's construction for this family at [L] layers *)
+  layout_jobs : jobs:int -> layers:int -> Layout.t;
+      (** like [layout], sharding wire emission over [jobs] domains for
+          families whose realization supports it (the orthogonal product
+          and augmented schemes); byte-identical to [layout] at every
+          job count.  Families without a sharded path ignore [jobs].
+          A separate field because optional arguments do not survive in
+          record-field function types. *)
   paper_area : (layers:int -> float) option;
   paper_volume : (layers:int -> float) option;
   paper_max_wire : (layers:int -> float) option;

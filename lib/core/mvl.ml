@@ -62,6 +62,7 @@ module Render = Mvl_layout.Render
 module Report = Mvl_layout.Report
 module Serialize = Mvl_layout.Serialize
 module Congestion = Mvl_layout.Congestion
+module Layout_profile = Mvl_layout.Layout_profile
 module Maze_router = Mvl_layout.Maze_router
 module Order_opt = Mvl_layout.Order_opt
 

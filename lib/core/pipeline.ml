@@ -11,6 +11,7 @@ type t = {
   validation : Check.result option;
   report : Report.t option;
   timings : stage_time list;
+  layout_phases : Layout_profile.phases option;
   from_cache : bool;
 }
 
@@ -100,6 +101,7 @@ let run ?validate ?(report = false) ?(cache = true) ~layers spec =
   match fam_res with
   | Error msg -> Error msg
   | Ok family ->
+      let phases = ref None in
       let realize () =
         match
           if cache then
@@ -112,7 +114,9 @@ let run ?validate ?(report = false) ?(cache = true) ~layers spec =
         | None ->
             (* build outside the lock: a layout can take seconds and
                other domains' lookups must not stall behind it *)
+            Layout_profile.reset ();
             let lay = family.Families.layout ~layers in
+            phases := Some (Layout_profile.snapshot ());
             if cache then begin
               Atomic.incr misses;
               locked (fun () ->
@@ -152,6 +156,7 @@ let run ?validate ?(report = false) ?(cache = true) ~layers spec =
               validation;
               report;
               timings = [ t_build; t_layout; t_validate; t_metrics; t_report ];
+              layout_phases = !phases;
               from_cache;
             })
 
@@ -196,6 +201,23 @@ let pp_timings ppf r =
 
 (* --- telemetry --------------------------------------------------------- *)
 
+let phases_fields (p : Layout_profile.phases) =
+  Telemetry.
+    [
+      ("place_seconds", Float p.Layout_profile.place_seconds);
+      ("pack_seconds", Float p.Layout_profile.pack_seconds);
+      ("terminals_seconds", Float p.Layout_profile.terminals_seconds);
+      ("emit_seconds", Float p.Layout_profile.emit_seconds);
+      ("build_seconds", Float p.Layout_profile.build_seconds);
+    ]
+
+let pp_phases ppf (p : Layout_profile.phases) =
+  Format.fprintf ppf
+    "place %.4fs  pack %.4fs  terminals %.4fs  emit %.4fs  build %.4fs"
+    p.Layout_profile.place_seconds p.Layout_profile.pack_seconds
+    p.Layout_profile.terminals_seconds p.Layout_profile.emit_seconds
+    p.Layout_profile.build_seconds
+
 let to_json r =
   let open Telemetry in
   Obj
@@ -211,6 +233,10 @@ let to_json r =
         Obj
           (List.map (fun t -> (t.stage, Float t.seconds)) r.timings
           @ [ ("total", Float (total_seconds r)) ]) );
+      ( "layout_phases",
+        match r.layout_phases with
+        | None -> Null
+        | Some p -> Obj (phases_fields p) );
       ( "cache",
         Obj
           [

@@ -38,6 +38,10 @@ type t = {
       (** [None] when validation was not requested *)
   report : Report.t option;
   timings : stage_time list;  (** in stage order *)
+  layout_phases : Layout_profile.phases option;
+      (** per-phase breakdown of the layout stage ({!Layout_profile}),
+          recorded only when the layout was actually constructed —
+          [None] on a cache hit *)
   from_cache : bool;          (** the layout stage was a cache hit *)
 }
 
@@ -92,10 +96,14 @@ val total_seconds : t -> float
 val pp_timings : Format.formatter -> t -> unit
 (** One line per stage, e.g. ["build 0.001s  layout 0.045s ..."]. *)
 
+val pp_phases : Format.formatter -> Layout_profile.phases -> unit
+(** One line: ["place 0.01s  pack 0.02s  terminals ..."]. *)
+
 val to_json : t -> Telemetry.json
 (** The run as one stable-key-order record:
     [{schema, spec, family, n_nodes, n_edges, layers, from_cache,
     seconds {build,layout,validate,metrics,report,total},
+    layout_phases {place_seconds,...} | null,
     cache {hits,misses,size}, metrics {...}, violations {checked,...},
     report}].  ["cache"] reports the process-wide counters at call
     time; ["violations"] is {!Telemetry.not_validated} when validation

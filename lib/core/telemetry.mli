@@ -50,8 +50,9 @@ val keys : json -> string list
 val strip_volatile : json -> json
 (** Recursively drop the fields whose values legitimately differ
     between two otherwise identical runs: every ["seconds"] object
-    (wall-clock stage timings) and every ["cache"] object (cumulative
-    per-process hit/miss counters).  What remains is a deterministic
+    (wall-clock stage timings), every ["layout_phases"] object
+    (per-phase construction timings) and every ["cache"] object
+    (cumulative per-process hit/miss counters).  What remains is a deterministic
     function of the inputs — the form the [--jobs] determinism tests
     and [bench emit --stable] compare byte-for-byte. *)
 

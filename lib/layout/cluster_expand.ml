@@ -124,11 +124,12 @@ let realize spec ~layers =
   (* how many external links attach to cluster position p (max over
      clusters), to size the node bands *)
   let ext_at = Array.make csize 0 in
-  let per_cluster_ext_at = Hashtbl.create 64 in
+  (* per (cluster, position) external-link count, flat at [q * csize + p] *)
+  let per_cluster_ext_at = Array.make (qn * csize) 0 in
   let bump q p =
-    let key = (q, p) in
-    let v = 1 + Option.value ~default:0 (Hashtbl.find_opt per_cluster_ext_at key) in
-    Hashtbl.replace per_cluster_ext_at key v;
+    let key = (q * csize) + p in
+    let v = per_cluster_ext_at.(key) + 1 in
+    per_cluster_ext_at.(key) <- v;
     if v > ext_at.(p) then ext_at.(p) <- v
   in
   for q = 0 to qn - 1 do
@@ -178,15 +179,21 @@ let realize spec ~layers =
   let n_expanded = Graph.n pn.Pn_cluster.graph in
   (* top terminal x of expanded nodes: intra edges first (sorted by the
      other endpoint's intra position), then external links *)
-  let term_intra : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
-  (* (cluster, intra edge id) -> 2 bindings, one per endpoint *)
   let intra_edges = Graph.edges pn.Pn_cluster.intra in
+  let n_intra_edges = Array.length intra_edges in
+  (* (cluster, intra edge id) -> its two endpoint terminal x's, flat at
+     [2 * (q * n_intra_edges + ie)]; -1 while unassigned *)
+  let term_intra = Array.make (max 1 (2 * qn * n_intra_edges)) (-1) in
+  let add_term_intra q ie x =
+    let k = 2 * ((q * n_intra_edges) + ie) in
+    if term_intra.(k) < 0 then term_intra.(k) <- x else term_intra.(k + 1) <- x
+  in
   (* per (cluster, position): next free terminal slot *)
-  let used = Hashtbl.create 1024 in
+  let used = Array.make (qn * csize) 0 in
   let next_slot q p =
-    let key = (q, p) in
-    let v = Option.value ~default:0 (Hashtbl.find_opt used key) in
-    Hashtbl.replace used key (v + 1);
+    let key = (q * csize) + p in
+    let v = used.(key) in
+    used.(key) <- v + 1;
     if v >= band_w.(p) - 2 then
       invalid_arg "Cluster_expand: terminal capacity exceeded";
     v
@@ -217,7 +224,7 @@ let realize spec ~layers =
         List.iter
           (fun (_, ie, _) ->
             let slot = next_slot q p in
-            Hashtbl.add term_intra (q, ie) (term_x q p slot))
+            add_term_intra q ie (term_x q p slot))
           sorted)
       by_pos
   done;
@@ -226,13 +233,14 @@ let realize spec ~layers =
     Array.concat (Array.to_list row_links @ Array.to_list col_links)
   in
   Array.iteri (fun i l -> l.qe <- i) all_links;
-  (* l.qe now doubles as the link's unique id *)
-  let term_of_link = Hashtbl.create 1024 in
-  (* (link uid, at_a: bool) -> terminal x *)
-  let jog_of_link = Hashtbl.create 1024 in
-  (* (link uid, at_a) -> jog y *)
-  let drop_of_link = Hashtbl.create 1024 in
-  (* (link uid, at_a) -> drop x (row links only) *)
+  (* l.qe now doubles as the link's unique id; the per-endpoint tables
+     are flat at [2 * uid + (at_a ? 1 : 0)] *)
+  let n_links = Array.length all_links in
+  let lkey uid at_a = (2 * uid) + if at_a then 1 else 0 in
+  let term_of_link = Array.make (max 1 (2 * n_links)) (-1) in
+  let jog_of_link = Array.make (max 1 (2 * n_links)) (-1) in
+  let drop_of_link = Array.make (max 1 (2 * n_links)) (-1) in
+  (* row links only, for [drop_of_link] *)
   for q = 0 to qn - 1 do
     (* jogs: column links first, sorted by other endpoint row (their jog
        order fixes track-span disjointness); then row links *)
@@ -244,26 +252,26 @@ let realize spec ~layers =
     let col_sorted = List.sort link_cmp ext_col.(q) in
     let jog_y0 = by q + node_h + intra_slots + 1 in
     List.iteri
-      (fun j l -> Hashtbl.add jog_of_link (l.qe, l.qa = q) (jog_y0 + j))
+      (fun j l -> jog_of_link.(lkey l.qe (l.qa = q)) <- jog_y0 + j)
       col_sorted;
     let row_list = ext_row.(q) in
     List.iteri
       (fun j l ->
-        Hashtbl.add jog_of_link (l.qe, l.qa = q)
-          (jog_y0 + List.length col_sorted + j))
+        jog_of_link.(lkey l.qe (l.qa = q)) <-
+          jog_y0 + List.length col_sorted + j)
       row_list;
     (* drops: row links sorted by other endpoint column *)
     let row_sorted = List.sort link_cmp row_list in
     let drop_x0 = bx q + block_w - 1 - drop_strip in
     List.iteri
-      (fun j l -> Hashtbl.add drop_of_link (l.qe, l.qa = q) (drop_x0 + j))
+      (fun j l -> drop_of_link.(lkey l.qe (l.qa = q)) <- drop_x0 + j)
       row_sorted;
     (* terminals for both kinds *)
     List.iter
       (fun l ->
         let p = if l.qa = q then l.pa else l.pb in
         let slot = next_slot q p in
-        Hashtbl.add term_of_link (l.qe, l.qa = q) (term_x q p slot))
+        term_of_link.(lkey l.qe (l.qa = q)) <- term_x q p slot)
       (ext_row.(q) @ ext_col.(q))
   done;
   (* --- footprints ----------------------------------------------------- *)
@@ -279,11 +287,14 @@ let realize spec ~layers =
       ~y1:(y0 + node_h - 1)
   done;
   (* --- wires ----------------------------------------------------------- *)
+  (* keyed [u * n + v] with u < v *)
   let edge_id = Hashtbl.create (Array.length graph_edges) in
-  Array.iteri (fun i (u, v) -> Hashtbl.add edge_id (u, v) i) graph_edges;
+  Array.iteri
+    (fun i (u, v) -> Hashtbl.add edge_id ((u * n_expanded) + v) i)
+    graph_edges;
   let find_edge u v =
-    let key = if u < v then (u, v) else (v, u) in
-    match Hashtbl.find_opt edge_id key with
+    let u, v = if u < v then (u, v) else (v, u) in
+    match Hashtbl.find_opt edge_id ((u * n_expanded) + v) with
     | Some i -> i
     | None -> invalid_arg "Cluster_expand: expanded edge not found"
   in
@@ -316,9 +327,11 @@ let realize spec ~layers =
         let ytrack = by q + node_h + slot in
         let ytop = by q + node_h - 1 in
         let t1, t2 =
-          match Hashtbl.find_all term_intra (q, ie) with
-          | [ a; b ] -> (min a b, max a b)
-          | _ -> invalid_arg "Cluster_expand: intra terminals"
+          let k = 2 * ((q * n_intra_edges) + ie) in
+          let a = term_intra.(k) and b = term_intra.(k + 1) in
+          if a < 0 || b < 0 then
+            invalid_arg "Cluster_expand: intra terminals"
+          else (min a b, max a b)
         in
         route_wire
           (find_edge (xnode q p1) (xnode q p2))
@@ -343,12 +356,12 @@ let realize spec ~layers =
           let grp = l.track / slots and slot = l.track mod slots in
           let zx = (2 * grp) + 1 and zy = zy_for grp in
           let ytrack = htrack_y r slot in
-          let ta = Hashtbl.find term_of_link (l.qe, true)
-          and tb = Hashtbl.find term_of_link (l.qe, false) in
-          let ja = Hashtbl.find jog_of_link (l.qe, true)
-          and jb = Hashtbl.find jog_of_link (l.qe, false) in
-          let da = Hashtbl.find drop_of_link (l.qe, true)
-          and db = Hashtbl.find drop_of_link (l.qe, false) in
+          let ta = term_of_link.(lkey l.qe true)
+          and tb = term_of_link.(lkey l.qe false) in
+          let ja = jog_of_link.(lkey l.qe true)
+          and jb = jog_of_link.(lkey l.qe false) in
+          let da = drop_of_link.(lkey l.qe true)
+          and db = drop_of_link.(lkey l.qe false) in
           let ytop_a = by l.qa + node_h - 1 and ytop_b = by l.qb + node_h - 1 in
           route_wire
             (find_edge (xnode l.qa l.pa) (xnode l.qb l.pb))
@@ -381,10 +394,10 @@ let realize spec ~layers =
           let grp = l.track / slots and slot = l.track mod slots in
           let zx = (2 * grp) + 1 and zv = (2 * grp) + 2 in
           let xtrack = vtrack_x c slot in
-          let ta = Hashtbl.find term_of_link (l.qe, true)
-          and tb = Hashtbl.find term_of_link (l.qe, false) in
-          let ja = Hashtbl.find jog_of_link (l.qe, true)
-          and jb = Hashtbl.find jog_of_link (l.qe, false) in
+          let ta = term_of_link.(lkey l.qe true)
+          and tb = term_of_link.(lkey l.qe false) in
+          let ja = jog_of_link.(lkey l.qe true)
+          and jb = jog_of_link.(lkey l.qe false) in
           let ytop_a = by l.qa + node_h - 1 and ytop_b = by l.qb + node_h - 1 in
           route_wire
             (find_edge (xnode l.qa l.pa) (xnode l.qb l.pb))

@@ -16,7 +16,7 @@ type t = {
 }
 
 let analyze (o : Orthogonal.t) =
-  let build tracks edges =
+  let build tracks edge_count =
     let max_tracks = Array.fold_left max 0 tracks in
     let channels =
       Array.mapi
@@ -24,7 +24,7 @@ let analyze (o : Orthogonal.t) =
           {
             index = i;
             tracks = t;
-            edges = Array.length edges.(i);
+            edges = edge_count i;
             utilization =
               (if max_tracks = 0 then 0.0
                else float_of_int t /. float_of_int max_tracks);
@@ -33,8 +33,12 @@ let analyze (o : Orthogonal.t) =
     in
     (channels, max_tracks)
   in
-  let rows, max_row_tracks = build o.Orthogonal.row_tracks o.Orthogonal.row_edges in
-  let cols, max_col_tracks = build o.Orthogonal.col_tracks o.Orthogonal.col_edges in
+  let rows, max_row_tracks =
+    build o.Orthogonal.row_tracks (Orthogonal.row_edge_count o)
+  in
+  let cols, max_col_tracks =
+    build o.Orthogonal.col_tracks (Orthogonal.col_edge_count o)
+  in
   let avg arr =
     if Array.length arr = 0 then 0.0
     else

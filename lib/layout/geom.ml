@@ -324,4 +324,162 @@ module Builder = struct
       py;
       pz;
     }
+
+  (* --- fixed-offset parallel emission ---------------------------------- *)
+
+  (* When a construction knows every wire's exact (deduped) point count
+     up front, emission can skip the append-buffer-then-reorder path
+     entirely: [create_fixed] lays out the final CSR columns from the
+     counts, and each [writer] streams points straight into its wire's
+     [wire_off] range.  Writers on distinct wire sets never touch the
+     same slots, so emission shards across domains with no merge step
+     and no intermediate copy — the columns the writers filled ARE the
+     built geometry, byte-identical at every writer/job count.
+
+     Validation is as strict as [build]: duplicate emission and missing
+     wires are caught (the duplicate check is exact for single-domain
+     use and for the disjoint chunks the layout engines emit; racing
+     writers on the *same* wire id from two domains is undefined), a
+     wire whose deduped points don't land exactly on its precomputed
+     count raises, and point semantics (dedupe, axis alignment) match
+     [point] bit for bit. *)
+  type fixed = {
+    fn_nodes : int;
+    fn_wires : int;
+    f_off : col;
+    f_eu : col;
+    f_ev : col;
+    f_px : col;
+    f_py : col;
+    f_pz : col;
+    f_nx0 : col;
+    f_ny0 : col;
+    f_nx1 : col;
+    f_ny1 : col;
+    f_node_set : Bytes.t;
+    f_wire_set : Bytes.t;
+  }
+
+  let create_fixed ~n_nodes ~wire_counts =
+    if n_nodes < 0 then invalid_arg "Geom.Builder.create_fixed";
+    let n_wires = Array.length wire_counts in
+    let off = alloc (n_wires + 1) in
+    off.{0} <- 0;
+    for id = 0 to n_wires - 1 do
+      if wire_counts.(id) < 2 then
+        invalid_arg
+          (Printf.sprintf "Geom.Builder: wire %d has fewer than 2 points" id);
+      off.{id + 1} <- off.{id} + wire_counts.(id)
+    done;
+    let n_points = off.{n_wires} in
+    {
+      fn_nodes = n_nodes;
+      fn_wires = n_wires;
+      f_off = off;
+      f_eu = alloc (max 1 n_wires);
+      f_ev = alloc (max 1 n_wires);
+      f_px = alloc (max 1 n_points);
+      f_py = alloc (max 1 n_points);
+      f_pz = alloc (max 1 n_points);
+      f_nx0 = alloc (max 1 n_nodes);
+      f_ny0 = alloc (max 1 n_nodes);
+      f_nx1 = alloc (max 1 n_nodes);
+      f_ny1 = alloc (max 1 n_nodes);
+      f_node_set = Bytes.make (max 1 n_nodes) '\000';
+      f_wire_set = Bytes.make (max 1 n_wires) '\000';
+    }
+
+  let set_node_fixed fx i ~x0 ~y0 ~x1 ~y1 =
+    if i < 0 || i >= fx.fn_nodes then invalid_arg "Geom.Builder.set_node: id";
+    if x0 > x1 || y0 > y1 then
+      invalid_arg "Geom.Builder.set_node: inverted bounds";
+    fx.f_nx0.{i} <- x0;
+    fx.f_ny0.{i} <- y0;
+    fx.f_nx1.{i} <- x1;
+    fx.f_ny1.{i} <- y1;
+    Bytes.set fx.f_node_set i '\001'
+
+  type writer = {
+    fx : fixed;
+    mutable wid : int;   (* current wire id, -1 between wires *)
+    mutable wlo : int;   (* first point slot of the current wire *)
+    mutable wcur : int;  (* next point slot *)
+    mutable wstop : int; (* one past the current wire's last slot *)
+  }
+
+  let writer fx = { fx; wid = -1; wlo = 0; wcur = 0; wstop = 0 }
+
+  let writer_done w =
+    if w.wid >= 0 && w.wcur <> w.wstop then
+      invalid_arg
+        (Printf.sprintf "Geom.Builder: wire %d point count mismatch" w.wid);
+    w.wid <- -1
+
+  let fixed_wire w ~id ~u ~v =
+    let fx = w.fx in
+    if id < 0 || id >= fx.fn_wires then invalid_arg "Geom.Builder.fixed_wire: id";
+    writer_done w;
+    if Bytes.get fx.f_wire_set id = '\001' then
+      invalid_arg (Printf.sprintf "Geom.Builder: wire %d emitted twice" id);
+    Bytes.set fx.f_wire_set id '\001';
+    fx.f_eu.{id} <- u;
+    fx.f_ev.{id} <- v;
+    w.wid <- id;
+    w.wlo <- fx.f_off.{id};
+    w.wcur <- w.wlo;
+    w.wstop <- fx.f_off.{id + 1}
+
+  let fixed_point w ~x ~y ~z =
+    if w.wid < 0 then invalid_arg "Geom.Builder.point: no open wire";
+    let fx = w.fx in
+    let k = w.wcur - 1 in
+    if
+      w.wcur > w.wlo
+      && fx.f_px.{k} = x
+      && fx.f_py.{k} = y
+      && fx.f_pz.{k} = z
+    then () (* zero-length step, dropped like Wire.make *)
+    else begin
+      if w.wcur > w.wlo then begin
+        let changed =
+          (if fx.f_px.{k} <> x then 1 else 0)
+          + (if fx.f_py.{k} <> y then 1 else 0)
+          + if fx.f_pz.{k} <> z then 1 else 0
+        in
+        if changed <> 1 then invalid_arg "Geom.Builder.point: not axis-aligned"
+      end;
+      if w.wcur = w.wstop then
+        invalid_arg
+          (Printf.sprintf "Geom.Builder: wire %d point count mismatch" w.wid);
+      fx.f_px.{w.wcur} <- x;
+      fx.f_py.{w.wcur} <- y;
+      fx.f_pz.{w.wcur} <- z;
+      w.wcur <- w.wcur + 1
+    end
+
+  let build_fixed fx =
+    for id = 0 to fx.fn_wires - 1 do
+      if Bytes.get fx.f_wire_set id = '\000' then
+        invalid_arg
+          (Printf.sprintf "Geom.Builder.build: wire %d not emitted" id)
+    done;
+    for i = 0 to fx.fn_nodes - 1 do
+      if Bytes.get fx.f_node_set i = '\000' then
+        invalid_arg (Printf.sprintf "Geom.Builder.build: node %d not set" i)
+    done;
+    {
+      n_nodes = fx.fn_nodes;
+      n_wires = fx.fn_wires;
+      n_points = fx.f_off.{fx.fn_wires};
+      nx0 = fx.f_nx0;
+      ny0 = fx.f_ny0;
+      nx1 = fx.f_nx1;
+      ny1 = fx.f_ny1;
+      wire_off = fx.f_off;
+      edge_u = fx.f_eu;
+      edge_v = fx.f_ev;
+      px = fx.f_px;
+      py = fx.f_py;
+      pz = fx.f_pz;
+    }
 end

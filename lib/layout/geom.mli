@@ -85,4 +85,51 @@ module Builder : sig
   val build : b -> t
   (** Raises [Invalid_argument] if any wire id was never emitted, kept
       fewer than two points, or any node footprint is inverted. *)
+
+  (** {1 Fixed-offset emission}
+
+      When every wire's exact deduped point count is known up front,
+      [create_fixed] lays out the final CSR columns from those counts
+      and each {!writer} streams its wires' points straight into their
+      precomputed ranges — zero intermediate buffers, zero merge copy.
+      Writers over disjoint wire sets never touch the same slots, so
+      emission shards across domains freely; the built geometry is
+      byte-identical at every writer/job count because each wire's
+      slots depend only on its id.
+
+      Point semantics (duplicate dropping, axis alignment) match
+      {!point} exactly, and the count contract is self-checking: a wire
+      whose deduped points miss or exceed its declared count raises.
+      Duplicate-emission detection is exact within a domain and for
+      disjoint per-domain wire sets; two domains racing on the {e same}
+      wire id is undefined. *)
+
+  type fixed
+  type writer
+
+  val create_fixed : n_nodes:int -> wire_counts:int array -> fixed
+  (** [wire_counts.(id)] is wire [id]'s exact deduped point count
+      (>= 2; raises otherwise). *)
+
+  val set_node_fixed :
+    fixed -> int -> x0:int -> y0:int -> x1:int -> y1:int -> unit
+
+  val writer : fixed -> writer
+  (** A per-domain emission cursor.  Must not be shared between
+      domains. *)
+
+  val fixed_wire : writer -> id:int -> u:int -> v:int -> unit
+  (** Opens wire [id] (closing and count-checking the writer's previous
+      wire).  Raises if [id] was already emitted. *)
+
+  val fixed_point : writer -> x:int -> y:int -> z:int -> unit
+
+  val writer_done : writer -> unit
+  (** Closes the writer's last open wire, checking its point count.
+      Call once per writer after its final wire. *)
+
+  val build_fixed : fixed -> t
+  (** Raises [Invalid_argument] if any wire id was never emitted or any
+      node was never set; otherwise returns the filled columns with no
+      copying. *)
 end

@@ -1,0 +1,49 @@
+type phase = Place | Pack | Terminals | Emit | Build
+
+type phases = {
+  place_seconds : float;
+  pack_seconds : float;
+  terminals_seconds : float;
+  emit_seconds : float;
+  build_seconds : float;
+}
+
+let zero =
+  {
+    place_seconds = 0.;
+    pack_seconds = 0.;
+    terminals_seconds = 0.;
+    emit_seconds = 0.;
+    build_seconds = 0.;
+  }
+
+let current = ref zero
+let reset () = current := zero
+
+let label = function
+  | Place -> "place"
+  | Pack -> "pack"
+  | Terminals -> "terminals"
+  | Emit -> "emit"
+  | Build -> "build"
+
+let debug () = Sys.getenv_opt "MVL_LAYOUT_TIMINGS" <> None
+
+let record phase dt =
+  if debug () then Printf.eprintf "layout: %-16s %.4fs\n%!" (label phase) dt;
+  let c = !current in
+  current :=
+    (match phase with
+    | Place -> { c with place_seconds = c.place_seconds +. dt }
+    | Pack -> { c with pack_seconds = c.pack_seconds +. dt }
+    | Terminals -> { c with terminals_seconds = c.terminals_seconds +. dt }
+    | Emit -> { c with emit_seconds = c.emit_seconds +. dt }
+    | Build -> { c with build_seconds = c.build_seconds +. dt })
+
+let timed phase f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  record phase (Unix.gettimeofday () -. t0);
+  r
+
+let snapshot () = !current

@@ -1,0 +1,27 @@
+(** Wall-clock phase accounting for layout construction, mirroring the
+    [MVL_CHECK_TIMINGS] ticks in {!Check}: when the [MVL_LAYOUT_TIMINGS]
+    environment variable is set, every recorded phase also prints a
+    [layout: <phase> <seconds>] line to stderr.
+
+    The accumulator is a single global: {!reset} before a construction,
+    {!snapshot} after.  Construction code ({!Orthogonal.create},
+    {!Multilayer.realize_general}) adds into it unconditionally — the
+    cost is one clock read per phase, not per edge.  Concurrent
+    constructions from multiple domains would interleave their sums;
+    that is benign (the numbers are profiling hints, not results) and
+    the enforced bench path constructs one layout at a time. *)
+
+type phase = Place | Pack | Terminals | Emit | Build
+
+type phases = {
+  place_seconds : float;      (** placement, edge classification, CSR fill *)
+  pack_seconds : float;       (** per-line greedy track assignment *)
+  terminals_seconds : float;  (** incidence sort + terminal coordinates *)
+  emit_seconds : float;       (** wire point emission into shard buffers *)
+  build_seconds : float;      (** shard merge into columnar [Geom.t] *)
+}
+
+val reset : unit -> unit
+val record : phase -> float -> unit
+val timed : phase -> (unit -> 'a) -> 'a
+val snapshot : unit -> phases

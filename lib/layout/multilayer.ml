@@ -8,14 +8,6 @@ let groups_for_layers layers =
 
 let ceil_div a b = if a = 0 then 0 else ((a - 1) / b) + 1
 
-(* terminal bookkeeping: for each node, the x offsets of its row-edge
-   terminals (sorted by the other endpoint's column) and the y offsets of
-   its column-edge terminals (sorted by the other endpoint's row) *)
-type terminals = {
-  row_term : (int, int) Hashtbl.t; (* edge_id -> x (two bindings) *)
-  col_term : (int, int) Hashtbl.t; (* edge_id -> y (two bindings) *)
-}
-
 (* an extra (non-orthogonal) link of an augmented layout, §5.3 *)
 type extra_link = {
   xedge : int;        (* edge id in the full graph *)
@@ -37,35 +29,82 @@ type frame = {
   row_slots : int array;
 }
 
+(* mirror of Parallel.force_fork (same idiom as Sim_shard): under the
+   fork backend no domain may ever be spawned, so emission degrades to
+   the serial path *)
+let env_force_fork () =
+  match Sys.getenv_opt "MVL_FORCE_FORK" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+(* incidence keys pack (position of the other endpoint, edge id) into
+   one int so a range sort orders a node's terminals exactly like the
+   historical (pos, edge_id) pair sort *)
+let eid_bits = 31
+let eid_mask = (1 lsl eid_bits) - 1
+
+let subset_msg = "Multilayer: full graph must contain every orthogonal edge"
+
 let realize_general ?(node_side = 0) ?(z_offset = 0) ?(col_gap_extra = 0)
-    ?(node_extra_rows = 0) ?total_layers (o : Orthogonal.t) ~full_graph ~layers
-    =
+    ?(node_extra_rows = 0) ?total_layers ?(jobs = 1) (o : Orthogonal.t)
+    ~full_graph ~layers =
+  let t_terms = Unix.gettimeofday () in
   let g = groups_for_layers layers in
   let n = Graph.n o.graph in
   if Graph.n full_graph <> n then
     invalid_arg "Multilayer: full graph must have the same nodes";
-  (* --- split edges of the full graph into orthogonal + extra -------- *)
-  let ortho_id = Hashtbl.create (Graph.m o.graph) in
-  Array.iteri (fun i e -> Hashtbl.add ortho_id e i) (Graph.edges o.graph);
+  (* --- split edges of the full graph into orthogonal + extra --------
+     Both edge lists are lexicographically sorted with [u < v] and the
+     orthogonal edges must be a subsequence of the full ones, so one
+     merge walk replaces the historical tuple-keyed id Hashtbls: it
+     yields the full-graph id of every orthogonal edge and the extras
+     as the skipped full edges. *)
   let full_edges = Graph.edges full_graph in
-  let extras = ref [] in
-  Array.iteri
-    (fun i (u, v) ->
-      if not (Hashtbl.mem ortho_id (u, v)) then
-        extras :=
-          {
-            xedge = i;
-            src = u;
-            dst = v;
-            grp = 0;
-            hslot = 0;
-            vslot = 0;
-            term_x = 0;
-            term_y = 0;
-          }
-          :: !extras)
-    full_edges;
-  let extras = Array.of_list !extras in
+  let ortho_edges = Graph.edges o.graph in
+  let m_full = Array.length full_edges in
+  let m_ortho = Array.length ortho_edges in
+  let n_extra = m_full - m_ortho in
+  if n_extra < 0 then invalid_arg subset_msg;
+  let full_of_ortho = Array.make (max 1 m_ortho) 0 in
+  let extra_ids = Array.make (max 1 n_extra) 0 in
+  let oi = ref 0 and xi = ref 0 in
+  for i = 0 to m_full - 1 do
+    let u, v = full_edges.(i) in
+    let matched =
+      !oi < m_ortho
+      &&
+      let ou, ov = ortho_edges.(!oi) in
+      ou = u && ov = v
+    in
+    if matched then begin
+      full_of_ortho.(!oi) <- i;
+      incr oi
+    end
+    else begin
+      if !xi >= n_extra then invalid_arg subset_msg;
+      extra_ids.(!xi) <- i;
+      incr xi
+    end
+  done;
+  if !oi < m_ortho then invalid_arg subset_msg;
+  (* extras in descending full-edge order: slot packing and the
+     terminal append order below were defined by the historical
+     prepend-built list and are pinned by the golden layouts *)
+  let extras =
+    Array.init n_extra (fun k ->
+        let i = extra_ids.(n_extra - 1 - k) in
+        let u, v = full_edges.(i) in
+        {
+          xedge = i;
+          src = u;
+          dst = v;
+          grp = 0;
+          hslot = 0;
+          vslot = 0;
+          term_x = 0;
+          term_y = 0;
+        })
+  in
   (* --- per-gap regular slots ----------------------------------------- *)
   let row_slots = Array.map (fun t -> ceil_div t g.horizontal) o.row_tracks in
   let col_slots = Array.map (fun t -> ceil_div t g.vertical) o.col_tracks in
@@ -73,21 +112,22 @@ let realize_general ?(node_side = 0) ?(z_offset = 0) ?(col_gap_extra = 0)
   let extra_h = Array.make o.rows 0 and extra_v = Array.make o.cols 0 in
   let row_extra_top = Array.make n 0 and col_extra_right = Array.make n 0 in
   (* a slot may be shared by links of *different* groups (same in-plane
-     position, different layers), so slot allocation is per (gap, group) *)
-  let h_grp_count = Hashtbl.create 64 and v_grp_count = Hashtbl.create 64 in
-  let next tbl key =
-    let v = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
-    Hashtbl.replace tbl key (v + 1);
-    v
-  in
+     position, different layers), so slot allocation is per (gap, group)
+     — flat counters indexed [gap * vertical + grp] *)
+  let h_grp_count = Array.make (max 1 (o.rows * g.vertical)) 0 in
+  let v_grp_count = Array.make (max 1 (o.cols * g.vertical)) 0 in
   let h_total = Array.make o.rows 0 in
   Array.iter
     (fun l ->
       let r_src, _ = o.place.(l.src) and _, c_dst = o.place.(l.dst) in
       l.grp <- h_total.(r_src) mod g.vertical;
       h_total.(r_src) <- h_total.(r_src) + 1;
-      l.hslot <- row_slots.(r_src) + next h_grp_count (r_src, l.grp);
-      l.vslot <- col_slots.(c_dst) + next v_grp_count (c_dst, l.grp);
+      let hk = (r_src * g.vertical) + l.grp in
+      l.hslot <- row_slots.(r_src) + h_grp_count.(hk);
+      h_grp_count.(hk) <- h_grp_count.(hk) + 1;
+      let vk = (c_dst * g.vertical) + l.grp in
+      l.vslot <- col_slots.(c_dst) + v_grp_count.(vk);
+      v_grp_count.(vk) <- v_grp_count.(vk) + 1;
       extra_h.(r_src) <- max extra_h.(r_src) (l.hslot - row_slots.(r_src) + 1);
       extra_v.(c_dst) <- max extra_v.(c_dst) (l.vslot - col_slots.(c_dst) + 1);
       row_extra_top.(l.src) <- row_extra_top.(l.src) + 1;
@@ -95,24 +135,22 @@ let realize_general ?(node_side = 0) ?(z_offset = 0) ?(col_gap_extra = 0)
     extras;
   (* --- node degrees and band sizes ----------------------------------- *)
   let row_deg = Array.make n 0 and col_deg = Array.make n 0 in
-  Array.iteri
-    (fun r edges ->
-      Array.iter
-        (fun (e : Orthogonal.line_edge) ->
-          let u = o.node_at.(r).(e.a) and v = o.node_at.(r).(e.b) in
-          row_deg.(u) <- row_deg.(u) + 1;
-          row_deg.(v) <- row_deg.(v) + 1)
-        edges)
-    o.row_edges;
-  Array.iteri
-    (fun c edges ->
-      Array.iter
-        (fun (e : Orthogonal.line_edge) ->
-          let u = o.node_at.(e.a).(c) and v = o.node_at.(e.b).(c) in
-          col_deg.(u) <- col_deg.(u) + 1;
-          col_deg.(v) <- col_deg.(v) + 1)
-        edges)
-    o.col_edges;
+  for r = 0 to o.rows - 1 do
+    for k = o.row_off.(r) to o.row_off.(r + 1) - 1 do
+      let u = o.node_at.(r).(o.row_a.(k))
+      and v = o.node_at.(r).(o.row_b.(k)) in
+      row_deg.(u) <- row_deg.(u) + 1;
+      row_deg.(v) <- row_deg.(v) + 1
+    done
+  done;
+  for c = 0 to o.cols - 1 do
+    for k = o.col_off.(c) to o.col_off.(c + 1) - 1 do
+      let u = o.node_at.(o.col_a.(k)).(c)
+      and v = o.node_at.(o.col_b.(k)).(c) in
+      col_deg.(u) <- col_deg.(u) + 1;
+      col_deg.(v) <- col_deg.(v) + 1
+    done
+  done;
   let col_w = Array.make o.cols 1 and row_h = Array.make o.rows 1 in
   for r = 0 to o.rows - 1 do
     for c = 0 to o.cols - 1 do
@@ -137,44 +175,71 @@ let realize_general ?(node_side = 0) ?(z_offset = 0) ?(col_gap_extra = 0)
   done;
   let vtrack_x c slot = col_x0.(c) + col_w.(c) + slot in
   let htrack_y r slot = row_y0.(r) + row_h.(r) + slot in
-  (* --- terminals -------------------------------------------------------- *)
-  let terms = { row_term = Hashtbl.create 256; col_term = Hashtbl.create 256 } in
-  let row_inc = Array.make n [] and col_inc = Array.make n [] in
-  Array.iteri
-    (fun r edges ->
-      Array.iter
-        (fun (e : Orthogonal.line_edge) ->
-          let u = o.node_at.(r).(e.a) and v = o.node_at.(r).(e.b) in
-          row_inc.(u) <- (e.b, e.edge_id) :: row_inc.(u);
-          row_inc.(v) <- (e.a, e.edge_id) :: row_inc.(v))
-        edges)
-    o.row_edges;
-  Array.iteri
-    (fun c edges ->
-      Array.iter
-        (fun (e : Orthogonal.line_edge) ->
-          let u = o.node_at.(e.a).(c) and v = o.node_at.(e.b).(c) in
-          col_inc.(u) <- (e.b, e.edge_id) :: col_inc.(u);
-          col_inc.(v) <- (e.a, e.edge_id) :: col_inc.(v))
-        edges)
-    o.col_edges;
-  let row_used = Array.make n 0 and col_used = Array.make n 0 in
-  let pair_cmp (a1, a2) (b1, b2) =
-    let c = Int.compare a1 b1 in
-    if c <> 0 then c else Int.compare a2 b2
-  in
+  (* --- terminals --------------------------------------------------------
+     Per-node incidence in CSR form: one packed (other position, edge
+     id) key per edge endpoint, offsets from the degree counts above.
+     Sorting each node's range in place orders its terminals by the
+     other endpoint's position — the same order the historical per-node
+     pair lists got from [List.sort] — and the x (or y) offsets assign
+     into flat edge-indexed [term_a]/[term_b] columns: a row edge's
+     smaller-column endpoint always gets the smaller x (columns bands
+     ascend with the column index), so a-side/b-side replaces the
+     min/max over the historical double-binding Hashtbl protocol. *)
+  let row_ioff = Array.make (n + 1) 0 and col_ioff = Array.make (n + 1) 0 in
   for u = 0 to n - 1 do
-    let _, c = o.place.(u) and r, _ = o.place.(u) in
-    List.iteri
-      (fun i (_, edge_id) ->
-        Hashtbl.add terms.row_term edge_id (col_x0.(c) + 1 + i))
-      (List.sort pair_cmp row_inc.(u));
-    row_used.(u) <- List.length row_inc.(u);
-    List.iteri
-      (fun i (_, edge_id) ->
-        Hashtbl.add terms.col_term edge_id (row_y0.(r) + 1 + i))
-      (List.sort pair_cmp col_inc.(u));
-    col_used.(u) <- List.length col_inc.(u)
+    row_ioff.(u + 1) <- row_ioff.(u) + row_deg.(u);
+    col_ioff.(u + 1) <- col_ioff.(u) + col_deg.(u)
+  done;
+  let row_ikey = Array.make (max 1 row_ioff.(n)) 0 in
+  let col_ikey = Array.make (max 1 col_ioff.(n)) 0 in
+  let row_icur = Array.copy row_ioff and col_icur = Array.copy col_ioff in
+  for r = 0 to o.rows - 1 do
+    for k = o.row_off.(r) to o.row_off.(r + 1) - 1 do
+      let eid = o.row_eid.(k) in
+      let a = o.row_a.(k) and b = o.row_b.(k) in
+      let u = o.node_at.(r).(a) and v = o.node_at.(r).(b) in
+      row_ikey.(row_icur.(u)) <- (b lsl eid_bits) lor eid;
+      row_icur.(u) <- row_icur.(u) + 1;
+      row_ikey.(row_icur.(v)) <- (a lsl eid_bits) lor eid;
+      row_icur.(v) <- row_icur.(v) + 1
+    done
+  done;
+  for c = 0 to o.cols - 1 do
+    for k = o.col_off.(c) to o.col_off.(c + 1) - 1 do
+      let eid = o.col_eid.(k) in
+      let a = o.col_a.(k) and b = o.col_b.(k) in
+      let u = o.node_at.(a).(c) and v = o.node_at.(b).(c) in
+      col_ikey.(col_icur.(u)) <- (b lsl eid_bits) lor eid;
+      col_icur.(u) <- col_icur.(u) + 1;
+      col_ikey.(col_icur.(v)) <- (a lsl eid_bits) lor eid;
+      col_icur.(v) <- col_icur.(v) + 1
+    done
+  done;
+  let term_a = Array.make (max 1 m_ortho) 0 in
+  let term_b = Array.make (max 1 m_ortho) 0 in
+  let row_used = Array.make n 0 and col_used = Array.make n 0 in
+  for u = 0 to n - 1 do
+    let r, c = o.place.(u) in
+    let rlo = row_ioff.(u) in
+    let rlen = row_ioff.(u + 1) - rlo in
+    Track_assign.sort_ints row_ikey ~off:rlo ~len:rlen;
+    for i = 0 to rlen - 1 do
+      let key = row_ikey.(rlo + i) in
+      let eid = key land eid_mask in
+      let x = col_x0.(c) + 1 + i in
+      if c < key lsr eid_bits then term_a.(eid) <- x else term_b.(eid) <- x
+    done;
+    row_used.(u) <- rlen;
+    let clo = col_ioff.(u) in
+    let clen = col_ioff.(u + 1) - clo in
+    Track_assign.sort_ints col_ikey ~off:clo ~len:clen;
+    for i = 0 to clen - 1 do
+      let key = col_ikey.(clo + i) in
+      let eid = key land eid_mask in
+      let y = row_y0.(r) + 1 + i in
+      if r < key lsr eid_bits then term_a.(eid) <- y else term_b.(eid) <- y
+    done;
+    col_used.(u) <- clen
   done;
   (* extra terminals, appended after the regular ones *)
   Array.iter
@@ -185,110 +250,160 @@ let realize_general ?(node_side = 0) ?(z_offset = 0) ?(col_gap_extra = 0)
       l.term_y <- row_y0.(r_dst) + 1 + col_used.(l.dst);
       col_used.(l.dst) <- col_used.(l.dst) + 1)
     extras;
-  (* --- node footprints --------------------------------------------------- *)
-  let b = Geom.Builder.create ~n_nodes:n ~n_wires:(Array.length full_edges) in
+  (* --- node footprints and exact wire sizes -------------------------------
+     Every wire's deduped point count is known before emission: a row
+     wire keeps all 8 of its points (its terminal x's sit in distinct
+     column bands and [zy] is always even, so no consecutive pair
+     collides); a column wire of group 0 has [zx = z1], collapsing the
+     first and last vertical hops to 6 points; an extra link of group 0
+     likewise drops its final duplicate, 9 points instead of 10.  Fixed
+     counts let emission stream straight into the final CSR columns —
+     no append buffers, no merge pass — and any miscount raises. *)
+  let wire_counts = Array.make m_full 0 in
+  for r = 0 to o.rows - 1 do
+    for k = o.row_off.(r) to o.row_off.(r + 1) - 1 do
+      wire_counts.(full_of_ortho.(o.row_eid.(k))) <- 8
+    done
+  done;
+  for c = 0 to o.cols - 1 do
+    let slots = max 1 col_slots.(c) in
+    for k = o.col_off.(c) to o.col_off.(c + 1) - 1 do
+      let count = if o.col_track.(k) / slots = 0 then 6 else 8 in
+      wire_counts.(full_of_ortho.(o.col_eid.(k))) <- count
+    done
+  done;
+  Array.iter
+    (fun l -> wire_counts.(l.xedge) <- (if l.grp = 0 then 9 else 10))
+    extras;
+  let fx = Geom.Builder.create_fixed ~n_nodes:n ~wire_counts in
   for u = 0 to n - 1 do
     let r, c = o.place.(u) in
-    Geom.Builder.set_node b u ~x0:(col_x0.(c)) ~y0:(row_y0.(r))
+    Geom.Builder.set_node_fixed fx u ~x0:(col_x0.(c)) ~y0:(row_y0.(r))
       ~x1:(col_x0.(c) + col_w.(c) - 1)
       ~y1:(row_y0.(r) + row_h.(r) - 1)
   done;
-  (* --- routing ------------------------------------------------------------ *)
-  let full_edge_id = Hashtbl.create (Array.length full_edges) in
-  Array.iteri (fun i e -> Hashtbl.add full_edge_id e i) full_edges;
-  let pt x y z = (x, y, z + z_offset) in
-  let route_wire i points =
-    let u, v = full_edges.(i) in
-    Geom.Builder.start_wire b ~id:i ~u ~v;
-    List.iter (fun (x, y, z) -> Geom.Builder.point b ~x ~y ~z) points
+  Layout_profile.record Terminals (Unix.gettimeofday () -. t_terms);
+  (* --- routing ------------------------------------------------------------
+     Wires emit straight from the flat columns into their fixed ranges;
+     rows and columns chunk across domains when [jobs > 1].  Every
+     emission order produces the same layout: a wire's slots depend
+     only on its id, and its points only on precomputed columns. *)
+  let t_emit = Unix.gettimeofday () in
+  let emit_rows w r_lo r_hi =
+    for r = r_lo to r_hi - 1 do
+      let slots = max 1 row_slots.(r) in
+      let ytop = row_y0.(r) + row_h.(r) - 1 in
+      for k = o.row_off.(r) to o.row_off.(r + 1) - 1 do
+        let eid = o.row_eid.(k) in
+        let track = o.row_track.(k) in
+        let grp = track / slots and slot = track mod slots in
+        let zx = (2 * grp) + 1 + z_offset in
+        let zy =
+          ((if (2 * grp) + 2 <= layers then (2 * grp) + 2 else 2 * grp)
+          + z_offset)
+        in
+        let z1 = 1 + z_offset in
+        let ytrack = htrack_y r slot in
+        let txa = term_a.(eid) and txb = term_b.(eid) in
+        let id = full_of_ortho.(eid) in
+        let u, v = full_edges.(id) in
+        Geom.Builder.fixed_wire w ~id ~u ~v;
+        Geom.Builder.fixed_point w ~x:txa ~y:ytop ~z:z1;
+        Geom.Builder.fixed_point w ~x:txa ~y:ytop ~z:zy;
+        Geom.Builder.fixed_point w ~x:txa ~y:ytrack ~z:zy;
+        Geom.Builder.fixed_point w ~x:txa ~y:ytrack ~z:zx;
+        Geom.Builder.fixed_point w ~x:txb ~y:ytrack ~z:zx;
+        Geom.Builder.fixed_point w ~x:txb ~y:ytrack ~z:zy;
+        Geom.Builder.fixed_point w ~x:txb ~y:ytop ~z:zy;
+        Geom.Builder.fixed_point w ~x:txb ~y:ytop ~z:z1
+      done
+    done
   in
-  let ortho_edges = Graph.edges o.graph in
-  let id_of_ortho edge_id =
-    Hashtbl.find full_edge_id ortho_edges.(edge_id)
+  let emit_cols w c_lo c_hi =
+    for c = c_lo to c_hi - 1 do
+      let slots = max 1 col_slots.(c) in
+      let xright = col_x0.(c) + col_w.(c) - 1 in
+      for k = o.col_off.(c) to o.col_off.(c + 1) - 1 do
+        let eid = o.col_eid.(k) in
+        let track = o.col_track.(k) in
+        let grp = track / slots and slot = track mod slots in
+        let zv = (2 * grp) + 2 + z_offset in
+        let zx = (2 * grp) + 1 + z_offset in
+        let z1 = 1 + z_offset in
+        let xtrack = vtrack_x c slot in
+        let tya = term_a.(eid) and tyb = term_b.(eid) in
+        let id = full_of_ortho.(eid) in
+        let u, v = full_edges.(id) in
+        Geom.Builder.fixed_wire w ~id ~u ~v;
+        Geom.Builder.fixed_point w ~x:xright ~y:tya ~z:z1;
+        Geom.Builder.fixed_point w ~x:xright ~y:tya ~z:zx;
+        Geom.Builder.fixed_point w ~x:xtrack ~y:tya ~z:zx;
+        Geom.Builder.fixed_point w ~x:xtrack ~y:tya ~z:zv;
+        Geom.Builder.fixed_point w ~x:xtrack ~y:tyb ~z:zv;
+        Geom.Builder.fixed_point w ~x:xtrack ~y:tyb ~z:zx;
+        Geom.Builder.fixed_point w ~x:xright ~y:tyb ~z:zx;
+        Geom.Builder.fixed_point w ~x:xright ~y:tyb ~z:z1
+      done
+    done
   in
-  Array.iteri
-    (fun r edges ->
-      Array.iter
-        (fun (e : Orthogonal.line_edge) ->
-          let slots = max 1 row_slots.(r) in
-          let grp = e.track / slots and slot = e.track mod slots in
-          let zx = (2 * grp) + 1 in
-          let zy = if (2 * grp) + 2 <= layers then (2 * grp) + 2 else 2 * grp in
-          let ytrack = htrack_y r slot in
-          let ytop = row_y0.(r) + row_h.(r) - 1 in
-          let txa, txb =
-            match Hashtbl.find_all terms.row_term e.edge_id with
-            | [ t1; t2 ] -> (min t1 t2, max t1 t2)
-            | _ -> invalid_arg "Multilayer.realize: bad row terminals"
-          in
-          route_wire (id_of_ortho e.edge_id)
-            [
-              pt txa ytop 1;
-              pt txa ytop zy;
-              pt txa ytrack zy;
-              pt txa ytrack zx;
-              pt txb ytrack zx;
-              pt txb ytrack zy;
-              pt txb ytop zy;
-              pt txb ytop 1;
-            ])
-        edges)
-    o.row_edges;
-  Array.iteri
-    (fun c edges ->
-      Array.iter
-        (fun (e : Orthogonal.line_edge) ->
-          let slots = max 1 col_slots.(c) in
-          let grp = e.track / slots and slot = e.track mod slots in
-          let zv = (2 * grp) + 2 in
-          let zx = (2 * grp) + 1 in
-          let xtrack = vtrack_x c slot in
-          let xright = col_x0.(c) + col_w.(c) - 1 in
-          let tya, tyb =
-            match Hashtbl.find_all terms.col_term e.edge_id with
-            | [ t1; t2 ] -> (min t1 t2, max t1 t2)
-            | _ -> invalid_arg "Multilayer.realize: bad column terminals"
-          in
-          route_wire (id_of_ortho e.edge_id)
-            [
-              pt xright tya 1;
-              pt xright tya zx;
-              pt xtrack tya zx;
-              pt xtrack tya zv;
-              pt xtrack tyb zv;
-              pt xtrack tyb zx;
-              pt xright tyb zx;
-              pt xright tyb 1;
-            ])
-        edges)
-    o.col_edges;
   (* extra links: src top terminal -> dedicated h-track -> dedicated
      v-track -> dst right terminal, everything in the paired group *)
-  Array.iter
-    (fun l ->
-      let r_src, _ = o.place.(l.src) and r_dst, c_dst = o.place.(l.dst) in
-      let zx = (2 * l.grp) + 1 and zy = (2 * l.grp) + 2 in
-      let hy = htrack_y r_src l.hslot in
-      let vx = vtrack_x c_dst l.vslot in
-      let ytop = row_y0.(r_src) + row_h.(r_src) - 1 in
-      let xright = col_x0.(c_dst) + col_w.(c_dst) - 1 in
-      ignore r_dst;
-      route_wire l.xedge
-        [
-          pt l.term_x ytop 1;
-          pt l.term_x ytop zy;
-          pt l.term_x hy zy;
-          pt l.term_x hy zx;
-          pt vx hy zx;
-          pt vx hy zy;
-          pt vx l.term_y zy;
-          pt vx l.term_y zx;
-          pt xright l.term_y zx;
-          pt xright l.term_y 1;
-        ])
-    extras;
-  (* Geom.Builder.build raises on any edge left unrouted *)
-  let geom = Geom.Builder.build b in
+  let emit_extras w =
+    Array.iter
+      (fun l ->
+        let r_src, _ = o.place.(l.src) and _, c_dst = o.place.(l.dst) in
+        let zx = (2 * l.grp) + 1 + z_offset
+        and zy = (2 * l.grp) + 2 + z_offset in
+        let z1 = 1 + z_offset in
+        let hy = htrack_y r_src l.hslot in
+        let vx = vtrack_x c_dst l.vslot in
+        let ytop = row_y0.(r_src) + row_h.(r_src) - 1 in
+        let xright = col_x0.(c_dst) + col_w.(c_dst) - 1 in
+        let u = l.src and v = l.dst in
+        Geom.Builder.fixed_wire w ~id:l.xedge ~u ~v;
+        Geom.Builder.fixed_point w ~x:l.term_x ~y:ytop ~z:z1;
+        Geom.Builder.fixed_point w ~x:l.term_x ~y:ytop ~z:zy;
+        Geom.Builder.fixed_point w ~x:l.term_x ~y:hy ~z:zy;
+        Geom.Builder.fixed_point w ~x:l.term_x ~y:hy ~z:zx;
+        Geom.Builder.fixed_point w ~x:vx ~y:hy ~z:zx;
+        Geom.Builder.fixed_point w ~x:vx ~y:hy ~z:zy;
+        Geom.Builder.fixed_point w ~x:vx ~y:l.term_y ~z:zy;
+        Geom.Builder.fixed_point w ~x:vx ~y:l.term_y ~z:zx;
+        Geom.Builder.fixed_point w ~x:xright ~y:l.term_y ~z:zx;
+        Geom.Builder.fixed_point w ~x:xright ~y:l.term_y ~z:z1)
+      extras
+  in
+  let jobs = if jobs <= 1 || env_force_fork () then 1 else jobs in
+  (if jobs = 1 then begin
+     let w = Geom.Builder.writer fx in
+     emit_rows w 0 o.rows;
+     emit_cols w 0 o.cols;
+     emit_extras w;
+     Geom.Builder.writer_done w
+   end
+   else begin
+     let _, _stats =
+       Mvl_pool.Domain_pool.map ~domains:jobs
+         ~f:(fun t ->
+           let w = Geom.Builder.writer fx in
+           (if t < jobs then
+              emit_rows w (t * o.rows / jobs) ((t + 1) * o.rows / jobs)
+            else begin
+              let wk = t - jobs in
+              emit_cols w (wk * o.cols / jobs) ((wk + 1) * o.cols / jobs)
+            end);
+           Geom.Builder.writer_done w)
+         (Array.init (2 * jobs) (fun t -> t))
+     in
+     let w = Geom.Builder.writer fx in
+     emit_extras w;
+     Geom.Builder.writer_done w
+   end);
+  Layout_profile.record Emit (Unix.gettimeofday () -. t_emit);
+  (* build_fixed raises on any edge left unrouted *)
+  let geom =
+    Layout_profile.timed Build (fun () -> Geom.Builder.build_fixed fx)
+  in
   let declared_layers = Option.value total_layers ~default:(layers + z_offset) in
   let node_layers =
     if z_offset = 0 then None else Some (Array.make n (1 + z_offset))
@@ -299,11 +414,11 @@ let realize_general ?(node_side = 0) ?(z_offset = 0) ?(col_gap_extra = 0)
   let frame = { col_x0; col_w; row_y0; row_h; col_slots; row_slots } in
   (layout, frame)
 
-let realize ?node_side o ~layers =
-  fst (realize_general ?node_side o ~full_graph:o.Orthogonal.graph ~layers)
+let realize ?node_side ?jobs o ~layers =
+  fst (realize_general ?node_side ?jobs o ~full_graph:o.Orthogonal.graph ~layers)
 
-let realize_augmented ?node_side o ~full_graph ~layers =
-  fst (realize_general ?node_side o ~full_graph ~layers)
+let realize_augmented ?node_side ?jobs o ~full_graph ~layers =
+  fst (realize_general ?node_side ?jobs o ~full_graph ~layers)
 
 let realize_slab ?node_side o ~z_offset ~band_layers ~total_layers
     ~col_gap_extra ~node_extra_rows =

@@ -18,10 +18,15 @@ val groups_for_layers : int -> groups
 (** [{horizontal = ceil(L/2); vertical = floor(L/2)}].  Requires
     [L >= 2]. *)
 
-val realize : ?node_side:int -> Orthogonal.t -> layers:int -> Layout.t
+val realize :
+  ?node_side:int -> ?jobs:int -> Orthogonal.t -> layers:int -> Layout.t
 (** Produce the full geometry.  [node_side] forces a minimum node
     footprint side (default: just large enough for the terminals, i.e.
-    degree + 2) — used by the optimal-scalability experiment (§3.2). *)
+    degree + 2) — used by the optimal-scalability experiment (§3.2).
+    [jobs > 1] shards wire emission across a {!Mvl_pool.Domain_pool},
+    each worker streaming its wires into their precomputed fixed ranges
+    of the final geometry columns — output is byte-identical at every
+    job count (degraded to serial under [MVL_FORCE_FORK]). *)
 
 val metrics : ?node_side:int -> Orthogonal.t -> layers:int -> Layout.metrics
 (** [metrics o ~layers] = [Layout.metrics (realize o ~layers)]. *)
@@ -55,6 +60,7 @@ val realize_slab :
 
 val realize_augmented :
   ?node_side:int ->
+  ?jobs:int ->
   Orthogonal.t ->
   full_graph:Mvl_topology.Graph.t ->
   layers:int ->

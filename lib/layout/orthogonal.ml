@@ -1,5 +1,4 @@
 open Mvl_topology
-open Mvl_geometry
 
 type line_edge = { edge_id : int; a : int; b : int; track : int }
 
@@ -9,23 +8,30 @@ type t = {
   cols : int;
   place : (int * int) array;
   node_at : int array array;
-  row_edges : line_edge array array;
-  col_edges : line_edge array array;
+  row_off : int array;
+  row_eid : int array;
+  row_a : int array;
+  row_b : int array;
+  row_track : int array;
+  col_off : int array;
+  col_eid : int array;
+  col_a : int array;
+  col_b : int array;
+  col_track : int array;
   row_tracks : int array;
   col_tracks : int array;
 }
 
-let pack_line edges =
-  (* [edges]: (edge_id, a, b) with a < b; returns packed line_edges *)
-  let arr = Array.of_list edges in
-  let spans = Array.map (fun (_, a, b) -> Interval.make a b) arr in
-  let assignment = Track_assign.greedy spans in
-  ( Array.mapi
-      (fun i (edge_id, a, b) -> { edge_id; a; b; track = assignment.(i) })
-      arr,
-    Track_assign.count_tracks assignment )
+(* mirror of Parallel.force_fork (same idiom as Sim_shard): under the
+   fork backend no domain may ever be spawned, so packing degrades to
+   the serial path *)
+let env_force_fork () =
+  match Sys.getenv_opt "MVL_FORCE_FORK" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
 
-let create graph ~rows ~cols ~place =
+let create ?(jobs = 1) graph ~rows ~cols ~place =
+  let t_place = Unix.gettimeofday () in
   let n = Graph.n graph in
   if rows * cols <> n then
     invalid_arg
@@ -40,44 +46,116 @@ let create graph ~rows ~cols ~place =
         invalid_arg "Orthogonal.create: two nodes on one grid cell";
       node_at.(r).(c) <- u)
     placements;
-  let row_acc = Array.make rows [] and col_acc = Array.make cols [] in
-  Array.iteri
-    (fun edge_id (u, v) ->
+  (* two-pass counting sort of edges into per-line CSR columns: count,
+     prefix-sum, fill.  Each line's edges end up in ascending edge id
+     order; nothing downstream depends on intra-line order (terminals
+     re-sort incidence, emission is reordered by wire id at build). *)
+  let row_off = Array.make (rows + 1) 0 and col_off = Array.make (cols + 1) 0 in
+  Graph.iter_edges graph (fun u v ->
       let ru, cu = placements.(u) and rv, cv = placements.(v) in
-      if ru = rv && cu <> cv then
-        row_acc.(ru) <- (edge_id, min cu cv, max cu cv) :: row_acc.(ru)
-      else if cu = cv && ru <> rv then
-        col_acc.(cu) <- (edge_id, min ru rv, max ru rv) :: col_acc.(cu)
+      if ru = rv && cu <> cv then row_off.(ru + 1) <- row_off.(ru + 1) + 1
+      else if cu = cv && ru <> rv then col_off.(cu + 1) <- col_off.(cu + 1) + 1
       else
         invalid_arg
           (Printf.sprintf
-             "Orthogonal.create: edge %d-%d is not row- or column-aligned" u v))
-    (Graph.edges graph);
-  let row_edges = Array.make rows [||] and row_tracks = Array.make rows 0 in
-  let col_edges = Array.make cols [||] and col_tracks = Array.make cols 0 in
-  for r = 0 to rows - 1 do
-    let packed, tracks = pack_line row_acc.(r) in
-    row_edges.(r) <- packed;
-    row_tracks.(r) <- tracks
+             "Orthogonal.create: edge %d-%d is not row- or column-aligned" u v));
+  for r = 1 to rows do
+    row_off.(r) <- row_off.(r) + row_off.(r - 1)
   done;
-  for c = 0 to cols - 1 do
-    let packed, tracks = pack_line col_acc.(c) in
-    col_edges.(c) <- packed;
-    col_tracks.(c) <- tracks
+  for c = 1 to cols do
+    col_off.(c) <- col_off.(c) + col_off.(c - 1)
   done;
+  let rm = row_off.(rows) and cm = col_off.(cols) in
+  let row_eid = Array.make rm 0
+  and row_a = Array.make rm 0
+  and row_b = Array.make rm 0
+  and row_track = Array.make rm 0 in
+  let col_eid = Array.make cm 0
+  and col_a = Array.make cm 0
+  and col_b = Array.make cm 0
+  and col_track = Array.make cm 0 in
+  let row_cur = Array.copy row_off and col_cur = Array.copy col_off in
+  let next_eid = ref 0 in
+  Graph.iter_edges graph (fun u v ->
+      let e = !next_eid in
+      incr next_eid;
+      let ru, cu = placements.(u) and rv, cv = placements.(v) in
+      if ru = rv then begin
+        let k = row_cur.(ru) in
+        row_cur.(ru) <- k + 1;
+        row_eid.(k) <- e;
+        row_a.(k) <- min cu cv;
+        row_b.(k) <- max cu cv
+      end
+      else begin
+        let k = col_cur.(cu) in
+        col_cur.(cu) <- k + 1;
+        col_eid.(k) <- e;
+        col_a.(k) <- min ru rv;
+        col_b.(k) <- max ru rv
+      end);
+  Layout_profile.record Place (Unix.gettimeofday () -. t_place);
+  (* per-line track packing: lines are independent, so a unified line
+     index [0, rows + cols) shards across domains in contiguous chunks;
+     each line writes only its own track slice and tracks cell, and the
+     result per line is deterministic, so output is identical at every
+     job count *)
+  let t_pack = Unix.gettimeofday () in
+  let row_tracks = Array.make rows 0 and col_tracks = Array.make cols 0 in
+  let pack_range s line_lo line_hi =
+    for line = line_lo to line_hi - 1 do
+      if line < rows then
+        row_tracks.(line) <-
+          Track_assign.greedy_into s ~lo:row_a ~hi:row_b ~track:row_track
+            ~off:row_off.(line)
+            ~len:(row_off.(line + 1) - row_off.(line))
+      else begin
+        let c = line - rows in
+        col_tracks.(c) <-
+          Track_assign.greedy_into s ~lo:col_a ~hi:col_b ~track:col_track
+            ~off:col_off.(c)
+            ~len:(col_off.(c + 1) - col_off.(c))
+      end
+    done
+  in
+  let lines = rows + cols in
+  let jobs =
+    if jobs <= 1 || env_force_fork () then 1 else min jobs (max 1 lines)
+  in
+  if jobs = 1 then pack_range (Track_assign.scratch ()) 0 lines
+  else begin
+    let workers = Array.init jobs (fun w -> w) in
+    let _, _stats =
+      Mvl_pool.Domain_pool.map ~domains:jobs
+        ~f:(fun w ->
+          pack_range (Track_assign.scratch ()) (w * lines / jobs)
+            ((w + 1) * lines / jobs))
+        workers
+    in
+    ()
+  end;
+  Layout_profile.record Pack (Unix.gettimeofday () -. t_pack);
   {
     graph;
     rows;
     cols;
     place = placements;
     node_at;
-    row_edges;
-    col_edges;
+    row_off;
+    row_eid;
+    row_a;
+    row_b;
+    row_track;
+    col_off;
+    col_eid;
+    col_a;
+    col_b;
+    col_track;
     row_tracks;
     col_tracks;
   }
 
-let of_product ~row_factor ~col_factor graph =
+let of_product ?jobs ~row_factor ~col_factor graph =
   let na = Graph.n row_factor.Collinear.graph in
   let nb = Graph.n col_factor.Collinear.graph in
   if na * nb <> Graph.n graph then
@@ -86,7 +164,30 @@ let of_product ~row_factor ~col_factor graph =
     let x = v mod na and y = v / na in
     (col_factor.Collinear.position.(y), row_factor.Collinear.position.(x))
   in
-  create graph ~rows:nb ~cols:na ~place
+  create ?jobs graph ~rows:nb ~cols:na ~place
+
+let row_edge_count t r = t.row_off.(r + 1) - t.row_off.(r)
+let col_edge_count t c = t.col_off.(c + 1) - t.col_off.(c)
+
+let row_edges t r =
+  Array.init (row_edge_count t r) (fun i ->
+      let k = t.row_off.(r) + i in
+      {
+        edge_id = t.row_eid.(k);
+        a = t.row_a.(k);
+        b = t.row_b.(k);
+        track = t.row_track.(k);
+      })
+
+let col_edges t c =
+  Array.init (col_edge_count t c) (fun i ->
+      let k = t.col_off.(c) + i in
+      {
+        edge_id = t.col_eid.(k);
+        a = t.col_a.(k);
+        b = t.col_b.(k);
+        track = t.col_track.(k);
+      })
 
 let total_row_tracks t = Array.fold_left ( + ) 0 t.row_tracks
 let total_col_tracks t = Array.fold_left ( + ) 0 t.col_tracks
@@ -94,19 +195,24 @@ let total_col_tracks t = Array.fold_left ( + ) 0 t.col_tracks
 let count_degrees t ~of_rows =
   let n = Graph.n t.graph in
   let deg = Array.make n 0 in
-  let lines = if of_rows then t.row_edges else t.col_edges in
-  let lookup line pos =
-    if of_rows then t.node_at.(line).(pos) else t.node_at.(pos).(line)
-  in
-  Array.iteri
-    (fun line edges ->
-      Array.iter
-        (fun e ->
-          let u = lookup line e.a and v = lookup line e.b in
-          deg.(u) <- deg.(u) + 1;
-          deg.(v) <- deg.(v) + 1)
-        edges)
-    lines;
+  if of_rows then
+    for r = 0 to t.rows - 1 do
+      for k = t.row_off.(r) to t.row_off.(r + 1) - 1 do
+        let u = t.node_at.(r).(t.row_a.(k))
+        and v = t.node_at.(r).(t.row_b.(k)) in
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1
+      done
+    done
+  else
+    for c = 0 to t.cols - 1 do
+      for k = t.col_off.(c) to t.col_off.(c + 1) - 1 do
+        let u = t.node_at.(t.col_a.(k)).(c)
+        and v = t.node_at.(t.col_b.(k)).(c) in
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1
+      done
+    done;
   Array.fold_left max 0 deg
 
 let max_row_degree t = count_degrees t ~of_rows:true

@@ -19,3 +19,42 @@ val max_density : Interval.t array -> int
 
 val count_tracks : int array -> int
 (** [count_tracks assignment] is [1 + max assignment] (0 when empty). *)
+
+(** {1 Flat engine}
+
+    Allocation-free core over parallel int columns — the construction
+    hot path.  Spans live as [lo]/[hi] slices ([off], [len]) of flat
+    arrays (typically a CSR line of {!Orthogonal}); the greedy heap and
+    the sort keys live in a reusable {!scratch} that grows to the
+    largest line it has seen and is then reused for every further line.
+    A scratch must not be shared between domains. *)
+
+type scratch
+
+val scratch : unit -> scratch
+
+val greedy_into :
+  scratch ->
+  lo:int array ->
+  hi:int array ->
+  track:int array ->
+  off:int ->
+  len:int ->
+  int
+(** [greedy_into s ~lo ~hi ~track ~off ~len] assigns a track to each of
+    the [len] spans [lo.(off+i), hi.(off+i)], writing it to
+    [track.(off+i)], and returns the number of tracks used.  Processing
+    order is (lo, hi, index) ascending — a total order, so the result
+    never depends on input order.  For the distinct spans produced by a
+    simple graph's line edges this matches {!greedy} exactly.
+    Coordinates must lie in [0, 2^20) and [len] below [2^22]
+    ([Invalid_argument] otherwise). *)
+
+val max_density_into :
+  scratch -> lo:int array -> hi:int array -> off:int -> len:int -> int
+(** Flat variant of {!max_density} over the same column slices. *)
+
+val sort_ints : int array -> off:int -> len:int -> unit
+(** In-place ascending heapsort of [a.(off .. off+len-1)] — the range
+    sort under the flat engine, exposed for other columnar passes
+    (e.g. incidence sorting in {!Multilayer}). *)

@@ -3,25 +3,27 @@ open Mvl_layout
 
 type t = {
   graph : Graph.t;
-  lengths : (int * int, int) Hashtbl.t;
+  lengths : (int, int) Hashtbl.t;  (* keyed [min * n + max] *)
   max_wire : int;
 }
 
+let pack n u v = (min u v * n) + max u v
+
 let of_layout (layout : Layout.t) =
   let graph = Layout.graph layout in
+  let n = Graph.n graph in
   let lengths = Hashtbl.create (Graph.m graph) in
   let max_wire = ref 0 in
   Array.iter
     (fun w ->
       let len = Wire.length_xy w in
       if len > !max_wire then max_wire := len;
-      Hashtbl.replace lengths w.Wire.edge len)
+      let u, v = w.Wire.edge in
+      Hashtbl.replace lengths (pack n u v) len)
     (Layout.wires layout);
   { graph; lengths; max_wire = !max_wire }
 
-let edge_length t u v =
-  let key = if u < v then (u, v) else (v, u) in
-  Hashtbl.find t.lengths key
+let edge_length t u v = Hashtbl.find t.lengths (pack (Graph.n t.graph) u v)
 
 let best_path_wire t ~src =
   let n = Graph.n t.graph in

@@ -46,20 +46,17 @@ let run graph ~p_fail ~trials ~seed ~mode =
   for _ = 1 to trials do
     match mode with
     | `Edges ->
-        (* sample failed edges into a hash set, normalized to u < v:
+        (* sample failed edges into a hash set, keyed [min * n + max]:
            the lookup below normalizes its query the same way, so an
            unnormalized insertion would never be found again and the
            edge would be silently immortal (Graph.of_edges happens to
            emit normalized pairs today — this must not depend on it) *)
         let failed = Hashtbl.create 64 in
+        let pack u v = (min u v * n) + max u v in
         Graph.iter_edges graph (fun u v ->
             assert (u <> v);
-            if Rng.bool rng ~p:p_fail then
-              Hashtbl.replace failed (if u < v then (u, v) else (v, u)) ());
-        let edge_alive u v =
-          let key = if u < v then (u, v) else (v, u) in
-          not (Hashtbl.mem failed key)
-        in
+            if Rng.bool rng ~p:p_fail then Hashtbl.replace failed (pack u v) ());
+        let edge_alive u v = not (Hashtbl.mem failed (pack u v)) in
         let largest, survivors, ok =
           survey graph ~edge_alive ~node_alive:(fun _ -> true)
         in

@@ -15,6 +15,7 @@ let () =
       ("collinear", Test_collinear.suite);
       ("layout", Test_layout.suite);
       ("check", Test_check.suite);
+      ("construction", Test_construction.suite);
       ("cluster", Test_cluster.suite);
       ("layout3d", Test_layout3d.suite);
       ("augmented", Test_augmented.suite);

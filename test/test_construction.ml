@@ -1,0 +1,213 @@
+(* Differential tests for the columnar construction engine: the CSR
+   [Orthogonal] builder and flat [Track_assign] engine against a naive
+   list-based reference on randomized small grids, and byte-parity of
+   sharded layout construction across job counts. *)
+open Mvl_core
+
+(* -- reference implementation -------------------------------------- *)
+
+(* per-line edge tables the way the pre-columnar builder produced them:
+   scan the (eid-ascending) edge list, collect each line's edges into a
+   list, track-pack with the record-front-end greedy *)
+let reference_lines graph ~rows ~cols ~place =
+  let row_lists = Array.make rows [] and col_lists = Array.make cols [] in
+  let eid = ref 0 in
+  Mvl.Graph.iter_edges graph (fun u v ->
+      let ru, cu = place u and rv, cv = place v in
+      if ru = rv then
+        row_lists.(ru) <- (!eid, min cu cv, max cu cv) :: row_lists.(ru)
+      else if cu = cv then
+        col_lists.(cu) <- (!eid, min ru rv, max ru rv) :: col_lists.(cu)
+      else Alcotest.fail "reference: edge neither row nor column";
+      incr eid);
+  let pack lists =
+    Array.map
+      (fun l ->
+        let arr = Array.of_list (List.rev l) in
+        let spans =
+          Array.map (fun (_, a, b) -> Mvl.Interval.make a b) arr
+        in
+        let tracks = Mvl.Track_assign.greedy spans in
+        (arr, tracks, Mvl.Track_assign.count_tracks tracks))
+      lists
+  in
+  (pack row_lists, pack col_lists)
+
+(* a random simple graph whose every edge stays within one grid line *)
+let random_grid_graph st ~rows ~cols =
+  let n = rows * cols in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for _ = 1 to 2 * cols do
+      let c1 = Random.State.int st cols and c2 = Random.State.int st cols in
+      if c1 <> c2 then edges := ((r * cols) + c1, (r * cols) + c2) :: !edges
+    done
+  done;
+  for c = 0 to cols - 1 do
+    for _ = 1 to 2 * rows do
+      let r1 = Random.State.int st rows and r2 = Random.State.int st rows in
+      if r1 <> r2 then edges := ((r1 * cols) + c, (r2 * cols) + c) :: !edges
+    done
+  done;
+  Mvl.Graph.of_edges ~n !edges
+
+let check_line name (le : Mvl.Orthogonal.line_edge array)
+    ((ref_edges, ref_tracks, ref_count), line_tracks) =
+  Alcotest.(check int)
+    (name ^ " edge count")
+    (Array.length ref_edges) (Array.length le);
+  Array.iteri
+    (fun i { Mvl.Orthogonal.edge_id; a; b; track } ->
+      let eid, ra, rb = ref_edges.(i) in
+      Alcotest.(check int) (name ^ " eid order") eid edge_id;
+      Alcotest.(check int) (name ^ " span lo") ra a;
+      Alcotest.(check int) (name ^ " span hi") rb b;
+      Alcotest.(check int) (name ^ " track") ref_tracks.(i) track)
+    le;
+  Alcotest.(check int) (name ^ " track count") ref_count line_tracks
+
+let test_orthogonal_differential () =
+  let st = Random.State.make [| 0x5ca1e |] in
+  for trial = 1 to 40 do
+    let rows = 1 + Random.State.int st 7
+    and cols = 1 + Random.State.int st 7 in
+    let graph = random_grid_graph st ~rows ~cols in
+    let place i = (i / cols, i mod cols) in
+    let o = Mvl.Orthogonal.create graph ~rows ~cols ~place in
+    let ref_rows, ref_cols = reference_lines graph ~rows ~cols ~place in
+    for r = 0 to rows - 1 do
+      check_line
+        (Printf.sprintf "trial %d row %d" trial r)
+        (Mvl.Orthogonal.row_edges o r)
+        (ref_rows.(r), o.Mvl.Orthogonal.row_tracks.(r))
+    done;
+    for c = 0 to cols - 1 do
+      check_line
+        (Printf.sprintf "trial %d col %d" trial c)
+        (Mvl.Orthogonal.col_edges o c)
+        (ref_cols.(c), o.Mvl.Orthogonal.col_tracks.(c))
+    done
+  done
+
+(* packing a line is independent of how many domains pack the others *)
+let test_orthogonal_jobs_parity () =
+  let st = Random.State.make [| 0xbeef |] in
+  for _ = 1 to 10 do
+    let rows = 2 + Random.State.int st 6
+    and cols = 2 + Random.State.int st 6 in
+    let graph = random_grid_graph st ~rows ~cols in
+    let place i = (i / cols, i mod cols) in
+    let o1 = Mvl.Orthogonal.create ~jobs:1 graph ~rows ~cols ~place in
+    let o3 = Mvl.Orthogonal.create ~jobs:3 graph ~rows ~cols ~place in
+    Alcotest.(check (array int))
+      "row tracks" o1.Mvl.Orthogonal.row_track o3.Mvl.Orthogonal.row_track;
+    Alcotest.(check (array int))
+      "col tracks" o1.Mvl.Orthogonal.col_track o3.Mvl.Orthogonal.col_track
+  done
+
+(* -- flat greedy engine -------------------------------------------- *)
+
+let shuffle st a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+let test_flat_greedy_differential () =
+  let st = Random.State.make [| 0xf1a7 |] in
+  let scratch = Mvl.Track_assign.scratch () in
+  for _ = 1 to 60 do
+    (* a random set of DISTINCT spans — the regime where the flat
+       total-order engine is specified to match the record greedy *)
+    let seen = Hashtbl.create 64 in
+    let spans = ref [] in
+    for _ = 1 to 1 + Random.State.int st 40 do
+      let x = Random.State.int st 50 and y = Random.State.int st 50 in
+      if x <> y && not (Hashtbl.mem seen (min x y, max x y)) then begin
+        Hashtbl.add seen (min x y, max x y) ();
+        spans := (min x y, max x y) :: !spans
+      end
+    done;
+    let spans = Array.of_list !spans in
+    shuffle st spans;
+    let n = Array.length spans in
+    let ref_tracks =
+      Mvl.Track_assign.greedy
+        (Array.map (fun (a, b) -> Mvl.Interval.make a b) spans)
+    in
+    (* flat columns with a nonzero offset, so slice handling is tested *)
+    let off = 3 in
+    let lo = Array.make (off + n + 2) 0 and hi = Array.make (off + n + 2) 0 in
+    let track = Array.make (off + n + 2) (-1) in
+    Array.iteri
+      (fun i (a, b) ->
+        lo.(off + i) <- a;
+        hi.(off + i) <- b)
+      spans;
+    let used =
+      Mvl.Track_assign.greedy_into scratch ~lo ~hi ~track ~off ~len:n
+    in
+    for i = 0 to n - 1 do
+      Alcotest.(check int) "flat = record greedy" ref_tracks.(i)
+        track.(off + i)
+    done;
+    Alcotest.(check int) "tracks used = record count"
+      (Mvl.Track_assign.count_tracks ref_tracks)
+      used;
+    Alcotest.(check int) "tracks used = max density"
+      (Mvl.Track_assign.max_density_into scratch ~lo ~hi ~off ~len:n)
+      used;
+    (* outside the slice: untouched *)
+    Alcotest.(check int) "before slice" (-1) track.(0);
+    Alcotest.(check int) "after slice" (-1) track.(off + n)
+  done
+
+let test_sort_ints_range () =
+  let st = Random.State.make [| 0x50f7 |] in
+  for _ = 1 to 40 do
+    let n = 1 + Random.State.int st 64 in
+    let a = Array.init n (fun _ -> Random.State.int st 1000) in
+    let off = Random.State.int st n in
+    let len = Random.State.int st (n - off + 1) in
+    let expect = Array.copy a in
+    let slice = Array.sub expect off len in
+    Array.sort compare slice;
+    Array.blit slice 0 expect off len;
+    Mvl.Track_assign.sort_ints a ~off ~len;
+    Alcotest.(check (array int)) "range sort" expect a
+  done
+
+(* -- sharded layout byte-parity ------------------------------------ *)
+
+let test_layout_jobs_parity () =
+  List.iter
+    (fun spec_str ->
+      let fam = Mvl.Registry.build_exn (Mvl.Registry.spec_exn spec_str) in
+      let base =
+        Mvl.Serialize.to_string (fam.Mvl.Families.layout ~layers:4)
+      in
+      List.iter
+        (fun jobs ->
+          let lay = fam.Mvl.Families.layout_jobs ~jobs ~layers:4 in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s jobs=%d byte-identical" spec_str jobs)
+            true
+            (String.equal base (Mvl.Serialize.to_string lay)))
+        [ 1; 2; 4 ])
+    [ "hypercube:10"; "kary:4:5" ]
+
+let suite =
+  [
+    Alcotest.test_case "orthogonal CSR matches list reference" `Quick
+      test_orthogonal_differential;
+    Alcotest.test_case "orthogonal packing parity across jobs" `Quick
+      test_orthogonal_jobs_parity;
+    Alcotest.test_case "flat greedy matches record greedy" `Quick
+      test_flat_greedy_differential;
+    Alcotest.test_case "sort_ints sorts exactly the range" `Quick
+      test_sort_ints_range;
+    Alcotest.test_case "layout byte-identical at jobs 1/2/4" `Quick
+      test_layout_jobs_parity;
+  ]

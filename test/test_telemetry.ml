@@ -103,7 +103,7 @@ let test_parse_rejects_malformed () =
 let record_keys =
   [
     "schema"; "spec"; "family"; "n_nodes"; "n_edges"; "layers"; "from_cache";
-    "seconds"; "cache"; "metrics"; "violations"; "report";
+    "seconds"; "layout_phases"; "cache"; "metrics"; "violations"; "report";
   ]
 
 let test_record_schema_golden () =
@@ -121,6 +121,11 @@ let test_record_schema_golden () =
   Alcotest.(check (list string)) "cache keys"
     [ "hits"; "misses"; "size" ]
     (Mvl.Telemetry.keys (Option.get (Mvl.Telemetry.member "cache" j)));
+  Alcotest.(check (list string)) "layout phase keys"
+    [ "place_seconds"; "pack_seconds"; "terminals_seconds"; "emit_seconds";
+      "build_seconds" ]
+    (Mvl.Telemetry.keys
+       (Option.get (Mvl.Telemetry.member "layout_phases" j)));
   Alcotest.(check (list string)) "metrics keys"
     [ "width"; "height"; "area"; "layers"; "volume"; "max_wire";
       "total_wire"; "vias" ]
