@@ -83,6 +83,29 @@ check: lint
 	dune exec bin/mvl_cli.exe -- layout hypercube:6 -l 4 --mem-stats | grep -q 'phases: place'
 	dune exec bin/mvl_cli.exe -- layout hypercube:6 -l 4 --mem-stats --json | grep -q '"peak_rss_kib"'
 	dune exec bin/mvl_cli.exe -- layout hypercube:6 -l 4 --mem-stats --json | grep -q '"layout_phases"'
+	dune exec bin/mvl_cli.exe -- sim hypercube:6 --load 0.1 --pattern bursty:tornado:8:25 --json | grep -q '"schema": "mvl.sim.run/1"'
+	# serve smoke: daemon on a temp socket, 4 parallel clients whose
+	# replies must cmp-equal the one-shot --json --stable document, the
+	# shared spec must cost exactly one pipeline build, then the quick
+	# serving benchmark (binaries invoked directly: concurrent `dune
+	# exec` would contend on the build lock)
+	MVL=./_build/default/bin/mvl_cli.exe; SOCK=/tmp/mvl-check-$$$$.sock; rm -f $$SOCK; \
+	$$MVL serve --socket $$SOCK & SRV=$$!; \
+	for i in $$(seq 50); do [ -S $$SOCK ] && break; sleep 0.1; done; [ -S $$SOCK ]; \
+	$$MVL layout hypercube:6 -l 4 --json --stable > CHECK_oneshot.json; \
+	pids=""; for i in 1 2 3 4; do \
+		$$MVL request layout hypercube:6 -l 4 --connect $$SOCK > CHECK_served_$$i.json & pids="$$pids $$!"; \
+	done; \
+	rc=0; for p in $$pids; do wait $$p || rc=1; done; [ $$rc -eq 0 ]; \
+	for i in 1 2 3 4; do cmp CHECK_oneshot.json CHECK_served_$$i.json || exit 1; done; \
+	$$MVL request stats --connect $$SOCK > CHECK_stats.json; \
+	grep -q '"schema": "mvl.serve.stats/1"' CHECK_stats.json; \
+	sed -n '/"pipeline"/,/}/p' CHECK_stats.json | grep -q '"misses": 1,'; \
+	$$MVL request shutdown --connect $$SOCK > /dev/null; wait $$SRV; \
+	rm -f CHECK_oneshot.json CHECK_served_*.json CHECK_stats.json
+	dune exec bench/main.exe -- serve --quick -o BENCH_serve_quick.json > /dev/null
+	grep -q '"schema": "mvl.bench.serve/1"' BENCH_serve_quick.json
+	rm -f BENCH_serve_quick.json
 
 bench:
 	dune exec bench/main.exe

@@ -40,6 +40,7 @@ let run_one = function
   | "emit" -> Emit.run ()
   | "throughput" -> Throughput.run ()
   | "scale" -> Scale.run ()
+  | "serve" -> Serve.run ()
   | other ->
       Printf.eprintf "unknown experiment %S\n" other;
       exit 1
@@ -51,6 +52,7 @@ let () =
   | _ :: "emit" :: (_ :: _ as emit_args) -> Emit.run_cli emit_args
   | _ :: "throughput" :: (_ :: _ as tp_args) -> Throughput.run_cli tp_args
   | _ :: "scale" :: (_ :: _ as scale_args) -> Scale.run_cli scale_args
+  | _ :: "serve" :: (_ :: _ as serve_args) -> Serve.run_cli serve_args
   | _ :: (_ :: _ as ids) -> List.iter run_one ids
   | _ ->
       Figures.all ();

@@ -70,10 +70,11 @@ let quick_profile =
     repeats = 1;
   }
 
-let config_of p load =
+let config_of p pattern load =
   {
     Mvl.Network_sim.default_config with
     Mvl.Network_sim.offered_load = load;
+    traffic = pattern;
     warmup = p.warmup;
     measure = p.measure;
     drain = p.drain;
@@ -93,9 +94,9 @@ let graph_of_spec spec_str =
 
 (* best-of-[repeats] run of one grid point at [jobs] engine shards;
    returns the (deterministic) result and the best wall seconds *)
-let time_point p ?jobs (spec_str, load) =
+let time_point p ~pattern ?jobs (spec_str, load) =
   let graph = graph_of_spec spec_str in
-  let config = config_of p load in
+  let config = config_of p pattern load in
   let result = ref None in
   let best_ns = ref Int64.max_int in
   for _ = 1 to p.repeats do
@@ -108,12 +109,13 @@ let time_point p ?jobs (spec_str, load) =
   done;
   (Option.get !result, Int64.to_float !best_ns *. 1e-9)
 
-let record p ?jobs ((spec_str, load) as point) =
-  let config = config_of p load in
-  let r, wall = time_point p ?jobs point in
+let record p ~pattern ?jobs ((spec_str, load) as point) =
+  let config = config_of p pattern load in
+  let r, wall = time_point p ~pattern ?jobs point in
   Mvl.Telemetry.Obj
     [
       ("spec", Mvl.Telemetry.String spec_str);
+      ("pattern", Mvl.Telemetry.String (Mvl.Traffic.to_string pattern));
       ("offered_load", Mvl.Telemetry.Float load);
       ("seed", Mvl.Telemetry.Int config.Mvl.Network_sim.seed);
       ("sim", Mvl.Telemetry.of_sim r);
@@ -142,7 +144,7 @@ let grid p = List.concat_map (fun s -> List.map (fun l -> (s, l)) p.loads) p.spe
    with it would be worse than failing, so it is exit(1). *)
 let scaling_points = [ 1; 2; 4; 8 ]
 
-let measure_scaling p =
+let measure_scaling p ~pattern =
   let load = List.fold_left max 0.0 p.loads in
   let spec_str =
     List.fold_left
@@ -153,9 +155,11 @@ let measure_scaling p =
       (List.hd p.specs) (List.tl p.specs)
   in
   let point = (spec_str, load) in
-  let base_r, base_t = time_point p ~jobs:1 point in
+  let base_r, base_t = time_point p ~pattern ~jobs:1 point in
   let point_json jobs =
-    let r, t = if jobs = 1 then (base_r, base_t) else time_point p ~jobs point in
+    let r, t =
+      if jobs = 1 then (base_r, base_t) else time_point p ~pattern ~jobs point
+    in
     if r <> base_r then (
       Printf.eprintf
         "bench throughput: sharded run (--jobs %d) diverged from serial on \
@@ -234,7 +238,8 @@ let read_back path expected_records =
             path expected_records;
           exit 1)
 
-let run ?(path = default_path) ?jobs ?(quick = false) ?(stable = false) () =
+let run ?(path = default_path) ?jobs ?(quick = false) ?(stable = false)
+    ?(pattern = Mvl.Traffic.Uniform) () =
   let p = if quick then quick_profile else full_profile in
   let points = grid p in
   (* --jobs shards the engine (domains), and the grid then runs one
@@ -248,10 +253,12 @@ let run ?(path = default_path) ?jobs ?(quick = false) ?(stable = false) () =
     | _ -> (None, jobs)
   in
   let rs, stats =
-    Mvl.Parallel.map ?jobs:grid_jobs ~f:(record p ?jobs:engine_jobs) points
+    Mvl.Parallel.map ?jobs:grid_jobs
+      ~f:(record p ~pattern ?jobs:engine_jobs)
+      points
   in
   let rs = if stable then List.map Mvl.Telemetry.strip_volatile rs else rs in
-  let scaling = if stable then None else Some (measure_scaling p) in
+  let scaling = if stable then None else Some (measure_scaling p ~pattern) in
   write path p ?scaling rs;
   read_back path (List.length rs);
   Printf.printf "wrote %s: %d records (%d specs x %d loads), %d worker(s)\n"
@@ -318,18 +325,25 @@ let run ?(path = default_path) ?jobs ?(quick = false) ?(stable = false) () =
 let run_cli args =
   let usage () =
     prerr_endline
-      "usage: bench throughput [--quick] [--jobs N] [--stable] [-o FILE]";
+      "usage: bench throughput [--quick] [--jobs N] [--stable] \
+       [--pattern PATTERN] [-o FILE]";
     exit 2
   in
-  let rec go path jobs quick stable = function
-    | [] -> run ~path ?jobs ~quick ~stable ()
+  let rec go path jobs quick stable pattern = function
+    | [] -> run ~path ?jobs ~quick ~stable ~pattern ()
     | "--jobs" :: n :: rest -> (
         match int_of_string_opt n with
-        | Some j when j >= 1 -> go path (Some j) quick stable rest
+        | Some j when j >= 1 -> go path (Some j) quick stable pattern rest
         | _ -> usage ())
-    | "--quick" :: rest -> go path jobs true stable rest
-    | "--stable" :: rest -> go path jobs quick true rest
-    | ("-o" | "--out") :: p :: rest -> go p jobs quick stable rest
+    | "--quick" :: rest -> go path jobs true stable pattern rest
+    | "--stable" :: rest -> go path jobs quick true pattern rest
+    | "--pattern" :: s :: rest -> (
+        match Mvl.Traffic.of_string s with
+        | Ok pattern -> go path jobs quick stable pattern rest
+        | Error msg ->
+            Printf.eprintf "bench throughput: %s\n" msg;
+            exit 2)
+    | ("-o" | "--out") :: p :: rest -> go p jobs quick stable pattern rest
     | _ -> usage ()
   in
-  go default_path None false false args
+  go default_path None false false Mvl.Traffic.Uniform args

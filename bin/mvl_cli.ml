@@ -207,7 +207,17 @@ let layout_cmd =
             "Report heap occupancy (Gc.quick_stat) and process peak RSS \
              after the pipeline finishes.")
   in
-  let run spec layers svg validate report save time mem_stats json =
+  let stable_arg =
+    Arg.(
+      value & flag
+      & info [ "stable" ]
+          ~doc:
+            "Strip volatile fields (timings, cache state) from the JSON \
+             so runs can be compared byte for byte — the same document a \
+             running $(b,mvl serve) daemon replies with; implies nothing \
+             without $(b,--json).")
+  in
+  let run spec layers svg validate report save time mem_stats stable json =
     let r =
       pipeline_or_die
         ?validate:(if validate then Some Mvl.Check.Strict else None)
@@ -217,6 +227,7 @@ let layout_cmd =
     let m = r.Mvl.Pipeline.metrics in
     if json then begin
       let j = Mvl.Pipeline.to_json r in
+      let j = if stable then Mvl.Telemetry.strip_volatile j else j in
       let j =
         if not mem_stats then j
         else
@@ -283,7 +294,7 @@ let layout_cmd =
     (Cmd.info "layout" ~doc:"Build and measure a multilayer layout")
     Term.(
       const run $ family_arg $ layers_arg $ svg_arg $ validate_arg $ report_arg
-      $ save_arg $ time_arg $ mem_stats_arg $ json_arg)
+      $ save_arg $ time_arg $ mem_stats_arg $ stable_arg $ json_arg)
 
 (* --- sweep command ------------------------------------------------------ *)
 
@@ -301,37 +312,83 @@ let sweep_cmd =
       & info [ "validate" ]
           ~doc:"Validate each layout under the strict grid model.")
   in
-  let run spec layer_list validate jobs json =
-    let f layers =
-      match
-        Mvl.Pipeline.run
-          ?validate:(if validate then Some Mvl.Check.Strict else None)
-          ~layers spec
-      with
-      | Ok r -> Mvl.Pipeline.to_json r
-      | Error msg ->
-          Mvl.Telemetry.Obj
-            [
-              ("schema", Mvl.Telemetry.String "mvl.pipeline.error/1");
-              ("spec", Mvl.Telemetry.String (Mvl.Registry.to_string spec));
-              ("layers", Mvl.Telemetry.Int layers);
-              ("error", Mvl.Telemetry.String msg);
-            ]
+  let connect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Issue the sweep's layout requests to a running $(b,mvl \
+             serve) daemon at $(docv) (unix:PATH or HOST:PORT) instead \
+             of building in-process.  Remote records are the daemon's \
+             stable form (volatile fields stripped) and the sweep \
+             document carries no local \"cache\" object.")
+  in
+  let run spec layer_list validate jobs connect json =
+    let error_record layers msg =
+      Mvl.Telemetry.Obj
+        [
+          ("schema", Mvl.Telemetry.String "mvl.pipeline.error/1");
+          ("spec", Mvl.Telemetry.String (Mvl.Registry.to_string spec));
+          ("layers", Mvl.Telemetry.Int layers);
+          ("error", Mvl.Telemetry.String msg);
+        ]
     in
-    let records, stats = Mvl.Parallel.map ?jobs ~f layer_list in
+    let records, cache =
+      match connect with
+      | Some addr -> (
+          match Mvl_serve.Client.connect addr with
+          | Error msg ->
+              Printf.eprintf "mvl: %s\n" msg;
+              exit 2
+          | Ok c ->
+              let records =
+                List.mapi
+                  (fun i layers ->
+                    let op =
+                      Mvl_serve.Protocol.Layout
+                        {
+                          spec = Mvl.Registry.to_string spec;
+                          layers;
+                          validate;
+                        }
+                    in
+                    match
+                      Mvl_serve.Client.rpc c
+                        { Mvl_serve.Protocol.id = i + 1; op }
+                    with
+                    | Ok payload -> payload
+                    | Error msg -> error_record layers msg)
+                  layer_list
+              in
+              Mvl_serve.Client.close c;
+              (records, None))
+      | None ->
+          let f layers =
+            match
+              Mvl.Pipeline.run
+                ?validate:(if validate then Some Mvl.Check.Strict else None)
+                ~layers spec
+            with
+            | Ok r -> Mvl.Pipeline.to_json r
+            | Error msg -> error_record layers msg
+          in
+          let records, stats = Mvl.Parallel.map ?jobs ~f layer_list in
+          (records, Some (aggregated_cache stats))
+    in
     die_on_record_errors records;
     if json then
       print_json
         (Mvl.Telemetry.Obj
-           [
-             ("schema", Mvl.Telemetry.String "mvl.pipeline.sweep/1");
-             ("spec", Mvl.Telemetry.String (Mvl.Registry.to_string spec));
-             ( "layer_sweep",
-               Mvl.Telemetry.List
-                 (List.map (fun l -> Mvl.Telemetry.Int l) layer_list) );
-             ("runs", Mvl.Telemetry.List records);
-             ("cache", aggregated_cache stats);
-           ])
+           ([
+              ("schema", Mvl.Telemetry.String "mvl.pipeline.sweep/1");
+              ("spec", Mvl.Telemetry.String (Mvl.Registry.to_string spec));
+              ( "layer_sweep",
+                Mvl.Telemetry.List
+                  (List.map (fun l -> Mvl.Telemetry.Int l) layer_list) );
+              ("runs", Mvl.Telemetry.List records);
+            ]
+           @ match cache with Some c -> [ ("cache", c) ] | None -> []))
     else begin
       (match records with
       | r :: _ ->
@@ -368,7 +425,7 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Build one network across several layer counts")
     Term.(
       const run $ family_arg $ layers_list_arg $ validate_arg $ jobs_arg
-      $ json_arg)
+      $ connect_arg $ json_arg)
 
 (* --- validate command --------------------------------------------------- *)
 
@@ -551,23 +608,24 @@ let sim_cmd =
       & info [ "load" ] ~docv:"P"
           ~doc:"Offered load: injection probability per node per cycle.")
   in
+  let pattern_conv =
+    Arg.conv
+      ( (fun s ->
+          match Mvl.Traffic.of_string s with
+          | Ok p -> Ok p
+          | Error msg -> Error (`Msg msg)),
+        fun ppf p -> Format.fprintf ppf "%s" (Mvl.Traffic.to_string p) )
+  in
   let pattern_arg =
     Arg.(
-      value
-      & opt
-          (enum
-             [
-               ("uniform", Mvl.Traffic.Uniform);
-               ("transpose", Mvl.Traffic.Transpose);
-               ("bit-reversal", Mvl.Traffic.Bit_reversal);
-               ("bit-complement", Mvl.Traffic.Bit_complement);
-               ("hotspot", Mvl.Traffic.Hotspot 0);
-             ])
-          Mvl.Traffic.Uniform
+      value & opt pattern_conv Mvl.Traffic.Uniform
       & info [ "pattern" ] ~docv:"PATTERN"
           ~doc:
             "Traffic pattern: uniform, transpose, bit-reversal, \
-             bit-complement or hotspot.")
+             bit-complement, tornado, hotspot:N (N hot destinations), or \
+             bursty:PATTERN:BURST:DUTY (on/off bursts of mean length \
+             BURST at DUTY percent duty cycle over any non-bursty inner \
+             pattern, e.g. bursty:uniform:16:25).")
   in
   let sim_jobs_arg =
     Arg.(
@@ -815,10 +873,222 @@ let list_cmd =
     (Cmd.info "list" ~doc:"List the supported network families")
     Term.(const run $ const ())
 
+(* --- serve command --------------------------------------------------------- *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt string "/tmp/mvl.sock"
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv).")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Listen on TCP at $(docv) instead of a Unix socket (PORT 0 \
+             binds an ephemeral port, printed on startup).")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Evaluation domains serving cache misses (>= 1).")
+  in
+  let cache_mb_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:"Reply-cache byte budget in MiB (GDSF admission/eviction).")
+  in
+  let cache_entries_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:"Reply-cache entry bound.")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value & opt float 300.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Disconnect clients idle for $(docv) seconds (<= 0 disables).")
+  in
+  let max_pending_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Queued replies per client before a slow reader is \
+             disconnected (backpressure bound).")
+  in
+  let log_arg =
+    Arg.(
+      value & flag
+      & info [ "log" ] ~doc:"One stderr line per connection/request event.")
+  in
+  let run socket tcp workers cache_mb cache_entries idle_timeout max_pending
+      log =
+    let addr =
+      match tcp with
+      | None -> Mvl_serve.Server.Unix_sock socket
+      | Some hp -> (
+          match String.rindex_opt hp ':' with
+          | None ->
+              Printf.eprintf "mvl serve: --tcp expects HOST:PORT\n";
+              exit 2
+          | Some i -> (
+              let host = String.sub hp 0 i in
+              let host = if host = "" then "127.0.0.1" else host in
+              let port = String.sub hp (i + 1) (String.length hp - i - 1) in
+              match int_of_string_opt port with
+              | Some p when p >= 0 && p < 65536 -> Mvl_serve.Server.Tcp (host, p)
+              | _ ->
+                  Printf.eprintf "mvl serve: bad port %S\n" port;
+                  exit 2))
+    in
+    let config =
+      {
+        Mvl_serve.Server.addr;
+        workers = max 1 workers;
+        cache_entries;
+        cache_bytes = cache_mb * 1024 * 1024;
+        max_pending;
+        idle_timeout;
+        log;
+      }
+    in
+    let t =
+      try Mvl_serve.Server.create config
+      with Unix.Unix_error (e, _, arg) ->
+        Printf.eprintf "mvl serve: bind %s: %s\n" arg (Unix.error_message e);
+        exit 1
+    in
+    (match addr with
+    | Mvl_serve.Server.Unix_sock path ->
+        Printf.printf "mvl serve: listening on unix:%s\n%!" path
+    | Mvl_serve.Server.Tcp (host, _) ->
+        Printf.printf "mvl serve: listening on %s:%d\n%!" host
+          (Mvl_serve.Server.port t));
+    Mvl_serve.Server.serve t
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the layout service daemon (newline-delimited JSON over a \
+          Unix or TCP socket)")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ workers_arg $ cache_mb_arg
+      $ cache_entries_arg $ idle_timeout_arg $ max_pending_arg $ log_arg)
+
+(* --- request command -------------------------------------------------------- *)
+
+let request_cmd =
+  let op_arg =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [
+                  ("layout", `Layout);
+                  ("validate", `Validate);
+                  ("sim", `Sim);
+                  ("metrics", `Metrics);
+                  ("stats", `Stats);
+                  ("shutdown", `Shutdown);
+                ]))
+          None
+      & info [] ~docv:"OP"
+          ~doc:
+            "Request kind: layout, validate, sim, metrics, stats or \
+             shutdown.")
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"NETWORK"
+          ~doc:"Network spec (required for every op but stats/shutdown).")
+  in
+  let connect_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:"Daemon address: unix:PATH (or any path) or HOST:PORT.")
+  in
+  let validate_arg =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:"For layout: also validate under the strict grid model.")
+  in
+  let load_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "load" ] ~docv:"P" ~doc:"For sim: offered load.")
+  in
+  let pattern_arg =
+    Arg.(
+      value & opt string "uniform"
+      & info [ "pattern" ] ~docv:"PATTERN" ~doc:"For sim: traffic pattern.")
+  in
+  let run op spec connect layers validate load pattern =
+    let need_spec op_name =
+      match spec with
+      | Some s -> s
+      | None ->
+          Printf.eprintf "mvl request: %s requires a NETWORK argument\n"
+            op_name;
+          exit 2
+    in
+    let op =
+      match op with
+      | `Layout ->
+          Mvl_serve.Protocol.Layout
+            { spec = need_spec "layout"; layers; validate }
+      | `Validate ->
+          Mvl_serve.Protocol.Validate { spec = need_spec "validate"; layers }
+      | `Sim ->
+          Mvl_serve.Protocol.Sim
+            { spec = need_spec "sim"; layers; load; pattern }
+      | `Metrics ->
+          Mvl_serve.Protocol.Metrics { spec = need_spec "metrics"; layers }
+      | `Stats -> Mvl_serve.Protocol.Stats
+      | `Shutdown -> Mvl_serve.Protocol.Shutdown
+    in
+    match Mvl_serve.Client.connect connect with
+    | Error msg ->
+        Printf.eprintf "mvl request: %s\n" msg;
+        exit 1
+    | Ok c ->
+        let outcome =
+          Mvl_serve.Client.rpc_pretty c { Mvl_serve.Protocol.id = 1; op }
+        in
+        Mvl_serve.Client.close c;
+        (match outcome with
+        | Ok doc -> print_endline doc
+        | Error msg ->
+            Printf.eprintf "mvl request: %s\n" msg;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send one request to a running mvl serve daemon and print the \
+          reply (byte-identical to the one-shot --json --stable output)")
+    Term.(
+      const run $ op_arg $ spec_arg $ connect_arg $ layers_arg $ validate_arg
+      $ load_arg $ pattern_arg)
+
 let () =
   let doc = "multilayer VLSI layouts for interconnection networks" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "mvl" ~doc)
           [ layout_cmd; sweep_cmd; validate_cmd; layout3d_cmd; tracks_cmd;
-            figure_cmd; verify_cmd; sim_cmd; wormhole_cmd; list_cmd ]))
+            figure_cmd; verify_cmd; sim_cmd; wormhole_cmd; serve_cmd;
+            request_cmd; list_cmd ]))

@@ -15,26 +15,30 @@ type t = {
   from_cache : bool;
 }
 
-type cache_stats = { hits : int; misses : int }
+type cache_stats = { hits : int; misses : int; coalesced : int }
 type validity = Valid | Invalid | Not_validated
 
-(* families are memoized by canonical spec string, layouts by
-   (spec string, layers); the counters track the layout cache only,
-   since layout realization is the expensive stage sweeps repeat.
-
-   Both caches are FIFO-bounded Bounded_fifo tables, so an unbounded
-   sweep over specs or layer counts runs in constant memory and
-   re-inserting a resident key can never desynchronize the eviction
-   queue from the table.
+(* families are memoized by canonical spec string in a FIFO-bounded
+   Bounded_fifo (construction is cheap; recency is all that matters),
+   layouts by "spec@layers" string in a GreedyDual-Size-Frequency
+   {!Cache}: priority = clock + freq * build-seconds / resident-bytes,
+   so a microsecond ring:64 can never evict a multi-second
+   hypercube:17 the moment it lands, yet an expensive layout nobody
+   asks for again ages out through the clock term.
 
    The caches are shared across domains (the Domain_pool backend of
-   Parallel.map runs pipeline jobs concurrently in one process), so
-   every table access goes through [cache_lock] and the counters are
-   atomics.  Realization itself happens outside the lock: two domains
-   missing on the same key at the same instant may both build it — a
-   benign duplication the sweep grids (all-distinct keys) never hit —
-   but a resident layout is handed to every domain by reference, so
-   only the first requester ever pays for a big instance. *)
+   Parallel.map and the serve daemon's workers run pipeline jobs
+   concurrently in one process), so every table access goes through
+   [cache_lock] and the counters are atomics — stats readers must use
+   the accessors below, never raw table state.
+
+   Realization happens outside the lock, under single-flight
+   coalescing: the first domain to miss on a key claims an in-flight
+   entry (mutex + per-key condition) and builds; every other domain
+   missing on the same key blocks on that entry's condition and is
+   handed the finished layout by reference, counted in [coalesced]
+   instead of duplicating seconds of construction.  Distinct keys
+   never wait on each other. *)
 let default_cache_capacity = 256
 
 let cache_lock = Mutex.create ()
@@ -46,29 +50,54 @@ let locked f =
 let family_cache : (string, Families.t) Bounded_fifo.t =
   Bounded_fifo.create ~capacity:default_cache_capacity
 
-let layout_cache : (string * int, Layout.t) Bounded_fifo.t =
-  Bounded_fifo.create ~capacity:default_cache_capacity
+let layout_cache : (string, Layout.t) Cache.t =
+  Cache.create ~capacity:default_cache_capacity ()
+
+let layout_key key layers = key ^ "@" ^ string_of_int layers
+
+(* single-flight claims: key -> the in-progress build every other
+   misser of that key blocks on *)
+type inflight = {
+  cond : Condition.t;
+  mutable outcome : (Layout.t, exn) result option;
+}
+
+let inflight_tbl : (string, inflight) Hashtbl.t = Hashtbl.create 16
 
 let hits = Atomic.make 0
 let misses = Atomic.make 0
+let coalesced = Atomic.make 0
 
-let cache_stats () = { hits = Atomic.get hits; misses = Atomic.get misses }
-let cache_size () = locked (fun () -> Bounded_fifo.length layout_cache)
-let cache_capacity () = locked (fun () -> Bounded_fifo.capacity layout_cache)
+let cache_stats () =
+  {
+    hits = Atomic.get hits;
+    misses = Atomic.get misses;
+    coalesced = Atomic.get coalesced;
+  }
+
+let cache_size () = locked (fun () -> Cache.length layout_cache)
+let cache_capacity () = locked (fun () -> Cache.capacity layout_cache)
+let cache_resident_bytes () = locked (fun () -> Cache.resident_bytes layout_cache)
+let cache_max_bytes () = locked (fun () -> Cache.max_bytes layout_cache)
+let cache_policy_stats () = locked (fun () -> Cache.stats layout_cache)
 
 let set_cache_capacity cap =
   (* shrinking evicts immediately so the bound holds without waiting
      for the next insertion *)
   locked (fun () ->
-      Bounded_fifo.set_capacity layout_cache cap;
+      Cache.set_capacity layout_cache cap;
       Bounded_fifo.set_capacity family_cache cap)
+
+let set_cache_bytes b = locked (fun () -> Cache.set_max_bytes layout_cache b)
 
 let cache_reset () =
   locked (fun () ->
       Bounded_fifo.clear family_cache;
-      Bounded_fifo.clear layout_cache);
+      Cache.clear layout_cache;
+      Cache.reset_stats layout_cache);
   Atomic.set hits 0;
-  Atomic.set misses 0
+  Atomic.set misses 0;
+  Atomic.set coalesced 0
 
 (* stage timing uses the OS monotonic clock (bechamel's stub around
    clock_gettime(CLOCK_MONOTONIC)) — wall-clock time can jump backwards
@@ -102,27 +131,77 @@ let run ?validate ?(report = false) ?(cache = true) ~layers spec =
   | Error msg -> Error msg
   | Ok family ->
       let phases = ref None in
+      let build () =
+        Layout_profile.reset ();
+        let lay = family.Families.layout ~layers in
+        phases := Some (Layout_profile.snapshot ());
+        lay
+      in
       let realize () =
-        match
-          if cache then
-            locked (fun () -> Bounded_fifo.find_opt layout_cache (key, layers))
-          else None
-        with
-        | Some lay ->
-            if cache then Atomic.incr hits;
-            (lay, true)
-        | None ->
-            (* build outside the lock: a layout can take seconds and
-               other domains' lookups must not stall behind it *)
-            Layout_profile.reset ();
-            let lay = family.Families.layout ~layers in
-            phases := Some (Layout_profile.snapshot ());
-            if cache then begin
-              Atomic.incr misses;
+        if not cache then (build (), false)
+        else begin
+          let lkey = layout_key key layers in
+          (* claim under the lock: a resident layout is a hit, an
+             in-progress build for the same key is joined (coalesced),
+             otherwise this caller registers itself as the builder *)
+          let claim () =
+            locked (fun () ->
+                match Cache.find_opt layout_cache lkey with
+                | Some lay -> `Hit lay
+                | None -> (
+                    match Hashtbl.find_opt inflight_tbl lkey with
+                    | Some fl ->
+                        Atomic.incr coalesced;
+                        let rec await () =
+                          match fl.outcome with
+                          | Some r -> r
+                          | None ->
+                              Condition.wait fl.cond cache_lock;
+                              await ()
+                        in
+                        `Joined (await ())
+                    | None ->
+                        let fl = { cond = Condition.create (); outcome = None } in
+                        Hashtbl.replace inflight_tbl lkey fl;
+                        `Build fl))
+          in
+          match claim () with
+          | `Hit lay ->
+              Atomic.incr hits;
+              (lay, true)
+          | `Joined (Ok lay) -> (lay, true)
+          | `Joined (Error e) -> raise e
+          | `Build fl ->
+              (* build outside the lock: a layout can take seconds and
+                 other keys' lookups must not stall behind it; every
+                 concurrent misser of this key blocks on [fl.cond] *)
+              let t0 = Monotonic_clock.now () in
+              let outcome =
+                match build () with
+                | lay -> Ok lay
+                | exception e -> Error e
+              in
+              let ns = Int64.sub (Monotonic_clock.now ()) t0 in
+              let build_seconds =
+                if Int64.compare ns 0L < 0 then 0.0
+                else Int64.to_float ns *. 1e-9
+              in
               locked (fun () ->
-                  Bounded_fifo.add layout_cache (key, layers) lay)
-            end;
-            (lay, false)
+                  Hashtbl.remove inflight_tbl lkey;
+                  (match outcome with
+                  | Ok lay ->
+                      ignore
+                        (Cache.add layout_cache lkey lay ~cost:build_seconds
+                           ~size:(Layout.resident_bytes lay))
+                  | Error _ -> ());
+                  fl.outcome <- Some outcome;
+                  Condition.broadcast fl.cond);
+              (match outcome with
+              | Ok lay ->
+                  Atomic.incr misses;
+                  (lay, false)
+              | Error e -> raise e)
+        end
       in
       (match timed "layout" realize with
       | exception (Invalid_argument msg | Failure msg) ->
@@ -242,6 +321,7 @@ let to_json r =
           [
             ("hits", Int (Atomic.get hits));
             ("misses", Int (Atomic.get misses));
+            ("coalesced", Int (Atomic.get coalesced));
             ("size", Int (cache_size ()));
           ] );
       ("metrics", of_metrics r.metrics);

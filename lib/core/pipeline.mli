@@ -8,17 +8,25 @@
     per-stage timings from the OS monotonic clock (never negative, even
     under wall-clock adjustment).
 
-    Layouts are memoized in a process-wide bounded cache keyed by
-    [(canonical spec string, layers)], so a sweep over [L] — or a
-    metrics pass followed by a simulation on the same spec — constructs
-    each distinct layout exactly once while it stays resident.
-    Hit/miss counters are exposed for verification.
+    Layouts are memoized in a process-wide bounded {!Cache} keyed by
+    ["spec@layers"] under the GreedyDual-Size-Frequency policy
+    (priority grows with hit frequency and build seconds, shrinks with
+    resident bytes), so a sweep over [L] — or a metrics pass followed
+    by a simulation on the same spec — constructs each distinct layout
+    exactly once while it stays resident, and a burst of cheap small
+    specs cannot flush a layout that took seconds to build.
+    Hit/miss/coalesced counters are exposed for verification.
 
     The cache is domain-safe: table accesses are serialized behind one
     mutex (held only for the lookup or insertion itself, never while a
     layout is being built) and the counters are atomics, so
-    {!Parallel.map}'s domain backend shares one cache across all its
-    workers and a resident layout is handed out by reference.
+    {!Parallel.map}'s domain backend and the serve daemon share one
+    cache across all their workers and a resident layout is handed out
+    by reference.  Concurrent misses on the {e same} key are
+    single-flighted: the first misser builds, the rest block on a
+    per-key condition and receive the finished layout (counted in
+    [coalesced], with [from_cache = true]); misses on distinct keys
+    never wait on each other.
 
     Every run serializes to one JSON record ({!to_json}) through
     {!Telemetry} — the machine-readable surface behind
@@ -104,15 +112,18 @@ val to_json : t -> Telemetry.json
     [{schema, spec, family, n_nodes, n_edges, layers, from_cache,
     seconds {build,layout,validate,metrics,report,total},
     layout_phases {place_seconds,...} | null,
-    cache {hits,misses,size}, metrics {...}, violations {checked,...},
-    report}].  ["cache"] reports the process-wide counters at call
-    time; ["violations"] is {!Telemetry.not_validated} when validation
-    was skipped; ["report"] is [null] unless requested. *)
+    cache {hits,misses,coalesced,size}, metrics {...},
+    violations {checked,...}, report}].  ["cache"] reports the
+    process-wide counters at call time; ["violations"] is
+    {!Telemetry.not_validated} when validation was skipped; ["report"]
+    is [null] unless requested. *)
 
 (* --- cache ------------------------------------------------------------- *)
 
-type cache_stats = { hits : int; misses : int }
-(** [misses] counts actual layout constructions through the cache. *)
+type cache_stats = { hits : int; misses : int; coalesced : int }
+(** [misses] counts actual layout constructions through the cache;
+    [coalesced] counts requests that joined another domain's
+    in-progress build of the same key instead of duplicating it. *)
 
 val cache_stats : unit -> cache_stats
 val cache_size : unit -> int
@@ -120,11 +131,26 @@ val cache_size : unit -> int
 
 val cache_capacity : unit -> int
 val set_cache_capacity : int -> unit
-(** Bound on resident entries (default 256), enforced by FIFO eviction
+(** Bound on resident entries (default 256), enforced by GDSF eviction
     at insertion; shrinking evicts immediately.  [0] disables caching.
     Counters are unaffected — a re-run of an evicted spec counts as a
     fresh miss. *)
 
+val cache_resident_bytes : unit -> int
+(** Total {!Layout.resident_bytes} over the resident layouts. *)
+
+val cache_max_bytes : unit -> int
+val set_cache_bytes : int -> unit
+(** Byte budget for resident layouts (default effectively unbounded),
+    enforced together with the entry capacity; shrinking evicts
+    immediately. *)
+
+val cache_policy_stats : unit -> Cache.stats
+(** The layout cache's own policy counters (admissions, rejections,
+    evictions, and its internal hit/miss tallies — the latter also
+    count probes that went on to coalesce, so prefer {!cache_stats}
+    for request accounting). *)
+
 val cache_reset : unit -> unit
 (** Drop all cached layouts and families and zero the counters (the
-    capacity setting is kept). *)
+    capacity and byte-budget settings are kept). *)

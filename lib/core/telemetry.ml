@@ -311,7 +311,10 @@ let rec strip_volatile = function
       Obj
         (List.filter_map
            (fun (k, v) ->
-             if k = "seconds" || k = "cache" || k = "layout_phases" then None
+             if
+               k = "seconds" || k = "cache" || k = "layout_phases"
+               || k = "from_cache"
+             then None
              else Some (k, strip_volatile v))
            fields)
   | List items -> List (List.map strip_volatile items)

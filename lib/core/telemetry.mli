@@ -51,10 +51,12 @@ val strip_volatile : json -> json
 (** Recursively drop the fields whose values legitimately differ
     between two otherwise identical runs: every ["seconds"] object
     (wall-clock stage timings), every ["layout_phases"] object
-    (per-phase construction timings) and every ["cache"] object
-    (cumulative per-process hit/miss counters).  What remains is a deterministic
-    function of the inputs — the form the [--jobs] determinism tests
-    and [bench emit --stable] compare byte-for-byte. *)
+    (per-phase construction timings), every ["cache"] object
+    (cumulative per-process hit/miss counters) and every ["from_cache"]
+    flag (whether this particular run hit the cache).  What remains is
+    a deterministic function of the inputs — the form the [--jobs]
+    determinism tests, [bench emit --stable] and the serve daemon's
+    byte-identity contract compare byte-for-byte. *)
 
 (* --- typed emitters ---------------------------------------------------- *)
 

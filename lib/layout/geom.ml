@@ -22,6 +22,13 @@ let alloc n : col = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
 
 let n_segments t = t.n_points - t.n_wires
 
+(* the four node-corner columns, the CSR offset column, the two edge
+   columns and the three point columns, at one word per element — the
+   off-heap footprint a resident layout actually pins *)
+let resident_bytes t =
+  ((4 * t.n_nodes) + (t.n_wires + 1) + (2 * t.n_wires) + (3 * t.n_points))
+  * (Sys.word_size / 8)
+
 let node_rect t i =
   Rect.make ~x0:t.nx0.{i} ~y0:t.ny0.{i} ~x1:t.nx1.{i} ~y1:t.ny1.{i}
 

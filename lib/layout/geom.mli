@@ -32,6 +32,10 @@ type t = private {
 val n_segments : t -> int
 (** Total polyline segments over all wires ([n_points - n_wires]). *)
 
+val resident_bytes : t -> int
+(** Bytes pinned by the store's Bigarray columns (one word per
+    element) — the size input for cost/size-aware cache admission. *)
+
 val node_rect : t -> int -> Rect.t
 
 val wire_view : t -> int -> Wire.t

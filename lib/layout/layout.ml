@@ -23,6 +23,10 @@ type metrics = {
 
 let graph t = t.graph
 let layers (t : t) = t.layers
+
+let resident_bytes t =
+  Geom.resident_bytes t.geom
+  + (Array.length t.node_layers * (Sys.word_size / 8))
 let node_layers t = t.node_layers
 let geom t = t.geom
 let wires t = Lazy.force t.wires_v

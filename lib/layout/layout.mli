@@ -72,4 +72,9 @@ val translate : t -> dx:int -> dy:int -> t
 
 val metrics : t -> metrics
 
+val resident_bytes : t -> int
+(** Approximate bytes a resident layout pins: the off-heap geometry
+    columns ({!Geom.resident_bytes}) plus the node-layer array.  The
+    size input for cost/size-aware cache admission. *)
+
 val pp_metrics : Format.formatter -> metrics -> unit

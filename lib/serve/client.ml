@@ -1,0 +1,117 @@
+open Mvl_core
+
+(* [buf.[start .. start+len)] holds unconsumed reply bytes; lines are
+   scanned in place and the window is compacted only when a read needs
+   room, so draining a deep pipelined batch costs O(bytes), not
+   O(lines * bytes) as a naive Buffer.contents-per-line would *)
+type t = {
+  fd : Unix.file_descr;
+  mutable buf : Bytes.t;
+  mutable start : int;
+  mutable len : int;
+}
+
+let parse_addr s =
+  if String.length s >= 5 && String.sub s 0 5 = "unix:" then
+    Ok (`Unix (String.sub s 5 (String.length s - 5)))
+  else if String.contains s '/' then Ok (`Unix s)
+  else
+    match String.rindex_opt s ':' with
+    | None -> Error (Printf.sprintf "address %S: expected unix:PATH or HOST:PORT" s)
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | None -> Error (Printf.sprintf "address %S: bad port" s)
+        | Some p -> Ok (`Tcp ((if host = "" then "127.0.0.1" else host), p)))
+
+let connect addr =
+  match parse_addr addr with
+  | Error _ as e -> e
+  | Ok target -> (
+      match
+        match target with
+        | `Unix path ->
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX path);
+            fd
+        | `Tcp (host, port) ->
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            let ip =
+              try Unix.inet_addr_of_string host
+              with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+            in
+            Unix.connect fd (Unix.ADDR_INET (ip, port));
+            (try Unix.setsockopt fd Unix.TCP_NODELAY true
+             with Unix.Unix_error _ -> ());
+            fd
+      with
+      | fd -> Ok { fd; buf = Bytes.create 65536; start = 0; len = 0 }
+      | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "connect %s: %s" addr (Unix.error_message e)))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_raw t msg =
+  let n = String.length msg in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write_substring t.fd msg !off (n - !off) with
+    | 0 -> off := n (* peer gone; surface on the next recv *)
+    | w -> off := !off + w
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let send_line t line = send_raw t (line ^ "\n")
+
+let recv_line t =
+  let take_line () =
+    match Bytes.index_from_opt t.buf t.start '\n' with
+    | Some i when i < t.start + t.len ->
+        let line = Bytes.sub_string t.buf t.start (i - t.start) in
+        t.len <- t.len - (i - t.start + 1);
+        t.start <- i + 1;
+        Some line
+    | _ -> None
+  in
+  let rec go () =
+    match take_line () with
+    | Some line -> Ok line
+    | None -> (
+        (* compact, then grow if a single line overflows the buffer *)
+        if t.start > 0 then begin
+          Bytes.blit t.buf t.start t.buf 0 t.len;
+          t.start <- 0
+        end;
+        if t.len = Bytes.length t.buf then begin
+          let bigger = Bytes.create (2 * Bytes.length t.buf) in
+          Bytes.blit t.buf 0 bigger 0 t.len;
+          t.buf <- bigger
+        end;
+        match Unix.read t.fd t.buf t.len (Bytes.length t.buf - t.len) with
+        | 0 -> Error "connection closed by server"
+        | n ->
+            t.len <- t.len + n;
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Unix.error_message e))
+  in
+  go ()
+
+let ( let* ) = Result.bind
+
+let rpc t (req : Protocol.request) =
+  send_line t (Protocol.encode_request req);
+  let* line = recv_line t in
+  let* id, outcome = Protocol.parse_reply line in
+  if id <> req.Protocol.id then
+    Error
+      (Printf.sprintf "reply id %d does not echo request id %d" id
+         req.Protocol.id)
+  else outcome
+
+let rpc_pretty t req =
+  let* payload = rpc t req in
+  Ok (Mvl.Telemetry.to_string ~pretty:true payload)

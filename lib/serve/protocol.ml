@@ -1,0 +1,251 @@
+open Mvl_core
+
+(* all library access goes through the Mvl facade, same as the CLI *)
+
+type op =
+  | Layout of { spec : string; layers : int; validate : bool }
+  | Validate of { spec : string; layers : int }
+  | Sim of { spec : string; layers : int; load : float; pattern : string }
+  | Metrics of { spec : string; layers : int }
+  | Stats
+  | Shutdown
+
+type request = { id : int; op : op }
+
+let op_cost_hint = function
+  | Layout _ -> "layout"
+  | Validate _ -> "validate"
+  | Sim _ -> "sim"
+  | Metrics _ -> "metrics"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let cache_key = function
+  | Layout { spec; layers; validate } ->
+      Some
+        (Printf.sprintf "layout/%s@%d%s" spec layers
+           (if validate then "/v" else ""))
+  | Validate { spec; layers } -> Some (Printf.sprintf "validate/%s@%d" spec layers)
+  | Sim { spec; layers; load; pattern } ->
+      Some (Printf.sprintf "sim/%s@%d/%s@%h" spec layers pattern load)
+  | Metrics { spec; layers } -> Some (Printf.sprintf "metrics/%s@%d" spec layers)
+  | Stats | Shutdown -> None
+
+(* --- encoding ---------------------------------------------------------- *)
+
+let request_schema = "mvl.serve.request/1"
+let reply_schema = "mvl.serve.reply/1"
+
+let encode_request { id; op } =
+  let open Telemetry in
+  let base = [ ("schema", String request_schema); ("id", Int id) ] in
+  let rest =
+    match op with
+    | Layout { spec; layers; validate } ->
+        [ ("op", String "layout"); ("spec", String spec);
+          ("layers", Int layers); ("validate", Bool validate) ]
+    | Validate { spec; layers } ->
+        [ ("op", String "validate"); ("spec", String spec);
+          ("layers", Int layers) ]
+    | Sim { spec; layers; load; pattern } ->
+        [ ("op", String "sim"); ("spec", String spec); ("layers", Int layers);
+          ("load", Float load); ("pattern", String pattern) ]
+    | Metrics { spec; layers } ->
+        [ ("op", String "metrics"); ("spec", String spec);
+          ("layers", Int layers) ]
+    | Stats -> [ ("op", String "stats") ]
+    | Shutdown -> [ ("op", String "shutdown") ]
+  in
+  to_string (Obj (base @ rest))
+
+let jint ?default key j =
+  match (Mvl.Telemetry.member key j, default) with
+  | Some (Mvl.Telemetry.Int i), _ -> Ok i
+  | None, Some d -> Ok d
+  | _ -> Error (Printf.sprintf "field %S must be an integer" key)
+
+let jfloat ?default key j =
+  match (Mvl.Telemetry.member key j, default) with
+  | Some (Mvl.Telemetry.Float f), _ -> Ok f
+  | Some (Mvl.Telemetry.Int i), _ -> Ok (float_of_int i)
+  | None, Some d -> Ok d
+  | _ -> Error (Printf.sprintf "field %S must be a number" key)
+
+let jstring ?default key j =
+  match (Mvl.Telemetry.member key j, default) with
+  | Some (Mvl.Telemetry.String s), _ -> Ok s
+  | None, Some d -> Ok d
+  | _ -> Error (Printf.sprintf "field %S must be a string" key)
+
+let jbool ?default key j =
+  match (Mvl.Telemetry.member key j, default) with
+  | Some (Mvl.Telemetry.Bool b), _ -> Ok b
+  | None, Some d -> Ok d
+  | _ -> Error (Printf.sprintf "field %S must be a boolean" key)
+
+let ( let* ) = Result.bind
+
+let parse_request line =
+  let* j = Mvl.Telemetry.parse line in
+  let* id = jint ~default:0 "id" j in
+  let* opname = jstring "op" j in
+  let* op =
+    match opname with
+    | "layout" ->
+        let* spec = jstring "spec" j in
+        let* layers = jint ~default:2 "layers" j in
+        let* validate = jbool ~default:false "validate" j in
+        Ok (Layout { spec; layers; validate })
+    | "validate" ->
+        let* spec = jstring "spec" j in
+        let* layers = jint ~default:2 "layers" j in
+        Ok (Validate { spec; layers })
+    | "sim" ->
+        let* spec = jstring "spec" j in
+        let* layers = jint ~default:2 "layers" j in
+        let* load = jfloat ~default:0.1 "load" j in
+        let* pattern = jstring ~default:"uniform" "pattern" j in
+        Ok (Sim { spec; layers; load; pattern })
+    | "metrics" ->
+        let* spec = jstring "spec" j in
+        let* layers = jint ~default:2 "layers" j in
+        Ok (Metrics { spec; layers })
+    | "stats" -> Ok Stats
+    | "shutdown" -> Ok Shutdown
+    | other -> Error (Printf.sprintf "unknown op %S" other)
+  in
+  Ok { id; op }
+
+(* the payload is spliced in as already-encoded bytes: the cached-hit
+   path must not re-parse or re-encode a multi-kilobyte document per
+   request *)
+let reply_prefix =
+  Printf.sprintf "{\"schema\":%s,\"id\":"
+    (Mvl.Telemetry.to_string (Mvl.Telemetry.String reply_schema))
+
+let encode_reply_ok ~id ~payload =
+  String.concat ""
+    [ reply_prefix; string_of_int id; ",\"ok\":true,\"payload\":"; payload; "}" ]
+
+let encode_reply_error ~id msg =
+  Mvl.Telemetry.to_string
+    (Mvl.Telemetry.Obj
+       [
+         ("schema", Mvl.Telemetry.String reply_schema);
+         ("id", Mvl.Telemetry.Int id);
+         ("ok", Mvl.Telemetry.Bool false);
+         ("error", Mvl.Telemetry.String msg);
+       ])
+
+let parse_reply line =
+  let* j = Mvl.Telemetry.parse line in
+  let* id = jint ~default:0 "id" j in
+  let* ok = jbool "ok" j in
+  if ok then
+    match Mvl.Telemetry.member "payload" j with
+    | Some payload -> Ok (id, Ok payload)
+    | None -> Error "reply has ok=true but no payload"
+  else
+    let* msg = jstring ~default:"unknown server error" "error" j in
+    Ok (id, Error msg)
+
+(* --- evaluation -------------------------------------------------------- *)
+
+(* each branch reproduces the corresponding one-shot CLI document
+   construction exactly; [strip_volatile] then removes timings, cache
+   counters and the from_cache flag, so the compact payload
+   pretty-prints to the CLI's [--json --stable] bytes *)
+
+let stable doc = Mvl.Telemetry.to_string (Mvl.Telemetry.strip_volatile doc)
+
+let eval_layout ~spec ~layers ~validate =
+  let* r =
+    Mvl.Pipeline.run_string
+      ?validate:(if validate then Some Mvl.Check.Strict else None)
+      ~layers spec
+  in
+  Ok (stable (Mvl.Pipeline.to_json r))
+
+let eval_validate ~spec ~layers =
+  let* parsed = Mvl.Registry.parse spec in
+  let* r = Mvl.Pipeline.run ~layers parsed in
+  let res =
+    Mvl.Check.run ~mode:Mvl.Check.Strict ~max_violations:20
+      r.Mvl.Pipeline.layout
+  in
+  Ok
+    (stable
+       (Mvl.Telemetry.Obj
+          [
+            ("schema", Mvl.Telemetry.String "mvl.validate/1");
+            ("spec", Mvl.Telemetry.String (Mvl.Registry.to_string parsed));
+            ("layers", Mvl.Telemetry.Int layers);
+            ("validation", Mvl.Telemetry.of_check res);
+          ]))
+
+let eval_sim ~spec ~layers ~load ~pattern =
+  let* parsed = Mvl.Registry.parse spec in
+  let* traffic = Mvl.Traffic.of_string pattern in
+  let* r = Mvl.Pipeline.run ~layers parsed in
+  let fam = r.Mvl.Pipeline.family in
+  let layout = r.Mvl.Pipeline.layout in
+  let link =
+    Mvl.Network_sim.link_latency_of_layout ~units_per_cycle:32 layout
+  in
+  let cfg =
+    {
+      Mvl.Network_sim.default_config with
+      Mvl.Network_sim.traffic;
+      offered_load = load;
+    }
+  in
+  match
+    Mvl.Network_sim.run ~config:cfg ~link_latency:link
+      fam.Mvl.Families.graph
+  with
+  | exception Invalid_argument msg -> Error msg
+  | res ->
+      let zll =
+        Mvl.Network_sim.zero_load_latency ~link_latency:link
+          fam.Mvl.Families.graph
+      in
+      Ok
+        (stable
+           (Mvl.Telemetry.Obj
+              [
+                ("schema", Mvl.Telemetry.String "mvl.sim.run/1");
+                ("spec", Mvl.Telemetry.String (Mvl.Registry.to_string parsed));
+                ("family", Mvl.Telemetry.String fam.Mvl.Families.name);
+                ("layers", Mvl.Telemetry.Int layers);
+                ( "pattern",
+                  Mvl.Telemetry.String
+                    (Format.asprintf "%a" Mvl.Traffic.pp traffic) );
+                ("offered_load", Mvl.Telemetry.Float load);
+                ("seed", Mvl.Telemetry.Int cfg.Mvl.Network_sim.seed);
+                ("zero_load_latency", Mvl.Telemetry.Float zll);
+                ("sim", Mvl.Telemetry.of_sim res);
+              ]))
+
+let eval_metrics ~spec ~layers =
+  let* parsed = Mvl.Registry.parse spec in
+  let* r = Mvl.Pipeline.run ~layers parsed in
+  let fam = r.Mvl.Pipeline.family in
+  Ok
+    (stable
+       (Mvl.Telemetry.Obj
+          [
+            ("schema", Mvl.Telemetry.String "mvl.metrics/1");
+            ("spec", Mvl.Telemetry.String (Mvl.Registry.to_string parsed));
+            ("family", Mvl.Telemetry.String fam.Mvl.Families.name);
+            ("n_nodes", Mvl.Telemetry.Int fam.Mvl.Families.n_nodes);
+            ("layers", Mvl.Telemetry.Int layers);
+            ("metrics", Mvl.Telemetry.of_metrics r.Mvl.Pipeline.metrics);
+          ]))
+
+let eval = function
+  | Layout { spec; layers; validate } -> eval_layout ~spec ~layers ~validate
+  | Validate { spec; layers } -> eval_validate ~spec ~layers
+  | Sim { spec; layers; load; pattern } -> eval_sim ~spec ~layers ~load ~pattern
+  | Metrics { spec; layers } -> eval_metrics ~spec ~layers
+  | Stats -> Error "stats is a server-side op"
+  | Shutdown -> Error "shutdown is a server-side op"

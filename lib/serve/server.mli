@@ -1,0 +1,49 @@
+(** The [mvl serve] daemon: a select-based event loop serving the
+    {!Protocol} over a Unix-domain or TCP socket.
+
+    One domain owns every socket, the reply cache and the coalescing
+    table; [workers] extra domains evaluate cache misses.  Deterministic
+    requests are cached by {!Protocol.cache_key} in an {!Mvl.Cache}
+    (GreedyDual-Size-Frequency: priority grows with hit frequency and
+    measured evaluation seconds, shrinks with payload bytes), so a hot
+    cached spec is answered entirely inside the event loop.  Concurrent
+    misses on one key coalesce: the first enqueues an evaluation job,
+    the rest just register as waiters and share the one reply.
+
+    Flow control: replies queue per client in a bounded {!Ring_buffer}
+    and drain as the socket accepts writes; a client that stops reading
+    past [max_pending] queued replies is disconnected rather than
+    allowed to wedge the server.  Idle connections close after
+    [idle_timeout] seconds. *)
+
+type addr =
+  | Unix_sock of string  (** filesystem path *)
+  | Tcp of string * int  (** host, port; port 0 binds an ephemeral port *)
+
+type config = {
+  addr : addr;
+  workers : int;          (** evaluation domains (>= 1) *)
+  cache_entries : int;    (** reply-cache entry bound *)
+  cache_bytes : int;      (** reply-cache byte budget *)
+  max_pending : int;      (** queued replies per client before disconnect *)
+  idle_timeout : float;   (** seconds; <= 0 disables *)
+  log : bool;             (** one stderr line per lifecycle event *)
+}
+
+val default_config : config
+(** Unix socket ["/tmp/mvl.sock"], 2 workers, 1024 entries, 256 MiB,
+    1024 pending replies, 300 s idle timeout, logging off. *)
+
+type t
+
+val create : config -> t
+(** Binds and listens (unlinking a stale Unix-socket path first).
+    Raises [Unix.Unix_error] on bind/listen failure. *)
+
+val port : t -> int
+(** The bound TCP port (useful with [Tcp (_, 0)]); [0] for a Unix
+    socket. *)
+
+val serve : t -> unit
+(** Runs the event loop until a [shutdown] request arrives, then joins
+    the workers and closes every socket.  Ignores SIGPIPE. *)

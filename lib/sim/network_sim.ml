@@ -91,6 +91,10 @@ let link_latency_of_layout ?(units_per_cycle = 64) layout =
 let run_serial config link_latency graph =
   let n = Graph.n graph in
   let rng = Rng.create ~seed:config.seed in
+  let inj =
+    Traffic.injector config.traffic ~offered_load:config.offered_load
+      ~n_nodes:n rng
+  in
   let routing = Routing_table.create ~edge_cost:link_latency graph in
   (* packed-word geometry: low [dshift] bits carry the destination *)
   let dshift =
@@ -213,7 +217,7 @@ let run_serial config link_latency graph =
     (* injection *)
     if now < config.warmup + config.measure then
       for src = 0 to n - 1 do
-        if Rng.bool rng ~p:config.offered_load then begin
+        if Traffic.inject inj rng ~src then begin
           let dest =
             Traffic.destination config.traffic rng ~n_nodes:n ~src
           in
@@ -396,6 +400,13 @@ let run_sharded ~shards config link_latency graph =
   let shard w =
     let lo, hi = Sim_shard.bounds ~n ~shards w in
     let rng = Rng.create ~seed:config.seed in
+    (* every shard replicates the full injection process (init draws
+       included) so the per-shard streams stay byte-identical to the
+       serial engine's *)
+    let inj =
+      Traffic.injector config.traffic ~offered_load:config.offered_load
+        ~n_nodes:n rng
+    in
     let mail_out = mail.(w) in
     (* local packet store — pids never leave this shard *)
     let pk_born = ref (Array.make 1024 0) in
@@ -492,7 +503,7 @@ let run_sharded ~shards config link_latency graph =
          sequence, materializing only its own sources *)
       if now < config.warmup + config.measure then
         for src = 0 to n - 1 do
-          if Rng.bool rng ~p:config.offered_load then begin
+          if Traffic.inject inj rng ~src then begin
             let dest =
               Traffic.destination config.traffic rng ~n_nodes:n ~src
             in

@@ -4,13 +4,66 @@ type t =
   | Bit_reversal
   | Bit_complement
   | Hotspot of int
+  | Tornado
+  | Bursty of { pattern : t; burst : int; duty_pct : int }
 
-let pp ppf = function
+let rec pp ppf = function
   | Uniform -> Format.fprintf ppf "uniform"
   | Transpose -> Format.fprintf ppf "transpose"
   | Bit_reversal -> Format.fprintf ppf "bit-reversal"
   | Bit_complement -> Format.fprintf ppf "bit-complement"
   | Hotspot h -> Format.fprintf ppf "hotspot(%d)" h
+  | Tornado -> Format.fprintf ppf "tornado"
+  | Bursty { pattern; burst; duty_pct } ->
+      Format.fprintf ppf "bursty(%a,burst=%d,duty=%d%%)" pp pattern burst
+        duty_pct
+
+let rec to_string = function
+  | Uniform -> "uniform"
+  | Transpose -> "transpose"
+  | Bit_reversal -> "bit-reversal"
+  | Bit_complement -> "bit-complement"
+  | Hotspot h -> "hotspot:" ^ string_of_int h
+  | Tornado -> "tornado"
+  | Bursty { pattern; burst; duty_pct } ->
+      Printf.sprintf "bursty:%s:%d:%d" (to_string pattern) burst duty_pct
+
+let of_string s =
+  let err () =
+    Error
+      (Printf.sprintf
+         "unknown traffic pattern %S (expected \
+          uniform|transpose|bit-reversal|bit-complement|tornado|hotspot:N|\
+          bursty:PATTERN:BURST:DUTY%%)"
+         s)
+  in
+  let rec parse = function
+    | [ "uniform" ] -> Ok Uniform
+    | [ "transpose" ] -> Ok Transpose
+    | [ "bit-reversal" ] -> Ok Bit_reversal
+    | [ "bit-complement" ] -> Ok Bit_complement
+    | [ "tornado" ] -> Ok Tornado
+    | [ "hotspot"; h ] -> (
+        match int_of_string_opt h with
+        | Some h -> Ok (Hotspot h)
+        | None -> err ())
+    | "bursty" :: (_ :: _ :: _ :: _ as rest) -> (
+        (* the inner pattern may itself contain ':' (hotspot:N), so the
+           burst length and duty cycle are the LAST two components *)
+        let rec split_last2 acc = function
+          | [ b; d ] -> (List.rev acc, b, d)
+          | x :: tl -> split_last2 (x :: acc) tl
+          | _ -> assert false
+        in
+        let inner, b, d = split_last2 [] rest in
+        match (parse inner, int_of_string_opt b, int_of_string_opt d) with
+        | Ok (Bursty _), _, _ -> err ()
+        | Ok pattern, Some burst, Some duty_pct ->
+            Ok (Bursty { pattern; burst; duty_pct })
+        | _ -> err ())
+    | _ -> err ()
+  in
+  parse (String.split_on_char ':' (String.lowercase_ascii s))
 
 let log2_exact n =
   let rec go acc x = if x = 1 then acc else go (acc + 1) (x lsr 1) in
@@ -21,11 +74,18 @@ let log2_exact n =
 (* the raw deterministic map, before the self-destination fixup: each
    permutation pattern is a bijection on [0, n_nodes), which the
    property tests check directly *)
-let permute pattern ~n_nodes ~src =
+let rec permute pattern ~n_nodes ~src =
   if src < 0 || src >= n_nodes then
     invalid_arg "Traffic.permute: src out of range";
   match pattern with
   | Uniform -> invalid_arg "Traffic.permute: Uniform has no deterministic map"
+  | Bursty { pattern; _ } -> permute pattern ~n_nodes ~src
+  | Tornado ->
+      (* half-way around the ring of labels — the adversarial pattern
+         for minimal ring/torus routing.  Adding a constant modulo n is
+         a bijection at every n, so no power-of-two requirement. *)
+      let offset = ((n_nodes + 1) / 2) - 1 in
+      (src + offset) mod n_nodes
   | Hotspot h ->
       (* [h mod n_nodes] used to be applied here, which silently
          rewrote an out-of-range hotspot — and produced a negative
@@ -57,19 +117,21 @@ let fixed_destination pattern ~n_nodes ~src =
   let d = permute pattern ~n_nodes ~src in
   if d = src then (src + 1) mod n_nodes else d
 
-let destination pattern rng ~n_nodes ~src =
+let rec destination pattern rng ~n_nodes ~src =
   match pattern with
   | Uniform ->
       let d = Rng.int rng ~bound:(n_nodes - 1) in
       if d >= src then d + 1 else d
-  | Hotspot _ | Transpose | Bit_reversal | Bit_complement ->
+  | Bursty { pattern; _ } -> destination pattern rng ~n_nodes ~src
+  | Hotspot _ | Transpose | Bit_reversal | Bit_complement | Tornado ->
       fixed_destination pattern ~n_nodes ~src
 
-let destinations pattern ~n_nodes =
+let rec destinations pattern ~n_nodes =
   if n_nodes < 2 then invalid_arg "Traffic.destinations: n_nodes < 2";
   match pattern with
   | Uniform -> Array.init n_nodes (fun d -> d)
-  | Hotspot _ | Transpose | Bit_reversal | Bit_complement ->
+  | Bursty { pattern; _ } -> destinations pattern ~n_nodes
+  | Hotspot _ | Transpose | Bit_reversal | Bit_complement | Tornado ->
       let seen = Array.make n_nodes false in
       for src = 0 to n_nodes - 1 do
         seen.(fixed_destination pattern ~n_nodes ~src) <- true
@@ -85,3 +147,56 @@ let destinations pattern ~n_nodes =
         end
       done;
       out
+
+(* --- injection process ------------------------------------------------- *)
+
+type injector =
+  | Steady of float
+  | On_off of {
+      r_on : float;
+      p_on_off : float;
+      p_off_on : float;
+      on : bool array;
+    }
+
+let injector pattern ~offered_load ~n_nodes rng =
+  match pattern with
+  | Bursty { pattern = inner; burst; duty_pct } ->
+      (match inner with
+      | Bursty _ -> invalid_arg "Traffic: nested bursty patterns"
+      | _ -> ());
+      if burst < 1 then invalid_arg "Traffic: bursty burst length < 1";
+      if duty_pct < 1 || duty_pct > 100 then
+        invalid_arg "Traffic: bursty duty cycle outside [1, 100]%";
+      if duty_pct = 100 then Steady offered_load
+      else begin
+        (* two-state Markov chain per node.  Mean ON dwell = [burst]
+           cycles gives p(on->off) = 1/burst; the stationary ON share
+           equals the duty cycle d when p(off->on) = d/(burst*(1-d))
+           (clamped — a duty near 1 with a short burst saturates).  In
+           ON the node injects at r_on = load/d, so the long-run
+           offered rate is d * load/d = load, matching Steady. *)
+        let duty = float_of_int duty_pct /. 100.0 in
+        let p_on_off = 1.0 /. float_of_int burst in
+        let p_off_on =
+          Float.min 1.0 (duty /. (float_of_int burst *. (1.0 -. duty)))
+        in
+        let r_on = Float.min 1.0 (offered_load /. duty) in
+        let on = Array.init n_nodes (fun _ -> Rng.bool rng ~p:duty) in
+        On_off { r_on; p_on_off; p_off_on; on }
+      end
+  | _ -> Steady offered_load
+
+let inject inj rng ~src =
+  match inj with
+  | Steady p -> Rng.bool rng ~p
+  | On_off o ->
+      (* decide from the pre-transition state, then advance it; the
+         draw order is part of the replicated-stream contract between
+         the serial and sharded simulator engines *)
+      let was_on = o.on.(src) in
+      let fire = was_on && Rng.bool rng ~p:o.r_on in
+      o.on.(src) <-
+        (if was_on then not (Rng.bool rng ~p:o.p_on_off)
+         else Rng.bool rng ~p:o.p_off_on);
+      fire

@@ -30,11 +30,14 @@ let () =
       ("families", Test_families.suite);
       ("registry", Test_registry.suite);
       ("telemetry", Test_telemetry.suite);
+      ("cache", Test_cache.suite);
       ("render", Test_render.suite);
       ("serialize", Test_serialize.suite);
       ("golden", Test_golden.suite);
       ("ring_buffer", Test_ring_buffer.suite);
       ("sim", Test_sim.suite);
       ("resilience", Test_resilience.suite);
+      ("traffic", Test_traffic.suite);
       ("wormhole", Test_wormhole.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -119,7 +119,7 @@ let test_record_schema_golden () =
     (Mvl.Telemetry.keys
        (Option.get (Mvl.Telemetry.member "seconds" j)));
   Alcotest.(check (list string)) "cache keys"
-    [ "hits"; "misses"; "size" ]
+    [ "hits"; "misses"; "coalesced"; "size" ]
     (Mvl.Telemetry.keys (Option.get (Mvl.Telemetry.member "cache" j)));
   Alcotest.(check (list string)) "layout phase keys"
     [ "place_seconds"; "pack_seconds"; "terminals_seconds"; "emit_seconds";
